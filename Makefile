@@ -1,0 +1,37 @@
+# Convenience targets for the vids reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-full figures examples clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-out:
+	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-out:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+bench-full:
+	REPRO_BENCH_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+figures:
+	$(PYTHON) examples/generate_figures.py figures 1800
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/efsm_modeling.py
+	$(PYTHON) examples/forensic_replay.py
+	$(PYTHON) examples/qos_impact_study.py 600
+	$(PYTHON) examples/enterprise_attack_detection.py
+
+clean:
+	rm -rf .pytest_cache .hypothesis figures test_output.txt bench_output.txt
+	find . -name __pycache__ -type d -exec rm -rf {} +

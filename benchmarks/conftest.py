@@ -1,0 +1,63 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark regenerates one table/figure of the paper's Section 7 and
+prints a "paper vs measured" table.  Scale: by default the simulated
+experiment runs a 30-minute workload (the paper ran 120 minutes); set
+``REPRO_BENCH_FULL=1`` to reproduce the full two-hour run.
+
+Paired runs (with vids / without vids) are cached per parameter set so the
+Figure-9, Figure-10 and Section-7.3 benchmarks reuse the same simulations.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.telephony import (
+    ScenarioParams,
+    ScenarioResult,
+    TestbedParams,
+    WorkloadParams,
+    run_scenario,
+)
+from repro.vids import DEFAULT_CONFIG
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "") not in ("", "0")
+
+#: Simulated workload horizon (seconds).
+HORIZON = 7200.0 if FULL else 1800.0
+SEED = 3
+
+_cache: Dict[Tuple, ScenarioResult] = {}
+
+
+def paired_scenario(with_vids: bool, seed: int = SEED,
+                    horizon: float = HORIZON) -> ScenarioResult:
+    """The canonical Section-7 experiment, cached."""
+    key = (with_vids, seed, horizon)
+    if key not in _cache:
+        _cache[key] = run_scenario(ScenarioParams(
+            testbed=TestbedParams(seed=seed),
+            workload=WorkloadParams(horizon=horizon),
+            with_vids=with_vids,
+            vids_config=DEFAULT_CONFIG,
+        ))
+    return _cache[key]
+
+
+@pytest.fixture(scope="session")
+def with_vids_run() -> ScenarioResult:
+    return paired_scenario(with_vids=True)
+
+
+@pytest.fixture(scope="session")
+def without_vids_run() -> ScenarioResult:
+    return paired_scenario(with_vids=False)
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,93 @@
+"""Ablation — INVITE-flood threshold N.
+
+Section 6: "Timer T1 sets the time window, under which N received INVITE
+requests are considered as normal.  The setting of threshold N depends upon
+the up-limit that a particular type of a phone can handle."
+
+Two sweeps: (a) detection of a fixed 15-INVITE burst as N grows — large N
+misses the flood; (b) false alarms on a legitimate same-callee call burst
+(three genuine calls within the window) as N shrinks — tiny N flags normal
+behaviour.  Together they bracket the operating range.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.analysis import print_table
+from repro.attacks import InviteFloodAttack
+from repro.telephony import (
+    ScenarioParams,
+    TestbedParams,
+    WorkloadParams,
+    build_testbed,
+    run_scenario,
+)
+from repro.vids import AttackType, DEFAULT_CONFIG, Vids
+
+WORKLOAD = WorkloadParams(mean_interarrival=40.0, mean_duration=60.0,
+                          horizon=120.0)
+
+FLOOD_SIZE = 15
+
+
+def detection_sweep():
+    rows = []
+    for threshold in (2, 5, 10, 20):
+        attack = InviteFloodAttack(30.0, count=FLOOD_SIZE, interval=0.02)
+        result = run_scenario(ScenarioParams(
+            testbed=TestbedParams(seed=11, phones_per_network=4),
+            workload=WORKLOAD,
+            with_vids=True,
+            vids_config=DEFAULT_CONFIG.with_overrides(
+                invite_flood_threshold=threshold),
+            attacks=(attack,),
+            drain_time=60.0,
+        ))
+        detected = result.vids.alert_count(AttackType.INVITE_FLOOD) >= 1
+        rows.append((threshold, detected))
+    return rows
+
+
+def false_alarm_burst(threshold):
+    """Three legitimate calls to one callee within the window."""
+    testbed = build_testbed(TestbedParams(seed=5, phones_per_network=4))
+    vids = Vids(sim=testbed.sim,
+                config=DEFAULT_CONFIG.with_overrides(
+                    invite_flood_threshold=threshold))
+    testbed.attach_processor(vids)
+    testbed.register_all()
+    testbed.sim.run(until=2.0)
+    for index, caller in enumerate(testbed.phones_a[:3]):
+        testbed.sim.schedule(0.3 * index,
+                             lambda c=caller: c.place_call(
+                                 "sip:b1@b.example.com", 20.0))
+    testbed.network.run(until=90.0)
+    return vids.alert_count(AttackType.INVITE_FLOOD)
+
+
+def test_ablation_threshold_vs_flood_detection(benchmark):
+    rows = run_once(benchmark, detection_sweep)
+    table = [(f"N = {threshold}",
+              f"{FLOOD_SIZE}-INVITE flood "
+              + ("detected" if threshold < FLOOD_SIZE else "missed"),
+              "DETECTED" if detected else "missed", "")
+             for threshold, detected in rows]
+    print_table("Ablation: threshold N vs detection of a 15-INVITE flood",
+                table)
+    detected_by_n = dict(rows)
+    assert detected_by_n[2] and detected_by_n[5] and detected_by_n[10]
+    assert not detected_by_n[20], "N above the flood size must miss it"
+
+
+def test_ablation_threshold_vs_false_alarms(benchmark):
+    def sweep():
+        return {threshold: false_alarm_burst(threshold)
+                for threshold in (2, 5)}
+
+    alarms = run_once(benchmark, sweep)
+    print_table("Ablation: threshold N vs false alarms on a legit burst", [
+        ("N = 2", "legit 3-call burst flagged", f"{alarms[2]} alarms", ""),
+        ("N = 5", "no alarm", f"{alarms[5]} alarms", ""),
+    ])
+    assert alarms[2] >= 1, "N=2 should flag three quick legitimate calls"
+    assert alarms[5] == 0

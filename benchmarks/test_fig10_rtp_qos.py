@@ -1,0 +1,56 @@
+"""Figure 10 — impact of vids on the QoS of RTP streams.
+
+The paper: "On average, vids adds 1.5 ms of additional delay to RTP based
+voice streams, while the delay variations are 0.0002 seconds higher than
+those without the vids.  Therefore, vids has a negligible effect upon RTP
+delay and jitter."  This benchmark reproduces both metrics from the paired
+scenario and asserts the negligibility bounds (one-way latency budget
+150 ms).
+"""
+
+import pytest
+
+from conftest import paired_scenario, run_once
+from repro.analysis import print_table
+
+
+def test_fig10_rtp_delay_and_jitter(benchmark):
+    on = run_once(benchmark, lambda: paired_scenario(with_vids=True))
+    off = paired_scenario(with_vids=False)
+
+    delay_delta_ms = 1000 * (on.mean_rtp_delay - off.mean_rtp_delay)
+    variation_delta = (on.mean_rtp_delay_variation
+                       - off.mean_rtp_delay_variation)
+    jitter_delta = on.mean_rtp_jitter - off.mean_rtp_jitter
+
+    print_table("Figure 10: impact on QoS of RTP streams", [
+        ("RTP delay w/o vids", "(plotted, ~55 ms)",
+         f"{off.mean_rtp_delay * 1000:.2f} ms", "50 ms cloud + links"),
+        ("RTP delay w/ vids", "(plotted)",
+         f"{on.mean_rtp_delay * 1000:.2f} ms", ""),
+        ("delay added by vids", "1.5 ms", f"{delay_delta_ms:.2f} ms", ""),
+        ("delay variation delta", "0.0002 s", f"{variation_delta:.6f} s",
+         "mean successive |diff|"),
+        ("RFC 3550 jitter delta", "(not reported)",
+         f"{jitter_delta:.6f} s", "receiver-side estimator"),
+    ])
+
+    # Shape: small positive penalty, far below the 150 ms one-way budget.
+    assert delay_delta_ms > 0.2
+    assert delay_delta_ms < 5.0, "vids penalty should be a few ms at most"
+    assert on.mean_rtp_delay < 0.150
+    assert 0.0 <= variation_delta < 0.002
+
+
+def test_fig10_latency_budget_respected(benchmark):
+    """IP telephony's 150 ms one-way latency bound holds for every call."""
+    on = paired_scenario(with_vids=True)
+
+    def max_delays():
+        return [record.rtp_max_delay for record in on.calls
+                if record.rtp_packets_received > 0]
+
+    delays = run_once(benchmark, max_delays)
+    worst = max(delays)
+    print(f"worst per-call max RTP delay with vids: {worst * 1000:.1f} ms")
+    assert worst < 0.150

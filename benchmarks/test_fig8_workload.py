@@ -1,0 +1,64 @@
+"""Figure 8 — call arrivals and call durations over the experiment.
+
+The paper plots the number of call arrivals and the per-call durations
+observed at enterprise network B's proxy over a 120-minute run with random,
+independent arrivals and random durations.  This benchmark regenerates both
+series from the workload generator and prints per-bucket arrival counts and
+the duration distribution summary.
+"""
+
+import pytest
+
+from conftest import FULL, SEED, run_once
+from repro.analysis import print_table, summarize
+from repro.netsim import RandomStreams
+from repro.telephony import CallWorkload, WorkloadParams
+
+#: Figure 8 covers the full 120-minute experiment; the series itself is
+#: cheap to generate, so this benchmark always uses the paper's horizon.
+HORIZON = 7200.0
+
+
+def make_workload() -> CallWorkload:
+    params = WorkloadParams(horizon=HORIZON)
+    return CallWorkload(params, RandomStreams(SEED).fork("workload"),
+                        n_callers=10, n_callees=10)
+
+
+def test_fig8_call_arrivals_and_durations(benchmark):
+    workload = run_once(benchmark, make_workload)
+
+    arrivals = workload.arrival_series(bucket=600.0)  # 10-minute buckets
+    durations = workload.duration_series()
+    duration_summary = summarize(durations)
+    rate_per_min = len(workload.calls) / (HORIZON / 60.0)
+
+    print_table("Figure 8: call arrivals and duration (120 min)", [
+        ("experiment length", "7200 s", f"{HORIZON:.0f} s", ""),
+        ("arrival process", "random, independent",
+         f"Poisson, {rate_per_min:.2f} calls/min", ""),
+        ("total calls", "(plotted)", len(workload.calls), ""),
+        ("duration distribution", "random",
+         f"exp, mean {duration_summary.mean:.0f} s", ""),
+        ("max duration", "(plotted, few hundred s)",
+         f"{duration_summary.maximum:.0f} s", ""),
+    ])
+    print("arrivals per 10-minute bucket:", arrivals)
+    print("first 10 durations (s):",
+          [round(d, 1) for d in durations[:10]])
+
+    # Shape checks: a homogeneous Poisson process over the horizon.
+    assert len(workload.calls) > 20
+    assert max(arrivals) <= 4 * (sum(arrivals) / len(arrivals)) + 5
+    assert duration_summary.minimum >= WorkloadParams().min_duration
+    # Exponential durations: mean near the configured 95 s, long tail.
+    assert 50 < duration_summary.mean < 180
+    assert duration_summary.maximum > duration_summary.mean * 2
+
+
+def test_fig8_workload_is_deterministic(benchmark):
+    first = make_workload()
+    second = run_once(benchmark, make_workload)
+    assert [c.arrival_time for c in first.calls] == \
+           [c.arrival_time for c in second.calls]
+    assert first.duration_series() == second.duration_series()

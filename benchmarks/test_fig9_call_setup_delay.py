@@ -1,0 +1,74 @@
+"""Figure 9 — call setup delay with and without vids.
+
+The paper plots per-call setup delays (INVITE -> 180 Ringing) for two
+representative callers (3 and 4) and reports that "the average delay
+induced by vids to call setup is 100 ms".  This benchmark runs the paired
+scenario (identical seeded workload with and without the inline vids) and
+reproduces both the series and the average delta.
+"""
+
+import pytest
+
+from conftest import HORIZON, paired_scenario, run_once
+from repro.analysis import print_table, summarize
+
+
+def test_fig9_setup_delay_overhead(benchmark):
+    on = run_once(benchmark, lambda: paired_scenario(with_vids=True))
+    off = paired_scenario(with_vids=False)
+
+    delta_ms = 1000 * (on.mean_setup_delay - off.mean_setup_delay)
+    print_table("Figure 9: call setup delay", [
+        ("setup delay w/o vids", "(plotted, ~0.2 s)",
+         f"{off.mean_setup_delay * 1000:.1f} ms",
+         f"{off.answered_calls} calls"),
+        ("setup delay w/ vids", "(plotted, ~0.3 s)",
+         f"{on.mean_setup_delay * 1000:.1f} ms",
+         f"{on.answered_calls} calls"),
+        ("avg delay added by vids", "100 ms", f"{delta_ms:.1f} ms",
+         "2 SIP messages x sip_processing_cost"),
+    ])
+    # The paper plots two representative callers (UAs 3 and 4); pick the two
+    # busiest callers of this run so the series are non-empty for any seed.
+    from collections import Counter
+    counts = Counter(record.caller.split("@")[0] for record in on.calls
+                     if record.is_caller_side and record.setup_delay)
+    for caller, _ in counts.most_common(2):
+        series_on = on.setup_delays(caller=caller)
+        series_off = off.setup_delays(caller=caller)
+        print(f"caller {caller}: with vids "
+              f"{[round(s, 3) for s in series_on]}; without "
+              f"{[round(s, 3) for s in series_off]}")
+
+    # Shape: vids adds a noticeable but sub-second constant-ish delay.
+    assert on.mean_setup_delay > off.mean_setup_delay
+    assert 60 <= delta_ms <= 200, f"delta {delta_ms:.1f} ms out of band"
+    # And the perceived delay stays unobtrusive (paper: "hardly noticeable").
+    assert on.mean_setup_delay < 1.0
+
+
+def test_fig9_delay_added_per_call_is_consistent(benchmark):
+    """The overhead applies to every call, not just the average."""
+    on = paired_scenario(with_vids=True)
+    off = paired_scenario(with_vids=False)
+
+    def paired_deltas():
+        off_by_id = {c.call_id: c for c in off.calls if c.is_caller_side}
+        deltas = []
+        for record in on.calls:
+            if not record.is_caller_side or record.setup_delay is None:
+                continue
+            # Workloads are identical, so call ids differ but ordering by
+            # placement matches; compare distributions instead of ids.
+            deltas.append(record.setup_delay)
+        return deltas
+
+    deltas = run_once(benchmark, paired_deltas)
+    on_summary = summarize(deltas)
+    off_summary = summarize(off.setup_delays())
+    # Minimum-to-minimum comparison isolates the deterministic component
+    # (no retransmissions): it must equal ~2x the SIP processing cost.
+    deterministic_ms = 1000 * (on_summary.minimum - off_summary.minimum)
+    print(f"deterministic component: {deterministic_ms:.1f} ms "
+          f"(paper: 100 ms)")
+    assert 80 <= deterministic_ms <= 120

@@ -1,0 +1,107 @@
+"""Scale — vids analysis throughput and many-call monitoring.
+
+Not a paper table, but the engineering claim behind Section 7.3's
+"vids can monitor thousands of calls at the same time": this benchmark
+measures (a) the real-time packet analysis rate of the full pipeline —
+classifier, distributor, per-call machines — and (b) the wall-clock cost
+of tracking a thousand concurrent calls.
+"""
+
+import pytest
+
+from repro.efsm import ManualClock
+from repro.netsim import Datagram, Endpoint
+from repro.rtp import RtpPacket
+from repro.sip import SipRequest
+from repro.vids import DEFAULT_CONFIG, Vids
+
+SDP = ("v=0\r\no=- 1 1 IN IP4 10.1.0.11\r\ns=c\r\nc=IN IP4 10.1.0.11\r\n"
+       "t=0 0\r\nm=audio 20000 RTP/AVP 18\r\na=rtpmap:18 G729/8000\r\n")
+
+
+def make_vids():
+    clock = ManualClock()
+    vids = Vids(config=DEFAULT_CONFIG, clock_now=clock.now,
+                timer_scheduler=clock.schedule)
+    return vids, clock
+
+
+def setup_call(vids, clock, call_id="tp@x", media_port=20_000):
+    invite = SipRequest("INVITE", "sip:bob@b.example.com",
+                        body=SDP.replace("20000", str(media_port)))
+    invite.set("Via", "SIP/2.0/UDP 10.1.0.1:5060;branch=z9hG4bKtp")
+    invite.set("From", "<sip:alice@a.example.com>;tag=ft")
+    invite.set("To", "<sip:bob@b.example.com>")
+    invite.set("Call-ID", call_id)
+    invite.set("CSeq", "1 INVITE")
+    invite.set("Contact", "<sip:alice@10.1.0.11:5060>")
+    invite.set("Content-Type", "application/sdp")
+    vids.process(Datagram(Endpoint("10.1.0.1", 5060),
+                          Endpoint("10.2.0.1", 5060),
+                          invite.serialize()), clock.now())
+
+
+def test_rtp_analysis_throughput(benchmark):
+    """Steady-state RTP analysis rate (packets/second of real time)."""
+    vids, clock = make_vids()
+    setup_call(vids, clock)
+    packets = []
+    for index in range(2000):
+        packet = RtpPacket(18, index + 1, (index + 1) * 160, 0xAA,
+                           payload=bytes(20))
+        packets.append(Datagram(Endpoint("10.2.0.11", 20_002),
+                                Endpoint("10.1.0.11", 20_000),
+                                packet.serialize()))
+
+    state = {"i": 0}
+
+    def burst():
+        for datagram in packets:
+            clock.advance(0.02)
+            vids.process(datagram, clock.now())
+
+    benchmark.pedantic(burst, rounds=3, iterations=1)
+    rate = 2000 / benchmark.stats["mean"]
+    print(f"\nRTP analysis rate: {rate:,.0f} packets/s of real time "
+          f"(one G.729 call needs ~50 pps/direction)")
+    assert vids.metrics.rtp_packets >= 2000
+    # Keep-up criterion: a few hundred simultaneous G.729 streams on one
+    # core of this (pure-Python) implementation.
+    assert rate > 10_000
+
+
+def test_sip_analysis_throughput(benchmark):
+    """INVITE parse + machine setup rate."""
+    vids, clock = make_vids()
+    state = {"n": 0}
+
+    def burst():
+        for _ in range(200):
+            state["n"] += 1
+            clock.advance(0.01)
+            setup_call(vids, clock, call_id=f"tp{state['n']}@x",
+                       media_port=20_000 + 2 * state["n"])
+
+    benchmark.pedantic(burst, rounds=3, iterations=1)
+    rate = 200 / benchmark.stats["mean"]
+    print(f"\nSIP INVITE analysis rate: {rate:,.0f} messages/s of real time")
+    assert rate > 500
+
+
+def test_thousand_concurrent_calls(benchmark):
+    """Set up and tear RTP through 1000 concurrently monitored calls."""
+    vids, clock = make_vids()
+
+    def run():
+        for index in range(1000):
+            clock.advance(0.001)
+            setup_call(vids, clock, call_id=f"k{index}@x",
+                       media_port=20_000 + 2 * index)
+        return vids.active_calls
+
+    active = benchmark.pedantic(run, rounds=1, iterations=1)
+    total_bytes = vids.factbase.total_state_bytes()
+    print(f"\n1000 concurrent calls: {active} active, "
+          f"{total_bytes / 1e3:.0f} kB monitoring state")
+    assert active == 1000
+    assert vids.alerts == []  # distinct callees: no flood tripped

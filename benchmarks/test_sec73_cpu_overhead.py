@@ -1,0 +1,55 @@
+"""Section 7.3 — CPU overhead introduced by vids.
+
+"The increase of CPU overhead due to running vids is 3.6%."  The baseline
+host "simply forwards the received packets" (zero analysis cost), so the
+increase equals the vids host's busy fraction: per-packet analysis time
+(SIP parsing, RTP logging "at the granularity of a millisecond") divided by
+elapsed time.
+"""
+
+import pytest
+
+from conftest import paired_scenario, run_once
+from repro.analysis import print_table
+
+
+def test_sec73_cpu_overhead(benchmark):
+    on = run_once(benchmark, lambda: paired_scenario(with_vids=True))
+    off = paired_scenario(with_vids=False)
+
+    increase = on.cpu_utilization - off.cpu_utilization
+    metrics = on.vids.metrics
+    print_table("Section 7.3: CPU overhead", [
+        ("baseline CPU (forward only)", "~0", f"{off.cpu_utilization:.2%}", ""),
+        ("vids CPU", "-", f"{on.cpu_utilization:.2%}", ""),
+        ("CPU increase", "3.6%", f"{increase:.2%}", ""),
+        ("SIP messages analysed", "-", metrics.sip_messages, ""),
+        ("RTP packets analysed", "-", metrics.rtp_packets, ""),
+    ])
+    assert off.cpu_utilization == 0.0
+    # Same ballpark as the paper: a few percent, an order below saturation.
+    assert 0.01 < increase < 0.10
+
+
+def test_sec73_cpu_scales_with_offered_load(benchmark):
+    """Double the call rate -> roughly double the vids CPU."""
+    from repro.telephony import (ScenarioParams, TestbedParams,
+                                 WorkloadParams, run_scenario)
+
+    def run_light_and_heavy():
+        results = []
+        for interarrival in (240.0, 60.0):
+            results.append(run_scenario(ScenarioParams(
+                testbed=TestbedParams(seed=7),
+                workload=WorkloadParams(mean_interarrival=interarrival,
+                                        mean_duration=95.0, horizon=900.0),
+                with_vids=True,
+            )))
+        return results
+
+    light, heavy = run_once(benchmark, run_light_and_heavy)
+    print(f"light load: {light.cpu_utilization:.2%} "
+          f"({light.placed_calls} calls); "
+          f"heavy load: {heavy.cpu_utilization:.2%} "
+          f"({heavy.placed_calls} calls)")
+    assert heavy.cpu_utilization > 1.5 * light.cpu_utilization

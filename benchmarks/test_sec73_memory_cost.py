@@ -1,0 +1,106 @@
+"""Section 7.3 — memory cost of call monitoring.
+
+The paper: SIP state consumes "about 450 bytes" per call (all mandatory
+fields including source, destination, ports, and media information), RTP
+state "only 40 bytes"; memory grows linearly with the number of monitored
+calls, the attack-pattern store is a few KBytes, and thousands of
+simultaneous calls are affordable.
+"""
+
+import pytest
+
+from conftest import paired_scenario, run_once
+from repro.analysis import print_table
+from repro.efsm import ManualClock
+from repro.vids import CallStateFactBase, DEFAULT_CONFIG, VidsMetrics
+from repro.vids.sync import SIP_MACHINE
+
+
+def test_sec73_per_call_memory(benchmark):
+    on = run_once(benchmark, lambda: paired_scenario(with_vids=True))
+    metrics = on.vids.metrics
+    assert metrics.call_memory_samples, "no calls completed"
+
+    print_table("Section 7.3: memory cost per monitored call", [
+        ("SIP state / call", "~450 B",
+         f"{metrics.mean_sip_state_bytes:.0f} B",
+         "locals + shared media globals, serialized width"),
+        ("RTP state / call", "~40 B",
+         f"{metrics.mean_rtp_state_bytes:.0f} B",
+         "per-direction seq/ts/ssrc/window tracking"),
+        ("peak concurrent calls", "-", metrics.peak_concurrent_calls, ""),
+        ("peak total state", "-", f"{metrics.peak_state_bytes} B", ""),
+        ("records deleted after final state", "yes",
+         metrics.calls_deleted, "of " + str(metrics.calls_created)),
+    ])
+    # Same order of magnitude as the paper's accounting.
+    assert 50 <= metrics.mean_sip_state_bytes <= 1000
+    assert metrics.mean_rtp_state_bytes <= 400
+    # Monitoring state is reclaimed: every created call is eventually freed.
+    assert metrics.calls_deleted == metrics.calls_created
+
+
+def _invite_event(call_id, sdp_port):
+    from repro.efsm import Event
+    return Event("INVITE", {
+        "src_ip": "10.1.0.1", "src_port": 5060,
+        "dst_ip": "10.2.0.1", "dst_port": 5060,
+        "call_id": call_id, "from_tag": "ft", "to_tag": None,
+        "branch": f"z9hG4bK{sdp_port}", "cseq_num": 1,
+        "cseq_method": "INVITE", "contact_host": "10.1.0.11",
+        "via_hosts": ("10.1.0.1", "10.1.0.11"),
+        "sdp_addr": "10.1.0.11", "sdp_port": sdp_port,
+        "sdp_pts": (18,), "sdp_ptime": 20,
+    })
+
+
+def _answer_event(call_id, sdp_port):
+    from repro.efsm import Event
+    return Event("RESPONSE", {
+        "src_ip": "10.2.0.1", "src_port": 5060,
+        "dst_ip": "10.1.0.1", "dst_port": 5060,
+        "call_id": call_id, "from_tag": "ft", "to_tag": "tt",
+        "branch": f"z9hG4bK{sdp_port}", "cseq_num": 1,
+        "cseq_method": "INVITE", "contact_host": "10.2.0.11",
+        "via_hosts": ("10.1.0.1", "10.1.0.11"), "status": 200,
+        "sdp_addr": "10.2.0.11", "sdp_port": sdp_port,
+        "sdp_pts": (18,), "sdp_ptime": 20,
+    })
+
+
+def test_sec73_memory_grows_linearly_with_calls(benchmark):
+    """Synthesize N concurrent monitored calls and measure total state."""
+
+    def measure(counts=(10, 100, 1000)):
+        totals = {}
+        for count in counts:
+            clock = ManualClock()
+            factbase = CallStateFactBase(DEFAULT_CONFIG, clock.now,
+                                         clock.schedule, VidsMetrics())
+            for index in range(count):
+                call_id = f"mem-{index}@bench"
+                record = factbase.get_or_create(call_id)
+                record.system.inject(
+                    SIP_MACHINE,
+                    _invite_event(call_id, sdp_port=20_000 + index))
+                record.system.inject(
+                    SIP_MACHINE,
+                    _answer_event(call_id, sdp_port=30_000 + index))
+            totals[count] = factbase.total_state_bytes()
+        return totals
+
+    totals = run_once(benchmark, measure)
+    per_call = {count: total / count for count, total in totals.items()}
+    rows = [(f"state for {count} calls", "linear",
+             f"{total} B ({per_call[count]:.0f} B/call)", "")
+            for count, total in totals.items()]
+    thousand_calls_mb = totals[1000] / 1e6
+    rows.append(("1000 concurrent calls", "easily afforded",
+                 f"{thousand_calls_mb:.2f} MB", ""))
+    print_table("Section 7.3: linear growth", rows)
+
+    # Linearity: per-call cost stays constant within 5%.
+    values = list(per_call.values())
+    assert max(values) - min(values) < 0.05 * values[0]
+    # "vids can monitor thousands of calls": 1000 calls well under 10 MB.
+    assert thousand_calls_mb < 10

@@ -1,0 +1,104 @@
+"""Section 7.5 — detection sensitivity.
+
+"The detection sensitivity of vids is defined as the earliest possible time
+to detect an intrusion since its commencement.  The intrusion detection
+delay is mainly determined by the various timers in attack patterns, for
+example, timer T1 in INVITE flooding detection and timer T in BYE DoS
+attack detection."
+
+This benchmark measures time-to-detect for both timer-governed patterns as
+the timers sweep, reproducing the monotone dependence the paper describes.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.analysis import print_table
+from repro.attacks import ByeTeardownAttack, InviteFloodAttack
+from repro.telephony import (
+    ScenarioParams,
+    TestbedParams,
+    WorkloadParams,
+    run_scenario,
+)
+from repro.vids import AttackType, DEFAULT_CONFIG
+
+WORKLOAD = WorkloadParams(mean_interarrival=25.0, mean_duration=400.0,
+                          horizon=120.0)
+
+
+def detection_delay(result, attack, *attack_types):
+    times = [result.vids.alert_manager.first_time(t) for t in attack_types]
+    times = [t for t in times if t is not None]
+    if not times or not attack.launched:
+        return None
+    return min(times) - attack.events[0][0]
+
+
+def sweep_bye_timer():
+    rows = []
+    for timer_t in (0.1, 0.25, 0.5, 1.0):
+        attack = ByeTeardownAttack(40.0, spoof="peer")
+        result = run_scenario(ScenarioParams(
+            testbed=TestbedParams(seed=11, phones_per_network=4),
+            workload=WORKLOAD,
+            with_vids=True,
+            vids_config=DEFAULT_CONFIG.with_overrides(
+                bye_inflight_timer=timer_t),
+            attacks=(attack,),
+            drain_time=60.0,
+        ))
+        delay = detection_delay(result, attack, AttackType.BYE_DOS,
+                                AttackType.TOLL_FRAUD)
+        rows.append((timer_t, delay))
+    return rows
+
+
+def sweep_flood_rate():
+    """Time to detect a flood of fixed size at different intensities."""
+    rows = []
+    for interval in (0.01, 0.05, 0.1):
+        attack = InviteFloodAttack(40.0, count=30, interval=interval)
+        result = run_scenario(ScenarioParams(
+            testbed=TestbedParams(seed=11, phones_per_network=4),
+            workload=WORKLOAD,
+            with_vids=True,
+            attacks=(attack,),
+            drain_time=60.0,
+        ))
+        delay = detection_delay(result, attack, AttackType.INVITE_FLOOD)
+        rows.append((interval, delay))
+    return rows
+
+
+def test_sec75_bye_dos_detection_delay_tracks_timer_t(benchmark):
+    rows = run_once(benchmark, sweep_bye_timer)
+    table = [(f"T = {timer_t} s", "delay ≈ T",
+              f"{delay:.3f} s" if delay is not None else "missed", "")
+             for timer_t, delay in rows]
+    print_table("Section 7.5: BYE DoS detection delay vs timer T", table)
+    for timer_t, delay in rows:
+        assert delay is not None, f"missed detection at T={timer_t}"
+        # Detection happens just after T: T <= delay < T + 1 s slack
+        # (transit + the gap to the next RTP packet).
+        assert timer_t <= delay < timer_t + 1.0
+    # Monotone: growing T grows the detection delay.
+    delays = [delay for _, delay in rows]
+    assert delays == sorted(delays)
+
+
+def test_sec75_flood_detection_faster_for_aggressive_floods(benchmark):
+    rows = run_once(benchmark, sweep_flood_rate)
+    table = [(f"1 INVITE per {interval*1000:.0f} ms",
+              "threshold N within T1",
+              f"{delay:.3f} s" if delay is not None else "missed", "")
+             for interval, delay in rows]
+    print_table("Section 7.5: INVITE flood detection delay vs rate", table)
+    threshold = DEFAULT_CONFIG.invite_flood_threshold
+    for interval, delay in rows:
+        assert delay is not None
+        # The N+1'th INVITE trips the pattern.
+        expected = interval * threshold
+        assert delay == pytest.approx(expected, abs=0.25)
+    delays = [delay for _, delay in rows]
+    assert delays == sorted(delays)

@@ -1,0 +1,53 @@
+"""Reproduction of *VoIP Intrusion Detection Through Interacting Protocol
+State Machines* (Sengar, Wijesekera, Wang, Jajodia — DSN 2006).
+
+Subpackages:
+
+- :mod:`repro.netsim` — discrete-event network simulator (OPNET substitute);
+- :mod:`repro.sip` — SIP stack (RFC 3261 subset): messages, transactions,
+  dialogs, user agents, proxies, registrar;
+- :mod:`repro.rtp` — RTP media stack (RFC 3550 subset): packets, codecs,
+  sessions, jitter, RTCP;
+- :mod:`repro.efsm` — extended finite state machines and communicating-EFSM
+  systems (the paper's Section 4 formal model);
+- :mod:`repro.vids` — the paper's contribution: the intrusion detection
+  system built on interacting protocol state machines;
+- :mod:`repro.telephony` — softphones, call workload, the Figure-7 testbed,
+  and the scenario runner behind every experiment;
+- :mod:`repro.attacks` — injectors for every Section-3 threat;
+- :mod:`repro.analysis` — statistics and report formatting.
+
+Quick start::
+
+    from repro.telephony import ScenarioParams, run_scenario
+    from repro.attacks import ByeTeardownAttack
+
+    result = run_scenario(ScenarioParams(
+        attacks=(ByeTeardownAttack(start_time=60.0, spoof="none"),),
+    ))
+    print(result.summary())
+    for alert in result.vids.alerts:
+        print(alert)
+"""
+
+from . import analysis, attacks, efsm, netsim, rtp, sip, telephony, vids
+from .telephony import ScenarioParams, ScenarioResult, run_scenario
+from .vids import Vids, VidsConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ScenarioParams",
+    "ScenarioResult",
+    "Vids",
+    "VidsConfig",
+    "analysis",
+    "attacks",
+    "efsm",
+    "netsim",
+    "rtp",
+    "sip",
+    "telephony",
+    "vids",
+    "run_scenario",
+]

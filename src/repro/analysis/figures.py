@@ -1,0 +1,100 @@
+"""Export the paper's figure series as CSV files.
+
+Each function takes the scenario results and writes one tidy CSV per
+figure, ready for any plotting tool — the reproduction's stand-in for the
+paper's OPNET plots:
+
+- Figure 8: call arrivals per bucket, and per-call durations;
+- Figure 9: per-call setup delays with and without vids;
+- Figure 10: per-call RTP delay and delay variation with and without vids.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, Union
+
+from ..telephony.callgen import CallWorkload
+from ..telephony.scenario import ScenarioResult
+
+__all__ = ["export_fig8", "export_fig9", "export_fig10", "export_all"]
+
+PathLike = Union[str, Path]
+
+
+def _writer(path: Path):
+    path.parent.mkdir(parents=True, exist_ok=True)
+    handle = path.open("w", newline="")
+    return handle, csv.writer(handle)
+
+
+def export_fig8(workload: CallWorkload, directory: PathLike,
+                bucket: float = 60.0) -> Dict[str, Path]:
+    """Arrivals-per-bucket and per-call duration series."""
+    directory = Path(directory)
+    arrivals_path = directory / "fig8_arrivals.csv"
+    handle, writer = _writer(arrivals_path)
+    with handle:
+        writer.writerow(["time_s", "arrivals"])
+        for index, count in enumerate(workload.arrival_series(bucket)):
+            writer.writerow([index * bucket, count])
+
+    durations_path = directory / "fig8_durations.csv"
+    handle, writer = _writer(durations_path)
+    with handle:
+        writer.writerow(["arrival_time_s", "duration_s"])
+        for call in workload.calls:
+            writer.writerow([f"{call.arrival_time:.3f}",
+                             f"{call.duration:.3f}"])
+    return {"arrivals": arrivals_path, "durations": durations_path}
+
+
+def export_fig9(with_vids: ScenarioResult, without_vids: ScenarioResult,
+                directory: PathLike) -> Path:
+    """Per-call setup delays for the paired runs."""
+    directory = Path(directory)
+    path = directory / "fig9_setup_delay.csv"
+    handle, writer = _writer(path)
+    with handle:
+        writer.writerow(["placed_at_s", "caller", "with_vids",
+                         "setup_delay_s"])
+        for result, flag in ((without_vids, 0), (with_vids, 1)):
+            for record in result.calls:
+                if record.is_caller_side and record.setup_delay is not None:
+                    writer.writerow([f"{record.placed_at:.3f}",
+                                     record.caller, flag,
+                                     f"{record.setup_delay:.6f}"])
+    return path
+
+
+def export_fig10(with_vids: ScenarioResult, without_vids: ScenarioResult,
+                 directory: PathLike) -> Path:
+    """Per-call RTP delay / delay variation for the paired runs."""
+    directory = Path(directory)
+    path = directory / "fig10_rtp_qos.csv"
+    handle, writer = _writer(path)
+    with handle:
+        writer.writerow(["placed_at_s", "with_vids", "rtp_mean_delay_s",
+                         "rtp_delay_variation_s", "rtp_jitter_s",
+                         "rtp_packets"])
+        for result, flag in ((without_vids, 0), (with_vids, 1)):
+            for record in result.calls:
+                if record.rtp_packets_received > 0:
+                    writer.writerow([
+                        f"{record.placed_at:.3f}", flag,
+                        f"{record.rtp_mean_delay:.6f}",
+                        f"{record.rtp_delay_variation:.6f}",
+                        f"{record.rtp_jitter:.6f}",
+                        record.rtp_packets_received,
+                    ])
+    return path
+
+
+def export_all(with_vids: ScenarioResult, without_vids: ScenarioResult,
+               directory: PathLike) -> Dict[str, Path]:
+    """All three figures from one paired run."""
+    paths = dict(export_fig8(with_vids.workload, directory))
+    paths["fig9"] = export_fig9(with_vids, without_vids, directory)
+    paths["fig10"] = export_fig10(with_vids, without_vids, directory)
+    return paths

@@ -1,0 +1,43 @@
+"""Plain-text tables for the benchmark harness.
+
+Every benchmark prints a "paper vs measured" table through these helpers so
+EXPERIMENTS.md and the bench output stay in the same shape.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["format_table", "paper_vs_measured", "print_table"]
+
+
+def format_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]]) -> str:
+    """Render an aligned plain-text table."""
+    materialized: List[List[str]] = [[str(cell) for cell in row]
+                                     for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    separator = "  ".join("-" * width for width in widths)
+    out = [line(list(headers)), separator]
+    out.extend(line(row) for row in materialized)
+    return "\n".join(out)
+
+
+def paper_vs_measured(title: str,
+                      rows: Iterable[Sequence[object]]) -> str:
+    """A table with the canonical (metric, paper, measured, note) columns."""
+    body = format_table(("metric", "paper", "measured", "note"), rows)
+    bar = "=" * max(len(title), 8)
+    return f"\n{bar}\n{title}\n{bar}\n{body}\n"
+
+
+def print_table(title: str, rows: Iterable[Sequence[object]]) -> None:
+    """Print a paper-vs-measured table to stdout."""
+    print(paper_vs_measured(title, rows))

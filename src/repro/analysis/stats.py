@@ -1,0 +1,68 @@
+"""Descriptive statistics used by the benchmark harness and reports."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence, Tuple
+
+__all__ = ["mean", "std", "percentile", "summarize", "bucketize",
+           "Summary"]
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty sample."""
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0
+
+
+def std(values: Sequence[float]) -> float:
+    """Sample standard deviation (n-1); 0.0 below two samples."""
+    values = list(values)
+    if len(values) < 2:
+        return 0.0
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / (len(values) - 1))
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile at ``fraction`` in [0, 1]."""
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    index = min(len(ordered) - 1, max(0, int(fraction * len(ordered))))
+    return ordered[index]
+
+
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    def __init__(self, values: Sequence[float]):
+        self.values = list(values)
+        self.count = len(self.values)
+        self.mean = mean(self.values)
+        self.std = std(self.values)
+        self.minimum = min(self.values) if self.values else 0.0
+        self.maximum = max(self.values) if self.values else 0.0
+        self.median = percentile(self.values, 0.5)
+        self.p95 = percentile(self.values, 0.95)
+
+    def __repr__(self) -> str:  # pragma: no cover - display helper
+        return (f"Summary(n={self.count}, mean={self.mean:.6f}, "
+                f"std={self.std:.6f}, p95={self.p95:.6f})")
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Build a :class:`Summary` of the sample."""
+    return Summary(values)
+
+
+def bucketize(samples: Iterable[Tuple[float, float]],
+              bucket: float) -> List[Tuple[float, float]]:
+    """Average (time, value) samples into fixed-width time buckets."""
+    sums: dict = {}
+    counts: dict = {}
+    for time, value in samples:
+        key = int(time // bucket)
+        sums[key] = sums.get(key, 0.0) + value
+        counts[key] = counts.get(key, 0) + 1
+    return [(key * bucket, sums[key] / counts[key]) for key in sorted(sums)]

@@ -1,0 +1,50 @@
+"""Attack traffic injectors for every Section-3 threat.
+
+Each injector drives real packets through the simulated network (crossing
+the vids perimeter) and is paired with the detection pattern that should
+catch it:
+
+=====================  ==============================  =======================
+Injector               Threat (paper section)          Expected alert
+=====================  ==============================  =======================
+InviteFloodAttack      INVITE flooding (3.1, Fig. 4)   INVITE_FLOOD
+ByeTeardownAttack      BYE DoS (3.1, Fig. 5)           BYE_DOS / TOLL_FRAUD*
+CancelDosAttack        CANCEL DoS (3.1)                CANCEL_DOS
+CallHijackAttack       call hijacking (3.1)            CALL_HIJACK
+TollFraudAttack        billing fraud (3.1)             TOLL_FRAUD
+MediaSpamAttack        media spamming (3.2, Fig. 6)    MEDIA_SPAM
+RtpFloodAttack         RTP flooding / codec (3.2)      RTP_FLOOD/CODEC_CHANGE
+DrdosReflectionAttack  DRDoS via proxy (3.1)           DRDOS_REFLECTION
+=====================  ==============================  =======================
+
+(*) a source-spoofed BYE and genuine toll fraud are the same wire-level
+observable; the engine attributes by whether the after-close media comes
+from the BYE's claimed sender.
+"""
+
+from .base import Attack, EstablishedPair, attacker_host, find_established_pair
+from .bye_teardown import ByeTeardownAttack
+from .cancel_dos import CancelDosAttack
+from .drdos import DrdosReflectionAttack
+from .hijack import CallHijackAttack
+from .invite_flood import InviteFloodAttack
+from .media_spam import MediaSpamAttack
+from .registration_hijack import RegistrationHijackAttack
+from .rtp_flood import RtpFloodAttack
+from .toll_fraud import TollFraudAttack
+
+__all__ = [
+    "Attack",
+    "ByeTeardownAttack",
+    "CallHijackAttack",
+    "CancelDosAttack",
+    "DrdosReflectionAttack",
+    "EstablishedPair",
+    "InviteFloodAttack",
+    "MediaSpamAttack",
+    "RegistrationHijackAttack",
+    "RtpFloodAttack",
+    "TollFraudAttack",
+    "attacker_host",
+    "find_established_pair",
+]

@@ -1,0 +1,99 @@
+"""BYE denial-of-service and toll-fraud attacks (paper Sections 3.1 and 6).
+
+"The BYE attack aborts an established call between UAs ... suddenly
+malicious UA-C sends a BYE message to either UAs.  The receiving UA will
+prematurely teardown the established call assuming that it is requested by
+the partner UA."
+
+Two variants, selected by ``spoof``:
+
+- ``"none"`` — UA-C sends the BYE from its own address.  The victim still
+  tears the call down (no authentication), and vids flags the BYE directly:
+  its source is outside the participant set (``ATTACK_Bye_DoS`` in the SIP
+  machine).
+- ``"peer"`` — the BYE spoofs the victim's *partner* address.  To vids the
+  teardown looks legitimate; detection comes from the Figure-5 cross-
+  protocol interaction: the partner, unaware, keeps streaming RTP after
+  timer T expires, and packets arriving in RTP_Close raise the alert.
+  (Because the continuing media comes from the very address the BYE was
+  spoofed as, the attribution heuristic reports it as toll-fraud-consistent
+  — on the wire the two attacks are the same observable; see
+  :mod:`repro.attacks.toll_fraud`.)
+
+The injector reads the dialog identifiers from the victim's call state, the
+simulation stand-in for an attacker who sniffed the signaling.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..netsim.address import Endpoint
+from ..sip.headers import new_branch
+from ..sip.message import SipRequest
+from ..telephony.enterprise import EnterpriseTestbed
+from .base import Attack, EstablishedPair, attacker_host, find_established_pair
+
+__all__ = ["ByeTeardownAttack"]
+
+#: How often to re-check for an established call to attack.
+RETRY_INTERVAL = 2.0
+
+
+class ByeTeardownAttack(Attack):
+    """Tear down an established call with a forged BYE."""
+
+    name = "bye-teardown"
+
+    def __init__(self, start_time: float, spoof: str = "peer",
+                 max_wait: float = 600.0):
+        if spoof not in ("none", "peer"):
+            raise ValueError(f"unknown spoof mode: {spoof!r}")
+        super().__init__(start_time)
+        self.spoof = spoof
+        self.max_wait = max_wait
+        self.victim_call_id: Optional[str] = None
+
+    def install(self, testbed: EnterpriseTestbed) -> None:
+        host = attacker_host(testbed)
+        sim = testbed.sim
+        deadline = self.start_time + self.max_wait
+
+        def attempt() -> None:
+            pair = find_established_pair(testbed)
+            if pair is None:
+                if sim.now + RETRY_INTERVAL < deadline:
+                    sim.schedule(RETRY_INTERVAL, attempt)
+                return
+            self._strike(testbed, host, pair)
+
+        sim.schedule_at(max(self.start_time, sim.now), attempt)
+
+    def _strike(self, testbed: EnterpriseTestbed, host, pair:
+                EstablishedPair) -> None:
+        sim = testbed.sim
+        callee_dialog = pair.callee_call.dialog
+        assert callee_dialog is not None
+        self.victim_call_id = pair.callee_call.call_id
+
+        # Build the BYE exactly as the callee expects it from its peer.
+        caller_ip = pair.caller_phone.host.ip
+        bye = SipRequest("BYE", callee_dialog.local_addr.uri.with_params())
+        if self.spoof == "none":
+            via_host = host.ip
+            src_ip: Optional[str] = None
+        else:
+            # Victim = callee; spoof its partner (the caller).
+            via_host = caller_ip
+            src_ip = caller_ip
+        bye.set("Via", f"SIP/2.0/UDP {via_host}:5060;branch={new_branch()}")
+        bye.set("Max-Forwards", 70)
+        bye.set("From", str(callee_dialog.remote_addr))
+        bye.set("To", str(callee_dialog.local_addr))
+        bye.set("Call-ID", callee_dialog.call_id)
+        bye.set("CSeq", f"{callee_dialog.remote_cseq + 1} BYE")
+
+        victim = Endpoint(pair.callee_phone.host.ip, 5060)
+        host.send_udp(victim, bye.serialize(), 5060, src_ip=src_ip)
+        self.log(sim.now, f"forged BYE ({self.spoof}) -> {victim} "
+                          f"call={self.victim_call_id}")

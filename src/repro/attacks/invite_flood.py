@@ -1,0 +1,81 @@
+"""INVITE request flooding attack (paper Section 3.1).
+
+"A number of IP phones together may launch an INVITE flooding attack to
+overwhelm a single telephone terminal within a short duration of time."
+
+The injector sends a burst of well-formed INVITEs — distinct Call-IDs and
+branches, plausible SDP — at one callee's address-of-record through the
+victim domain's proxy, optionally rotating spoofed source addresses to
+emulate the distributed variant.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from ..sip.headers import new_branch, new_call_id, new_tag
+from ..sip.message import SipRequest
+from ..sip.sdp import SDP_CONTENT_TYPE, SessionDescription
+from ..telephony.enterprise import EnterpriseTestbed
+from .base import Attack, attacker_host
+
+__all__ = ["InviteFloodAttack"]
+
+_flood_ids = itertools.count(1)
+
+
+class InviteFloodAttack(Attack):
+    """Flood ``target_aor`` with INVITEs."""
+
+    name = "invite-flood"
+
+    def __init__(
+        self,
+        start_time: float,
+        target_aor: str = "b1@b.example.com",
+        count: int = 30,
+        interval: float = 0.02,
+        spoof_sources: int = 0,
+    ):
+        super().__init__(start_time)
+        self.target_aor = target_aor
+        self.count = count
+        self.interval = interval
+        self.spoof_sources = spoof_sources
+
+    def install(self, testbed: EnterpriseTestbed) -> None:
+        host = attacker_host(testbed)
+        sim = testbed.sim
+        proxy = testbed.proxy_b.endpoint
+
+        def send_one(index: int) -> None:
+            request = self._build_invite(host.ip, index)
+            src_ip: Optional[str] = None
+            if self.spoof_sources:
+                src_ip = f"172.16.{index % self.spoof_sources}.99"
+            host.send_udp(proxy, request.serialize(), 5060, src_ip=src_ip)
+            self.log(sim.now, f"INVITE#{index} -> {self.target_aor}")
+
+        base = max(self.start_time, sim.now)
+        for index in range(self.count):
+            sim.schedule_at(base + index * self.interval, send_one, index)
+
+    def _build_invite(self, attacker_ip: str, index: int) -> SipRequest:
+        user, _, domain = self.target_aor.partition("@")
+        unique = next(_flood_ids)
+        sdp = SessionDescription.for_audio(attacker_ip, 40_000 + 2 * index,
+                                           18, "G729")
+        request = SipRequest("INVITE", f"sip:{self.target_aor}",
+                             body=sdp.serialize())
+        request.set("Via", f"SIP/2.0/UDP {attacker_ip}:5060"
+                           f";branch={new_branch()}")
+        request.set("Max-Forwards", 70)
+        request.set("From", f"<sip:flood{unique}@evil.example.net>"
+                            f";tag={new_tag()}")
+        request.set("To", f"<sip:{self.target_aor}>")
+        request.set("Call-ID", new_call_id(attacker_ip))
+        request.set("CSeq", "1 INVITE")
+        request.set("Contact", f"<sip:flood{unique}@{attacker_ip}:5060>")
+        request.set("Content-Type", SDP_CONTENT_TYPE)
+        return request

@@ -1,0 +1,101 @@
+"""Media spamming attack (paper Sections 3.2 and 6).
+
+"A third party knowing the SDP information (IP address, port number, media
+type and its encoding scheme) and the RTP synchronization source (SSRC)
+identifier could fabricate RTP packets.  By having the same SSRC identifier
+with higher sequence number or timestamp in the spoofed RTP packets, the
+third party can play unauthorized media."
+
+The injector sniffs the victim stream's SSRC and current sequence/timestamp
+from the legitimate sender's state, jumps well past them, and plays its own
+"media" into the victim's negotiated RTP port.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..netsim.address import Endpoint
+from ..rtp.packet import RtpPacket
+from ..telephony.enterprise import EnterpriseTestbed
+from .base import Attack, attacker_host, find_established_pair
+
+__all__ = ["MediaSpamAttack"]
+
+RETRY_INTERVAL = 2.0
+
+
+class MediaSpamAttack(Attack):
+    """Inject fabricated RTP into an established call."""
+
+    name = "media-spam"
+
+    def __init__(
+        self,
+        start_time: float,
+        seq_jump: int = 1000,
+        ts_jump: int = 400_000,
+        burst_packets: int = 100,
+        burst_interval: float = 0.02,
+        spoof_source: bool = True,
+        max_wait: float = 600.0,
+    ):
+        super().__init__(start_time)
+        self.seq_jump = seq_jump
+        self.ts_jump = ts_jump
+        self.burst_packets = burst_packets
+        self.burst_interval = burst_interval
+        self.spoof_source = spoof_source
+        self.max_wait = max_wait
+        self.victim_call_id: Optional[str] = None
+
+    def install(self, testbed: EnterpriseTestbed) -> None:
+        host = attacker_host(testbed)
+        sim = testbed.sim
+        deadline = self.start_time + self.max_wait
+
+        def attempt() -> None:
+            pair = find_established_pair(testbed)
+            if pair is None:
+                if sim.now + RETRY_INTERVAL < deadline:
+                    sim.schedule(RETRY_INTERVAL, attempt)
+                return
+            self._strike(testbed, host, pair)
+
+        sim.schedule_at(max(self.start_time, sim.now), attempt)
+
+    def _strike(self, testbed, host, pair) -> None:
+        sim = testbed.sim
+        self.victim_call_id = pair.callee_call.call_id
+        # Sniffed stream parameters: the caller's sender toward the callee.
+        sender = None
+        media = pair.caller_phone._media.get(pair.caller_call.call_id)
+        if media is not None:
+            sender = media.sender
+        if sender is None:
+            return
+        victim_sdp = pair.caller_call.remote_sdp   # the callee's answer
+        if victim_sdp is None or victim_sdp.audio is None:
+            return
+        victim = Endpoint(victim_sdp.connection_address, victim_sdp.audio.port)
+        ssrc = sender.ssrc
+        seq = (sender.sequence_number + self.seq_jump) % (1 << 16)
+        ts = (sender.timestamp + self.ts_jump) % (1 << 32)
+        pt = sender.codec.payload_type
+        src_ip = pair.caller_phone.host.ip if self.spoof_source else None
+
+        def send(index: int) -> None:
+            packet = RtpPacket(
+                payload_type=pt,
+                sequence_number=(seq + index) % (1 << 16),
+                timestamp=(ts + index * 160) % (1 << 32),
+                ssrc=ssrc,
+                payload=bytes(20),
+            )
+            host.send_udp(victim, packet.serialize(), victim.port,
+                          src_ip=src_ip)
+
+        for index in range(self.burst_packets):
+            sim.schedule_at(sim.now + index * self.burst_interval, send, index)
+        self.log(sim.now, f"spam burst -> {victim} ssrc={ssrc} "
+                          f"call={self.victim_call_id}")

@@ -1,0 +1,173 @@
+"""Command-line interface: ``vids-repro`` (or ``python -m repro.cli``).
+
+Subcommands:
+
+- ``scenario`` — run the Section-7 experiment (paired with/without vids) and
+  print the overhead table; optionally export the figure CSVs;
+- ``attack-matrix`` — inject every threat-model attack and print the
+  detection scoreboard;
+- ``machines`` — print structural summaries (or Graphviz dot) of the vids
+  protocol state machines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="vids-repro",
+        description=("Reproduction of 'VoIP Intrusion Detection Through "
+                     "Interacting Protocol State Machines' (DSN 2006)"))
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    scenario = sub.add_parser(
+        "scenario", help="run the paired with/without-vids experiment")
+    scenario.add_argument("--horizon", type=float, default=1800.0,
+                          help="simulated workload seconds (default 1800)")
+    scenario.add_argument("--seed", type=int, default=3)
+    scenario.add_argument("--phones", type=int, default=10,
+                          help="phones per enterprise network")
+    scenario.add_argument("--figures", metavar="DIR", default=None,
+                          help="also export Figure 8/9/10 CSVs to DIR")
+
+    matrix = sub.add_parser(
+        "attack-matrix", help="inject every attack and report detection")
+    matrix.add_argument("--seed", type=int, default=11)
+
+    machines = sub.add_parser(
+        "machines", help="describe the vids protocol state machines")
+    machines.add_argument("--dot", action="store_true",
+                          help="emit Graphviz dot instead of summaries")
+
+    return parser
+
+
+def _cmd_scenario(args) -> int:
+    from .analysis import export_all, format_table
+    from .telephony import (ScenarioParams, TestbedParams, WorkloadParams,
+                            run_scenario)
+
+    workload = WorkloadParams(horizon=args.horizon)
+    testbed = TestbedParams(seed=args.seed, phones_per_network=args.phones)
+    print(f"running paired scenario ({args.horizon:.0f} s simulated, "
+          f"seed {args.seed})...", file=sys.stderr)
+    on = run_scenario(ScenarioParams(testbed=testbed, workload=workload,
+                                     with_vids=True))
+    off = run_scenario(ScenarioParams(testbed=testbed, workload=workload,
+                                      with_vids=False))
+    rows = [
+        ("calls placed / answered",
+         f"{off.placed_calls} / {off.answered_calls}",
+         f"{on.placed_calls} / {on.answered_calls}"),
+        ("mean setup delay",
+         f"{off.mean_setup_delay * 1000:.1f} ms",
+         f"{on.mean_setup_delay * 1000:.1f} ms"),
+        ("mean RTP delay",
+         f"{off.mean_rtp_delay * 1000:.2f} ms",
+         f"{on.mean_rtp_delay * 1000:.2f} ms"),
+        ("mean delay variation",
+         f"{off.mean_rtp_delay_variation:.6f} s",
+         f"{on.mean_rtp_delay_variation:.6f} s"),
+        ("mean MOS (E-model)",
+         f"{off.mean_mos:.2f}", f"{on.mean_mos:.2f}"),
+        ("vids CPU", f"{off.cpu_utilization:.2%}",
+         f"{on.cpu_utilization:.2%}"),
+        ("alerts", "-", str(on.alerts_by_type() or 0)),
+    ]
+    print(format_table(("metric", "without vids", "with vids"), rows))
+    if args.figures:
+        paths = export_all(on, off, args.figures)
+        for name, path in sorted(paths.items()):
+            print(f"wrote {name}: {path}")
+    return 0
+
+
+def _cmd_attack_matrix(args) -> int:
+    from .analysis import format_table
+    from .attacks import (ByeTeardownAttack, CallHijackAttack,
+                          CancelDosAttack, DrdosReflectionAttack,
+                          InviteFloodAttack, MediaSpamAttack,
+                          RegistrationHijackAttack, RtpFloodAttack,
+                          TollFraudAttack)
+    from .telephony import (ScenarioParams, TestbedParams, WorkloadParams,
+                            run_scenario)
+
+    workload = WorkloadParams(mean_interarrival=25.0, mean_duration=400.0,
+                              horizon=150.0)
+    attacks = [
+        InviteFloodAttack(40.0, count=20),
+        ByeTeardownAttack(40.0, spoof="none"),
+        ByeTeardownAttack(40.0, spoof="peer"),
+        CancelDosAttack(40.0),
+        CallHijackAttack(40.0),
+        TollFraudAttack(40.0),
+        MediaSpamAttack(40.0),
+        RtpFloodAttack(40.0, mode="flood"),
+        RtpFloodAttack(40.0, mode="codec"),
+        DrdosReflectionAttack(40.0, count=20),
+        RegistrationHijackAttack(40.0),
+    ]
+    rows = []
+    detected = 0
+    for attack in attacks:
+        result = run_scenario(ScenarioParams(
+            testbed=TestbedParams(seed=args.seed, phones_per_network=4),
+            workload=workload, with_vids=True, attacks=(attack,),
+            drain_time=90.0))
+        kinds = sorted({a.attack_type.value for a in result.vids.alerts})
+        ok = attack.launched and bool(kinds)
+        detected += ok
+        label = attack.name
+        if hasattr(attack, "mode"):
+            label += f" ({attack.mode})"
+        elif hasattr(attack, "spoof"):
+            label += f" (spoof={attack.spoof})"
+        rows.append((label, "yes" if attack.launched else "NO TARGET",
+                     ", ".join(kinds) if kinds else "NOT DETECTED"))
+        print(f"  {label}: {'detected' if ok else 'MISSED'}",
+              file=sys.stderr)
+    print(format_table(("attack", "launched", "alerts"), rows))
+    print(f"\ndetected {detected}/{len(attacks)}")
+    return 0 if detected == len(attacks) else 1
+
+
+def _cmd_machines(args) -> int:
+    from .efsm import summarize_machine, to_dot
+    from .vids import build_rtp_machine, build_sip_machine
+    from .vids.patterns import build_invite_flood_machine, \
+        build_media_spam_machine
+
+    machines = [
+        build_sip_machine(),
+        build_rtp_machine(),
+        build_invite_flood_machine(5, 1.0),
+        build_media_spam_machine(50, 160_000),
+    ]
+    for machine in machines:
+        if args.dot:
+            print(to_dot(machine))
+        else:
+            print(summarize_machine(machine))
+        print()
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "scenario":
+        return _cmd_scenario(args)
+    if args.command == "attack-matrix":
+        return _cmd_attack_matrix(args)
+    if args.command == "machines":
+        return _cmd_machines(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,46 @@
+"""Extended finite state machines (the paper's Section 4 formal model)."""
+
+from .analysis import (
+    attack_paths,
+    event_coverage,
+    reachable_states,
+    summarize_machine,
+)
+from .channels import Channel, channel_name
+from .dot import to_dot
+from .errors import DefinitionError, EfsmError, NondeterminismError
+from .events import TIMER_CHANNEL, Event
+from .machine import (
+    Efsm,
+    EfsmInstance,
+    FiringResult,
+    Output,
+    Transition,
+    TransitionContext,
+    Variables,
+)
+from .system import EfsmSystem, ManualClock
+
+__all__ = [
+    "Channel",
+    "DefinitionError",
+    "Efsm",
+    "EfsmError",
+    "EfsmInstance",
+    "EfsmSystem",
+    "Event",
+    "FiringResult",
+    "ManualClock",
+    "NondeterminismError",
+    "Output",
+    "TIMER_CHANNEL",
+    "Transition",
+    "TransitionContext",
+    "Variables",
+    "attack_paths",
+    "channel_name",
+    "event_coverage",
+    "reachable_states",
+    "summarize_machine",
+    "to_dot",
+]

@@ -1,0 +1,107 @@
+"""Structural analysis of EFSM definitions.
+
+The paper (Section 4.2): "We are interested in the configurations that are
+reachable from the initial or intermediate configuration to the attack
+configuration through zero or more intermediate states.  The paths along
+the transitions from s_i to s_attack constitute attack patterns."
+
+This module computes those objects on the transition *structure* (ignoring
+predicate valuations, which over-approximates reachability — sound for
+enumeration of candidate attack patterns):
+
+- :func:`reachable_states` — states reachable from the initial state;
+- :func:`attack_paths` — for every attack state, one shortest transition
+  path from the initial state (the canonical attack pattern);
+- :func:`event_coverage` — which alphabet events can ever fire from each
+  state (useful for reviewing specification completeness);
+- :func:`summarize_machine` — a human-readable structural summary.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Set, Tuple
+
+from .machine import Efsm, Transition
+
+__all__ = ["reachable_states", "attack_paths", "event_coverage",
+           "summarize_machine"]
+
+
+def reachable_states(machine: Efsm,
+                     start: Optional[str] = None) -> Set[str]:
+    """States structurally reachable from ``start`` (default: initial)."""
+    start = start or machine.initial_state
+    seen = {start}
+    frontier = deque([start])
+    outgoing: Dict[str, List[Transition]] = {}
+    for transition in machine.transitions:
+        outgoing.setdefault(transition.source, []).append(transition)
+    while frontier:
+        state = frontier.popleft()
+        for transition in outgoing.get(state, ()):
+            if transition.target not in seen:
+                seen.add(transition.target)
+                frontier.append(transition.target)
+    return seen
+
+
+def attack_paths(machine: Efsm,
+                 start: Optional[str] = None
+                 ) -> Dict[str, List[Transition]]:
+    """Shortest transition path from ``start`` to each attack state.
+
+    Returns a mapping attack-state -> list of transitions (the paper's
+    "attack pattern"); unreachable attack states are omitted.
+    """
+    start = start or machine.initial_state
+    outgoing: Dict[str, List[Transition]] = {}
+    for transition in machine.transitions:
+        outgoing.setdefault(transition.source, []).append(transition)
+
+    # BFS keeping the first (shortest) path to every state.
+    paths: Dict[str, List[Transition]] = {start: []}
+    frontier = deque([start])
+    while frontier:
+        state = frontier.popleft()
+        for transition in outgoing.get(state, ()):
+            if transition.target not in paths:
+                paths[transition.target] = paths[state] + [transition]
+                frontier.append(transition.target)
+
+    return {state: path for state, path in paths.items()
+            if state in machine.attack_states}
+
+
+def event_coverage(machine: Efsm) -> Dict[str, Set[str]]:
+    """For each state, the set of event names with an outgoing transition.
+
+    States missing events from the alphabet are where unexpected traffic
+    shows up as deviations — reviewing this table is how one audits the
+    specification's completeness.
+    """
+    coverage: Dict[str, Set[str]] = {state: set() for state in machine.states}
+    for transition in machine.transitions:
+        coverage[transition.source].add(transition.event_name)
+    return coverage
+
+
+def summarize_machine(machine: Efsm) -> str:
+    """A text summary: states, reachability, attack patterns."""
+    reachable = reachable_states(machine)
+    lines = [
+        f"machine {machine.name!r}: {len(machine.states)} states, "
+        f"{len(machine.transitions)} transitions, "
+        f"alphabet {sorted(machine.alphabet)}",
+        f"initial: {machine.initial_state}; "
+        f"final: {sorted(machine.final_states)}; "
+        f"attack: {sorted(machine.attack_states)}",
+        f"reachable: {len(reachable)}/{len(machine.states)}",
+        "attack patterns (shortest structural paths):",
+    ]
+    for state, path in sorted(attack_paths(machine).items()):
+        steps = " -> ".join(
+            f"{t.source} --{t.event_name}-->" for t in path
+        ) + f" {state}" if path else state
+        lines.append(f"  [{len(path)} steps] {steps}")
+    return "\n".join(lines)

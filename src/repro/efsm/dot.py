@@ -1,0 +1,46 @@
+"""Graphviz export of EFSM definitions (documentation/debugging aid)."""
+
+from __future__ import annotations
+
+from .machine import Efsm
+
+__all__ = ["to_dot"]
+
+
+def to_dot(machine: Efsm) -> str:
+    """Render a machine as Graphviz dot text.
+
+    Attack states are drawn as red double octagons, final states as double
+    circles, matching the visual conventions of the paper's figures.
+    """
+    lines = [f'digraph "{machine.name}" {{', "  rankdir=LR;"]
+    lines.append('  __start [shape=point, label=""];')
+    for state in machine.states:
+        attrs = ["shape=ellipse"]
+        if state in machine.attack_states:
+            attrs = ["shape=doubleoctagon", "color=red", "fontcolor=red"]
+        elif state in machine.final_states:
+            attrs = ["shape=doublecircle"]
+        lines.append(f'  "{state}" [{", ".join(attrs)}];')
+    lines.append(f'  __start -> "{machine.initial_state}";')
+    for transition in machine.transitions:
+        label_parts = [transition.event_name]
+        if transition.channel:
+            label_parts[0] = f"{transition.channel}?{transition.event_name}"
+        if transition.predicate is not None:
+            label_parts.append("[P]")
+        if transition.outputs:
+            label_parts.extend(
+                f"{output.channel}!{output.event_name}"
+                for output in transition.outputs
+            )
+        label = "\\n".join(label_parts)
+        edge_attrs = [f'label="{label}"']
+        if transition.attack:
+            edge_attrs.append("color=red")
+        lines.append(
+            f'  "{transition.source}" -> "{transition.target}"'
+            f' [{", ".join(edge_attrs)}];'
+        )
+    lines.append("}")
+    return "\n".join(lines)

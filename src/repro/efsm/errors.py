@@ -1,0 +1,22 @@
+"""EFSM model exceptions."""
+
+from __future__ import annotations
+
+__all__ = ["EfsmError", "DefinitionError", "NondeterminismError"]
+
+
+class EfsmError(Exception):
+    """Base class for EFSM model errors."""
+
+
+class DefinitionError(EfsmError):
+    """A machine definition is malformed (unknown state, duplicate, ...)."""
+
+
+class NondeterminismError(EfsmError):
+    """Two transitions from the same configuration are simultaneously enabled.
+
+    Definition 1 requires predicates on same (state, event) transitions to be
+    mutually disjoint for the EFSM to be deterministic; this error is raised
+    when an execution or a determinism check finds an overlap.
+    """

@@ -1,0 +1,426 @@
+"""Extended finite state machine: definition and execution.
+
+Implements Definition 1 of the paper: an EFSM ``M = (Σ, S, v, D, T)`` whose
+transitions are tuples ``<s_t, event, P_t, A_t, q_t>``.  A predicate ``P_t``
+inspects the event's input vector ``x`` and the current state-variable
+vector ``v``; an action ``A_t`` updates ``v`` (and may start timers or emit
+output events ``c!event(x)`` onto synchronization channels).
+
+Machines are *data*: an :class:`Efsm` is built declaratively (states,
+variables with domains, transitions) and executed by :class:`EfsmInstance`,
+so the vids protocol machines read like the paper's figures.  States or
+transitions can be annotated as **attack** — reaching one is an attack-
+scenario match — and an event with *no* enabled transition is recorded as a
+**deviation** from the specification (the anomaly signal).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+)
+
+from .errors import DefinitionError, NondeterminismError
+from .events import TIMER_CHANNEL, Event
+
+__all__ = [
+    "Variables",
+    "TransitionContext",
+    "Transition",
+    "Output",
+    "Efsm",
+    "EfsmInstance",
+    "FiringResult",
+]
+
+Predicate = Callable[["TransitionContext"], bool]
+Action = Callable[["TransitionContext"], None]
+
+
+class Variables:
+    """The state-variable vector ``v``: per-machine locals + shared globals.
+
+    The paper distinguishes ``v.l_*`` (local to one protocol machine) from
+    ``v.g_*`` (shared with co-operating machines).  Locals live in this
+    object; globals live in a dict shared across all machines of one call.
+    """
+
+    def __init__(self, declarations: Mapping[str, Any],
+                 shared_globals: Optional[Dict[str, Any]] = None):
+        self.local: Dict[str, Any] = dict(declarations)
+        self.globals: Dict[str, Any] = (
+            shared_globals if shared_globals is not None else {}
+        )
+
+    def __getitem__(self, name: str) -> Any:
+        if name in self.local:
+            return self.local[name]
+        return self.globals[name]
+
+    def __setitem__(self, name: str, value: Any) -> None:
+        if name in self.local:
+            self.local[name] = value
+        else:
+            self.globals[name] = value
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.local or name in self.globals
+
+    def get(self, name: str, default: Any = None) -> Any:
+        if name in self.local:
+            return self.local[name]
+        return self.globals.get(name, default)
+
+    def snapshot(self) -> Dict[str, Any]:
+        merged = dict(self.globals)
+        merged.update(self.local)
+        return merged
+
+
+@dataclass
+class Output:
+    """An output event spec ``c!event(x)`` attached to a transition.
+
+    ``args_from`` builds the argument vector from the firing context when the
+    transition executes (defaults to forwarding the triggering event's args).
+    """
+
+    channel: str
+    event_name: str
+    args_from: Optional[Callable[["TransitionContext"], Mapping[str, Any]]] = None
+
+    def build(self, ctx: "TransitionContext") -> Event:
+        args = self.args_from(ctx) if self.args_from else dict(ctx.event.args)
+        return Event(self.event_name, args, channel=self.channel,
+                     time=ctx.now)
+
+
+@dataclass
+class Transition:
+    """One element of the transition relation T: <s, event, P, A, q>."""
+
+    source: str
+    event_name: str
+    target: str
+    predicate: Optional[Predicate] = None
+    action: Optional[Action] = None
+    outputs: List[Output] = field(default_factory=list)
+    channel: Optional[str] = None   # None = data event; else sync/timer channel
+    attack: bool = False            # annotated attack signature (s_attack)
+    label: str = ""
+
+    def enabled(self, ctx: "TransitionContext") -> bool:
+        if self.channel != ctx.event.channel and not (
+                self.channel is None and ctx.event.channel is None):
+            return False
+        if self.predicate is None:
+            return True
+        return bool(self.predicate(ctx))
+
+    def describe(self) -> str:
+        name = self.label or f"{self.source}--{self.event_name}-->{self.target}"
+        return f"{'[ATTACK] ' if self.attack else ''}{name}"
+
+
+class TransitionContext:
+    """What a predicate/action can see and do while a transition fires."""
+
+    def __init__(self, instance: "EfsmInstance", event: Event):
+        self.instance = instance
+        self.event = event
+
+    @property
+    def v(self) -> Variables:
+        """The state-variable vector (locals + shared globals)."""
+        return self.instance.variables
+
+    @property
+    def x(self) -> Mapping[str, Any]:
+        """The event's input vector."""
+        return self.event.args
+
+    @property
+    def now(self) -> float:
+        return self.instance.clock_now()
+
+    def start_timer(self, name: str, delay: float,
+                    args: Optional[Mapping[str, Any]] = None) -> None:
+        """Start (or restart) a named timer; expiry injects a timer event."""
+        self.instance.start_timer(name, delay, args)
+
+    def cancel_timer(self, name: str) -> None:
+        self.instance.cancel_timer(name)
+
+    def emit(self, channel: str, event_name: str,
+             args: Optional[Mapping[str, Any]] = None) -> None:
+        """Dynamically emit ``channel!event_name(args)`` from an action."""
+        self.instance.pending_outputs.append(
+            Event(event_name, dict(args or {}), channel=channel, time=self.now))
+
+
+@dataclass
+class FiringResult:
+    """Outcome of delivering one event to a machine instance."""
+
+    machine: str
+    event: Event
+    transition: Optional[Transition]
+    from_state: str
+    to_state: str
+    outputs: List[Event] = field(default_factory=list)
+    time: float = 0.0
+
+    @property
+    def deviation(self) -> bool:
+        """True when no transition was enabled — a specification deviation."""
+        return self.transition is None
+
+    @property
+    def attack(self) -> bool:
+        return self.transition is not None and self.transition.attack
+
+
+class Efsm:
+    """An EFSM definition: the quintuple (Σ, S, v, D, T)."""
+
+    def __init__(self, name: str, initial_state: str):
+        self.name = name
+        self.initial_state = initial_state
+        self.states: Dict[str, Dict[str, Any]] = {initial_state: {}}
+        self.variables: Dict[str, Any] = {}         # name -> default (v, D)
+        self.global_variables: Dict[str, Any] = {}  # declared shared defaults
+        self.transitions: List[Transition] = []
+        self._index: Dict[Tuple[str, str], List[Transition]] = {}
+        self.attack_states: set = set()
+        self.final_states: set = set()
+        #: Σ — event alphabet, accumulated from transitions.
+        self.alphabet: set = set()
+
+    # -- construction ------------------------------------------------------
+
+    def add_state(self, name: str, attack: bool = False,
+                  final: bool = False) -> "Efsm":
+        self.states.setdefault(name, {})
+        if attack:
+            self.attack_states.add(name)
+        if final:
+            self.final_states.add(name)
+        return self
+
+    def declare(self, **defaults: Any) -> "Efsm":
+        """Declare local state variables with default values."""
+        self.variables.update(defaults)
+        return self
+
+    def declare_global(self, **defaults: Any) -> "Efsm":
+        """Declare shared (cross-machine) variables with defaults."""
+        self.global_variables.update(defaults)
+        return self
+
+    def add_transition(
+        self,
+        source: str,
+        event_name: str,
+        target: str,
+        predicate: Optional[Predicate] = None,
+        action: Optional[Action] = None,
+        outputs: Optional[Iterable[Output]] = None,
+        channel: Optional[str] = None,
+        attack: bool = False,
+        label: str = "",
+    ) -> Transition:
+        for state in (source, target):
+            if state not in self.states:
+                raise DefinitionError(
+                    f"{self.name}: unknown state {state!r} in transition")
+        transition = Transition(
+            source=source,
+            event_name=event_name,
+            target=target,
+            predicate=predicate,
+            action=action,
+            outputs=list(outputs or []),
+            channel=channel,
+            attack=attack or target in self.attack_states,
+            label=label,
+        )
+        self.transitions.append(transition)
+        self._index.setdefault((source, event_name), []).append(transition)
+        self.alphabet.add(event_name)
+        return transition
+
+    def transitions_from(self, state: str, event_name: str) -> List[Transition]:
+        return self._index.get((state, event_name), [])
+
+    def validate(self) -> None:
+        """Sanity-check the definition; raises :class:`DefinitionError`."""
+        if self.initial_state not in self.states:
+            raise DefinitionError(f"{self.name}: missing initial state")
+        reachable = {self.initial_state}
+        frontier = [self.initial_state]
+        while frontier:
+            state = frontier.pop()
+            for transition in self.transitions:
+                if transition.source == state and transition.target not in reachable:
+                    reachable.add(transition.target)
+                    frontier.append(transition.target)
+        unreachable = set(self.states) - reachable
+        if unreachable:
+            raise DefinitionError(
+                f"{self.name}: unreachable states: {sorted(unreachable)}")
+
+    # -- analysis ------------------------------------------------------------
+
+    def check_determinism(
+        self,
+        configurations: Iterable[Tuple[Dict[str, Any], Event]],
+        clock_now: Callable[[], float] = lambda: 0.0,
+    ) -> None:
+        """Verify mutual disjointness of predicates on sampled configurations.
+
+        For each (variable valuation, event) sample, every (state, event)
+        transition group must enable at most one transition; otherwise
+        :class:`NondeterminismError` is raised.  This is the executable
+        counterpart of the paper's P_i ∧ P_j = ∅ requirement.
+        """
+        for valuation, event in configurations:
+            for (state, event_name), group in self._index.items():
+                if event_name != event.name or len(group) < 2:
+                    continue
+                probe = EfsmInstance(self, clock_now=clock_now)
+                probe.state = state
+                probe.variables.local.update(
+                    {k: v for k, v in valuation.items() if k in probe.variables.local})
+                probe.variables.globals.update(
+                    {k: v for k, v in valuation.items()
+                     if k not in probe.variables.local})
+                ctx = TransitionContext(probe, event)
+                enabled = [t for t in group if t.enabled(ctx)]
+                if len(enabled) > 1:
+                    raise NondeterminismError(
+                        f"{self.name}: state {state!r} event {event.name!r} "
+                        f"enables {len(enabled)} transitions: "
+                        f"{[t.describe() for t in enabled]}")
+
+
+class EfsmInstance:
+    """A running copy of an :class:`Efsm` (one per monitored call)."""
+
+    def __init__(
+        self,
+        definition: Efsm,
+        shared_globals: Optional[Dict[str, Any]] = None,
+        clock_now: Callable[[], float] = lambda: 0.0,
+        timer_scheduler: Optional[Callable[[float, Callable[[], None]], Any]] = None,
+    ):
+        self.definition = definition
+        self.state = definition.initial_state
+        globals_dict = shared_globals if shared_globals is not None else {}
+        for key, value in definition.global_variables.items():
+            globals_dict.setdefault(key, value)
+        self.variables = Variables(dict(definition.variables), globals_dict)
+        self.clock_now = clock_now
+        self._timer_scheduler = timer_scheduler
+        self._timers: Dict[str, Any] = {}
+        self.pending_outputs: List[Event] = []
+        self.history: List[FiringResult] = []
+        #: Delivery hook for timer events when no system owns the instance.
+        self.on_timer_event: Optional[Callable[[Event], None]] = None
+
+    @property
+    def name(self) -> str:
+        return self.definition.name
+
+    @property
+    def in_attack_state(self) -> bool:
+        return self.state in self.definition.attack_states
+
+    @property
+    def in_final_state(self) -> bool:
+        return self.state in self.definition.final_states
+
+    # -- timers --------------------------------------------------------------
+
+    def start_timer(self, name: str, delay: float,
+                    args: Optional[Mapping[str, Any]] = None) -> None:
+        if self._timer_scheduler is None:
+            raise RuntimeError(
+                f"{self.name}: no timer scheduler attached; cannot start "
+                f"timer {name!r}")
+        self.cancel_timer(name)
+        event_args = dict(args or {})
+
+        def fire() -> None:
+            self._timers.pop(name, None)
+            event = Event(name, event_args, channel=TIMER_CHANNEL,
+                          time=self.clock_now())
+            if self.on_timer_event is not None:
+                self.on_timer_event(event)
+            else:
+                self.deliver(event)
+
+        self._timers[name] = self._timer_scheduler(delay, fire)
+
+    def cancel_timer(self, name: str) -> None:
+        handle = self._timers.pop(name, None)
+        if handle is not None and hasattr(handle, "cancel"):
+            handle.cancel()
+
+    def cancel_all_timers(self) -> None:
+        for name in list(self._timers):
+            self.cancel_timer(name)
+
+    @property
+    def active_timers(self) -> List[str]:
+        return sorted(self._timers)
+
+    # -- execution -----------------------------------------------------------
+
+    def deliver(self, event: Event) -> FiringResult:
+        """Deliver one event; fire the enabled transition (if any).
+
+        Returns a :class:`FiringResult` whose ``deviation`` flag is set when
+        no transition was enabled.  Raises :class:`NondeterminismError` if
+        more than one transition is enabled (the definition is then not a
+        deterministic EFSM).
+        """
+        ctx = TransitionContext(self, event)
+        candidates = self.definition.transitions_from(self.state, event.name)
+        enabled = [t for t in candidates if t.enabled(ctx)]
+        if len(enabled) > 1:
+            raise NondeterminismError(
+                f"{self.name}: state {self.state!r} event {event.name!r} "
+                f"enables {len(enabled)} transitions")
+
+        from_state = self.state
+        outputs: List[Event] = []
+        transition: Optional[Transition] = None
+        if enabled:
+            transition = enabled[0]
+            if transition.action is not None:
+                transition.action(ctx)
+            for output in transition.outputs:
+                outputs.append(output.build(ctx))
+            outputs.extend(self.pending_outputs)
+            self.pending_outputs = []
+            self.state = transition.target
+
+        result = FiringResult(
+            machine=self.name,
+            event=event,
+            transition=transition,
+            from_state=from_state,
+            to_state=self.state,
+            outputs=outputs,
+            time=self.clock_now(),
+        )
+        self.history.append(result)
+        return result

@@ -1,0 +1,200 @@
+"""Communicating EFSMs: the per-call system of interacting protocol machines.
+
+"We construct communicating finite state machines by connecting the output
+of one machine to the input of another machine" (Section 4).  An
+:class:`EfsmSystem` owns one instance of each protocol machine, the shared
+global variable vector, and the FIFO synchronization channels between them.
+Sync events waiting in channels are consumed **before** data-packet events,
+honouring the paper's priority rule.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from .channels import Channel, channel_name
+from .errors import DefinitionError
+from .events import Event
+from .machine import Efsm, EfsmInstance, FiringResult
+
+__all__ = ["EfsmSystem", "ManualClock"]
+
+
+class ManualClock:
+    """A trivially settable clock + scheduler for unit-testing machines.
+
+    ``advance`` moves time forward and fires due timers in order.
+    """
+
+    def __init__(self) -> None:
+        self.time = 0.0
+        self._timers: List[tuple] = []
+        self._seq = 0
+
+    def now(self) -> float:
+        return self.time
+
+    def schedule(self, delay: float, callback: Callable[[], None]):
+        entry = [self.time + delay, self._seq, callback, False]
+        self._seq += 1
+        self._timers.append(entry)
+
+        class _Handle:
+            def cancel(_self) -> None:
+                entry[3] = True
+
+        return _Handle()
+
+    def advance(self, delta: float) -> None:
+        target = self.time + delta
+        while True:
+            due = [t for t in self._timers if not t[3] and t[0] <= target]
+            if not due:
+                break
+            due.sort(key=lambda t: (t[0], t[1]))
+            fire_time, _, callback, _cancelled = due[0]
+            self._timers.remove(due[0])
+            self.time = fire_time
+            callback()
+        self.time = target
+
+
+class EfsmSystem:
+    """A set of interacting EFSM instances sharing globals and channels."""
+
+    def __init__(
+        self,
+        clock_now: Callable[[], float] = lambda: 0.0,
+        timer_scheduler: Optional[Callable[[float, Callable[[], None]], Any]] = None,
+    ):
+        self.clock_now = clock_now
+        self.timer_scheduler = timer_scheduler
+        self.machines: Dict[str, EfsmInstance] = {}
+        self.channels: Dict[str, Channel] = {}
+        self.globals: Dict[str, Any] = {}
+        self.results: List[FiringResult] = []
+        self.deviations: List[FiringResult] = []
+        self.attack_matches: List[FiringResult] = []
+        #: Output events addressed to machines this system does not contain
+        #: (outputs to the environment); kept for inspection, not delivered.
+        self.undeliverable: List[Event] = []
+        #: Hook invoked for every firing result (the vids analysis engine).
+        self.on_result: Optional[Callable[[FiringResult], None]] = None
+
+    # -- construction -------------------------------------------------------
+
+    def add_machine(self, definition: Efsm) -> EfsmInstance:
+        if definition.name in self.machines:
+            raise DefinitionError(f"duplicate machine: {definition.name}")
+        instance = EfsmInstance(
+            definition,
+            shared_globals=self.globals,
+            clock_now=self.clock_now,
+            timer_scheduler=self.timer_scheduler,
+        )
+        instance.on_timer_event = (
+            lambda event, name=definition.name: self._deliver_timer(name, event)
+        )
+        self.machines[definition.name] = instance
+        return instance
+
+    def connect(self, sender: str, receiver: str) -> Channel:
+        """Create (or return) the FIFO channel from sender to receiver."""
+        name = channel_name(sender, receiver)
+        if name not in self.channels:
+            for machine in (sender, receiver):
+                if machine not in self.machines:
+                    raise DefinitionError(f"unknown machine: {machine}")
+            self.channels[name] = Channel(sender, receiver)
+        return self.channels[name]
+
+    # -- execution -----------------------------------------------------------
+
+    def inject(self, machine: str, event: Event) -> List[FiringResult]:
+        """Deliver a data-packet event, honouring sync-queue priority.
+
+        Any synchronization events already queued are drained first; the
+        data event is then fired; outputs it produces are routed onto their
+        channels and drained in turn.  Returns every firing this caused.
+        """
+        fired: List[FiringResult] = []
+        self._drain_channels(fired)
+        self._fire(machine, event, fired)
+        self._drain_channels(fired)
+        return fired
+
+    def _deliver_timer(self, machine: str, event: Event) -> List[FiringResult]:
+        fired: List[FiringResult] = []
+        self._fire(machine, event, fired)
+        self._drain_channels(fired)
+        return fired
+
+    def _fire(self, machine: str, event: Event,
+              accumulator: List[FiringResult]) -> None:
+        instance = self.machines.get(machine)
+        if instance is None:
+            raise DefinitionError(f"unknown machine: {machine}")
+        result = instance.deliver(event)
+        accumulator.append(result)
+        self._record(result)
+        for output in result.outputs:
+            self._route_output(machine, output)
+
+    def _route_output(self, sender: str, event: Event) -> None:
+        """Queue an output event onto its channel (created on demand)."""
+        if event.channel is None:
+            return
+        if "->" in event.channel:
+            channel = self.channels.get(event.channel)
+            if channel is None:
+                sender_name, _, receiver = event.channel.partition("->")
+                if receiver not in self.machines:
+                    # Output to the environment (no such machine here):
+                    # record it rather than failing the transition.
+                    self.undeliverable.append(event)
+                    return
+                channel = self.connect(sender_name, receiver)
+        else:
+            if event.channel not in self.machines:
+                self.undeliverable.append(event)
+                return
+            channel = self.connect(sender, event.channel)
+            event = Event(event.name, event.args, channel=channel.name,
+                          time=event.time)
+        channel.put(event)
+
+    def _drain_channels(self, accumulator: List[FiringResult]) -> None:
+        """Consume queued sync events until every channel is empty."""
+        progress = True
+        while progress:
+            progress = False
+            for channel in list(self.channels.values()):
+                while channel:
+                    event = channel.get()
+                    assert event is not None
+                    self._fire(channel.receiver, event, accumulator)
+                    progress = True
+
+    def _record(self, result: FiringResult) -> None:
+        self.results.append(result)
+        if result.deviation:
+            self.deviations.append(result)
+        if result.attack:
+            self.attack_matches.append(result)
+        if self.on_result is not None:
+            self.on_result(result)
+
+    # -- teardown / inspection -------------------------------------------------
+
+    def cancel_all_timers(self) -> None:
+        for instance in self.machines.values():
+            instance.cancel_all_timers()
+
+    @property
+    def all_final(self) -> bool:
+        """True when every machine rests in a final state (call can be
+        deleted from the fact base, as Section 7.3 describes)."""
+        return all(m.in_final_state for m in self.machines.values())
+
+    def states(self) -> Dict[str, str]:
+        return {name: m.state for name, m in self.machines.items()}

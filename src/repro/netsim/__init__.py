@@ -1,0 +1,61 @@
+"""Discrete-event network simulator (the reproduction's OPNET substitute).
+
+Public surface:
+
+- :class:`Simulator`, :class:`Timer` — the event loop.
+- :class:`Network` — topology container and route computation.
+- :class:`Host`, :class:`Router`, :class:`Hub` — nodes.
+- :class:`Link` — duplex links with bandwidth/propagation/loss.
+- :class:`InternetCloud` — fixed-delay, lossy transit.
+- :class:`InlineDevice`, :class:`PacketProcessor` — bump-in-the-wire devices
+  (where vids is deployed).
+- :class:`Datagram`, :class:`Endpoint` — the packet model.
+- :class:`RandomStreams` — named, seeded randomness.
+"""
+
+from .address import Endpoint, parse_endpoint
+from .engine import SimulationError, Simulator, Timer
+from .inline import InlineDevice, NullProcessor, PacketProcessor
+from .internet import (
+    DEFAULT_INTERNET_DELAY,
+    DEFAULT_INTERNET_LOSS,
+    InternetCloud,
+)
+from .link import BPS_100BASET, BPS_DS1, Link, LinkStats
+from .network import Network
+from .node import Host, Hub, Node, Router
+from .packet import IP_UDP_OVERHEAD, Datagram
+from .random import RandomStreams
+from .trace import PacketTrace, TraceRecord
+from .traffic import CbrTrafficSource, OnOffTrafficSource, TrafficSink
+
+__all__ = [
+    "BPS_100BASET",
+    "BPS_DS1",
+    "CbrTrafficSource",
+    "DEFAULT_INTERNET_DELAY",
+    "DEFAULT_INTERNET_LOSS",
+    "Datagram",
+    "Endpoint",
+    "Host",
+    "Hub",
+    "IP_UDP_OVERHEAD",
+    "InlineDevice",
+    "InternetCloud",
+    "Link",
+    "LinkStats",
+    "Network",
+    "Node",
+    "NullProcessor",
+    "OnOffTrafficSource",
+    "PacketProcessor",
+    "PacketTrace",
+    "RandomStreams",
+    "Router",
+    "SimulationError",
+    "Simulator",
+    "Timer",
+    "TraceRecord",
+    "TrafficSink",
+    "parse_endpoint",
+]

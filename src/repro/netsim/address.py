@@ -1,0 +1,25 @@
+"""Network addressing primitives for the simulated IP/UDP layer."""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+__all__ = ["Endpoint", "parse_endpoint"]
+
+
+class Endpoint(NamedTuple):
+    """A UDP endpoint: (IPv4 address string, port number)."""
+
+    ip: str
+    port: int
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.ip}:{self.port}"
+
+
+def parse_endpoint(text: str, default_port: int = 5060) -> Endpoint:
+    """Parse ``"ip[:port]"`` into an :class:`Endpoint`."""
+    if ":" in text:
+        host, _, port = text.partition(":")
+        return Endpoint(host, int(port))
+    return Endpoint(text, default_port)

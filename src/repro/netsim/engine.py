@@ -1,0 +1,177 @@
+"""Discrete-event simulation engine.
+
+This is the substrate that replaces the paper's OPNET Modeler: a single
+binary-heap event loop with a float-seconds clock.  Every component in the
+reproduction (phones, proxies, routers, the vids inline device, attackers)
+schedules callbacks on one :class:`Simulator` instance, so the whole VoIP
+testbed shares one notion of time and one deterministic ordering of events.
+
+Events scheduled for the same instant fire in scheduling order (a per-event
+monotonically increasing sequence number breaks ties), which makes runs fully
+reproducible for a given seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+__all__ = ["Simulator", "Timer", "SimulationError"]
+
+
+class SimulationError(Exception):
+    """Raised for invalid interactions with the simulation engine."""
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    """Internal heap entry: ordered by (time, seq)."""
+
+    time: float
+    seq: int
+    callback: Callable[..., None] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+    label: str = field(compare=False, default="")
+
+
+class Timer:
+    """Handle to a scheduled event, allowing cancellation and rescheduling.
+
+    Timers are how protocol state machines (SIP transaction timers, the
+    vids attack-pattern timers T and T1) interact with simulated time.
+    """
+
+    def __init__(self, sim: "Simulator", event: _ScheduledEvent):
+        self._sim = sim
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        """Absolute simulation time at which the timer fires."""
+        return self._event.time
+
+    @property
+    def active(self) -> bool:
+        """True while the timer is pending (not fired, not cancelled)."""
+        return not self._event.cancelled and self._event.time >= self._sim.now
+
+    def cancel(self) -> None:
+        """Cancel the timer; a no-op if it already fired or was cancelled."""
+        self._event.cancelled = True
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Usage::
+
+        sim = Simulator()
+        sim.schedule(1.5, my_callback, arg1, arg2)
+        sim.run(until=100.0)
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: list[_ScheduledEvent] = []
+        self._seq = 0
+        self._running = False
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events dispatched so far."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        *args: Any,
+        label: str = "",
+    ) -> Timer:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past: delay={delay}")
+        return self.schedule_at(self._now + delay, callback, *args, label=label)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        *args: Any,
+        label: str = "",
+    ) -> Timer:
+        """Schedule ``callback(*args)`` at absolute simulation ``time``."""
+        if math.isnan(time) or time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} (now={self._now})"
+            )
+        event = _ScheduledEvent(
+            time=time, seq=self._seq, callback=callback, args=args, label=label
+        )
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return Timer(self, event)
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run the event loop.
+
+        Stops when the queue empties, when the next event would be after
+        ``until`` (the clock is then advanced to ``until``), or after
+        ``max_events`` dispatches.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run)")
+        self._running = True
+        dispatched = 0
+        try:
+            while self._queue:
+                event = self._queue[0]
+                if event.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and event.time > until:
+                    self._now = until
+                    return
+                heapq.heappop(self._queue)
+                self._now = event.time
+                self._events_processed += 1
+                dispatched += 1
+                event.callback(*event.args)
+                if max_events is not None and dispatched >= max_events:
+                    return
+            if until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._running = False
+
+    def step(self) -> bool:
+        """Dispatch exactly one event.  Returns False if the queue is empty."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        if not self._queue:
+            return False
+        event = heapq.heappop(self._queue)
+        self._now = event.time
+        self._events_processed += 1
+        event.callback(*event.args)
+        return True
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next pending event, or None if the queue is empty."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None

@@ -1,0 +1,54 @@
+"""The Internet cloud between the two enterprise networks.
+
+The paper assumes "the Internet delay between A and B is 50 ms with 0.42%
+packet loss rate".  The cloud is a transit node that imposes that one-way
+delay and Bernoulli loss on every packet crossing it, independent of the
+access-link characteristics (which are modeled by the DS1 links themselves).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .node import Router
+from .packet import Datagram
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .link import Link
+    from .network import Network
+
+__all__ = ["InternetCloud", "DEFAULT_INTERNET_DELAY", "DEFAULT_INTERNET_LOSS"]
+
+#: One-way transit delay assumed in the paper's testbed (Section 7.1).
+DEFAULT_INTERNET_DELAY = 0.050
+#: Packet loss rate assumed in the paper's testbed (Section 7.1).
+DEFAULT_INTERNET_LOSS = 0.0042
+
+
+class InternetCloud(Router):
+    """A transit cloud adding fixed delay and random loss."""
+
+    def __init__(
+        self,
+        network: "Network",
+        name: str = "internet",
+        transit_delay: float = DEFAULT_INTERNET_DELAY,
+        loss_rate: float = DEFAULT_INTERNET_LOSS,
+    ):
+        super().__init__(network, name)
+        self.transit_delay = float(transit_delay)
+        self.loss_rate = float(loss_rate)
+        self._rng = network.streams.stream(f"internet:{name}:loss")
+        self.packets_carried = 0
+        self.packets_lost = 0
+
+    def receive(self, datagram: Datagram, in_link: "Link") -> None:
+        if self.loss_rate > 0 and self._rng.random() < self.loss_rate:
+            self.packets_lost += 1
+            self.network.count_drop(self.name, "internet-loss")
+            return
+        self.packets_carried += 1
+        if self.transit_delay > 0:
+            self.sim.schedule(self.transit_delay, self.forward, datagram, in_link)
+        else:
+            self.forward(datagram, in_link)

@@ -1,0 +1,94 @@
+"""Topology container: nodes, links, hosts, and static route computation.
+
+A :class:`Network` owns the simulator, the random streams, the node/host
+registries, and a drop counter.  After the topology is wired,
+:meth:`Network.compute_routes` builds per-node next-hop tables from
+shortest paths over the (unit-weight) topology graph, using networkx.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional
+
+import networkx as nx
+
+from .engine import Simulator
+from .link import Link
+from .node import Host, Node
+from .random import RandomStreams
+
+__all__ = ["Network"]
+
+
+class Network:
+    """The simulated internetwork: one simulator, many nodes and links."""
+
+    def __init__(self, sim: Optional[Simulator] = None, seed: int = 0):
+        self.sim = sim or Simulator()
+        self.streams = RandomStreams(seed)
+        self.nodes: Dict[str, Node] = {}
+        self.hosts: Dict[str, Host] = {}
+        self.links: List[Link] = []
+        self.drops: Counter = Counter()
+        self._routes_valid = False
+
+    # -- registration -----------------------------------------------------
+
+    def register_node(self, node: Node) -> None:
+        if node.name in self.nodes:
+            raise ValueError(f"duplicate node name: {node.name}")
+        self.nodes[node.name] = node
+        self._routes_valid = False
+
+    def register_host(self, host: Host) -> None:
+        if host.ip in self.hosts:
+            raise ValueError(f"duplicate host IP: {host.ip}")
+        self.hosts[host.ip] = host
+
+    def link(self, node_a: Node, node_b: Node, **kwargs) -> Link:
+        """Create a link between two nodes (see :class:`Link` for kwargs)."""
+        link = Link(self, node_a, node_b, **kwargs)
+        self.links.append(link)
+        self._routes_valid = False
+        return link
+
+    def host_by_ip(self, ip: str) -> Host:
+        return self.hosts[ip]
+
+    def count_drop(self, node_name: str, reason: str) -> None:
+        self.drops[(node_name, reason)] += 1
+
+    # -- routing -----------------------------------------------------------
+
+    def compute_routes(self) -> None:
+        """Install next-hop routes on every node for every host IP.
+
+        Shortest paths over the unit-weight topology graph; deterministic
+        tie-breaking by node name.
+        """
+        graph = nx.Graph()
+        graph.add_nodes_from(sorted(self.nodes))
+        for link in self.links:
+            graph.add_edge(link.node_a.name, link.node_b.name, link=link)
+
+        for host in self.hosts.values():
+            try:
+                paths = nx.single_source_shortest_path(graph, host.name)
+            except nx.NodeNotFound:  # pragma: no cover - defensive
+                continue
+            for node_name, path in paths.items():
+                if len(path) < 2:
+                    continue
+                node = self.nodes[node_name]
+                # path goes host -> ... -> node; next hop from node is the
+                # second-to-last element.
+                next_hop = path[-2]
+                node.routes[host.ip] = graph.edges[node_name, next_hop]["link"]
+        self._routes_valid = True
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Compute routes if necessary and run the simulation."""
+        if not self._routes_valid:
+            self.compute_routes()
+        self.sim.run(until=until)

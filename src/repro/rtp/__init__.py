@@ -1,0 +1,81 @@
+"""RTP media stack (RFC 3550 subset) for the vids reproduction."""
+
+from .codecs import (
+    CODECS_BY_NAME,
+    CODECS_BY_PAYLOAD_TYPE,
+    Codec,
+    G711U,
+    G723,
+    G729,
+    codec_by_name,
+    codec_by_payload_type,
+)
+from .jitter import DelayStats, JitterEstimator
+from .packet import (
+    RTP_HEADER_SIZE,
+    RTP_VERSION,
+    RtpPacket,
+    RtpParseError,
+    looks_like_rtp,
+)
+from .quality import (
+    CODEC_IMPAIRMENTS,
+    CodecImpairment,
+    estimate_mos,
+    mos_from_r,
+    r_factor,
+)
+from .reports import DEFAULT_RTCP_INTERVAL, RtcpReporter
+from .rtcp import (
+    RTCP_RR,
+    RTCP_SR,
+    ReceiverReport,
+    ReportBlock,
+    RtcpParseError,
+    SenderReport,
+    parse_rtcp,
+)
+from .session import (
+    MEAN_PAUSE_S,
+    MEAN_TALKSPURT_S,
+    RtpReceiver,
+    RtpSender,
+    TalkSpurtModel,
+)
+
+__all__ = [
+    "CODECS_BY_NAME",
+    "CODECS_BY_PAYLOAD_TYPE",
+    "CODEC_IMPAIRMENTS",
+    "Codec",
+    "CodecImpairment",
+    "DEFAULT_RTCP_INTERVAL",
+    "estimate_mos",
+    "mos_from_r",
+    "r_factor",
+    "DelayStats",
+    "RtcpReporter",
+    "G711U",
+    "G723",
+    "G729",
+    "JitterEstimator",
+    "MEAN_PAUSE_S",
+    "MEAN_TALKSPURT_S",
+    "RTCP_RR",
+    "RTCP_SR",
+    "RTP_HEADER_SIZE",
+    "RTP_VERSION",
+    "ReceiverReport",
+    "ReportBlock",
+    "RtcpParseError",
+    "RtpPacket",
+    "RtpParseError",
+    "RtpReceiver",
+    "RtpSender",
+    "SenderReport",
+    "TalkSpurtModel",
+    "codec_by_name",
+    "codec_by_payload_type",
+    "looks_like_rtp",
+    "parse_rtcp",
+]

@@ -1,0 +1,72 @@
+"""Voice codec models: packetization timing and rates (not signal processing).
+
+The reproduction needs codecs only for what the IDS and the QoS metrics can
+observe: payload type, clock rate, frame cadence, and bytes per packet.  The
+paper's testbed uses G.729 with "Frame Size = 10 ms, Lookahead Size = 5 ms,
+DSP Processing Ratio = 1, Coding Rate = 8 Kbps, Speech Activity Detection =
+Enabled" (Section 7.1); those parameters are the :data:`G729` defaults here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+__all__ = ["Codec", "G711U", "G729", "G723", "CODECS_BY_NAME",
+           "CODECS_BY_PAYLOAD_TYPE", "codec_by_name", "codec_by_payload_type"]
+
+
+@dataclass(frozen=True)
+class Codec:
+    """A voice codec's externally observable parameters."""
+
+    name: str
+    payload_type: int
+    clock_rate: int           # RTP timestamp units per second
+    bitrate_bps: int          # coding rate during speech
+    frame_ms: float           # codec frame duration
+    lookahead_ms: float = 0.0
+    dsp_ratio: float = 1.0    # processing time / frame time
+
+    @property
+    def frame_bytes(self) -> int:
+        """Payload bytes produced per codec frame."""
+        return round(self.bitrate_bps * self.frame_ms / 1000.0 / 8.0)
+
+    def payload_bytes(self, ptime_ms: float) -> int:
+        """Payload bytes in a packet carrying ``ptime_ms`` of speech."""
+        frames = max(1, round(ptime_ms / self.frame_ms))
+        return frames * self.frame_bytes
+
+    def timestamp_increment(self, ptime_ms: float) -> int:
+        """RTP timestamp units advanced per packet."""
+        return round(self.clock_rate * ptime_ms / 1000.0)
+
+    def encoding_delay(self) -> float:
+        """One-shot algorithmic + processing delay (seconds) per packet."""
+        return (self.frame_ms * self.dsp_ratio + self.lookahead_ms) / 1000.0
+
+
+#: G.711 mu-law: 64 kb/s, 20 ms frames as commonly packetized.
+G711U = Codec("PCMU", 0, 8000, 64000, 20.0)
+
+#: G.729 with the paper's exact settings.
+G729 = Codec("G729", 18, 8000, 8000, 10.0, lookahead_ms=5.0, dsp_ratio=1.0)
+
+#: G.723.1 at 6.3 kb/s.
+G723 = Codec("G723", 4, 8000, 6300, 30.0, lookahead_ms=7.5)
+
+CODECS_BY_NAME: Dict[str, Codec] = {c.name: c for c in (G711U, G729, G723)}
+CODECS_BY_PAYLOAD_TYPE: Dict[int, Codec] = {
+    c.payload_type: c for c in (G711U, G729, G723)
+}
+
+
+def codec_by_name(name: str) -> Optional[Codec]:
+    """Codec model by SDP encoding name ("G729"), or None."""
+    return CODECS_BY_NAME.get(name.upper())
+
+
+def codec_by_payload_type(payload_type: int) -> Optional[Codec]:
+    """Codec model by static RTP payload type, or None."""
+    return CODECS_BY_PAYLOAD_TYPE.get(payload_type)

@@ -1,0 +1,86 @@
+"""RFC 3550 inter-arrival jitter estimation and delay statistics.
+
+Figure 10 of the paper reports "RTP Delay" and "Avg. Delay Variation" per
+stream; this module computes both: the true end-to-end packet delay (the
+simulator knows exact send times) and the standards-track jitter estimate a
+real receiver would maintain (RFC 3550 §6.4.1, the J += (|D|-J)/16 filter).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+__all__ = ["JitterEstimator", "DelayStats"]
+
+
+class JitterEstimator:
+    """The RFC 3550 inter-arrival jitter filter for one RTP stream."""
+
+    def __init__(self, clock_rate: int):
+        self.clock_rate = clock_rate
+        self.jitter_units = 0.0        # in RTP timestamp units
+        self._last_transit: Optional[float] = None
+        self.samples = 0
+
+    def update(self, arrival_time: float, rtp_timestamp: int) -> float:
+        """Feed one packet; returns the current jitter estimate in seconds."""
+        transit = arrival_time * self.clock_rate - rtp_timestamp
+        if self._last_transit is not None:
+            d = abs(transit - self._last_transit)
+            self.jitter_units += (d - self.jitter_units) / 16.0
+        self._last_transit = transit
+        self.samples += 1
+        return self.jitter_seconds
+
+    @property
+    def jitter_seconds(self) -> float:
+        return self.jitter_units / self.clock_rate
+
+
+@dataclass
+class DelayStats:
+    """Accumulates end-to-end delays and exposes summary statistics."""
+
+    delays: List[float] = field(default_factory=list)
+
+    def add(self, delay: float) -> None:
+        self.delays.append(delay)
+
+    @property
+    def count(self) -> int:
+        return len(self.delays)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.delays) / len(self.delays) if self.delays else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return max(self.delays) if self.delays else 0.0
+
+    @property
+    def std(self) -> float:
+        if len(self.delays) < 2:
+            return 0.0
+        mu = self.mean
+        variance = sum((d - mu) ** 2 for d in self.delays) / (len(self.delays) - 1)
+        return math.sqrt(variance)
+
+    @property
+    def mean_variation(self) -> float:
+        """Mean absolute successive difference — OPNET's 'delay variation'."""
+        if len(self.delays) < 2:
+            return 0.0
+        diffs = (
+            abs(b - a) for a, b in zip(self.delays, self.delays[1:])
+        )
+        return sum(diffs) / (len(self.delays) - 1)
+
+    def percentile(self, fraction: float) -> float:
+        if not self.delays:
+            return 0.0
+        ordered = sorted(self.delays)
+        index = min(len(ordered) - 1, max(0, int(fraction * len(ordered))))
+        return ordered[index]

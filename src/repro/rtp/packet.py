@@ -1,0 +1,100 @@
+"""RTP packet model (RFC 3550 / RFC 1889 fixed header).
+
+Packets pack to and parse from the real 12-byte wire header, so the vids
+classifier inspects SSRC, sequence number, timestamp, and payload type from
+bytes on the wire — the exact fields the paper's media-spamming predicate
+compares (Section 6).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+__all__ = ["RtpPacket", "RtpParseError", "RTP_VERSION", "RTP_HEADER_SIZE",
+           "looks_like_rtp"]
+
+RTP_VERSION = 2
+RTP_HEADER_SIZE = 12
+_HEADER_FORMAT = "!BBHII"
+
+_SEQ_MOD = 1 << 16
+_TS_MOD = 1 << 32
+
+
+class RtpParseError(ValueError):
+    """Raised when bytes do not form a valid RTP packet."""
+
+
+@dataclass
+class RtpPacket:
+    """A parsed (or to-be-sent) RTP packet."""
+
+    payload_type: int
+    sequence_number: int
+    timestamp: int
+    ssrc: int
+    payload: bytes = b""
+    marker: bool = False
+    padding: bool = False
+    extension: bool = False
+    csrc_list: tuple = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        self.sequence_number %= _SEQ_MOD
+        self.timestamp %= _TS_MOD
+        self.ssrc %= _TS_MOD
+        if not 0 <= self.payload_type < 128:
+            raise RtpParseError(f"payload type out of range: {self.payload_type}")
+
+    @property
+    def size(self) -> int:
+        return RTP_HEADER_SIZE + 4 * len(self.csrc_list) + len(self.payload)
+
+    def serialize(self) -> bytes:
+        byte0 = (RTP_VERSION << 6)
+        if self.padding:
+            byte0 |= 0x20
+        if self.extension:
+            byte0 |= 0x10
+        byte0 |= len(self.csrc_list) & 0x0F
+        byte1 = (0x80 if self.marker else 0) | (self.payload_type & 0x7F)
+        header = struct.pack(_HEADER_FORMAT, byte0, byte1,
+                             self.sequence_number, self.timestamp, self.ssrc)
+        csrc = b"".join(struct.pack("!I", csrc) for csrc in self.csrc_list)
+        return header + csrc + self.payload
+
+    @classmethod
+    def parse(cls, data: bytes) -> "RtpPacket":
+        if len(data) < RTP_HEADER_SIZE:
+            raise RtpParseError(f"packet too short: {len(data)} bytes")
+        byte0, byte1, seq, timestamp, ssrc = struct.unpack(
+            _HEADER_FORMAT, data[:RTP_HEADER_SIZE])
+        version = byte0 >> 6
+        if version != RTP_VERSION:
+            raise RtpParseError(f"bad RTP version: {version}")
+        csrc_count = byte0 & 0x0F
+        offset = RTP_HEADER_SIZE + 4 * csrc_count
+        if len(data) < offset:
+            raise RtpParseError("truncated CSRC list")
+        csrc_list = tuple(
+            struct.unpack("!I", data[RTP_HEADER_SIZE + 4 * i:
+                                     RTP_HEADER_SIZE + 4 * (i + 1)])[0]
+            for i in range(csrc_count)
+        )
+        return cls(
+            payload_type=byte1 & 0x7F,
+            sequence_number=seq,
+            timestamp=timestamp,
+            ssrc=ssrc,
+            payload=data[offset:],
+            marker=bool(byte1 & 0x80),
+            padding=bool(byte0 & 0x20),
+            extension=bool(byte0 & 0x10),
+            csrc_list=csrc_list,
+        )
+
+
+def looks_like_rtp(payload: bytes) -> bool:
+    """Cheap sniff used by classifiers: correct version bits and length."""
+    return len(payload) >= RTP_HEADER_SIZE and (payload[0] >> 6) == RTP_VERSION

@@ -1,0 +1,90 @@
+"""Voice-quality estimation: a simplified ITU-T G.107 E-model.
+
+The paper motivates its QoS measurements with perception: "the latency
+upper-bound is 150 ms for one way traffic", vids must not degrade "the
+perceived quality of voice streams".  This module turns the measured
+one-way delay and loss into the standard perceptual scores — the R-factor
+and MOS — using the usual simplified E-model:
+
+    R = R0 - Id(delay) - Ie_eff(loss, codec)
+
+with R0 = 93.2, the piecewise-linear delay impairment Id of ITU-T G.107
+Annex, and per-codec equipment-impairment parameters (Ie, Bpl) from the
+G.113 appendix tables.  MOS follows the standard R→MOS polynomial.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from .codecs import Codec, G711U, G723, G729
+
+__all__ = ["CodecImpairment", "r_factor", "mos_from_r", "estimate_mos",
+           "CODEC_IMPAIRMENTS"]
+
+#: Base R of the simplified E-model (default transmission rating).
+R0 = 93.2
+
+
+@dataclass(frozen=True)
+class CodecImpairment:
+    """G.113-style equipment impairment parameters."""
+
+    ie: float     # equipment impairment at zero loss
+    bpl: float    # packet-loss robustness factor
+
+
+#: From ITU-T G.113 Appendix I (commonly cited values).
+CODEC_IMPAIRMENTS: Dict[str, CodecImpairment] = {
+    G711U.name: CodecImpairment(ie=0.0, bpl=25.1),
+    G729.name: CodecImpairment(ie=11.0, bpl=19.0),
+    G723.name: CodecImpairment(ie=15.0, bpl=16.1),
+}
+
+
+def _delay_impairment(one_way_delay_s: float) -> float:
+    """Id: the G.107 piecewise-linear approximation.
+
+    Negligible below ~100 ms, then ~0.024/ms, with an extra 0.11/ms
+    penalty beyond 177.3 ms (the echo-perception knee).
+    """
+    delay_ms = one_way_delay_s * 1000.0
+    impairment = 0.024 * delay_ms
+    if delay_ms > 177.3:
+        impairment += 0.11 * (delay_ms - 177.3)
+    return impairment
+
+
+def _loss_impairment(loss_fraction: float, codec: Codec) -> float:
+    """Ie_eff = Ie + (95 - Ie) * Ppl / (Ppl + Bpl)."""
+    params = CODEC_IMPAIRMENTS.get(codec.name,
+                                   CodecImpairment(ie=10.0, bpl=15.0))
+    ppl = max(0.0, min(1.0, loss_fraction)) * 100.0
+    return params.ie + (95.0 - params.ie) * ppl / (ppl + params.bpl)
+
+
+def r_factor(one_way_delay_s: float, loss_fraction: float,
+             codec: Codec = G729) -> float:
+    """The E-model transmission rating R, clamped to [0, 100]."""
+    r = R0 - _delay_impairment(one_way_delay_s) \
+        - _loss_impairment(loss_fraction, codec)
+    return max(0.0, min(100.0, r))
+
+
+def mos_from_r(r: float) -> float:
+    """The standard G.107 R -> MOS mapping (1.0 .. 4.5)."""
+    if r <= 0:
+        return 1.0
+    if r >= 100:
+        return 4.5
+    mos = 1.0 + 0.035 * r + r * (r - 60.0) * (100.0 - r) * 7e-6
+    # The raw polynomial dips marginally below 1.0 for very small R;
+    # clamp to the MOS scale as real implementations do.
+    return max(1.0, min(4.5, mos))
+
+
+def estimate_mos(one_way_delay_s: float, loss_fraction: float,
+                 codec: Codec = G729) -> float:
+    """Convenience: measured delay + loss -> MOS score."""
+    return mos_from_r(r_factor(one_way_delay_s, loss_fraction, codec))

@@ -1,0 +1,127 @@
+"""Minimal RTCP sender/receiver reports (RFC 3550 §6.4 subset).
+
+RTCP is part of the media plane the paper's RTP machine could observe; the
+reproduction implements Sender Report and Receiver Report packets with one
+report block, enough for sessions to exchange loss/jitter feedback and for
+tests to exercise a second media-plane message type through the classifier.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional, Union
+
+__all__ = ["SenderReport", "ReceiverReport", "ReportBlock", "parse_rtcp",
+           "RtcpParseError", "RTCP_SR", "RTCP_RR"]
+
+RTCP_SR = 200
+RTCP_RR = 201
+
+_RTCP_VERSION = 2
+
+
+class RtcpParseError(ValueError):
+    """Raised when bytes do not form a supported RTCP packet."""
+
+
+@dataclass
+class ReportBlock:
+    """One reception report block."""
+
+    ssrc: int
+    fraction_lost: int        # 0..255
+    cumulative_lost: int
+    highest_seq: int
+    jitter: int               # RTP timestamp units
+    lsr: int = 0
+    dlsr: int = 0
+
+    def serialize(self) -> bytes:
+        lost24 = self.cumulative_lost & 0xFFFFFF
+        return struct.pack(
+            "!IIIIII",
+            self.ssrc,
+            ((self.fraction_lost & 0xFF) << 24) | lost24,
+            self.highest_seq,
+            self.jitter,
+            self.lsr,
+            self.dlsr,
+        )
+
+    @classmethod
+    def parse(cls, data: bytes) -> "ReportBlock":
+        if len(data) < 24:
+            raise RtcpParseError("report block too short")
+        ssrc, loss_word, highest, jitter, lsr, dlsr = struct.unpack(
+            "!IIIIII", data[:24])
+        return cls(ssrc, loss_word >> 24, loss_word & 0xFFFFFF,
+                   highest, jitter, lsr, dlsr)
+
+
+@dataclass
+class SenderReport:
+    """An RTCP SR with at most one report block."""
+
+    ssrc: int
+    ntp_timestamp: int        # 64-bit NTP-format time
+    rtp_timestamp: int
+    packet_count: int
+    octet_count: int
+    report: Optional[ReportBlock] = None
+
+    def serialize(self) -> bytes:
+        count = 1 if self.report else 0
+        body = struct.pack(
+            "!IQIII",
+            self.ssrc,
+            self.ntp_timestamp,
+            self.rtp_timestamp,
+            self.packet_count,
+            self.octet_count,
+        )
+        if self.report:
+            body += self.report.serialize()
+        length_words = len(body) // 4  # header itself excluded per RFC
+        header = struct.pack("!BBH", (_RTCP_VERSION << 6) | count,
+                             RTCP_SR, length_words)
+        return header + body
+
+
+@dataclass
+class ReceiverReport:
+    """An RTCP RR with at most one report block."""
+
+    ssrc: int
+    report: Optional[ReportBlock] = None
+
+    def serialize(self) -> bytes:
+        count = 1 if self.report else 0
+        body = struct.pack("!I", self.ssrc)
+        if self.report:
+            body += self.report.serialize()
+        length_words = len(body) // 4
+        header = struct.pack("!BBH", (_RTCP_VERSION << 6) | count,
+                             RTCP_RR, length_words)
+        return header + body
+
+
+def parse_rtcp(data: bytes) -> Union[SenderReport, ReceiverReport]:
+    """Parse an SR or RR packet; raises :class:`RtcpParseError` otherwise."""
+    if len(data) < 8:
+        raise RtcpParseError("RTCP packet too short")
+    byte0, packet_type, _length = struct.unpack("!BBH", data[:4])
+    if byte0 >> 6 != _RTCP_VERSION:
+        raise RtcpParseError(f"bad RTCP version: {byte0 >> 6}")
+    count = byte0 & 0x1F
+    if packet_type == RTCP_SR:
+        if len(data) < 28:
+            raise RtcpParseError("SR too short")
+        ssrc, ntp, rtp_ts, packets, octets = struct.unpack("!IQIII", data[4:28])
+        report = ReportBlock.parse(data[28:]) if count else None
+        return SenderReport(ssrc, ntp, rtp_ts, packets, octets, report)
+    if packet_type == RTCP_RR:
+        ssrc = struct.unpack("!I", data[4:8])[0]
+        report = ReportBlock.parse(data[8:]) if count else None
+        return ReceiverReport(ssrc, report)
+    raise RtcpParseError(f"unsupported RTCP packet type: {packet_type}")

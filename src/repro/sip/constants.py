@@ -1,0 +1,81 @@
+"""SIP protocol constants (RFC 3261 subset).
+
+The six base methods are exactly those the paper lists in Section 2.1:
+INVITE, ACK, BYE, CANCEL, REGISTER and OPTIONS.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SIP_VERSION",
+    "DEFAULT_SIP_PORT",
+    "METHODS",
+    "INVITE",
+    "ACK",
+    "BYE",
+    "CANCEL",
+    "REGISTER",
+    "OPTIONS",
+    "REASON_PHRASES",
+    "reason_phrase",
+    "BRANCH_MAGIC_COOKIE",
+]
+
+SIP_VERSION = "SIP/2.0"
+DEFAULT_SIP_PORT = 5060
+
+INVITE = "INVITE"
+ACK = "ACK"
+BYE = "BYE"
+CANCEL = "CANCEL"
+REGISTER = "REGISTER"
+OPTIONS = "OPTIONS"
+
+#: The six base SIP methods of RFC 3261.
+METHODS = (INVITE, ACK, BYE, CANCEL, REGISTER, OPTIONS)
+
+#: RFC 3261 mandates that branch parameters start with this cookie.
+BRANCH_MAGIC_COOKIE = "z9hG4bK"
+
+REASON_PHRASES = {
+    100: "Trying",
+    180: "Ringing",
+    181: "Call Is Being Forwarded",
+    183: "Session Progress",
+    200: "OK",
+    202: "Accepted",
+    301: "Moved Permanently",
+    302: "Moved Temporarily",
+    400: "Bad Request",
+    401: "Unauthorized",
+    403: "Forbidden",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    415: "Unsupported Media Type",
+    420: "Bad Extension",
+    480: "Temporarily Unavailable",
+    481: "Call/Transaction Does Not Exist",
+    482: "Loop Detected",
+    483: "Too Many Hops",
+    486: "Busy Here",
+    487: "Request Terminated",
+    488: "Not Acceptable Here",
+    500: "Server Internal Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+    504: "Server Time-out",
+    600: "Busy Everywhere",
+    603: "Decline",
+    604: "Does Not Exist Anywhere",
+    606: "Not Acceptable",
+}
+
+
+def reason_phrase(status: int) -> str:
+    """Canonical reason phrase for ``status`` (generic fallback per class)."""
+    if status in REASON_PHRASES:
+        return REASON_PHRASES[status]
+    generic = {1: "Trying", 2: "OK", 3: "Redirect", 4: "Client Error",
+               5: "Server Error", 6: "Global Failure"}
+    return generic.get(status // 100, "Unknown")

@@ -1,0 +1,31 @@
+"""Static domain resolution (the testbed's DNS stand-in).
+
+The paper: "The outbound proxy server uses the Domain Name System (DNS) to
+locate the inbound proxy server at the other domain."  In the simulated
+testbed the mapping is static, so DNS is a directory object shared by the
+proxies rather than an extra protocol on the wire.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..netsim.address import Endpoint
+
+__all__ = ["DomainDirectory"]
+
+
+class DomainDirectory:
+    """domain name -> inbound proxy endpoint."""
+
+    def __init__(self) -> None:
+        self._proxies: Dict[str, Endpoint] = {}
+
+    def publish(self, domain: str, proxy: Endpoint) -> None:
+        self._proxies[domain.lower()] = proxy
+
+    def resolve(self, domain: str) -> Optional[Endpoint]:
+        return self._proxies.get(domain.lower())
+
+    def domains(self) -> list:
+        return sorted(self._proxies)

@@ -1,0 +1,17 @@
+"""SIP stack exceptions."""
+
+from __future__ import annotations
+
+__all__ = ["SipError", "SipParseError", "SipProtocolError"]
+
+
+class SipError(Exception):
+    """Base class for SIP stack errors."""
+
+
+class SipParseError(SipError):
+    """A message, URI, or header could not be parsed."""
+
+
+class SipProtocolError(SipError):
+    """A protocol-level violation (bad transaction usage, missing header)."""

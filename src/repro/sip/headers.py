@@ -1,0 +1,229 @@
+"""Structured SIP header values: Via, name-addr (From/To/Contact), CSeq.
+
+These are the header fields whose parameter values the vids predicates
+inspect: the paper's input vector ``x`` carries "Call-ID and branch
+parameters in the Via header field and tag parameter values in the From and
+To fields" (Section 4.2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from .constants import BRANCH_MAGIC_COOKIE, SIP_VERSION
+from .errors import SipParseError
+from .uri import SipUri
+
+__all__ = [
+    "Via",
+    "NameAddr",
+    "CSeq",
+    "canonical_header_name",
+    "new_branch",
+    "new_tag",
+    "new_call_id",
+]
+
+#: Compact header forms of RFC 3261 §7.3.3.
+_COMPACT_FORMS = {
+    "v": "Via",
+    "f": "From",
+    "t": "To",
+    "i": "Call-ID",
+    "m": "Contact",
+    "c": "Content-Type",
+    "l": "Content-Length",
+    "e": "Content-Encoding",
+    "s": "Subject",
+    "k": "Supported",
+}
+
+_CANONICAL = {
+    "via": "Via",
+    "from": "From",
+    "to": "To",
+    "call-id": "Call-ID",
+    "cseq": "CSeq",
+    "contact": "Contact",
+    "max-forwards": "Max-Forwards",
+    "content-type": "Content-Type",
+    "content-length": "Content-Length",
+    "expires": "Expires",
+    "route": "Route",
+    "record-route": "Record-Route",
+    "user-agent": "User-Agent",
+    "allow": "Allow",
+    "supported": "Supported",
+    "subject": "Subject",
+    "content-encoding": "Content-Encoding",
+}
+
+
+def canonical_header_name(name: str) -> str:
+    """Normalize a header name: expand compact forms, fix case."""
+    name = name.strip()
+    lowered = name.lower()
+    if lowered in _COMPACT_FORMS:
+        return _COMPACT_FORMS[lowered]
+    if lowered in _CANONICAL:
+        return _CANONICAL[lowered]
+    return "-".join(part.capitalize() for part in name.split("-"))
+
+
+def _parse_params(text: str) -> Dict[str, Optional[str]]:
+    params: Dict[str, Optional[str]] = {}
+    for chunk in text.split(";"):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        if "=" in chunk:
+            key, _, value = chunk.partition("=")
+            params[key.strip()] = value.strip()
+        else:
+            params[chunk] = None
+    return params
+
+
+def _format_params(params: Dict[str, Optional[str]]) -> str:
+    out = ""
+    for key, value in params.items():
+        out += f";{key}" if value is None else f";{key}={value}"
+    return out
+
+
+@dataclass
+class Via:
+    """A Via header value: ``SIP/2.0/UDP host:port;branch=...``."""
+
+    host: str
+    port: int
+    transport: str = "UDP"
+    params: Dict[str, Optional[str]] = field(default_factory=dict)
+
+    @property
+    def branch(self) -> Optional[str]:
+        return self.params.get("branch")
+
+    @classmethod
+    def parse(cls, text: str) -> "Via":
+        text = text.strip()
+        try:
+            proto, sent_by = text.split(None, 1)
+        except ValueError as exc:
+            raise SipParseError(f"bad Via: {text!r}") from exc
+        parts = proto.split("/")
+        if len(parts) != 3 or f"{parts[0]}/{parts[1]}" != SIP_VERSION:
+            raise SipParseError(f"bad Via protocol: {text!r}")
+        transport = parts[2]
+        params: Dict[str, Optional[str]] = {}
+        if ";" in sent_by:
+            sent_by, _, param_text = sent_by.partition(";")
+            params = _parse_params(param_text)
+        sent_by = sent_by.strip()
+        if ":" in sent_by:
+            host, _, port_text = sent_by.partition(":")
+            try:
+                port = int(port_text)
+            except ValueError as exc:
+                raise SipParseError(f"bad Via port: {text!r}") from exc
+        else:
+            host, port = sent_by, 5060
+        if not host:
+            raise SipParseError(f"empty Via host: {text!r}")
+        return cls(host, port, transport, params)
+
+    def __str__(self) -> str:
+        return (
+            f"{SIP_VERSION}/{self.transport} {self.host}:{self.port}"
+            f"{_format_params(self.params)}"
+        )
+
+
+@dataclass
+class NameAddr:
+    """A From/To/Contact value: ``"Display" <sip:uri>;tag=...``."""
+
+    uri: SipUri
+    display_name: Optional[str] = None
+    params: Dict[str, Optional[str]] = field(default_factory=dict)
+
+    @property
+    def tag(self) -> Optional[str]:
+        return self.params.get("tag")
+
+    def with_tag(self, tag: str) -> "NameAddr":
+        params = dict(self.params)
+        params["tag"] = tag
+        return NameAddr(self.uri, self.display_name, params)
+
+    @classmethod
+    def parse(cls, text: str) -> "NameAddr":
+        text = text.strip()
+        display: Optional[str] = None
+        params: Dict[str, Optional[str]] = {}
+        if "<" in text:
+            before, _, rest = text.partition("<")
+            uri_text, _, after = rest.partition(">")
+            display = before.strip().strip('"') or None
+            params = _parse_params(after)
+            uri = SipUri.parse(uri_text)
+        else:
+            # addr-spec form: params after ; belong to the header.
+            if ";" in text:
+                uri_text, _, param_text = text.partition(";")
+                params = _parse_params(param_text)
+            else:
+                uri_text = text
+            uri = SipUri.parse(uri_text)
+        return cls(uri, display, params)
+
+    def __str__(self) -> str:
+        if self.display_name:
+            out = f'"{self.display_name}" <{self.uri}>'
+        else:
+            out = f"<{self.uri}>"
+        return out + _format_params(self.params)
+
+
+@dataclass(frozen=True)
+class CSeq:
+    """A CSeq header value: ``sequence-number method``."""
+
+    number: int
+    method: str
+
+    @classmethod
+    def parse(cls, text: str) -> "CSeq":
+        try:
+            number_text, method = text.split()
+            return cls(int(number_text), method.upper())
+        except ValueError as exc:
+            raise SipParseError(f"bad CSeq: {text!r}") from exc
+
+    def next(self, method: Optional[str] = None) -> "CSeq":
+        return CSeq(self.number + 1, method or self.method)
+
+    def __str__(self) -> str:
+        return f"{self.number} {self.method}"
+
+
+_branch_counter = itertools.count(1)
+_tag_counter = itertools.count(1)
+_call_id_counter = itertools.count(1)
+
+
+def new_branch() -> str:
+    """A fresh RFC 3261 branch parameter (unique per transaction)."""
+    return f"{BRANCH_MAGIC_COOKIE}{next(_branch_counter):08x}"
+
+
+def new_tag() -> str:
+    """A fresh From/To tag."""
+    return f"tag{next(_tag_counter):06x}"
+
+
+def new_call_id(host: str = "invalid") -> str:
+    """A fresh Call-ID, scoped to ``host`` as RFC 3261 suggests."""
+    return f"cid{next(_call_id_counter):08x}@{host}"

@@ -1,0 +1,292 @@
+"""SIP message model: parse from and serialize to RFC 3261 wire text.
+
+Messages are carried as UTF-8 text over the simulated UDP transport, so the
+vids classifier sees the same byte stream a network sniffer would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from .constants import METHODS, SIP_VERSION, reason_phrase
+from .errors import SipParseError
+from .headers import CSeq, NameAddr, Via, canonical_header_name
+from .uri import SipUri
+
+__all__ = ["SipMessage", "SipRequest", "SipResponse", "parse_message", "is_sip_payload"]
+
+CRLF = "\r\n"
+
+
+class SipMessage:
+    """Common behaviour of requests and responses.
+
+    Headers are stored as an ordered list of (canonical-name, value-text)
+    pairs; repeated headers (e.g. Via) keep their order, which matters for
+    response routing.
+    """
+
+    def __init__(self, headers: Optional[List[Tuple[str, str]]] = None,
+                 body: str = ""):
+        self.headers: List[Tuple[str, str]] = list(headers or [])
+        self.body = body
+
+    # -- generic header access ---------------------------------------------
+
+    def get(self, name: str) -> Optional[str]:
+        """First value of header ``name`` (canonicalized), or None."""
+        name = canonical_header_name(name)
+        for key, value in self.headers:
+            if key == name:
+                return value
+        return None
+
+    def get_all(self, name: str) -> List[str]:
+        name = canonical_header_name(name)
+        return [value for key, value in self.headers if key == name]
+
+    def set(self, name: str, value: object) -> None:
+        """Replace all values of ``name`` with a single ``value``."""
+        name = canonical_header_name(name)
+        self.headers = [(k, v) for k, v in self.headers if k != name]
+        self.headers.append((name, str(value)))
+
+    def add(self, name: str, value: object) -> None:
+        """Append a value for ``name`` (after existing ones)."""
+        self.headers.append((canonical_header_name(name), str(value)))
+
+    def prepend(self, name: str, value: object) -> None:
+        """Insert a value for ``name`` before existing ones (Via stacking)."""
+        self.headers.insert(0, (canonical_header_name(name), str(value)))
+
+    def remove_first(self, name: str) -> Optional[str]:
+        """Remove and return the first value of ``name``."""
+        name = canonical_header_name(name)
+        for index, (key, value) in enumerate(self.headers):
+            if key == name:
+                del self.headers[index]
+                return value
+        return None
+
+    # -- typed accessors -----------------------------------------------------
+
+    @property
+    def call_id(self) -> Optional[str]:
+        return self.get("Call-ID")
+
+    @property
+    def cseq(self) -> Optional[CSeq]:
+        value = self.get("CSeq")
+        return CSeq.parse(value) if value else None
+
+    @property
+    def from_(self) -> Optional[NameAddr]:
+        value = self.get("From")
+        return NameAddr.parse(value) if value else None
+
+    @property
+    def to(self) -> Optional[NameAddr]:
+        value = self.get("To")
+        return NameAddr.parse(value) if value else None
+
+    @property
+    def contact(self) -> Optional[NameAddr]:
+        value = self.get("Contact")
+        return NameAddr.parse(value) if value else None
+
+    @property
+    def vias(self) -> List[Via]:
+        return [Via.parse(value) for value in self.get_all("Via")]
+
+    @property
+    def top_via(self) -> Optional[Via]:
+        value = self.get("Via")
+        return Via.parse(value) if value else None
+
+    @property
+    def branch(self) -> Optional[str]:
+        via = self.top_via
+        return via.branch if via else None
+
+    # -- serialization -------------------------------------------------------
+
+    def start_line(self) -> str:
+        raise NotImplementedError
+
+    def serialize(self) -> bytes:
+        """Render the full message to wire bytes, fixing Content-Length."""
+        body_bytes = self.body.encode("utf-8")
+        self.set("Content-Length", len(body_bytes))
+        lines = [self.start_line()]
+        lines.extend(f"{name}: {value}" for name, value in self.headers)
+        text = CRLF.join(lines) + CRLF + CRLF
+        return text.encode("utf-8") + body_bytes
+
+    def __bytes__(self) -> bytes:
+        return self.serialize()
+
+
+class SipRequest(SipMessage):
+    """A SIP request: method, Request-URI, headers, body."""
+
+    def __init__(self, method: str, uri: Union[SipUri, str],
+                 headers: Optional[List[Tuple[str, str]]] = None,
+                 body: str = ""):
+        super().__init__(headers, body)
+        self.method = method.upper()
+        self.uri = uri if isinstance(uri, SipUri) else SipUri.parse(uri)
+
+    @property
+    def is_request(self) -> bool:
+        return True
+
+    def start_line(self) -> str:
+        return f"{self.method} {self.uri} {SIP_VERSION}"
+
+    def create_response(self, status: int, reason: Optional[str] = None,
+                        to_tag: Optional[str] = None,
+                        body: str = "") -> "SipResponse":
+        """Build a response per RFC 3261 §8.2.6: copy Via/From/To/Call-ID/CSeq."""
+        response = SipResponse(status, reason)
+        for via in self.get_all("Via"):
+            response.add("Via", via)
+        if self.get("From"):
+            response.set("From", self.get("From"))
+        to_value = self.get("To")
+        if to_value is not None:
+            to_addr = NameAddr.parse(to_value)
+            if to_tag and to_addr.tag is None and status != 100:
+                to_addr = to_addr.with_tag(to_tag)
+            response.set("To", str(to_addr))
+        if self.call_id:
+            response.set("Call-ID", self.call_id)
+        if self.get("CSeq"):
+            response.set("CSeq", self.get("CSeq"))
+        response.body = body
+        return response
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<SipRequest {self.method} {self.uri} cid={self.call_id}>"
+
+
+class SipResponse(SipMessage):
+    """A SIP response: status code, reason phrase, headers, body."""
+
+    def __init__(self, status: int, reason: Optional[str] = None,
+                 headers: Optional[List[Tuple[str, str]]] = None,
+                 body: str = ""):
+        super().__init__(headers, body)
+        self.status = int(status)
+        self.reason = reason if reason is not None else reason_phrase(status)
+
+    @property
+    def is_request(self) -> bool:
+        return False
+
+    @property
+    def is_provisional(self) -> bool:
+        return 100 <= self.status < 200
+
+    @property
+    def is_final(self) -> bool:
+        return self.status >= 200
+
+    @property
+    def is_success(self) -> bool:
+        return 200 <= self.status < 300
+
+    def start_line(self) -> str:
+        return f"{SIP_VERSION} {self.status} {self.reason}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<SipResponse {self.status} {self.reason} cid={self.call_id}>"
+
+
+def is_sip_payload(payload: bytes) -> bool:
+    """Cheap sniff: does this UDP payload look like a SIP message?
+
+    Used by the vids packet classifier before committing to a full parse.
+    """
+    try:
+        head = payload[:64].decode("utf-8", errors="strict")
+    except UnicodeDecodeError:
+        return False
+    if head.startswith(SIP_VERSION + " "):
+        return True
+    first_word = head.split(" ", 1)[0]
+    return first_word in METHODS
+
+
+def parse_message(data: Union[bytes, str]) -> Union[SipRequest, SipResponse]:
+    """Parse wire bytes/text into a :class:`SipRequest` or :class:`SipResponse`.
+
+    Raises :class:`SipParseError` on malformed input.  Header line folding
+    (continuation lines starting with whitespace) is supported.
+    """
+    if isinstance(data, bytes):
+        try:
+            text = data.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise SipParseError("message is not valid UTF-8") from exc
+    else:
+        text = data
+    # Accept bare-LF input for robustness, but standard messages use CRLF.
+    normalized = text.replace("\r\n", "\n")
+    if "\n\n" in normalized:
+        head, _, body = normalized.partition("\n\n")
+    else:
+        head, body = normalized.rstrip("\n"), ""
+    lines = head.split("\n")
+    if not lines or not lines[0].strip():
+        raise SipParseError("empty message")
+
+    start = lines[0].rstrip()
+    header_lines: List[str] = []
+    for line in lines[1:]:
+        if not line:
+            continue
+        if line[0] in " \t" and header_lines:
+            header_lines[-1] += " " + line.strip()
+        else:
+            header_lines.append(line)
+
+    headers: List[Tuple[str, str]] = []
+    for line in header_lines:
+        if ":" not in line:
+            raise SipParseError(f"malformed header line: {line!r}")
+        name, _, value = line.partition(":")
+        name = name.strip()
+        if not name:
+            raise SipParseError(f"empty header name: {line!r}")
+        canonical = canonical_header_name(name)
+        # Comma-separated multi-values for Via are split so the list
+        # semantics survive round-trips.
+        if canonical == "Via" and "," in value:
+            for part in value.split(","):
+                headers.append((canonical, part.strip()))
+        else:
+            headers.append((canonical, value.strip()))
+
+    if start.startswith(SIP_VERSION + " "):
+        rest = start[len(SIP_VERSION) + 1:]
+        parts = rest.split(" ", 1)
+        try:
+            status = int(parts[0])
+        except ValueError as exc:
+            raise SipParseError(f"bad status line: {start!r}") from exc
+        if not 100 <= status <= 699:
+            raise SipParseError(f"status code out of range: {status}")
+        reason = parts[1] if len(parts) > 1 else reason_phrase(status)
+        message: Union[SipRequest, SipResponse] = SipResponse(
+            status, reason, headers, body
+        )
+    else:
+        parts = start.split(" ")
+        if len(parts) != 3 or parts[2] != SIP_VERSION:
+            raise SipParseError(f"bad request line: {start!r}")
+        method, uri_text, _ = parts
+        if not method.isupper() or not method.isalpha():
+            raise SipParseError(f"bad method: {method!r}")
+        message = SipRequest(method, SipUri.parse(uri_text), headers, body)
+    return message

@@ -1,0 +1,86 @@
+"""Location service and registrar logic (RFC 3261 §10).
+
+The paper's inbound proxy "consults a location service database to find out
+the current location of UA-B"; this module is that database plus the
+REGISTER handling that populates it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from .errors import SipProtocolError
+from .headers import NameAddr
+from .message import SipRequest, SipResponse
+from .uri import SipUri
+
+__all__ = ["Binding", "LocationService", "process_register"]
+
+DEFAULT_EXPIRES = 3600.0
+
+
+@dataclass
+class Binding:
+    """One registered contact for an address-of-record."""
+
+    contact: SipUri
+    expires_at: float
+
+
+class LocationService:
+    """address-of-record -> current contact binding."""
+
+    def __init__(self) -> None:
+        self._bindings: Dict[str, Binding] = {}
+
+    def register(self, aor: str, contact: SipUri, expires_at: float) -> None:
+        self._bindings[aor] = Binding(contact, expires_at)
+
+    def unregister(self, aor: str) -> None:
+        self._bindings.pop(aor, None)
+
+    def lookup(self, aor: str, now: float) -> Optional[SipUri]:
+        """Current contact for ``aor``, honouring expiry."""
+        binding = self._bindings.get(aor)
+        if binding is None:
+            return None
+        if binding.expires_at < now:
+            del self._bindings[aor]
+            return None
+        return binding.contact
+
+    def __len__(self) -> int:
+        return len(self._bindings)
+
+
+def process_register(request: SipRequest, location: LocationService,
+                     now: float) -> SipResponse:
+    """Apply a REGISTER to the location service and build the response."""
+    if request.method != "REGISTER":
+        raise SipProtocolError("process_register needs a REGISTER request")
+    to_addr = request.to
+    if to_addr is None:
+        return request.create_response(400, "Missing To")
+    aor = to_addr.uri.address_of_record
+
+    contact_value = request.get("Contact")
+    if contact_value is None:
+        # Query: no change, report current binding below.
+        pass
+    elif contact_value.strip() == "*":
+        location.unregister(aor)
+    else:
+        contact = NameAddr.parse(contact_value)
+        expires_text = contact.params.get("expires") or request.get("Expires")
+        expires = float(expires_text) if expires_text else DEFAULT_EXPIRES
+        if expires <= 0:
+            location.unregister(aor)
+        else:
+            location.register(aor, contact.uri, now + expires)
+
+    response = request.create_response(200)
+    current = location.lookup(aor, now)
+    if current is not None:
+        response.set("Contact", str(NameAddr(current)))
+    return response

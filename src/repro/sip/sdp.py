@@ -1,0 +1,169 @@
+"""Session Description Protocol (RFC 2327 subset).
+
+SDP bodies carry the media attributes the paper's threat model cares about:
+"IP address, port number, media type and its encoding scheme" — the values a
+third party needs to fabricate RTP packets (media spamming), and the values
+the vids SIP machine writes into the global shared variables for the RTP
+machine (Section 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .errors import SipParseError
+
+__all__ = ["MediaDescription", "SessionDescription", "SDP_CONTENT_TYPE"]
+
+SDP_CONTENT_TYPE = "application/sdp"
+
+
+@dataclass
+class MediaDescription:
+    """One ``m=`` section: media type, transport port, and codec list."""
+
+    media: str                       # "audio"
+    port: int
+    proto: str = "RTP/AVP"
+    payload_types: List[int] = field(default_factory=list)
+    #: payload type -> "ENCODING/clock" from a=rtpmap lines
+    rtpmap: Dict[int, str] = field(default_factory=dict)
+    ptime_ms: Optional[int] = None
+
+    def encoding_name(self, payload_type: int) -> Optional[str]:
+        """Encoding name ("G729") for a payload type, if declared."""
+        mapping = self.rtpmap.get(payload_type)
+        return mapping.split("/")[0] if mapping else None
+
+    def format_lines(self) -> List[str]:
+        fmt = " ".join(str(pt) for pt in self.payload_types)
+        lines = [f"m={self.media} {self.port} {self.proto} {fmt}".rstrip()]
+        for payload_type, mapping in self.rtpmap.items():
+            lines.append(f"a=rtpmap:{payload_type} {mapping}")
+        if self.ptime_ms is not None:
+            lines.append(f"a=ptime:{self.ptime_ms}")
+        return lines
+
+
+@dataclass
+class SessionDescription:
+    """A parsed SDP body."""
+
+    origin_user: str = "-"
+    session_id: int = 0
+    session_version: int = 0
+    origin_address: str = "0.0.0.0"
+    session_name: str = "call"
+    connection_address: str = "0.0.0.0"
+    media: List[MediaDescription] = field(default_factory=list)
+
+    @property
+    def audio(self) -> Optional[MediaDescription]:
+        """The first audio media section, if any."""
+        for description in self.media:
+            if description.media == "audio":
+                return description
+        return None
+
+    @classmethod
+    def parse(cls, text: str) -> "SessionDescription":
+        session = cls()
+        session.media = []
+        current: Optional[MediaDescription] = None
+        for raw in text.replace("\r\n", "\n").split("\n"):
+            line = raw.strip()
+            if not line:
+                continue
+            if len(line) < 2 or line[1] != "=":
+                raise SipParseError(f"malformed SDP line: {line!r}")
+            kind, value = line[0], line[2:]
+            if kind == "v":
+                if value != "0":
+                    raise SipParseError(f"unsupported SDP version: {value}")
+            elif kind == "o":
+                parts = value.split()
+                if len(parts) != 6:
+                    raise SipParseError(f"malformed o= line: {line!r}")
+                session.origin_user = parts[0]
+                session.session_id = int(parts[1])
+                session.session_version = int(parts[2])
+                session.origin_address = parts[5]
+            elif kind == "s":
+                session.session_name = value
+            elif kind == "c":
+                parts = value.split()
+                if len(parts) != 3:
+                    raise SipParseError(f"malformed c= line: {line!r}")
+                address = parts[2]
+                if current is not None:
+                    # media-level connection overrides for that stream only;
+                    # we keep session-level for simplicity of the model.
+                    session.connection_address = address
+                else:
+                    session.connection_address = address
+            elif kind == "m":
+                parts = value.split()
+                if len(parts) < 3:
+                    raise SipParseError(f"malformed m= line: {line!r}")
+                current = MediaDescription(
+                    media=parts[0],
+                    port=int(parts[1]),
+                    proto=parts[2],
+                    payload_types=[int(pt) for pt in parts[3:]],
+                )
+                session.media.append(current)
+            elif kind == "a":
+                if current is None:
+                    continue
+                if value.startswith("rtpmap:"):
+                    body = value[len("rtpmap:"):]
+                    pt_text, _, mapping = body.partition(" ")
+                    current.rtpmap[int(pt_text)] = mapping.strip()
+                elif value.startswith("ptime:"):
+                    current.ptime_ms = int(value[len("ptime:"):])
+            # t=, b=, k= and unknown lines are tolerated and ignored.
+        return session
+
+    def serialize(self) -> str:
+        lines = [
+            "v=0",
+            (
+                f"o={self.origin_user} {self.session_id} "
+                f"{self.session_version} IN IP4 {self.origin_address}"
+            ),
+            f"s={self.session_name}",
+            f"c=IN IP4 {self.connection_address}",
+            "t=0 0",
+        ]
+        for description in self.media:
+            lines.extend(description.format_lines())
+        return "\r\n".join(lines) + "\r\n"
+
+    @classmethod
+    def for_audio(
+        cls,
+        address: str,
+        port: int,
+        payload_type: int,
+        encoding: str,
+        clock_rate: int = 8000,
+        ptime_ms: int = 20,
+        session_id: int = 1,
+    ) -> "SessionDescription":
+        """Convenience builder for a single-codec audio offer/answer."""
+        media = MediaDescription(
+            media="audio",
+            port=port,
+            payload_types=[payload_type],
+            rtpmap={payload_type: f"{encoding}/{clock_rate}"},
+            ptime_ms=ptime_ms,
+        )
+        return cls(
+            origin_user="-",
+            session_id=session_id,
+            session_version=session_id,
+            origin_address=address,
+            connection_address=address,
+            media=[media],
+        )

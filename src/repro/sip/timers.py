@@ -1,0 +1,68 @@
+"""RFC 3261 transaction timer values.
+
+All timers derive from T1 (RTT estimate), T2 (maximum retransmit interval)
+and T4 (maximum lifetime of a message in the network).  A
+:class:`TimerTable` bundles them so tests can shrink the constants and keep
+simulated scenarios short without changing protocol logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TimerTable", "DEFAULT_TIMERS"]
+
+
+@dataclass(frozen=True)
+class TimerTable:
+    """SIP timer constants (seconds)."""
+
+    t1: float = 0.5
+    t2: float = 4.0
+    t4: float = 5.0
+
+    @property
+    def timer_b(self) -> float:
+        """INVITE client transaction timeout (64*T1)."""
+        return 64 * self.t1
+
+    @property
+    def timer_d(self) -> float:
+        """Wait time for response retransmits in COMPLETED (client INVITE).
+
+        RFC 3261 says "at least 32 seconds" for UDP; expressed as 64*T1 so it
+        scales with the rest of the table (32 s at default T1).
+        """
+        return 64 * self.t1
+
+    @property
+    def timer_f(self) -> float:
+        """Non-INVITE client transaction timeout (64*T1)."""
+        return 64 * self.t1
+
+    @property
+    def timer_h(self) -> float:
+        """Wait time for ACK receipt (server INVITE, 64*T1)."""
+        return 64 * self.t1
+
+    @property
+    def timer_i(self) -> float:
+        """Wait time for ACK retransmits in CONFIRMED (T4)."""
+        return self.t4
+
+    @property
+    def timer_j(self) -> float:
+        """Wait time for request retransmits (non-INVITE server, 64*T1)."""
+        return 64 * self.t1
+
+    @property
+    def timer_k(self) -> float:
+        """Wait time for response retransmits (non-INVITE client, T4)."""
+        return self.t4
+
+    def scaled(self, factor: float) -> "TimerTable":
+        """A proportionally faster/slower timer table."""
+        return TimerTable(self.t1 * factor, self.t2 * factor, self.t4 * factor)
+
+
+DEFAULT_TIMERS = TimerTable()

@@ -1,0 +1,504 @@
+"""SIP transaction layer (RFC 3261 §17) over unreliable (UDP) transport.
+
+Implements the four transaction state machines — INVITE/non-INVITE x
+client/server — with the retransmission and timeout timers that make SIP
+calls survive the testbed's 0.42 % Internet loss.  The 2xx-retransmission
+behaviour of the INVITE server transaction follows the RFC 6026 "ACCEPTED
+state" refinement so that 200 OK reliability lives inside the transaction.
+
+The transaction layer talks to:
+
+- a *transport*: any object with ``sim`` (a :class:`~repro.netsim.Simulator`)
+  and ``send_message(message, destination)``;
+- a *transaction user* (TU): callbacks given at construction time.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict, Optional, Protocol, Tuple
+
+from ..netsim.address import Endpoint
+from ..netsim.engine import Timer
+from .constants import ACK, CANCEL, INVITE
+from .errors import SipProtocolError
+from .headers import new_branch
+from .message import SipRequest, SipResponse
+from .timers import DEFAULT_TIMERS, TimerTable
+
+__all__ = [
+    "Transport",
+    "TransactionState",
+    "ClientTransaction",
+    "InviteClientTransaction",
+    "NonInviteClientTransaction",
+    "ServerTransaction",
+    "InviteServerTransaction",
+    "NonInviteServerTransaction",
+    "TransactionManager",
+]
+
+
+class Transport(Protocol):
+    """What transactions need from the layer below."""
+
+    @property
+    def sim(self): ...
+
+    def send_message(self, message, destination: Endpoint) -> None: ...
+
+
+class TransactionState(enum.Enum):
+    """States of the four RFC 3261 transaction machines (plus RFC 6026's
+    ACCEPTED)."""
+
+    CALLING = "calling"
+    TRYING = "trying"
+    PROCEEDING = "proceeding"
+    ACCEPTED = "accepted"      # RFC 6026 (INVITE server with 2xx sent)
+    COMPLETED = "completed"
+    CONFIRMED = "confirmed"
+    TERMINATED = "terminated"
+
+
+class _TransactionBase:
+    """State/timer plumbing shared by all four transaction machines."""
+
+    def __init__(self, transport: Transport, timers: TimerTable):
+        self.transport = transport
+        self.timers = timers
+        self.state: Optional[TransactionState] = None
+        self._timer_handles: Dict[str, Timer] = {}
+        self.on_terminated: Optional[Callable[["_TransactionBase"], None]] = None
+
+    @property
+    def sim(self):
+        return self.transport.sim
+
+    def _start_timer(self, name: str, delay: float,
+                     callback: Callable[[], None]) -> None:
+        self._cancel_timer(name)
+        self._timer_handles[name] = self.sim.schedule(delay, callback,
+                                                      label=f"sip-{name}")
+
+    def _cancel_timer(self, name: str) -> None:
+        handle = self._timer_handles.pop(name, None)
+        if handle is not None:
+            handle.cancel()
+
+    def _cancel_all_timers(self) -> None:
+        for name in list(self._timer_handles):
+            self._cancel_timer(name)
+
+    def _terminate(self) -> None:
+        self._cancel_all_timers()
+        if self.state is not TransactionState.TERMINATED:
+            self.state = TransactionState.TERMINATED
+            if self.on_terminated is not None:
+                self.on_terminated(self)
+
+    @property
+    def terminated(self) -> bool:
+        return self.state is TransactionState.TERMINATED
+
+
+class ClientTransaction(_TransactionBase):
+    """Base client transaction: owns the request and the destination."""
+
+    def __init__(
+        self,
+        transport: Transport,
+        request: SipRequest,
+        destination: Endpoint,
+        on_response: Callable[[SipResponse], None],
+        on_timeout: Optional[Callable[[], None]] = None,
+        timers: TimerTable = DEFAULT_TIMERS,
+    ):
+        super().__init__(transport, timers)
+        if request.branch is None:
+            raise SipProtocolError("client transaction request needs a Via branch")
+        self.request = request
+        self.destination = destination
+        self.on_response = on_response
+        self.on_timeout = on_timeout
+        self.retransmissions = 0
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        cseq = self.request.cseq
+        return (self.request.branch or "", cseq.method if cseq else self.request.method)
+
+    def start(self) -> None:
+        raise NotImplementedError
+
+    def receive_response(self, response: SipResponse) -> None:
+        raise NotImplementedError
+
+    def _send_request(self) -> None:
+        self.transport.send_message(self.request, self.destination)
+
+    def _timeout(self) -> None:
+        self._terminate()
+        if self.on_timeout is not None:
+            self.on_timeout()
+
+
+class InviteClientTransaction(ClientTransaction):
+    """RFC 3261 §17.1.1."""
+
+    def start(self) -> None:
+        self.state = TransactionState.CALLING
+        self._send_request()
+        self._retransmit_interval = self.timers.t1
+        self._start_timer("A", self._retransmit_interval, self._on_timer_a)
+        self._start_timer("B", self.timers.timer_b, self._timeout)
+
+    def _on_timer_a(self) -> None:
+        if self.state is not TransactionState.CALLING:
+            return
+        self.retransmissions += 1
+        self._send_request()
+        self._retransmit_interval *= 2
+        self._start_timer("A", self._retransmit_interval, self._on_timer_a)
+
+    def receive_response(self, response: SipResponse) -> None:
+        if self.state in (TransactionState.TERMINATED, None):
+            return
+        if response.is_provisional:
+            if self.state is TransactionState.CALLING:
+                self.state = TransactionState.PROCEEDING
+                self._cancel_timer("A")
+            self.on_response(response)
+        elif response.is_success:
+            # 2xx: the transaction terminates; the TU sends the ACK and
+            # handles 200 retransmits at the dialog layer.
+            self._terminate()
+            self.on_response(response)
+        else:
+            first_final = self.state in (TransactionState.CALLING,
+                                         TransactionState.PROCEEDING)
+            self.state = TransactionState.COMPLETED
+            self._cancel_timer("A")
+            self._cancel_timer("B")
+            self._send_ack(response)
+            if first_final:
+                self._start_timer("D", self.timers.timer_d, self._terminate)
+                self.on_response(response)
+
+    def _send_ack(self, response: SipResponse) -> None:
+        """ACK for a non-2xx final response (RFC 3261 §17.1.1.3)."""
+        ack = SipRequest(ACK, self.request.uri)
+        ack.set("Via", self.request.get("Via"))
+        ack.set("From", self.request.get("From"))
+        to_value = response.get("To") or self.request.get("To")
+        ack.set("To", to_value)
+        ack.set("Call-ID", self.request.call_id)
+        cseq = self.request.cseq
+        ack.set("CSeq", f"{cseq.number} {ACK}")
+        ack.set("Max-Forwards", 70)
+        self.transport.send_message(ack, self.destination)
+
+
+class NonInviteClientTransaction(ClientTransaction):
+    """RFC 3261 §17.1.2."""
+
+    def start(self) -> None:
+        self.state = TransactionState.TRYING
+        self._send_request()
+        self._retransmit_interval = self.timers.t1
+        self._start_timer("E", self._retransmit_interval, self._on_timer_e)
+        self._start_timer("F", self.timers.timer_f, self._timeout)
+
+    def _on_timer_e(self) -> None:
+        if self.state not in (TransactionState.TRYING,
+                              TransactionState.PROCEEDING):
+            return
+        self.retransmissions += 1
+        self._send_request()
+        if self.state is TransactionState.TRYING:
+            self._retransmit_interval = min(self._retransmit_interval * 2,
+                                            self.timers.t2)
+        else:
+            self._retransmit_interval = self.timers.t2
+        self._start_timer("E", self._retransmit_interval, self._on_timer_e)
+
+    def receive_response(self, response: SipResponse) -> None:
+        if self.state in (TransactionState.TERMINATED, None):
+            return
+        if response.is_provisional:
+            if self.state is TransactionState.TRYING:
+                self.state = TransactionState.PROCEEDING
+            self.on_response(response)
+        else:
+            first_final = self.state in (TransactionState.TRYING,
+                                         TransactionState.PROCEEDING)
+            self.state = TransactionState.COMPLETED
+            self._cancel_timer("E")
+            self._cancel_timer("F")
+            if first_final:
+                self._start_timer("K", self.timers.timer_k, self._terminate)
+                self.on_response(response)
+
+
+class ServerTransaction(_TransactionBase):
+    """Base server transaction: owns the original request and reply address."""
+
+    def __init__(
+        self,
+        transport: Transport,
+        request: SipRequest,
+        source: Endpoint,
+        timers: TimerTable = DEFAULT_TIMERS,
+    ):
+        super().__init__(transport, timers)
+        self.request = request
+        self.source = source
+        self.last_response: Optional[SipResponse] = None
+
+    @property
+    def key(self) -> Tuple[str, str, str]:
+        via = self.request.top_via
+        sent_by = f"{via.host}:{via.port}" if via else ""
+        method = self.request.method
+        if method == ACK:
+            method = INVITE
+        return (self.request.branch or "", sent_by, method)
+
+    def _reply_destination(self) -> Endpoint:
+        """Responses go to the top Via sent-by address (RFC 3261 §18.2.2)."""
+        via = self.request.top_via
+        if via is None:
+            return self.source
+        host = via.params.get("received") or via.host
+        return Endpoint(host, via.port)
+
+    def send_response(self, response: SipResponse) -> None:
+        raise NotImplementedError
+
+    def receive_retransmission(self, request: SipRequest) -> None:
+        """Absorb a request retransmit by replaying the last response."""
+        if self.last_response is not None:
+            self.transport.send_message(self.last_response,
+                                        self._reply_destination())
+
+    def _transmit(self, response: SipResponse) -> None:
+        self.last_response = response
+        self.transport.send_message(response, self._reply_destination())
+
+
+class InviteServerTransaction(ServerTransaction):
+    """RFC 3261 §17.2.1 with the RFC 6026 ACCEPTED state."""
+
+    def __init__(self, transport, request, source,
+                 timers: TimerTable = DEFAULT_TIMERS,
+                 on_ack: Optional[Callable[[SipRequest], None]] = None,
+                 on_transport_failure: Optional[Callable[[], None]] = None):
+        super().__init__(transport, request, source, timers)
+        self.state = TransactionState.PROCEEDING
+        self.on_ack = on_ack
+        self.on_transport_failure = on_transport_failure
+
+    def send_response(self, response: SipResponse) -> None:
+        if self.state is TransactionState.TERMINATED:
+            return
+        if response.is_provisional:
+            if self.state is TransactionState.PROCEEDING:
+                self._transmit(response)
+            return
+        if response.is_success:
+            self.state = TransactionState.ACCEPTED
+            self._transmit(response)
+            self._retransmit_interval = self.timers.t1
+            self._start_timer("G2xx", self._retransmit_interval,
+                              self._on_2xx_retransmit)
+            self._start_timer("H", self.timers.timer_h, self._ack_timeout)
+        else:
+            self.state = TransactionState.COMPLETED
+            self._transmit(response)
+            self._retransmit_interval = self.timers.t1
+            self._start_timer("G", self._retransmit_interval, self._on_timer_g)
+            self._start_timer("H", self.timers.timer_h, self._ack_timeout)
+
+    def _on_timer_g(self) -> None:
+        if self.state is not TransactionState.COMPLETED:
+            return
+        if self.last_response is not None:
+            self.transport.send_message(self.last_response,
+                                        self._reply_destination())
+        self._retransmit_interval = min(self._retransmit_interval * 2,
+                                        self.timers.t2)
+        self._start_timer("G", self._retransmit_interval, self._on_timer_g)
+
+    def _on_2xx_retransmit(self) -> None:
+        if self.state is not TransactionState.ACCEPTED:
+            return
+        if self.last_response is not None:
+            self.transport.send_message(self.last_response,
+                                        self._reply_destination())
+        self._retransmit_interval = min(self._retransmit_interval * 2,
+                                        self.timers.t2)
+        self._start_timer("G2xx", self._retransmit_interval,
+                          self._on_2xx_retransmit)
+
+    def _ack_timeout(self) -> None:
+        self._terminate()
+        if self.on_transport_failure is not None:
+            self.on_transport_failure()
+
+    def receive_ack(self, ack: SipRequest) -> None:
+        if self.state is TransactionState.COMPLETED:
+            self.state = TransactionState.CONFIRMED
+            self._cancel_timer("G")
+            self._cancel_timer("H")
+            self._start_timer("I", self.timers.timer_i, self._terminate)
+        elif self.state is TransactionState.ACCEPTED:
+            self._cancel_timer("G2xx")
+            self._cancel_timer("H")
+            self._terminate()
+            if self.on_ack is not None:
+                self.on_ack(ack)
+
+    def receive_retransmission(self, request: SipRequest) -> None:
+        if self.state in (TransactionState.PROCEEDING,
+                          TransactionState.COMPLETED,
+                          TransactionState.ACCEPTED):
+            super().receive_retransmission(request)
+
+
+class NonInviteServerTransaction(ServerTransaction):
+    """RFC 3261 §17.2.2."""
+
+    def __init__(self, transport, request, source,
+                 timers: TimerTable = DEFAULT_TIMERS):
+        super().__init__(transport, request, source, timers)
+        self.state = TransactionState.TRYING
+
+    def send_response(self, response: SipResponse) -> None:
+        if self.state is TransactionState.TERMINATED:
+            return
+        if response.is_provisional:
+            self.state = TransactionState.PROCEEDING
+            self._transmit(response)
+        else:
+            self.state = TransactionState.COMPLETED
+            self._transmit(response)
+            self._start_timer("J", self.timers.timer_j, self._terminate)
+
+
+class TransactionManager:
+    """Routes incoming messages to transactions; creates server transactions.
+
+    The TU supplies two callbacks:
+
+    - ``on_request(request, source, server_transaction)`` for new requests
+      (``server_transaction`` is None for 2xx-matching ACKs, which bypass the
+      transaction layer per RFC 3261);
+    - ``on_stray_response(response, source)`` for responses matching no
+      client transaction (proxies forward these statelessly).
+    """
+
+    def __init__(
+        self,
+        transport: Transport,
+        on_request: Callable[[SipRequest, Endpoint, Optional[ServerTransaction]], None],
+        on_stray_response: Optional[Callable[[SipResponse, Endpoint], None]] = None,
+        timers: TimerTable = DEFAULT_TIMERS,
+    ):
+        self.transport = transport
+        self.timers = timers
+        self.on_request = on_request
+        self.on_stray_response = on_stray_response
+        self.client_transactions: Dict[Tuple[str, str], ClientTransaction] = {}
+        self.server_transactions: Dict[Tuple[str, str, str], ServerTransaction] = {}
+
+    # -- client side --------------------------------------------------------
+
+    def send_request(
+        self,
+        request: SipRequest,
+        destination: Endpoint,
+        on_response: Callable[[SipResponse], None],
+        on_timeout: Optional[Callable[[], None]] = None,
+    ) -> ClientTransaction:
+        """Create, register, and start the right client transaction."""
+        cls = (InviteClientTransaction if request.method == INVITE
+               else NonInviteClientTransaction)
+        transaction = cls(self.transport, request, destination,
+                          on_response, on_timeout, timers=self.timers)
+        self.client_transactions[transaction.key] = transaction
+        transaction.on_terminated = self._client_terminated
+        transaction.start()
+        return transaction
+
+    def _client_terminated(self, transaction: "_TransactionBase") -> None:
+        assert isinstance(transaction, ClientTransaction)
+        self.client_transactions.pop(transaction.key, None)
+
+    def _server_terminated(self, transaction: "_TransactionBase") -> None:
+        assert isinstance(transaction, ServerTransaction)
+        self.server_transactions.pop(transaction.key, None)
+
+    # -- dispatch -------------------------------------------------------------
+
+    def handle_response(self, response: SipResponse, source: Endpoint) -> None:
+        branch = response.branch
+        cseq = response.cseq
+        if branch and cseq:
+            transaction = self.client_transactions.get((branch, cseq.method))
+            if transaction is not None:
+                transaction.receive_response(response)
+                return
+        if self.on_stray_response is not None:
+            self.on_stray_response(response, source)
+
+    def handle_request(self, request: SipRequest, source: Endpoint) -> None:
+        via = request.top_via
+        sent_by = f"{via.host}:{via.port}" if via else ""
+        method = request.method
+        lookup_method = INVITE if method == ACK else method
+        key = (request.branch or "", sent_by, lookup_method)
+        existing = self.server_transactions.get(key)
+
+        if method == ACK:
+            if isinstance(existing, InviteServerTransaction):
+                existing.receive_ack(request)
+                if existing.state is TransactionState.TERMINATED and \
+                        existing.on_ack is None:
+                    # 2xx ACK with no transaction hook: give it to the TU.
+                    self.on_request(request, source, None)
+            else:
+                # ACK for a 2xx whose transaction is gone: TU handles it.
+                self.on_request(request, source, None)
+            return
+
+        if existing is not None and existing.request.method == method:
+            existing.receive_retransmission(request)
+            return
+
+        if method == INVITE:
+            transaction: ServerTransaction = InviteServerTransaction(
+                self.transport, request, source, timers=self.timers)
+        else:
+            transaction = NonInviteServerTransaction(
+                self.transport, request, source, timers=self.timers)
+        transaction.on_terminated = self._server_terminated
+        self.server_transactions[transaction.key] = transaction
+        self.on_request(request, source, transaction)
+
+    def find_invite_server_transaction(
+        self, cancel: SipRequest
+    ) -> Optional[InviteServerTransaction]:
+        """Locate the INVITE server transaction a CANCEL targets.
+
+        Per RFC 3261 §9.2 the CANCEL matches by the same branch/sent-by as
+        the INVITE it cancels.
+        """
+        if cancel.method != CANCEL:
+            raise SipProtocolError("not a CANCEL request")
+        via = cancel.top_via
+        sent_by = f"{via.host}:{via.port}" if via else ""
+        key = (cancel.branch or "", sent_by, INVITE)
+        transaction = self.server_transactions.get(key)
+        if isinstance(transaction, InviteServerTransaction):
+            return transaction
+        return None

@@ -1,0 +1,65 @@
+"""UDP transport binding for SIP elements.
+
+SIP messages are preferred over UDP in the paper ("UDP is preferred over TCP
+because of its simplicity and lower transmission delays"); this transport
+serializes messages onto the simulated network and parses arriving datagrams,
+counting (not raising on) malformed traffic — on a real perimeter, garbage
+arrives and must not kill the stack.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Union
+
+from ..netsim.address import Endpoint
+from ..netsim.node import Host
+from ..netsim.packet import Datagram
+from .constants import DEFAULT_SIP_PORT
+from .errors import SipParseError
+from .message import SipRequest, SipResponse, parse_message
+
+__all__ = ["SipTransport"]
+
+MessageHandler = Callable[[Union[SipRequest, SipResponse], Endpoint], None]
+
+
+class SipTransport:
+    """Binds a UDP port on a simulated host and speaks SIP wire format."""
+
+    def __init__(self, host: Host, port: int = DEFAULT_SIP_PORT):
+        self.host = host
+        self.port = port
+        self._handler: Optional[MessageHandler] = None
+        self.messages_sent = 0
+        self.messages_received = 0
+        self.parse_errors = 0
+        host.bind(port, self._on_datagram)
+
+    @property
+    def sim(self):
+        return self.host.sim
+
+    @property
+    def local_endpoint(self) -> Endpoint:
+        return Endpoint(self.host.ip, self.port)
+
+    def set_handler(self, handler: MessageHandler) -> None:
+        self._handler = handler
+
+    def send_message(self, message: Union[SipRequest, SipResponse],
+                     destination: Endpoint) -> None:
+        self.messages_sent += 1
+        self.host.send_udp(destination, message.serialize(), self.port)
+
+    def _on_datagram(self, datagram: Datagram) -> None:
+        try:
+            message = parse_message(datagram.payload)
+        except SipParseError:
+            self.parse_errors += 1
+            return
+        self.messages_received += 1
+        if self._handler is not None:
+            self._handler(message, datagram.src)
+
+    def close(self) -> None:
+        self.host.unbind(self.port)

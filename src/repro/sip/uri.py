@@ -1,0 +1,89 @@
+"""SIP URI model and parser (RFC 3261 §19.1, the subset VoIP calls need)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from .constants import DEFAULT_SIP_PORT
+from .errors import SipParseError
+
+__all__ = ["SipUri"]
+
+
+@dataclass(frozen=True)
+class SipUri:
+    """A ``sip:`` URI: ``sip:user@host[:port][;param=value]*``."""
+
+    user: Optional[str]
+    host: str
+    port: Optional[int] = None
+    params: tuple = field(default_factory=tuple)  # ((name, value|None), ...)
+
+    @property
+    def effective_port(self) -> int:
+        """The port to contact: the explicit one or the SIP default."""
+        return self.port if self.port is not None else DEFAULT_SIP_PORT
+
+    @property
+    def address_of_record(self) -> str:
+        """The user@host form used as a location-service key."""
+        return f"{self.user}@{self.host}" if self.user else self.host
+
+    def param(self, name: str) -> Optional[str]:
+        for key, value in self.params:
+            if key == name:
+                return value
+        return None
+
+    def with_params(self, **params: Optional[str]) -> "SipUri":
+        merged = dict(self.params)
+        merged.update(params)
+        return SipUri(self.user, self.host, self.port, tuple(merged.items()))
+
+    @classmethod
+    def parse(cls, text: str) -> "SipUri":
+        text = text.strip()
+        if text.startswith("<") and text.endswith(">"):
+            text = text[1:-1]
+        if not text.lower().startswith("sip:"):
+            raise SipParseError(f"not a sip: URI: {text!r}")
+        rest = text[4:]
+        params: Dict[str, Optional[str]] = {}
+        if ";" in rest:
+            rest, _, param_text = rest.partition(";")
+            for chunk in param_text.split(";"):
+                if not chunk:
+                    continue
+                if "=" in chunk:
+                    key, _, value = chunk.partition("=")
+                    params[key] = value
+                else:
+                    params[chunk] = None
+        user: Optional[str] = None
+        if "@" in rest:
+            user, _, rest = rest.rpartition("@")
+            if not user:
+                raise SipParseError(f"empty user part in URI: {text!r}")
+        port: Optional[int] = None
+        host = rest
+        if ":" in rest:
+            host, _, port_text = rest.partition(":")
+            try:
+                port = int(port_text)
+            except ValueError as exc:
+                raise SipParseError(f"bad port in URI: {text!r}") from exc
+        if not host:
+            raise SipParseError(f"empty host in URI: {text!r}")
+        return cls(user, host, port, tuple(params.items()))
+
+    def __str__(self) -> str:
+        out = "sip:"
+        if self.user:
+            out += f"{self.user}@"
+        out += self.host
+        if self.port is not None:
+            out += f":{self.port}"
+        for key, value in self.params:
+            out += f";{key}" if value is None else f";{key}={value}"
+        return out

@@ -1,0 +1,21 @@
+"""Telephony layer: softphones, workload, the Figure-7 testbed, scenarios."""
+
+from .callgen import CallWorkload, PlannedCall, WorkloadParams
+from .enterprise import EnterpriseTestbed, TestbedParams, build_testbed
+from .phone import CallRecordStats, PhoneProfile, SoftPhone
+from .scenario import ScenarioParams, ScenarioResult, run_scenario
+
+__all__ = [
+    "CallRecordStats",
+    "CallWorkload",
+    "EnterpriseTestbed",
+    "PhoneProfile",
+    "PlannedCall",
+    "ScenarioParams",
+    "ScenarioResult",
+    "SoftPhone",
+    "TestbedParams",
+    "WorkloadParams",
+    "build_testbed",
+    "run_scenario",
+]

@@ -1,0 +1,109 @@
+"""Call workload generation.
+
+"To emulate the realistic call behaviors, in our experiments, the UAs of
+network A generate call requests randomly and independently of each other.
+The call duration and calling interval between calls are also assumed to be
+randomly distributed." (Section 7.1)
+
+Arrivals form a Poisson process (exponential inter-arrival times); call
+durations are exponential; caller and callee are drawn uniformly from
+networks A and B respectively.  All draws come from named seeded streams so
+paired with/without-vids runs see the identical call pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..netsim.random import RandomStreams
+from .enterprise import EnterpriseTestbed
+
+__all__ = ["WorkloadParams", "PlannedCall", "CallWorkload"]
+
+
+@dataclass
+class WorkloadParams:
+    """Shape of the random call workload."""
+
+    #: Mean seconds between call arrivals (Poisson process).
+    mean_interarrival: float = 140.0
+    #: Mean call duration in seconds (exponential).
+    mean_duration: float = 95.0
+    #: Workload stops generating new arrivals after this time.
+    horizon: float = 7200.0
+    #: Minimum call duration (a human call is never 0 seconds).
+    min_duration: float = 5.0
+
+
+@dataclass
+class PlannedCall:
+    """One arrival drawn from the workload distributions."""
+
+    arrival_time: float
+    caller_index: int
+    callee_index: int
+    duration: float
+    call_id: Optional[str] = None
+
+
+class CallWorkload:
+    """Generates and installs a random call pattern on a testbed."""
+
+    def __init__(self, params: WorkloadParams, streams: RandomStreams,
+                 n_callers: int, n_callees: int):
+        self.params = params
+        self._arrival_rng = streams.stream("workload:arrivals")
+        self._pick_rng = streams.stream("workload:parties")
+        self._duration_rng = streams.stream("workload:durations")
+        self.n_callers = n_callers
+        self.n_callees = n_callees
+        self.calls: List[PlannedCall] = self._draw()
+
+    def _draw(self) -> List[PlannedCall]:
+        calls: List[PlannedCall] = []
+        time = 0.0
+        while True:
+            time += self._arrival_rng.expovariate(
+                1.0 / self.params.mean_interarrival)
+            if time >= self.params.horizon:
+                break
+            duration = max(
+                self.params.min_duration,
+                self._duration_rng.expovariate(1.0 / self.params.mean_duration),
+            )
+            calls.append(PlannedCall(
+                arrival_time=time,
+                caller_index=self._pick_rng.randrange(self.n_callers),
+                callee_index=self._pick_rng.randrange(self.n_callees),
+                duration=duration,
+            ))
+        return calls
+
+    def install(self, testbed: EnterpriseTestbed) -> None:
+        """Schedule every planned call on the testbed's simulator."""
+        sim = testbed.sim
+        for planned in self.calls:
+            caller = testbed.phones_a[planned.caller_index]
+            callee = testbed.phones_b[planned.callee_index]
+            callee_aor = f"sip:{callee.aor.address_of_record}"
+
+            def place(caller=caller, callee_aor=callee_aor, planned=planned):
+                call = caller.place_call(callee_aor, planned.duration)
+                planned.call_id = call.call_id
+
+            sim.schedule_at(planned.arrival_time, place)
+
+    # -- Figure 8 series ---------------------------------------------------
+
+    def arrival_series(self, bucket: float = 60.0) -> List[int]:
+        """Call arrivals per time bucket (the Figure-8 arrivals plot)."""
+        n_buckets = int(self.params.horizon // bucket) + 1
+        counts = [0] * n_buckets
+        for planned in self.calls:
+            counts[int(planned.arrival_time // bucket)] += 1
+        return counts
+
+    def duration_series(self) -> List[float]:
+        """Per-call durations in arrival order (the Figure-8 duration plot)."""
+        return [planned.duration for planned in self.calls]

@@ -1,0 +1,92 @@
+"""Packet Classifier: the lowest component of the vids architecture.
+
+Figure 3 of the paper: vids "sits on top of Packet Classifier".  The
+classifier turns raw UDP datagrams into typed observations — parsed SIP
+messages, parsed RTP packets, RTCP reports, or OTHER — purely from the wire
+bytes (port heuristics plus payload sniffing), never from simulator side
+channels.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ..netsim.packet import Datagram
+from ..rtp.packet import RtpPacket, RtpParseError, looks_like_rtp
+from ..rtp.rtcp import RtcpParseError, parse_rtcp
+from ..sip.constants import DEFAULT_SIP_PORT
+from ..sip.errors import SipParseError
+from ..sip.message import SipRequest, SipResponse, is_sip_payload, parse_message
+
+__all__ = ["PacketKind", "ClassifiedPacket", "PacketClassifier"]
+
+
+class PacketKind(enum.Enum):
+    """What the classifier decided a datagram is."""
+
+    SIP = "sip"
+    RTP = "rtp"
+    RTCP = "rtcp"
+    MALFORMED_SIP = "malformed-sip"
+    OTHER = "other"
+
+
+@dataclass
+class ClassifiedPacket:
+    """A datagram plus what the classifier made of it."""
+
+    datagram: Datagram
+    kind: PacketKind
+    sip: Optional[Union[SipRequest, SipResponse]] = None
+    rtp: Optional[RtpPacket] = None
+
+    @property
+    def src_ip(self) -> str:
+        return self.datagram.src.ip
+
+    @property
+    def dst_ip(self) -> str:
+        return self.datagram.dst.ip
+
+
+class PacketClassifier:
+    """Classifies datagrams into SIP / RTP / RTCP / OTHER."""
+
+    def __init__(self, sip_ports: tuple = (DEFAULT_SIP_PORT,)):
+        self.sip_ports = set(sip_ports)
+        self.classified = 0
+
+    def classify(self, datagram: Datagram) -> ClassifiedPacket:
+        self.classified += 1
+        payload = datagram.payload
+        on_sip_port = (datagram.dst.port in self.sip_ports
+                       or datagram.src.port in self.sip_ports)
+
+        if on_sip_port or is_sip_payload(payload):
+            try:
+                message = parse_message(payload)
+                return ClassifiedPacket(datagram, PacketKind.SIP, sip=message)
+            except SipParseError:
+                if on_sip_port:
+                    return ClassifiedPacket(datagram, PacketKind.MALFORMED_SIP)
+                # fall through: maybe binary media on a non-SIP port
+
+        if looks_like_rtp(payload):
+            # RTCP shares the version bits; its packet-type octet (200/201)
+            # would alias to RTP payload types 72/73 with the marker bit set,
+            # values excluded from RTP by RFC 3550 §5.1 — check RTCP first.
+            if len(payload) >= 2 and payload[1] in (200, 201):
+                try:
+                    parse_rtcp(payload)
+                    return ClassifiedPacket(datagram, PacketKind.RTCP)
+                except RtcpParseError:
+                    pass
+            try:
+                packet = RtpPacket.parse(payload)
+                return ClassifiedPacket(datagram, PacketKind.RTP, rtp=packet)
+            except RtpParseError:
+                pass
+
+        return ClassifiedPacket(datagram, PacketKind.OTHER)

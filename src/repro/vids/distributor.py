@@ -1,0 +1,227 @@
+"""Event Distributor (paper Section 5).
+
+"The Event Distributor component further classifies the received packets
+into the session and protocol dependent groups with the help of Call State
+Fact Base, and then distributes to the corresponding protocol state
+machine."
+
+SIP messages are grouped by Call-ID; RTP packets are grouped by matching
+their destination against the media endpoints negotiated in SDP (kept in
+the fact base's media index).  INVITEs additionally feed the per-target
+Figure-4 flooding machines, and orphan RTP streams feed the standalone
+Figure-6 machines.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple, Union
+
+from ..efsm.events import Event
+from ..sip.constants import INVITE, OPTIONS, REGISTER
+from ..sip.errors import SipParseError
+from ..sip.message import SipRequest, SipResponse
+from ..sip.sdp import SessionDescription
+from .classifier import ClassifiedPacket, PacketKind
+from .config import VidsConfig
+from .engine import AnalysisEngine
+from .factbase import CallStateFactBase
+from .patterns.invite_flood import InviteFloodTracker
+from .patterns.media_spam import OrphanMediaTracker
+from .sync import RTP_MACHINE, SIP_MACHINE
+
+__all__ = ["EventDistributor", "sip_event_from_message", "rtp_event_from_packet"]
+
+
+def _sdp_fields(message: Union[SipRequest, SipResponse]) -> Dict[str, Any]:
+    """Extract the media attributes the machines care about from an SDP body."""
+    if not message.body:
+        return {}
+    content_type = (message.get("Content-Type") or "").lower()
+    if content_type and "sdp" not in content_type:
+        return {}
+    try:
+        session = SessionDescription.parse(message.body)
+    except (SipParseError, ValueError):
+        return {}
+    audio = session.audio
+    if audio is None:
+        return {}
+    return {
+        "sdp_addr": session.connection_address,
+        "sdp_port": audio.port,
+        "sdp_pts": tuple(audio.payload_types),
+        "sdp_encodings": tuple(
+            audio.encoding_name(pt) or "" for pt in audio.payload_types),
+        "sdp_ptime": audio.ptime_ms,
+    }
+
+
+def sip_event_from_message(message: Union[SipRequest, SipResponse],
+                           src: Tuple[str, int], dst: Tuple[str, int],
+                           now: float) -> Event:
+    """Build the EFSM input vector x from a SIP message on the wire."""
+    from_addr = message.from_
+    to_addr = message.to
+    cseq = message.cseq
+    contact = message.contact
+    args: Dict[str, Any] = {
+        "src_ip": src[0],
+        "src_port": src[1],
+        "dst_ip": dst[0],
+        "dst_port": dst[1],
+        "call_id": message.call_id or "",
+        "from_tag": from_addr.tag if from_addr else None,
+        "to_tag": to_addr.tag if to_addr else None,
+        "from_aor": from_addr.uri.address_of_record if from_addr else "",
+        "to_aor": to_addr.uri.address_of_record if to_addr else "",
+        "branch": message.branch or "",
+        "cseq_num": cseq.number if cseq else 0,
+        "cseq_method": cseq.method if cseq else "",
+        "contact_host": contact.uri.host if contact else None,
+        "via_hosts": tuple(via.host for via in message.vias),
+    }
+    args.update(_sdp_fields(message))
+    if isinstance(message, SipRequest):
+        name = message.method
+        args["uri_host"] = message.uri.host
+        args["uri_user"] = message.uri.user or ""
+    else:
+        name = "RESPONSE"
+        args["status"] = message.status
+    return Event(name, args, channel=None, time=now)
+
+
+def rtp_event_from_packet(classified: ClassifiedPacket, direction: str,
+                          now: float) -> Event:
+    """Build the RTP machine's input vector x from a classified packet."""
+    packet = classified.rtp
+    assert packet is not None
+    datagram = classified.datagram
+    return Event("RTP_PACKET", {
+        "src_ip": datagram.src.ip,
+        "src_port": datagram.src.port,
+        "dst_ip": datagram.dst.ip,
+        "dst_port": datagram.dst.port,
+        "ssrc": packet.ssrc,
+        "seq": packet.sequence_number,
+        "ts": packet.timestamp,
+        "pt": packet.payload_type,
+        "size": packet.size,
+        "marker": packet.marker,
+        "direction": direction,
+    }, channel=None, time=now)
+
+
+class EventDistributor:
+    """Routes classified packets into the right per-call machines."""
+
+    def __init__(
+        self,
+        config: VidsConfig,
+        factbase: CallStateFactBase,
+        engine: AnalysisEngine,
+        flood_tracker: InviteFloodTracker,
+        orphan_tracker: OrphanMediaTracker,
+        clock_now,
+        source_flood_tracker: Optional[InviteFloodTracker] = None,
+    ):
+        self.config = config
+        self.factbase = factbase
+        self.engine = engine
+        self.flood_tracker = flood_tracker
+        #: Per-claimed-source counterpart of the Figure-4 machine, catching
+        #: DRDoS reflection (many callees, one spoofed source).
+        self.source_flood_tracker = source_flood_tracker
+        self.orphan_tracker = orphan_tracker
+        self.clock_now = clock_now
+
+    def distribute(self, classified: ClassifiedPacket):
+        """Route one packet; returns the touched CallRecord, if any."""
+        if classified.kind is PacketKind.SIP:
+            return self._distribute_sip(classified)
+        if classified.kind is PacketKind.RTP:
+            return self._distribute_rtp(classified)
+        # RTCP / OTHER / MALFORMED_SIP are counted by the facade.
+        return None
+
+    # -- SIP ----------------------------------------------------------------
+
+    def _distribute_sip(self, classified: ClassifiedPacket) -> None:
+        message = classified.sip
+        assert message is not None
+        datagram = classified.datagram
+        now = self.clock_now()
+        event = sip_event_from_message(
+            message, (datagram.src.ip, datagram.src.port),
+            (datagram.dst.ip, datagram.dst.port), now)
+
+        if isinstance(message, SipRequest) and message.method == REGISTER:
+            # Legitimate registrations are intra-enterprise and never reach
+            # the perimeter; seeing one here is a hijack attempt.
+            if self.config.detect_foreign_register:
+                to_addr = message.to
+                contact = message.contact
+                self.engine.note_foreign_register(
+                    to_addr.uri.address_of_record if to_addr else "?",
+                    contact.uri.host if contact else None,
+                    datagram.src.ip, datagram.dst.ip)
+            return None
+        if isinstance(message, SipRequest) and message.method == OPTIONS:
+            return None  # not call-scoped; outside the per-call machines
+
+        call_id = str(event.get("call_id", ""))
+        is_new_invite = (event.name == INVITE and not event.get("to_tag"))
+
+        if is_new_invite:
+            self.flood_tracker.observe_invite(self._flood_target(event), event)
+            if self.source_flood_tracker is not None:
+                self.source_flood_tracker.observe_invite(
+                    str(event.get("src_ip", "")), event)
+
+        record = self.factbase.get(call_id)
+        if record is None:
+            if is_new_invite and call_id:
+                record = self.factbase.get_or_create(call_id)
+            elif isinstance(message, SipRequest):
+                # A stray ACK is harmless (late 2xx-ACK retransmission); a
+                # stray BYE/CANCEL/re-INVITE targets call state we never saw
+                # and is worth an administrator's attention.
+                if message.method != "ACK":
+                    self.engine.note_stray_request(
+                        message.method, call_id or None,
+                        datagram.src.ip, datagram.dst.ip)
+                return None
+            else:
+                return None  # stray response: nothing to correlate
+        record.system.inject(SIP_MACHINE, event)
+        self.factbase.refresh_media_index(record)
+        self.factbase.touch(record)
+        return record
+
+    def _flood_target(self, event: Event) -> str:
+        """Flood-pattern key: callee AOR, or the raw destination address."""
+        to_aor = str(event.get("to_aor", "") or "")
+        if to_aor:
+            return to_aor
+        uri_user = str(event.get("uri_user", "") or "")
+        uri_host = str(event.get("uri_host", "") or "")
+        if uri_user or uri_host:
+            return f"{uri_user}@{uri_host}"
+        return str(event.get("dst_ip", ""))
+
+    # -- RTP ----------------------------------------------------------------
+
+    def _distribute_rtp(self, classified: ClassifiedPacket) -> None:
+        datagram = classified.datagram
+        destination = (datagram.dst.ip, datagram.dst.port)
+        now = self.clock_now()
+        match = self.factbase.lookup_media(destination)
+        if match is None:
+            event = rtp_event_from_packet(classified, "orphan", now)
+            self.orphan_tracker.observe(destination, event)
+            return None
+        record, direction = match
+        event = rtp_event_from_packet(classified, direction, now)
+        record.system.inject(RTP_MACHINE, event)
+        self.factbase.touch(record)
+        return record

@@ -1,0 +1,208 @@
+"""Analysis Engine (paper Section 5).
+
+"The Analysis Engine component receives packets from Event Distributor and
+state information from Call State Fact Base or Attack Scenario.  When
+protocol misbehavior (deviation from protocol specification based state
+machines) or attack scenario match (a transition leading to an attack
+state) happens, vids raises an alert flag."
+
+The engine maps attack-state entries to typed alerts, attributes the
+Figure-5 after-close media signal to BYE DoS or toll fraud (toll fraud when
+the media keeps coming *from the BYE sender*, the Section 3.1 billing-fraud
+pattern), and reports specification deviations once per (call, machine,
+state, event) so retransmission storms don't multiply alerts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..efsm.machine import FiringResult
+from .alerts import Alert, AlertManager, AttackType
+from .config import VidsConfig
+from .factbase import CallRecord
+from .scenarios import AttackScenarioDatabase
+from .rtp_machine import (
+    ATTACK_AFTER_CLOSE,
+    ATTACK_CODEC,
+    ATTACK_FLOOD,
+    ATTACK_SPAM,
+)
+from .sip_machine import ATTACK_BYE, ATTACK_CANCEL, ATTACK_HIJACK
+
+__all__ = ["AnalysisEngine", "ATTACK_STATE_TYPES"]
+
+#: Attack state name -> alert type (the after-close state is attributed
+#: dynamically between BYE DoS and toll fraud).
+ATTACK_STATE_TYPES: Dict[str, AttackType] = {
+    ATTACK_CANCEL: AttackType.CANCEL_DOS,
+    ATTACK_BYE: AttackType.BYE_DOS,
+    ATTACK_HIJACK: AttackType.CALL_HIJACK,
+    ATTACK_SPAM: AttackType.MEDIA_SPAM,
+    ATTACK_FLOOD: AttackType.RTP_FLOOD,
+    ATTACK_CODEC: AttackType.CODEC_CHANGE,
+}
+
+
+class AnalysisEngine:
+    """Turns state-machine observations into alerts."""
+
+    def __init__(self, config: VidsConfig, alerts: AlertManager,
+                 clock_now,
+                 scenarios: Optional[AttackScenarioDatabase] = None) -> None:
+        self.config = config
+        self.alerts = alerts
+        self.clock_now = clock_now
+        self.scenarios = scenarios or AttackScenarioDatabase()
+        self.deviations: List[FiringResult] = []
+        self._deviation_keys: Set[Tuple] = set()
+        self._stray_keys: Set[Tuple] = set()
+
+    # -- state machine results ------------------------------------------------
+
+    def handle_result(self, record: CallRecord, result: FiringResult) -> None:
+        if result.attack and result.from_state != result.to_state:
+            self._raise_attack(record, result)
+        elif result.deviation:
+            self._note_deviation(record, result)
+
+    def _raise_attack(self, record: CallRecord, result: FiringResult) -> None:
+        state = result.to_state
+        attack_type = ATTACK_STATE_TYPES.get(state)
+        detail = {
+            "machine": result.machine,
+            "transition": result.transition.describe() if result.transition else "",
+            "event": result.event.name,
+        }
+        if state == ATTACK_AFTER_CLOSE:
+            bye_src = str(record.system.globals.get("g_bye_src_ip", ""))
+            packet_src = str(result.event.get("src_ip", ""))
+            if bye_src and packet_src == bye_src:
+                attack_type = AttackType.TOLL_FRAUD
+                detail["reason"] = "BYE sender continued sending media"
+            else:
+                attack_type = AttackType.BYE_DOS
+                detail["reason"] = "media arriving after session teardown"
+            detail["bye_src_ip"] = bye_src
+        if attack_type is None:
+            attack_type = AttackType.SPEC_DEVIATION
+            detail["reason"] = f"unmapped attack state {state}"
+        scenario = self.scenarios.for_state(result.machine, state)
+        if scenario is not None:
+            detail["scenario"] = scenario.scenario_id
+            detail["scenario_name"] = scenario.name
+        self.alerts.raise_alert(Alert(
+            time=self.clock_now(),
+            attack_type=attack_type,
+            call_id=record.call_id,
+            source=result.event.get("src_ip"),
+            destination=result.event.get("dst_ip"),
+            machine=result.machine,
+            state=state,
+            detail=detail,
+        ))
+
+    def _note_deviation(self, record: CallRecord, result: FiringResult) -> None:
+        self.deviations.append(result)
+        key = (record.call_id, result.machine, result.from_state,
+               result.event.name)
+        if key in self._deviation_keys:
+            return
+        self._deviation_keys.add(key)
+        self.alerts.raise_alert(Alert(
+            time=self.clock_now(),
+            attack_type=AttackType.SPEC_DEVIATION,
+            call_id=record.call_id,
+            source=result.event.get("src_ip"),
+            destination=result.event.get("dst_ip"),
+            machine=result.machine,
+            state=result.from_state,
+            detail={"event": result.event.describe(),
+                    "reason": "no transition enabled (specification deviation)"},
+        ))
+
+    # -- out-of-band observations --------------------------------------------
+
+    def note_flood(self, target: str, event) -> None:
+        self.alerts.raise_alert(Alert(
+            time=self.clock_now(),
+            attack_type=AttackType.INVITE_FLOOD,
+            call_id=event.get("call_id"),
+            source=event.get("src_ip"),
+            destination=target,
+            machine="invite_flood",
+            state="ATTACK_Invite_Flood",
+            detail={"target": target, "scenario": "S1"},
+        ))
+
+    def note_reflection(self, source: str, event) -> None:
+        """Too many INVITEs fanning out from one claimed source (DRDoS)."""
+        self.alerts.raise_alert(Alert(
+            time=self.clock_now(),
+            attack_type=AttackType.DRDOS_REFLECTION,
+            call_id=event.get("call_id"),
+            source=source,
+            destination=event.get("dst_ip"),
+            machine="invite_flood",
+            state="ATTACK_Invite_Flood",
+            detail={"claimed_source": source, "scenario": "S9",
+                    "reason": "proxy used as a reflector toward the source"},
+        ))
+
+    def note_orphan_spam(self, destination: Tuple[str, int], event) -> None:
+        self.alerts.raise_alert(Alert(
+            time=self.clock_now(),
+            attack_type=AttackType.MEDIA_SPAM,
+            source=event.get("src_ip"),
+            destination=f"{destination[0]}:{destination[1]}",
+            machine="media_spam",
+            state="ATTACK_Media_Spam",
+            detail={"orphan_stream": True},
+        ))
+
+    def note_unsolicited(self, destination: Tuple[str, int], event) -> None:
+        self.alerts.raise_alert(Alert(
+            time=self.clock_now(),
+            attack_type=AttackType.UNSOLICITED_MEDIA,
+            source=event.get("src_ip"),
+            destination=f"{destination[0]}:{destination[1]}",
+            machine="media_spam",
+            state="Packet_Rcvd",
+            detail={"threshold": self.config.unsolicited_media_threshold},
+        ))
+
+    def note_foreign_register(self, aor: str, contact: Optional[str],
+                              src_ip: str, dst_ip: str) -> None:
+        """A REGISTER crossed the perimeter — registration hijack attempt."""
+        key = ("register", aor, src_ip)
+        if key in self._stray_keys:
+            return
+        self._stray_keys.add(key)
+        self.alerts.raise_alert(Alert(
+            time=self.clock_now(),
+            attack_type=AttackType.REGISTRATION_HIJACK,
+            source=src_ip,
+            destination=dst_ip,
+            machine="distributor",
+            state="-",
+            detail={"aor": aor, "contact": contact, "scenario": "S10",
+                    "reason": "REGISTER from outside the perimeter"},
+        ))
+
+    def note_stray_request(self, method: str, call_id: Optional[str],
+                           src_ip: str, dst_ip: str) -> None:
+        """A non-INVITE request for a call the fact base has never seen."""
+        key = ("stray", method, call_id, src_ip)
+        if key in self._stray_keys:
+            return
+        self._stray_keys.add(key)
+        self.alerts.raise_alert(Alert(
+            time=self.clock_now(),
+            attack_type=AttackType.SPEC_DEVIATION,
+            call_id=call_id,
+            source=src_ip,
+            destination=dst_ip,
+            machine="distributor",
+            state="-",
+            detail={"reason": f"{method} for unknown call"},
+        ))

@@ -1,0 +1,205 @@
+"""Call State Fact Base (paper Section 5).
+
+"The vids component, Call State Fact Base, stores the control state and its
+state variables and keeps track of the progress of state machines for each
+ongoing call."  One :class:`CallRecord` holds the per-call communicating-
+EFSM system (one SIP machine + one RTP machine sharing globals and the
+SIP→RTP FIFO channel).  "Once the calls have successfully reached the final
+state, the corresponding protocol state machines will be deleted from the
+memory" — deletion is driven by the IDS facade via :meth:`delete`, which
+also samples the per-call memory cost for the Section 7.3 accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..efsm.machine import FiringResult
+from ..efsm.system import EfsmSystem
+from .config import VidsConfig
+from .metrics import VidsMetrics, estimate_state_bytes
+from .rtp_machine import build_rtp_machine
+from .sip_machine import build_sip_machine
+from .sync import RTP_MACHINE, SIP_MACHINE
+
+__all__ = ["CallRecord", "CallStateFactBase"]
+
+MediaKey = Tuple[str, int]
+
+#: How many fact-base touches between total-state-size samples.
+_STATE_SAMPLE_EVERY = 200
+
+
+class CallRecord:
+    """Monitoring state for one call."""
+
+    def __init__(self, call_id: str, system: EfsmSystem, created_at: float):
+        self.call_id = call_id
+        self.system = system
+        self.created_at = created_at
+        self.last_activity = created_at
+        self.media_keys: set = set()
+        self.deletion_scheduled = False
+
+    @property
+    def sip(self):
+        return self.system.machines[SIP_MACHINE]
+
+    @property
+    def rtp(self):
+        return self.system.machines[RTP_MACHINE]
+
+    @property
+    def participants(self) -> Tuple[str, ...]:
+        return tuple(self.sip.variables.get("participants", ()))
+
+    def media_endpoints(self) -> Dict[MediaKey, str]:
+        """Negotiated media sinks -> stream direction label."""
+        endpoints: Dict[MediaKey, str] = {}
+        variables = self.system.globals
+        offer_addr = variables.get("g_offer_addr")
+        offer_port = variables.get("g_offer_port")
+        if offer_addr and offer_port:
+            endpoints[(str(offer_addr), int(offer_port))] = "to_caller"
+        answer_addr = variables.get("g_answer_addr")
+        answer_port = variables.get("g_answer_port")
+        if answer_addr and answer_port:
+            endpoints[(str(answer_addr), int(answer_port))] = "to_callee"
+        return endpoints
+
+    def sip_state_bytes(self) -> int:
+        """Section 7.3 accounting: SIP control state incl. media info."""
+        return (estimate_state_bytes(self.sip.variables.local)
+                + estimate_state_bytes(self.system.globals))
+
+    def rtp_state_bytes(self) -> int:
+        """Section 7.3 accounting: RTP tracking state."""
+        return estimate_state_bytes(self.rtp.variables.local)
+
+    def state_bytes(self) -> int:
+        return self.sip_state_bytes() + self.rtp_state_bytes()
+
+
+class CallStateFactBase:
+    """All per-call records plus the media index used to group RTP packets."""
+
+    def __init__(
+        self,
+        config: VidsConfig,
+        clock_now: Callable[[], float],
+        timer_scheduler: Callable,
+        metrics: Optional[VidsMetrics] = None,
+    ):
+        self.config = config
+        self.clock_now = clock_now
+        self.timer_scheduler = timer_scheduler
+        self.metrics = metrics or VidsMetrics()
+        # EFSM *definitions* are immutable; build them once and share them
+        # across every call record (instances carry the per-call state).
+        self._sip_definition = build_sip_machine(config)
+        self._rtp_definition = build_rtp_machine(config)
+        self._touches = 0
+        self.records: Dict[str, CallRecord] = {}
+        self.media_index: Dict[MediaKey, str] = {}
+        #: Hook: called for every firing result of every call system.
+        self.on_result: Optional[Callable[[CallRecord, FiringResult], None]] = None
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def active_calls(self) -> int:
+        return len(self.records)
+
+    def total_state_bytes(self) -> int:
+        return sum(record.state_bytes() for record in self.records.values())
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def get(self, call_id: str) -> Optional[CallRecord]:
+        return self.records.get(call_id)
+
+    def get_or_create(self, call_id: str) -> CallRecord:
+        record = self.records.get(call_id)
+        if record is None:
+            record = self._create(call_id)
+        return record
+
+    def _create(self, call_id: str) -> CallRecord:
+        system = EfsmSystem(clock_now=self.clock_now,
+                            timer_scheduler=self.timer_scheduler)
+        system.add_machine(self._sip_definition)
+        system.add_machine(self._rtp_definition)
+        system.connect(SIP_MACHINE, RTP_MACHINE)
+        record = CallRecord(call_id, system, self.clock_now())
+        if self.on_result is not None:
+            hook = self.on_result
+            system.on_result = lambda result: hook(record, result)
+        self.records[call_id] = record
+        self.metrics.calls_created += 1
+        self.metrics.peak_concurrent_calls = max(
+            self.metrics.peak_concurrent_calls, len(self.records))
+        return record
+
+    def refresh_media_index(self, record: CallRecord) -> None:
+        """Re-sync the (ip, port) -> call-id index from the media globals."""
+        endpoints = record.media_endpoints()
+        for key in record.media_keys - set(endpoints):
+            if self.media_index.get(key) == record.call_id:
+                del self.media_index[key]
+        for key in endpoints:
+            self.media_index[key] = record.call_id
+        record.media_keys = set(endpoints)
+
+    def lookup_media(self, dst: MediaKey) -> Optional[Tuple[CallRecord, str]]:
+        """Resolve an RTP packet's destination to (record, direction)."""
+        call_id = self.media_index.get(dst)
+        if call_id is None:
+            return None
+        record = self.records.get(call_id)
+        if record is None:
+            del self.media_index[dst]
+            return None
+        direction = record.media_endpoints().get(dst, "unknown")
+        return record, direction
+
+    def delete(self, call_id: str) -> Optional[CallRecord]:
+        """Remove a call's machines from memory, sampling their size."""
+        if call_id in self.records:
+            # Sample total state at call granularity (cheap enough here,
+            # too expensive per packet).
+            self.metrics.note_concurrency(len(self.records),
+                                          self.total_state_bytes())
+        record = self.records.pop(call_id, None)
+        if record is None:
+            return None
+        self.metrics.call_memory_samples.append(
+            (record.sip_state_bytes(), record.rtp_state_bytes()))
+        self.metrics.calls_deleted += 1
+        record.system.cancel_all_timers()
+        for key in record.media_keys:
+            if self.media_index.get(key) == call_id:
+                del self.media_index[key]
+        return record
+
+    def touch(self, record: CallRecord) -> None:
+        record.last_activity = self.clock_now()
+        # Peak concurrency is exact; the total-state-bytes walk is O(active
+        # calls), so it is sampled periodically rather than on every packet.
+        self.metrics.peak_concurrent_calls = max(
+            self.metrics.peak_concurrent_calls, len(self.records))
+        self._touches += 1
+        if self._touches % _STATE_SAMPLE_EVERY == 0:
+            self.metrics.note_concurrency(len(self.records),
+                                          self.total_state_bytes())
+
+    def collect_garbage(self) -> int:
+        """Delete records idle longer than the configured TTL."""
+        now = self.clock_now()
+        stale = [
+            call_id for call_id, record in self.records.items()
+            if now - record.last_activity > self.config.call_record_ttl
+        ]
+        for call_id in stale:
+            self.delete(call_id)
+        return len(stale)

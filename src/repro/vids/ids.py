@@ -1,0 +1,186 @@
+"""The vids facade: an online intrusion detection system for VoIP.
+
+Wires the architecture of the paper's Figure 3 — Packet Classifier, Event
+Distributor, Call State Fact Base, Attack Scenarios, Analysis Engine — into
+one object that plugs into a :class:`~repro.netsim.inline.InlineDevice` as
+its packet processor.  ``process`` returns the CPU service time charged for
+each packet, which is how the online placement induces the call-setup and
+RTP delays measured in Section 7.
+
+The facade can also run *offline* (no simulator): pass ``clock_now``/
+``timer_scheduler`` from a :class:`~repro.efsm.system.ManualClock` and feed
+datagrams directly — handy for unit tests and trace replay.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..netsim.engine import Simulator
+from ..netsim.packet import Datagram
+from .alerts import Alert, AlertManager, AttackType
+from .classifier import PacketClassifier, PacketKind
+from .config import DEFAULT_CONFIG, VidsConfig
+from .distributor import EventDistributor
+from .engine import AnalysisEngine
+from .factbase import CallStateFactBase
+from .metrics import VidsMetrics
+from .patterns.invite_flood import InviteFloodTracker
+from .patterns.media_spam import OrphanMediaTracker
+
+__all__ = ["Vids"]
+
+#: How many packets between opportunistic garbage-collection sweeps.
+_GC_EVERY = 5000
+
+
+class Vids:
+    """VoIP intrusion detection through interacting protocol state machines."""
+
+    def __init__(
+        self,
+        sim: Optional[Simulator] = None,
+        config: VidsConfig = DEFAULT_CONFIG,
+        clock_now: Optional[Callable[[], float]] = None,
+        timer_scheduler: Optional[Callable] = None,
+    ):
+        if sim is not None:
+            clock_now = lambda: sim.now  # noqa: E731 - simple adapter
+            timer_scheduler = lambda delay, fn: sim.schedule(delay, fn)
+        if clock_now is None or timer_scheduler is None:
+            raise ValueError("Vids needs a sim, or clock_now + timer_scheduler")
+        self.sim = sim
+        self.config = config
+        self.clock_now = clock_now
+        self.timer_scheduler = timer_scheduler
+
+        self.metrics = VidsMetrics()
+        self.alert_manager = AlertManager()
+        self.classifier = PacketClassifier()
+        self.factbase = CallStateFactBase(config, clock_now, timer_scheduler,
+                                          self.metrics)
+        self.engine = AnalysisEngine(config, self.alert_manager, clock_now)
+        self.factbase.on_result = self._on_result
+        self.flood_tracker = InviteFloodTracker(
+            config.invite_flood_threshold, config.invite_flood_window,
+            clock_now, timer_scheduler, on_attack=self.engine.note_flood)
+        self.source_flood_tracker = InviteFloodTracker(
+            config.invite_source_threshold, config.invite_flood_window,
+            clock_now, timer_scheduler,
+            on_attack=self.engine.note_reflection)
+        self.orphan_tracker = OrphanMediaTracker(
+            config.media_spam_seq_gap, config.media_spam_ts_gap,
+            config.unsolicited_media_threshold, clock_now,
+            on_spam=self.engine.note_orphan_spam,
+            on_unsolicited=self.engine.note_unsolicited)
+        self.distributor = EventDistributor(
+            config, self.factbase, self.engine, self.flood_tracker,
+            self.orphan_tracker, clock_now,
+            source_flood_tracker=self.source_flood_tracker)
+
+    # -- PacketProcessor interface --------------------------------------------
+
+    def process(self, datagram: Datagram, now: float) -> float:
+        """Inspect one packet; returns the CPU service time it cost."""
+        self.metrics.packets_processed += 1
+        classified = self.classifier.classify(datagram)
+
+        if classified.kind is PacketKind.SIP:
+            self.metrics.sip_messages += 1
+            cost = self.config.sip_processing_cost
+        elif classified.kind is PacketKind.RTP:
+            self.metrics.rtp_packets += 1
+            cost = self.config.rtp_processing_cost
+        elif classified.kind is PacketKind.RTCP:
+            self.metrics.rtcp_packets += 1
+            cost = self.config.rtp_processing_cost
+        elif classified.kind is PacketKind.MALFORMED_SIP:
+            self.metrics.malformed_packets += 1
+            cost = self.config.sip_processing_cost
+        else:
+            self.metrics.other_packets += 1
+            cost = self.config.other_processing_cost
+
+        self.distributor.distribute(classified)
+        if self.metrics.packets_processed % _GC_EVERY == 0:
+            self.factbase.collect_garbage()
+        self.metrics.cpu_time += cost
+        return cost
+
+    # -- call lifecycle ---------------------------------------------------------
+
+    def _on_result(self, record, result) -> None:
+        """Fact-base hook: analyse every firing, then manage record lifetime.
+
+        Running after *every* firing (including timer expirations) matters:
+        a call only becomes fully final when the RTP machine's in-flight
+        timer T fires, which may happen long after the last packet.
+        """
+        self.engine.handle_result(record, result)
+        self._maybe_reap(record)
+
+    def _maybe_reap(self, record) -> None:
+        """Schedule deletion once a call's machines all reach final states."""
+        if record.deletion_scheduled or not record.system.all_final:
+            return
+        record.deletion_scheduled = True
+        call_id = record.call_id
+        self.timer_scheduler(
+            self.config.closed_record_linger,
+            lambda: self.factbase.delete(call_id))
+
+    # -- inspection ----------------------------------------------------------
+
+    @property
+    def alerts(self) -> List[Alert]:
+        return self.alert_manager.alerts
+
+    def alert_count(self, attack_type: Optional[AttackType] = None) -> int:
+        return self.alert_manager.count(attack_type)
+
+    @property
+    def active_calls(self) -> int:
+        return self.factbase.active_calls
+
+    def summary(self) -> dict:
+        summary = self.metrics.summary()
+        summary["alerts"] = {
+            attack_type.value: count
+            for attack_type, count in self.alert_manager.counts.items()
+        }
+        summary["active_calls"] = self.active_calls
+        return summary
+
+    def report(self) -> str:
+        """A human-readable situation report (traffic, state, alerts)."""
+        from ..analysis.report import format_table
+
+        metrics = self.metrics
+        traffic = format_table(("traffic", "count"), [
+            ("packets processed", metrics.packets_processed),
+            ("SIP messages", metrics.sip_messages),
+            ("RTP packets", metrics.rtp_packets),
+            ("RTCP packets", metrics.rtcp_packets),
+            ("malformed SIP", metrics.malformed_packets),
+            ("other", metrics.other_packets),
+        ])
+        calls = format_table(("calls", "count"), [
+            ("created", metrics.calls_created),
+            ("deleted", metrics.calls_deleted),
+            ("active now", self.active_calls),
+            ("peak concurrent", metrics.peak_concurrent_calls),
+            ("peak state bytes", metrics.peak_state_bytes),
+        ])
+        if self.alerts:
+            alert_rows = [
+                (f"{alert.time:.3f}", alert.attack_type.value,
+                 alert.call_id or "-", alert.source or "-",
+                 alert.detail.get("scenario", "-"))
+                for alert in self.alerts
+            ]
+            alerts = format_table(
+                ("time", "type", "call", "source", "scenario"), alert_rows)
+        else:
+            alerts = "no alerts"
+        return (f"=== vids report (t={self.clock_now():.3f}s) ===\n"
+                f"{traffic}\n\n{calls}\n\nalerts:\n{alerts}")

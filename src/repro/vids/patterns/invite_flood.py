@@ -1,0 +1,135 @@
+"""INVITE request flooding pattern (paper Section 6, Figure 4).
+
+One machine instance is kept per *flood target* (the callee address-of-
+record, falling back to the destination IP for requests that bypass the
+proxy).  On the first INVITE the machine leaves INIT, starts the ``pck_
+counter`` and timer T1; INVITEs within the window count against threshold
+N; exceeding N is "a strong indication of a flooding attack".  When T1
+expires the window resets.
+
+Distinct calls (different Call-IDs) all count toward the same target — a
+flood is many *calls*, not retransmissions of one (retransmissions carry the
+same branch and are not re-counted).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ...efsm.events import TIMER_CHANNEL, Event
+from ...efsm.machine import Efsm, EfsmInstance, TransitionContext
+
+__all__ = ["build_invite_flood_machine", "InviteFloodTracker",
+           "FLOOD_INIT", "FLOOD_COUNTING", "FLOOD_ATTACK"]
+
+FLOOD_INIT = "INIT"
+FLOOD_COUNTING = "Packet_Rcvd"
+FLOOD_ATTACK = "ATTACK_Invite_Flood"
+
+TIMER_T1 = "T1"
+
+
+def build_invite_flood_machine(threshold: int, window: float,
+                               name: str = "invite_flood") -> Efsm:
+    """The Figure-4 EFSM with threshold N and window T1."""
+    machine = Efsm(name, FLOOD_INIT)
+    machine.add_state(FLOOD_COUNTING)
+    machine.add_state(FLOOD_ATTACK, attack=True)
+    machine.declare(pck_counter=0, window_src="", seen_branches=())
+
+    def already_counted(ctx: TransitionContext) -> bool:
+        return str(ctx.x.get("branch", "")) in ctx.v.get("seen_branches", ())
+
+    def count(ctx: TransitionContext) -> None:
+        branches = tuple(ctx.v.get("seen_branches", ()))
+        branch = str(ctx.x.get("branch", ""))
+        if branch not in branches:
+            # Cap the retransmission-dedup memory: the counter matters, the
+            # full branch history does not.
+            ctx.v["seen_branches"] = (branches + (branch,))[-64:]
+            ctx.v["pck_counter"] = int(ctx.v.get("pck_counter", 0)) + 1
+
+    def first_invite(ctx: TransitionContext) -> None:
+        ctx.v["pck_counter"] = 1
+        ctx.v["window_src"] = str(ctx.x.get("src_ip", ""))
+        ctx.v["seen_branches"] = (str(ctx.x.get("branch", "")),)
+        ctx.start_timer(TIMER_T1, window)
+
+    def within_threshold(ctx: TransitionContext) -> bool:
+        if already_counted(ctx):
+            return True
+        return int(ctx.v.get("pck_counter", 0)) + 1 <= threshold
+
+    def exceeds_threshold(ctx: TransitionContext) -> bool:
+        if already_counted(ctx):
+            return False
+        return int(ctx.v.get("pck_counter", 0)) + 1 > threshold
+
+    machine.add_transition(FLOOD_INIT, "INVITE", FLOOD_COUNTING,
+                           action=first_invite, label="first-invite")
+    machine.add_transition(FLOOD_COUNTING, "INVITE", FLOOD_COUNTING,
+                           predicate=within_threshold, action=count,
+                           label="count")
+    machine.add_transition(FLOOD_COUNTING, "INVITE", FLOOD_ATTACK,
+                           predicate=exceeds_threshold, action=count,
+                           attack=True, label="flood-detected")
+
+    def reset(ctx: TransitionContext) -> None:
+        ctx.v["pck_counter"] = 0
+        ctx.v["seen_branches"] = ()
+
+    machine.add_transition(FLOOD_COUNTING, TIMER_T1, FLOOD_INIT,
+                           channel=TIMER_CHANNEL, action=reset,
+                           label="window-expired")
+    # After detection: keep absorbing the flood; re-arm when it subsides.
+    machine.add_transition(FLOOD_ATTACK, "INVITE", FLOOD_ATTACK,
+                           action=count, label="flood-continues")
+    machine.add_transition(FLOOD_ATTACK, TIMER_T1, FLOOD_INIT,
+                           channel=TIMER_CHANNEL, action=reset,
+                           label="re-arm")
+    machine.validate()
+    return machine
+
+
+class InviteFloodTracker:
+    """Keeps one Figure-4 machine per flood target and feeds it INVITEs."""
+
+    def __init__(
+        self,
+        threshold: int,
+        window: float,
+        clock_now: Callable[[], float],
+        timer_scheduler: Callable,
+        on_attack: Optional[Callable[[str, Event], None]] = None,
+    ):
+        self.threshold = threshold
+        self.window = window
+        self.clock_now = clock_now
+        self.timer_scheduler = timer_scheduler
+        self.on_attack = on_attack
+        self.machines: dict = {}
+
+    def machine_for(self, target: str) -> EfsmInstance:
+        if target not in self.machines:
+            definition = build_invite_flood_machine(
+                self.threshold, self.window,
+                name=f"invite_flood[{target}]")
+            self.machines[target] = EfsmInstance(
+                definition, clock_now=self.clock_now,
+                timer_scheduler=self.timer_scheduler)
+        return self.machines[target]
+
+    def observe_invite(self, target: str, event: Event) -> bool:
+        """Feed one INVITE observation; returns True when a flood is flagged."""
+        instance = self.machine_for(target)
+        result = instance.deliver(event)
+        entered_attack = result.attack and result.from_state != result.to_state
+        if entered_attack and self.on_attack is not None:
+            self.on_attack(target, event)
+        return entered_attack
+
+    def counter(self, target: str) -> int:
+        instance = self.machines.get(target)
+        if instance is None:
+            return 0
+        return int(instance.variables.get("pck_counter", 0))

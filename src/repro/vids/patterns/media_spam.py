@@ -1,0 +1,127 @@
+"""Standalone media-spamming pattern (paper Section 6, Figure 6).
+
+The paper's Figure 6 runs directly on the RTP stream toward a destination D,
+independent of call state: the first packet initializes the state-variable
+vector, and each subsequent packet to the same D either self-loops (updating
+``v.time_stamp``/``v.sequence_number``) or transitions to the Attack state
+when ``x.time_stamp_{i+1} - v.time_stamp_i > Δt`` or
+``x.sequence_number_{i+1} - v.sequence_number_i > Δn``.
+
+Inside vids the same Δt/Δn rules are embedded in the per-call RTP machine
+(where the negotiated session context is available); this standalone
+tracker is used for *orphan* streams — RTP arriving at destinations with no
+negotiated session — and doubles as the unsolicited-media detector.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from ...efsm.events import Event
+from ...efsm.machine import Efsm, EfsmInstance, TransitionContext
+
+__all__ = ["build_media_spam_machine", "OrphanMediaTracker",
+           "SPAM_INIT", "SPAM_COUNTING", "SPAM_ATTACK"]
+
+SPAM_INIT = "INIT"
+SPAM_COUNTING = "Packet_Rcvd"
+SPAM_ATTACK = "ATTACK_Media_Spam"
+
+_SEQ_MOD = 1 << 16
+_TS_MOD = 1 << 32
+
+
+def build_media_spam_machine(seq_gap: int, ts_gap: int,
+                             name: str = "media_spam") -> Efsm:
+    """The Figure-6 EFSM with thresholds Δn (seq) and Δt (timestamp)."""
+    machine = Efsm(name, SPAM_INIT)
+    machine.add_state(SPAM_COUNTING)
+    machine.add_state(SPAM_ATTACK, attack=True)
+    machine.declare(ssrc=0, sequence_number=0, time_stamp=0, packets=0)
+
+    def initialize(ctx: TransitionContext) -> None:
+        ctx.v["ssrc"] = int(ctx.x.get("ssrc", 0))
+        ctx.v["sequence_number"] = int(ctx.x.get("seq", 0))
+        ctx.v["time_stamp"] = int(ctx.x.get("ts", 0))
+        ctx.v["packets"] = 1
+
+    def gaps(ctx: TransitionContext) -> Tuple[int, int]:
+        seq_jump = (int(ctx.x.get("seq", 0))
+                    - int(ctx.v.get("sequence_number", 0))) % _SEQ_MOD
+        ts_jump = (int(ctx.x.get("ts", 0))
+                   - int(ctx.v.get("time_stamp", 0))) % _TS_MOD
+        return seq_jump, ts_jump
+
+    def is_spam(ctx: TransitionContext) -> bool:
+        if int(ctx.x.get("ssrc", 0)) != int(ctx.v.get("ssrc", 0)):
+            return True
+        seq_jump, ts_jump = gaps(ctx)
+        return seq_jump > seq_gap or ts_jump > ts_gap
+
+    def update(ctx: TransitionContext) -> None:
+        ctx.v["sequence_number"] = int(ctx.x.get("seq", 0))
+        ctx.v["time_stamp"] = int(ctx.x.get("ts", 0))
+        ctx.v["packets"] = int(ctx.v.get("packets", 0)) + 1
+
+    machine.add_transition(SPAM_INIT, "RTP_PACKET", SPAM_COUNTING,
+                           action=initialize, label="first-packet")
+    machine.add_transition(SPAM_COUNTING, "RTP_PACKET", SPAM_COUNTING,
+                           predicate=lambda ctx: not is_spam(ctx),
+                           action=update, label="in-profile")
+    machine.add_transition(SPAM_COUNTING, "RTP_PACKET", SPAM_ATTACK,
+                           predicate=is_spam, attack=True, label="spam")
+    machine.add_transition(SPAM_ATTACK, "RTP_PACKET", SPAM_ATTACK,
+                           label="absorbed")
+    machine.validate()
+    return machine
+
+
+class OrphanMediaTracker:
+    """Watches RTP streams that match no negotiated session.
+
+    Applies the Figure-6 machine per destination (S, D implicit in the
+    stream), and raises an unsolicited-media signal once a destination has
+    absorbed more than ``unsolicited_threshold`` orphan packets.
+    """
+
+    def __init__(
+        self,
+        seq_gap: int,
+        ts_gap: int,
+        unsolicited_threshold: int,
+        clock_now: Callable[[], float],
+        on_spam: Optional[Callable[[Tuple[str, int], Event], None]] = None,
+        on_unsolicited: Optional[Callable[[Tuple[str, int], Event], None]] = None,
+    ):
+        self.seq_gap = seq_gap
+        self.ts_gap = ts_gap
+        self.unsolicited_threshold = unsolicited_threshold
+        self.clock_now = clock_now
+        self.on_spam = on_spam
+        self.on_unsolicited = on_unsolicited
+        self.machines: Dict[Tuple[str, int], EfsmInstance] = {}
+        self._unsolicited_flagged: set = set()
+
+    def observe(self, destination: Tuple[str, int], event: Event) -> None:
+        instance = self.machines.get(destination)
+        if instance is None:
+            definition = build_media_spam_machine(
+                self.seq_gap, self.ts_gap,
+                name=f"media_spam[{destination[0]}:{destination[1]}]")
+            instance = EfsmInstance(definition, clock_now=self.clock_now)
+            self.machines[destination] = instance
+        result = instance.deliver(event)
+        if (result.attack and result.from_state != result.to_state
+                and self.on_spam is not None):
+            self.on_spam(destination, event)
+        packets = int(instance.variables.get("packets", 0))
+        if (packets > self.unsolicited_threshold
+                and destination not in self._unsolicited_flagged):
+            self._unsolicited_flagged.add(destination)
+            if self.on_unsolicited is not None:
+                self.on_unsolicited(destination, event)
+
+    def forget(self, destination: Tuple[str, int]) -> None:
+        """Drop tracking state (e.g. when a session is later negotiated)."""
+        self.machines.pop(destination, None)
+        self._unsolicited_flagged.discard(destination)

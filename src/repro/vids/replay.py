@@ -1,0 +1,81 @@
+"""Offline analysis: record perimeter traffic, replay it through vids.
+
+The paper's vids logs packets "at the granularity of a millisecond"; this
+module closes the loop for forensics: a :class:`RecordingProcessor` wraps
+any inline processor (vids itself, or a null baseline) and captures every
+datagram with its timestamp; :func:`replay_trace` then drives a *fresh*
+Vids instance over the capture with a manual clock — same machines, same
+timers, same alerts — so an analyst can re-run detection with different
+thresholds (e.g. a tighter timer T or lower flood threshold N) without
+re-running the network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from ..efsm.system import ManualClock
+from ..netsim.inline import NullProcessor, PacketProcessor
+from ..netsim.packet import Datagram
+from .config import DEFAULT_CONFIG, VidsConfig
+from .ids import Vids
+
+__all__ = ["CapturedPacket", "RecordingProcessor", "replay_trace"]
+
+
+@dataclass
+class CapturedPacket:
+    """One packet of a perimeter capture."""
+
+    time: float
+    datagram: Datagram
+
+
+class RecordingProcessor:
+    """A PacketProcessor that tees traffic into a capture buffer.
+
+    Wraps an inner processor (defaults to a no-cost null processor), so it
+    can record alongside live vids detection or on a bare forwarding host.
+    """
+
+    def __init__(self, inner: Optional[PacketProcessor] = None):
+        self.inner: PacketProcessor = inner if inner is not None \
+            else NullProcessor()
+        self.capture: List[CapturedPacket] = []
+
+    def process(self, datagram: Datagram, now: float) -> float:
+        self.capture.append(CapturedPacket(now, datagram))
+        return self.inner.process(datagram, now)
+
+    def __len__(self) -> int:
+        return len(self.capture)
+
+    def clear(self) -> None:
+        self.capture.clear()
+
+
+def replay_trace(capture: Iterable[CapturedPacket],
+                 config: VidsConfig = DEFAULT_CONFIG) -> Vids:
+    """Re-run detection over a capture; returns the analysed Vids.
+
+    The manual clock advances to each packet's original timestamp, so
+    pattern timers (T, T1) and record lifetimes behave exactly as they
+    would have online; after the last packet the clock runs one extra
+    linger period so pending timers resolve.
+    """
+    clock = ManualClock()
+    vids = Vids(config=config, clock_now=clock.now,
+                timer_scheduler=clock.schedule)
+    last_time = 0.0
+    for packet in capture:
+        if packet.time < clock.now():
+            raise ValueError(
+                f"capture not time-ordered at t={packet.time}")
+        clock.advance(packet.time - clock.now())
+        vids.process(packet.datagram, clock.now())
+        last_time = packet.time
+    # Let in-flight timers (T, T1, record linger) fire.
+    clock.advance(config.bye_inflight_timer
+                  + config.closed_record_linger + 1.0)
+    return vids

@@ -1,0 +1,281 @@
+"""The per-call RTP protocol state machine (vids media model).
+
+Implements the media half of Figure 2(a) plus the cross-protocol patterns of
+Figures 5 and 6:
+
+- the machine opens only on a ``δ_SIP→RTP`` session-offer synchronization
+  event from the SIP machine (media before signaling is a deviation);
+- per-direction state (SSRC, last sequence number, last timestamp, rate
+  window) feeds the media-spamming predicates — "if the timestamp or the
+  sequence number of the incoming packet has a sudden gap larger than Δt or
+  Δn respectively ... the fabricated message being injected into the media
+  stream is detected";
+- on ``δ_bye`` the machine starts timer T for in-flight packets; after T
+  expires the machine sits in RTP_Close, where any further media is the
+  Figure-5 attack signal (BYE DoS, or toll fraud when the packets come from
+  the BYE sender itself);
+- payload types outside the negotiated set, and packet rates above
+  ``rtp_flood_factor`` times the negotiated codec rate, mark the
+  RTP-flooding / codec-change attacks of Section 3.2.
+
+Event vocabulary:
+
+- data event ``RTP_PACKET`` with ``x``: src/dst addresses, ``ssrc``,
+  ``seq``, ``ts``, ``pt``, ``size``, ``direction`` ("to_caller"/"to_callee");
+- sync events δ_offer / δ_answer / δ_bye / δ_cancelled on the SIP→RTP
+  channel; timer event ``T``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from ..efsm.events import TIMER_CHANNEL
+from ..efsm.machine import Efsm, TransitionContext
+from .config import DEFAULT_CONFIG, VidsConfig
+from .sync import (
+    DELTA_BYE,
+    DELTA_CANCELLED,
+    DELTA_SESSION_ANSWER,
+    DELTA_SESSION_OFFER,
+    RTP_MACHINE,
+    SIP_TO_RTP,
+)
+
+__all__ = ["build_rtp_machine", "RTP_STATES", "RTP_ATTACK_STATES"]
+
+INIT = "INIT"
+RTP_OPEN = "RTP_Open"
+RTP_ACTIVE = "RTP_Rcvd"
+RTP_AFTER_BYE = "RTP_rcvd_after_BYE"
+RTP_CLOSE = "RTP_Close"
+ATTACK_SPAM = "ATTACK_Media_Spam"
+ATTACK_FLOOD = "ATTACK_RTP_Flood"
+ATTACK_CODEC = "ATTACK_Codec_Change"
+ATTACK_AFTER_CLOSE = "ATTACK_Media_After_Close"
+
+RTP_STATES = (INIT, RTP_OPEN, RTP_ACTIVE, RTP_AFTER_BYE, RTP_CLOSE)
+RTP_ATTACK_STATES = (ATTACK_SPAM, ATTACK_FLOOD, ATTACK_CODEC,
+                     ATTACK_AFTER_CLOSE)
+
+_SEQ_MOD = 1 << 16
+_TS_MOD = 1 << 32
+
+
+def _allowed_pts(ctx: TransitionContext) -> tuple:
+    return tuple(ctx.v.get("g_offer_pts", ())) + tuple(
+        ctx.v.get("g_answer_pts", ()))
+
+
+def _dir_state(ctx: TransitionContext) -> Dict[str, Any]:
+    """Per-direction tracking record for the packet's direction."""
+    directions: Dict[str, Dict[str, Any]] = ctx.v.get("directions", {})
+    key = str(ctx.x.get("direction", "unknown"))
+    return directions.get(key, {})
+
+
+def _store_dir_state(ctx: TransitionContext, record: Dict[str, Any]) -> None:
+    directions = dict(ctx.v.get("directions", {}))
+    directions[str(ctx.x.get("direction", "unknown"))] = record
+    ctx.v["directions"] = directions
+
+
+def _seq_gap(last_seq: int, seq: int) -> int:
+    """Forward distance between sequence numbers, mod 2^16."""
+    return (seq - last_seq) % _SEQ_MOD
+
+
+def _ts_gap(last_ts: int, ts: int) -> int:
+    return (ts - last_ts) % _TS_MOD
+
+
+def build_rtp_machine(config: VidsConfig = DEFAULT_CONFIG) -> Efsm:
+    """Construct the deterministic per-call RTP EFSM.
+
+    With ``config.cross_protocol`` disabled the SIP machine never sends the
+    δ that opens the session, so the machine degenerates to an INIT state
+    that ignores all media — the ablation showing that *every* session-
+    scoped media check depends on the cross-protocol interaction.
+    """
+    if not config.cross_protocol:
+        return _build_disabled_rtp_machine()
+    machine = Efsm(RTP_MACHINE, INIT)
+    for state in RTP_STATES:
+        machine.add_state(state)
+    machine.add_state(RTP_CLOSE, final=True)
+    for state in RTP_ATTACK_STATES:
+        machine.add_state(state, attack=True, final=True)
+
+    machine.declare(directions={})
+    # The media globals are declared by the SIP machine; declare them here
+    # too so a standalone RTP machine (unit tests) has defaults.
+    machine.declare_global(
+        g_offer_addr="",
+        g_offer_port=0,
+        g_offer_pts=(),
+        g_answer_addr="",
+        g_answer_port=0,
+        g_answer_pts=(),
+        g_ptime_ms=20,
+        g_bye_src_ip="",
+    )
+
+    # ---- session lifecycle driven by δ sync events ----------------------
+
+    machine.add_transition(INIT, DELTA_SESSION_OFFER, RTP_OPEN,
+                           channel=SIP_TO_RTP, label="offer")
+    machine.add_transition(RTP_OPEN, DELTA_SESSION_ANSWER, RTP_OPEN,
+                           channel=SIP_TO_RTP, label="answer")
+    machine.add_transition(RTP_ACTIVE, DELTA_SESSION_ANSWER, RTP_ACTIVE,
+                           channel=SIP_TO_RTP, label="late-answer")
+    machine.add_transition(RTP_OPEN, DELTA_CANCELLED, RTP_CLOSE,
+                           channel=SIP_TO_RTP, label="cancelled")
+
+    def arm_inflight_timer(ctx: TransitionContext) -> None:
+        ctx.start_timer("T", config.bye_inflight_timer,
+                        {"call_id": ctx.x.get("call_id")})
+
+    # Even when vids has seen no media yet, first packets may already be in
+    # flight when the BYE crosses — the Figure-5 grace timer applies.
+    machine.add_transition(RTP_OPEN, DELTA_BYE, RTP_AFTER_BYE,
+                           channel=SIP_TO_RTP, action=arm_inflight_timer,
+                           label="bye-before-media")
+    machine.add_transition(RTP_ACTIVE, DELTA_BYE, RTP_AFTER_BYE,
+                           channel=SIP_TO_RTP, action=arm_inflight_timer,
+                           label="bye")
+    machine.add_transition(RTP_AFTER_BYE, "T", RTP_CLOSE,
+                           channel=TIMER_CHANNEL, label="inflight-done")
+    machine.add_transition(RTP_AFTER_BYE, "RTP_PACKET", RTP_AFTER_BYE,
+                           label="inflight-packet")
+    # Duplicate δ_bye (BYE retransmitted) while draining in-flight media.
+    machine.add_transition(RTP_AFTER_BYE, DELTA_BYE, RTP_AFTER_BYE,
+                           channel=SIP_TO_RTP, label="bye-retransmit")
+    machine.add_transition(RTP_CLOSE, DELTA_BYE, RTP_CLOSE,
+                           channel=SIP_TO_RTP, label="late-bye")
+
+    # ---- packet analysis predicates -----------------------------------------
+
+    def is_codec_violation(ctx: TransitionContext) -> bool:
+        if not config.detect_codec_change:
+            return False
+        allowed = _allowed_pts(ctx)
+        return bool(allowed) and int(ctx.x.get("pt", -1)) not in allowed
+
+    def is_spam(ctx: TransitionContext) -> bool:
+        record = _dir_state(ctx)
+        if not record:
+            return False
+        if int(ctx.x.get("ssrc", 0)) != record.get("ssrc"):
+            return True
+        seq_jump = _seq_gap(record["seq"], int(ctx.x.get("seq", 0)))
+        ts_jump = _ts_gap(record["ts"], int(ctx.x.get("ts", 0)))
+        return (seq_jump > config.media_spam_seq_gap
+                or ts_jump > config.media_spam_ts_gap)
+
+    def is_flood(ctx: TransitionContext) -> bool:
+        record = _dir_state(ctx)
+        if not record:
+            return False
+        window_start = record.get("window_start", 0.0)
+        count = record.get("window_count", 0)
+        if ctx.now - window_start >= config.rtp_flood_window:
+            return False
+        ptime_ms = int(ctx.v.get("g_ptime_ms", 20) or 20)
+        expected = (1000.0 / ptime_ms) * config.rtp_flood_window
+        return count + 1 > config.rtp_flood_factor * expected
+
+    def is_clean(ctx: TransitionContext) -> bool:
+        return not (is_codec_violation(ctx) or is_spam(ctx) or is_flood(ctx))
+
+    def track_packet(ctx: TransitionContext) -> None:
+        record = _dir_state(ctx)
+        now = ctx.now
+        if not record:
+            record = {
+                "ssrc": int(ctx.x.get("ssrc", 0)),
+                "seq": int(ctx.x.get("seq", 0)),
+                "ts": int(ctx.x.get("ts", 0)),
+                "window_start": now,
+                "window_count": 1,
+            }
+        else:
+            record = dict(record)
+            record["seq"] = int(ctx.x.get("seq", 0))
+            record["ts"] = int(ctx.x.get("ts", 0))
+            if now - record.get("window_start", 0.0) >= config.rtp_flood_window:
+                record["window_start"] = now
+                record["window_count"] = 1
+            else:
+                record["window_count"] = record.get("window_count", 0) + 1
+        _store_dir_state(ctx, record)
+
+    # First media packet of the session.
+    machine.add_transition(
+        RTP_OPEN, "RTP_PACKET", RTP_ACTIVE,
+        predicate=lambda ctx: not is_codec_violation(ctx),
+        action=track_packet, label="first-media")
+    machine.add_transition(RTP_OPEN, "RTP_PACKET", ATTACK_CODEC,
+                           predicate=is_codec_violation,
+                           attack=True, label="bad-codec-first")
+
+    # Steady state: predicates are mutually disjoint by construction
+    # (codec > spam > flood > clean priority encoded in the negations).
+    machine.add_transition(RTP_ACTIVE, "RTP_PACKET", RTP_ACTIVE,
+                           predicate=is_clean, action=track_packet,
+                           label="media")
+    machine.add_transition(RTP_ACTIVE, "RTP_PACKET", ATTACK_CODEC,
+                           predicate=is_codec_violation,
+                           attack=True, label="codec-change")
+    machine.add_transition(
+        RTP_ACTIVE, "RTP_PACKET", ATTACK_SPAM,
+        predicate=lambda ctx: is_spam(ctx) and not is_codec_violation(ctx),
+        attack=True, label="media-spam")
+    machine.add_transition(
+        RTP_ACTIVE, "RTP_PACKET", ATTACK_FLOOD,
+        predicate=lambda ctx: (is_flood(ctx) and not is_spam(ctx)
+                               and not is_codec_violation(ctx)),
+        attack=True, label="rtp-flood")
+
+    # ---- the Figure-5 attack signal ----------------------------------------
+
+    machine.add_transition(RTP_CLOSE, "RTP_PACKET", ATTACK_AFTER_CLOSE,
+                           attack=True, label="media-after-close")
+
+    # ---- attack states absorb further traffic --------------------------------
+
+    for state in RTP_ATTACK_STATES:
+        machine.add_transition(state, "RTP_PACKET", state, label="absorbed")
+        for delta in (DELTA_SESSION_OFFER, DELTA_SESSION_ANSWER, DELTA_BYE,
+                      DELTA_CANCELLED):
+            machine.add_transition(state, delta, state,
+                                   channel=SIP_TO_RTP, label="absorbed")
+        machine.add_transition(state, "T", state, channel=TIMER_CHANNEL,
+                               label="absorbed")
+
+    machine.validate()
+    return machine
+
+
+def _build_disabled_rtp_machine() -> Efsm:
+    """An inert RTP machine for the no-cross-protocol ablation.
+
+    INIT is marked final so call records can still be reclaimed once the
+    SIP machine finishes; all events self-loop (no deviations, no attacks).
+    """
+    machine = Efsm(RTP_MACHINE, INIT)
+    machine.add_state(INIT, final=True)
+    machine.declare(directions={})
+    machine.declare_global(
+        g_offer_addr="", g_offer_port=0, g_offer_pts=(),
+        g_answer_addr="", g_answer_port=0, g_answer_pts=(),
+        g_ptime_ms=20, g_bye_src_ip="",
+    )
+    machine.add_transition(INIT, "RTP_PACKET", INIT, label="ignored")
+    for delta in (DELTA_SESSION_OFFER, DELTA_SESSION_ANSWER, DELTA_BYE,
+                  DELTA_CANCELLED):
+        machine.add_transition(INIT, delta, INIT, channel=SIP_TO_RTP,
+                               label="ignored")
+    machine.add_transition(INIT, "T", INIT, channel=TIMER_CHANNEL,
+                           label="ignored")
+    machine.validate()
+    return machine

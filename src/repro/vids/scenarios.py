@@ -1,0 +1,214 @@
+"""Attack Scenario database (the paper's Figure-3 component).
+
+"The Attack Scenario component is a collection of known attack patterns,
+including the intermediate states and transitions that lead to attack
+states."  Each :class:`AttackScenario` documents one known pattern: which
+machine hosts it, which attack state marks the match, whether the
+cross-protocol interaction is required to see it, the paper section that
+describes the threat, and the recommended operator response.  The
+:class:`AttackScenarioDatabase` indexes scenarios by attack state so the
+Analysis Engine can type an alert and attach the scenario context.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+from .alerts import AttackType
+from .rtp_machine import (
+    ATTACK_AFTER_CLOSE,
+    ATTACK_CODEC,
+    ATTACK_FLOOD,
+    ATTACK_SPAM,
+)
+from .sip_machine import ATTACK_BYE, ATTACK_CANCEL, ATTACK_HIJACK
+
+__all__ = ["AttackScenario", "AttackScenarioDatabase", "BUILTIN_SCENARIOS"]
+
+
+@dataclass(frozen=True)
+class AttackScenario:
+    """One known attack pattern."""
+
+    scenario_id: str
+    name: str
+    attack_type: AttackType
+    machine: str                  # which protocol machine hosts the pattern
+    attack_state: str             # entering this state = scenario match
+    paper_section: str
+    cross_protocol: bool          # needs the SIP<->RTP interaction
+    description: str
+    response: str                 # suggested operator action
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return f"[{self.scenario_id}] {self.name} ({self.attack_type.value})"
+
+
+BUILTIN_SCENARIOS: Tuple[AttackScenario, ...] = (
+    AttackScenario(
+        scenario_id="S1",
+        name="INVITE request flooding",
+        attack_type=AttackType.INVITE_FLOOD,
+        machine="invite_flood",
+        attack_state="ATTACK_Invite_Flood",
+        paper_section="3.1 / 6 (Figure 4)",
+        cross_protocol=False,
+        description=("More than N INVITEs for one callee within window T1 "
+                     "— overwhelms a terminal or a proxy."),
+        response="Rate-limit or block the offending sources; notify callee.",
+    ),
+    AttackScenario(
+        scenario_id="S2",
+        name="Third-party BYE teardown",
+        attack_type=AttackType.BYE_DOS,
+        machine="sip",
+        attack_state=ATTACK_BYE,
+        paper_section="3.1",
+        cross_protocol=False,
+        description=("A BYE for an established call from a source outside "
+                     "the participant set (misbehaving UA-C)."),
+        response="Drop the BYE at the perimeter; alert both participants.",
+    ),
+    AttackScenario(
+        scenario_id="S3",
+        name="BYE DoS / toll fraud (media after close)",
+        attack_type=AttackType.BYE_DOS,
+        machine="rtp",
+        attack_state=ATTACK_AFTER_CLOSE,
+        paper_section="3.1 / 6 (Figure 5)",
+        cross_protocol=True,
+        description=("RTP still arriving after the session closed and timer "
+                     "T expired: a spoofed BYE tore the call down, or the "
+                     "BYE sender keeps streaming to dodge billing."),
+        response=("Correlate the media source with the BYE sender; "
+                  "re-signal or bill accordingly."),
+    ),
+    AttackScenario(
+        scenario_id="S4",
+        name="Third-party CANCEL",
+        attack_type=AttackType.CANCEL_DOS,
+        machine="sip",
+        attack_state=ATTACK_CANCEL,
+        paper_section="3.1",
+        cross_protocol=False,
+        description=("A CANCEL for a pending INVITE from a source outside "
+                     "the participant set."),
+        response="Drop the CANCEL; let the call attempt proceed.",
+    ),
+    AttackScenario(
+        scenario_id="S5",
+        name="Call hijacking re-INVITE",
+        attack_type=AttackType.CALL_HIJACK,
+        machine="sip",
+        attack_state=ATTACK_HIJACK,
+        paper_section="3.1",
+        cross_protocol=False,
+        description=("A new INVITE inside a pre-existing dialog from a "
+                     "non-participant, typically redirecting media."),
+        response="Drop the re-INVITE; verify the dialog's media endpoints.",
+    ),
+    AttackScenario(
+        scenario_id="S6",
+        name="Media spamming",
+        attack_type=AttackType.MEDIA_SPAM,
+        machine="rtp",
+        attack_state=ATTACK_SPAM,
+        paper_section="3.2 / 6 (Figure 6)",
+        cross_protocol=True,
+        description=("Fabricated RTP with the session's SSRC but a sequence "
+                     "number or timestamp jump beyond Δn/Δt (or a foreign "
+                     "SSRC injected into the stream)."),
+        response="Filter the stream by source; renegotiate SSRC/ports.",
+    ),
+    AttackScenario(
+        scenario_id="S7",
+        name="RTP packet flooding",
+        attack_type=AttackType.RTP_FLOOD,
+        machine="rtp",
+        attack_state=ATTACK_FLOOD,
+        paper_section="3.2",
+        cross_protocol=True,
+        description=("Media arriving far above the negotiated codec packet "
+                     "rate, degrading QoS or crashing phones."),
+        response="Police the stream to the negotiated rate.",
+    ),
+    AttackScenario(
+        scenario_id="S8",
+        name="Codec change",
+        attack_type=AttackType.CODEC_CHANGE,
+        machine="rtp",
+        attack_state=ATTACK_CODEC,
+        paper_section="3.2",
+        cross_protocol=True,
+        description=("RTP payload types never negotiated in SDP — 'changing "
+                     "the encoding scheme' mid-call."),
+        response="Drop off-profile payloads; force renegotiation.",
+    ),
+    AttackScenario(
+        scenario_id="S10",
+        name="Registration hijacking",
+        attack_type=AttackType.REGISTRATION_HIJACK,
+        machine="distributor",
+        attack_state="-",
+        paper_section="extension (threat implied by §3.1's missing auth)",
+        cross_protocol=False,
+        description=("A REGISTER crossing the enterprise perimeter tries to "
+                     "rebind a local address-of-record to an outside "
+                     "contact; legitimate phones register from inside."),
+        response=("Drop perimeter REGISTERs; enable registrar digest "
+                  "authentication (repro.sip.auth)."),
+    ),
+    AttackScenario(
+        scenario_id="S9",
+        name="DRDoS reflection via proxy",
+        attack_type=AttackType.DRDOS_REFLECTION,
+        machine="invite_flood",
+        attack_state="ATTACK_Invite_Flood",
+        paper_section="3.1",
+        cross_protocol=False,
+        description=("Spoofed requests fanned out through the proxy with "
+                     "the victim as claimed source, so the victim drowns in "
+                     "responses: many INVITEs from one claimed source to "
+                     "many different callees within the window."),
+        response="Drop requests from the claimed source; notify the victim.",
+    ),
+)
+
+
+class AttackScenarioDatabase:
+    """Indexes known scenarios for the Analysis Engine."""
+
+    def __init__(self, scenarios: Iterable[AttackScenario] = BUILTIN_SCENARIOS):
+        self._by_id: Dict[str, AttackScenario] = {}
+        self._by_state: Dict[Tuple[str, str], AttackScenario] = {}
+        for scenario in scenarios:
+            self.register(scenario)
+
+    def register(self, scenario: AttackScenario) -> None:
+        if scenario.scenario_id in self._by_id:
+            raise ValueError(f"duplicate scenario id: {scenario.scenario_id}")
+        self._by_id[scenario.scenario_id] = scenario
+        self._by_state.setdefault(
+            (scenario.machine, scenario.attack_state), scenario)
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __iter__(self):
+        return iter(self._by_id.values())
+
+    def get(self, scenario_id: str) -> Optional[AttackScenario]:
+        return self._by_id.get(scenario_id)
+
+    def for_state(self, machine: str, state: str) -> Optional[AttackScenario]:
+        """The scenario matched by entering ``state`` on ``machine``."""
+        return self._by_state.get((machine, state))
+
+    def by_type(self, attack_type: AttackType) -> Tuple[AttackScenario, ...]:
+        return tuple(s for s in self._by_id.values()
+                     if s.attack_type is attack_type)
+
+    def cross_protocol_scenarios(self) -> Tuple[AttackScenario, ...]:
+        """The patterns that vanish without the SIP<->RTP interaction."""
+        return tuple(s for s in self._by_id.values() if s.cross_protocol)

@@ -1,0 +1,342 @@
+"""The per-call SIP protocol state machine (vids specification model).
+
+This is the machine of the paper's Figure 2(a) extended over the whole call
+lifecycle: INVITE receipt, provisional/final responses, ACK, CANCEL, BYE,
+and teardown, with attack-annotated transitions for third-party CANCEL,
+third-party BYE, and in-dialog hijack INVITEs.
+
+On the INVITE transition the machine stores the header-field values the
+paper names — Call-ID, the Via branch, From/To tags — in local variables
+(``v.l_*``) and writes the SDP media information (address, port, encoding
+schemes) into the **global** variables (``v.g_*``) shared with the RTP
+machine, then emits a ``δ_SIP→RTP`` synchronization event on the FIFO
+channel.  Likewise the 200 OK answer publishes the callee's media
+description, and BYE emits the δ that arms the Figure-5 in-flight timer in
+the RTP machine.
+
+Event vocabulary (data events, channel ``None``):
+
+- ``INVITE`` / ``ACK`` / ``BYE`` / ``CANCEL`` with the request's header
+  fields in ``x``;
+- ``RESPONSE`` with ``x["status"]`` and ``x["cseq_method"]``.
+
+Participant identification: because vids sits at the perimeter (between the
+edge router and the hub), the initial INVITE arrives from the remote
+*proxy*, while in-dialog requests arrive end-to-end from the remote *user
+agent*.  The machine therefore accumulates a participant set from the Via
+chain, Contact headers, and SDP connection addresses, and judges BYE/CANCEL
+/re-INVITE legitimacy against that set — a third party injecting requests
+from its own address falls outside it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Tuple
+
+from ..efsm.machine import Efsm, Output, TransitionContext
+from .config import DEFAULT_CONFIG, VidsConfig
+from .sync import (
+    DELTA_BYE,
+    DELTA_CANCELLED,
+    DELTA_SESSION_ANSWER,
+    DELTA_SESSION_OFFER,
+    SIP_MACHINE,
+    SIP_TO_RTP,
+)
+
+__all__ = ["build_sip_machine", "SIP_STATES", "SIP_ATTACK_STATES"]
+
+# State names, kept close to the paper's figures.
+INIT = "INIT"
+INVITE_RCVD = "INVITE_Rcvd"
+PROCEEDING = "Proceeding"
+ANSWERED = "Answered"
+ESTABLISHED = "Call_Established"
+TEARDOWN = "Teardown_Begins"
+CLOSED = "Closed"
+CANCELLING = "Cancelling"
+CANCELLED = "Cancelled"
+FAILED = "Failed"
+ATTACK_CANCEL = "ATTACK_Cancel_DoS"
+ATTACK_BYE = "ATTACK_Bye_DoS"
+ATTACK_HIJACK = "ATTACK_Hijack"
+
+SIP_STATES = (INIT, INVITE_RCVD, PROCEEDING, ANSWERED, ESTABLISHED, TEARDOWN,
+              CLOSED, CANCELLING, CANCELLED, FAILED)
+SIP_ATTACK_STATES = (ATTACK_CANCEL, ATTACK_BYE, ATTACK_HIJACK)
+
+_ALL_EVENTS = ("INVITE", "ACK", "BYE", "CANCEL", "RESPONSE")
+
+
+def _status(ctx: TransitionContext) -> int:
+    return int(ctx.x.get("status", 0))
+
+
+def _cseq_method(ctx: TransitionContext) -> str:
+    return str(ctx.x.get("cseq_method", ""))
+
+
+def _participants(ctx: TransitionContext) -> Tuple[str, ...]:
+    return tuple(ctx.v.get("participants", ()))
+
+
+def _add_participants(ctx: TransitionContext, *hosts: Any) -> None:
+    current = set(ctx.v.get("participants", ()))
+    for host in hosts:
+        if isinstance(host, (list, tuple)):
+            current.update(h for h in host if h)
+        elif host:
+            current.add(str(host))
+    ctx.v["participants"] = tuple(sorted(current))
+
+
+def _src_is_participant(ctx: TransitionContext) -> bool:
+    return str(ctx.x.get("src_ip", "")) in _participants(ctx)
+
+
+def _media_args(ctx: TransitionContext) -> Mapping[str, Any]:
+    """Arguments forwarded on δ media events."""
+    return {
+        "call_id": ctx.v.get("call_id"),
+        "addr": ctx.x.get("sdp_addr"),
+        "port": ctx.x.get("sdp_port"),
+        "payload_types": ctx.x.get("sdp_pts", ()),
+        "ptime_ms": ctx.x.get("sdp_ptime"),
+    }
+
+
+def _delta_args(ctx: TransitionContext) -> Mapping[str, Any]:
+    return {"call_id": ctx.v.get("call_id"),
+            "src_ip": ctx.x.get("src_ip")}
+
+
+def build_sip_machine(config: VidsConfig = DEFAULT_CONFIG) -> Efsm:
+    """Construct the deterministic per-call SIP EFSM."""
+    machine = Efsm(SIP_MACHINE, INIT)
+    for state in SIP_STATES:
+        machine.add_state(state)
+    for state in (CLOSED, CANCELLED, FAILED):
+        machine.add_state(state, final=True)
+    for state in SIP_ATTACK_STATES:
+        machine.add_state(state, attack=True, final=True)
+
+    machine.declare(
+        call_id="",
+        invite_branch="",
+        from_tag="",
+        to_tag="",
+        invite_src_ip="",
+        invite_cseq=0,
+        bye_branch="",
+        participants=(),
+    )
+    machine.declare_global(
+        g_offer_addr="",
+        g_offer_port=0,
+        g_offer_pts=(),
+        g_answer_addr="",
+        g_answer_port=0,
+        g_answer_pts=(),
+        g_ptime_ms=20,
+        g_bye_src_ip="",
+    )
+
+    cross = config.cross_protocol
+
+    # ---- INIT ---------------------------------------------------------------
+
+    def on_invite(ctx: TransitionContext) -> None:
+        ctx.v["call_id"] = str(ctx.x.get("call_id", ""))
+        ctx.v["invite_branch"] = str(ctx.x.get("branch", ""))
+        ctx.v["from_tag"] = str(ctx.x.get("from_tag", ""))
+        ctx.v["invite_src_ip"] = str(ctx.x.get("src_ip", ""))
+        ctx.v["invite_cseq"] = int(ctx.x.get("cseq_num", 0))
+        _add_participants(ctx, ctx.x.get("src_ip"), ctx.x.get("contact_host"),
+                          ctx.x.get("sdp_addr"), ctx.x.get("via_hosts", ()))
+        if ctx.x.get("sdp_addr"):
+            ctx.v["g_offer_addr"] = str(ctx.x["sdp_addr"])
+            ctx.v["g_offer_port"] = int(ctx.x.get("sdp_port", 0))
+            ctx.v["g_offer_pts"] = tuple(ctx.x.get("sdp_pts", ()))
+            if ctx.x.get("sdp_ptime"):
+                ctx.v["g_ptime_ms"] = int(ctx.x["sdp_ptime"])
+
+    machine.add_transition(
+        INIT, "INVITE", INVITE_RCVD,
+        predicate=lambda ctx: not ctx.x.get("to_tag"),
+        action=on_invite,
+        outputs=[Output(SIP_TO_RTP, DELTA_SESSION_OFFER, _media_args)]
+        if cross else [],
+        label="invite",
+    )
+
+    # ---- retransmission self-loops ----------------------------------------
+
+    def same_invite_branch(ctx: TransitionContext) -> bool:
+        return str(ctx.x.get("branch", "")) == ctx.v.get("invite_branch")
+
+    for state in (INVITE_RCVD, PROCEEDING):
+        machine.add_transition(
+            state, "INVITE", state, predicate=same_invite_branch,
+            label="invite-retransmit")
+
+    # ---- provisional / final responses during setup ------------------------
+
+    def is_1xx_invite(ctx: TransitionContext) -> bool:
+        return 100 <= _status(ctx) < 200 and _cseq_method(ctx) == "INVITE"
+
+    def is_2xx_invite(ctx: TransitionContext) -> bool:
+        return 200 <= _status(ctx) < 300 and _cseq_method(ctx) == "INVITE"
+
+    def is_487_invite(ctx: TransitionContext) -> bool:
+        return _status(ctx) == 487 and _cseq_method(ctx) == "INVITE"
+
+    def is_fail_invite(ctx: TransitionContext) -> bool:
+        return (_status(ctx) >= 300 and _cseq_method(ctx) == "INVITE"
+                and _status(ctx) != 487)
+
+    def on_provisional(ctx: TransitionContext) -> None:
+        if ctx.x.get("to_tag"):
+            ctx.v["to_tag"] = str(ctx.x["to_tag"])
+        _add_participants(ctx, ctx.x.get("contact_host"))
+
+    def on_answer(ctx: TransitionContext) -> None:
+        on_provisional(ctx)
+        _add_participants(ctx, ctx.x.get("sdp_addr"))
+        if ctx.x.get("sdp_addr"):
+            ctx.v["g_answer_addr"] = str(ctx.x["sdp_addr"])
+            ctx.v["g_answer_port"] = int(ctx.x.get("sdp_port", 0))
+            ctx.v["g_answer_pts"] = tuple(ctx.x.get("sdp_pts", ()))
+            if ctx.x.get("sdp_ptime"):
+                ctx.v["g_ptime_ms"] = int(ctx.x["sdp_ptime"])
+
+    answer_outputs = ([Output(SIP_TO_RTP, DELTA_SESSION_ANSWER, _media_args)]
+                      if cross else [])
+
+    machine.add_transition(INVITE_RCVD, "RESPONSE", PROCEEDING,
+                           predicate=is_1xx_invite, action=on_provisional,
+                           label="1xx")
+    machine.add_transition(PROCEEDING, "RESPONSE", PROCEEDING,
+                           predicate=is_1xx_invite, action=on_provisional,
+                           label="1xx-again")
+    failed_outputs = ([Output(SIP_TO_RTP, DELTA_CANCELLED, _delta_args)]
+                      if cross else [])
+    for state in (INVITE_RCVD, PROCEEDING):
+        machine.add_transition(state, "RESPONSE", ANSWERED,
+                               predicate=is_2xx_invite, action=on_answer,
+                               outputs=list(answer_outputs), label="200-invite")
+        # A failed setup also closes the (never-used) media session so the
+        # whole call system reaches final states and can be reclaimed.
+        machine.add_transition(
+            state, "RESPONSE", FAILED,
+            predicate=lambda ctx: is_fail_invite(ctx) or is_487_invite(ctx),
+            outputs=list(failed_outputs),
+            label="invite-failed")
+
+    # ---- CANCEL handling -----------------------------------------------------
+
+    def legit_cancel(ctx: TransitionContext) -> bool:
+        # A genuine CANCEL retraces the INVITE's path, so it arrives from an
+        # address already in the participant set (the upstream proxy or the
+        # caller).  A third party cancelling from its own address fails this
+        # even if it sniffed the transaction branch; a party spoofing a
+        # participant source is indistinguishable without authentication
+        # (the limitation the paper's Section 3.1 acknowledges).
+        return _src_is_participant(ctx)
+
+    cancel_outputs = ([Output(SIP_TO_RTP, DELTA_CANCELLED, _delta_args)]
+                      if cross else [])
+    for state in (INVITE_RCVD, PROCEEDING):
+        machine.add_transition(state, "CANCEL", CANCELLING,
+                               predicate=legit_cancel,
+                               outputs=list(cancel_outputs), label="cancel")
+        machine.add_transition(
+            state, "CANCEL", ATTACK_CANCEL,
+            predicate=lambda ctx: not legit_cancel(ctx),
+            attack=True, label="third-party-cancel")
+
+    machine.add_transition(CANCELLING, "RESPONSE", CANCELLED,
+                           predicate=is_487_invite, label="487")
+    machine.add_transition(
+        CANCELLING, "RESPONSE", CANCELLING,
+        predicate=lambda ctx: not is_487_invite(ctx) and not is_2xx_invite(ctx),
+        label="cancel-200")
+    # Race: the callee answered before the CANCEL landed.
+    machine.add_transition(CANCELLING, "RESPONSE", ANSWERED,
+                           predicate=is_2xx_invite, action=on_answer,
+                           outputs=list(answer_outputs), label="cancel-race-200")
+    machine.add_transition(CANCELLING, "CANCEL", CANCELLING,
+                           label="cancel-retransmit")
+    machine.add_transition(CANCELLED, "ACK", CANCELLED, label="ack-487")
+    machine.add_transition(CANCELLED, "RESPONSE", CANCELLED,
+                           label="late-response")
+
+    # ---- establishment -----------------------------------------------------
+
+    machine.add_transition(ANSWERED, "ACK", ESTABLISHED, label="ack")
+    machine.add_transition(ANSWERED, "RESPONSE", ANSWERED,
+                           predicate=is_2xx_invite, label="200-retransmit")
+    machine.add_transition(ESTABLISHED, "ACK", ESTABLISHED,
+                           label="ack-retransmit")
+    machine.add_transition(ESTABLISHED, "RESPONSE", ESTABLISHED,
+                           label="late-response")
+
+    # ---- in-dialog INVITE (re-INVITE vs hijack) -----------------------------
+
+    def legit_reinvite(ctx: TransitionContext) -> bool:
+        return _src_is_participant(ctx)
+
+    def on_reinvite(ctx: TransitionContext) -> None:
+        # A genuine re-INVITE may move the media; refresh the offer globals.
+        if ctx.x.get("sdp_addr"):
+            ctx.v["g_offer_addr"] = str(ctx.x["sdp_addr"])
+            ctx.v["g_offer_port"] = int(ctx.x.get("sdp_port", 0))
+            ctx.v["g_offer_pts"] = tuple(ctx.x.get("sdp_pts", ()))
+
+    machine.add_transition(ESTABLISHED, "INVITE", ESTABLISHED,
+                           predicate=legit_reinvite, action=on_reinvite,
+                           label="re-invite")
+    machine.add_transition(
+        ESTABLISHED, "INVITE", ATTACK_HIJACK,
+        predicate=lambda ctx: not legit_reinvite(ctx),
+        attack=True, label="hijack-invite")
+
+    # ---- teardown ------------------------------------------------------------
+
+    def on_bye(ctx: TransitionContext) -> None:
+        ctx.v["bye_branch"] = str(ctx.x.get("branch", ""))
+        ctx.v["g_bye_src_ip"] = str(ctx.x.get("src_ip", ""))
+
+    bye_outputs = ([Output(SIP_TO_RTP, DELTA_BYE, _delta_args)]
+                   if cross else [])
+    for state in (ANSWERED, ESTABLISHED):
+        machine.add_transition(state, "BYE", TEARDOWN,
+                               predicate=_src_is_participant, action=on_bye,
+                               outputs=list(bye_outputs), label="bye")
+        machine.add_transition(
+            state, "BYE", ATTACK_BYE,
+            predicate=lambda ctx: not _src_is_participant(ctx),
+            attack=True, label="third-party-bye")
+
+    def is_2xx_bye(ctx: TransitionContext) -> bool:
+        return 200 <= _status(ctx) < 300 and _cseq_method(ctx) == "BYE"
+
+    machine.add_transition(TEARDOWN, "RESPONSE", CLOSED,
+                           predicate=is_2xx_bye, label="bye-200")
+    machine.add_transition(
+        TEARDOWN, "RESPONSE", TEARDOWN,
+        predicate=lambda ctx: not is_2xx_bye(ctx), label="stale-response")
+    machine.add_transition(TEARDOWN, "BYE", TEARDOWN, label="bye-retransmit")
+    machine.add_transition(TEARDOWN, "ACK", TEARDOWN, label="stale-ack")
+
+    for event in ("BYE", "RESPONSE", "ACK"):
+        machine.add_transition(CLOSED, event, CLOSED, label="after-close")
+    for event in ("ACK", "RESPONSE"):
+        machine.add_transition(FAILED, event, FAILED, label="after-fail")
+
+    # ---- attack states absorb further traffic (one alert per entry) ---------
+    for state in SIP_ATTACK_STATES:
+        for event in _ALL_EVENTS:
+            machine.add_transition(state, event, state, label="absorbed")
+
+    machine.validate()
+    return machine

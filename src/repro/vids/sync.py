@@ -1,0 +1,36 @@
+"""Synchronization-message vocabulary between the SIP and RTP machines.
+
+The paper writes these as ``c!δ_SIP->RTP``: internal events carried over the
+reliable FIFO channels of the per-call communicating-EFSM system.  This
+module pins down the machine names, channel ids, and δ event names so the
+two machine builders and the tests agree on the protocol between them.
+"""
+
+from __future__ import annotations
+
+from ..efsm.channels import channel_name
+
+__all__ = [
+    "SIP_MACHINE",
+    "RTP_MACHINE",
+    "SIP_TO_RTP",
+    "RTP_TO_SIP",
+    "DELTA_SESSION_OFFER",
+    "DELTA_SESSION_ANSWER",
+    "DELTA_BYE",
+    "DELTA_CANCELLED",
+]
+
+#: Machine names inside each per-call EFSM system.
+SIP_MACHINE = "sip"
+RTP_MACHINE = "rtp"
+
+#: Channel ids (the paper's queue_12 / queue_21).
+SIP_TO_RTP = channel_name(SIP_MACHINE, RTP_MACHINE)
+RTP_TO_SIP = channel_name(RTP_MACHINE, SIP_MACHINE)
+
+#: δ events sent from the SIP machine to the RTP machine.
+DELTA_SESSION_OFFER = "delta_session_offer"    # INVITE carried an SDP offer
+DELTA_SESSION_ANSWER = "delta_session_answer"  # 200 OK carried an SDP answer
+DELTA_BYE = "delta_bye"                        # call teardown began
+DELTA_CANCELLED = "delta_cancelled"            # call setup abandoned

@@ -1,0 +1,83 @@
+"""Shared fixtures: a miniature two-domain VoIP network."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.netsim import (
+    BPS_DS1,
+    Host,
+    InternetCloud,
+    Network,
+    Router,
+)
+from repro.sip import (
+    DomainDirectory,
+    ProxyServer,
+    SessionDescription,
+    UserAgent,
+)
+
+
+@dataclass
+class MiniVoip:
+    """Two UAs in different domains connected through proxies and a cloud."""
+
+    net: Network
+    ua_a: UserAgent
+    ua_b: UserAgent
+    proxy_a: ProxyServer
+    proxy_b: ProxyServer
+    dns: DomainDirectory
+    cloud: InternetCloud
+
+    @property
+    def sim(self):
+        return self.net.sim
+
+    def sdp_for(self, ua: UserAgent, port: int = 20_000,
+                payload_type: int = 18,
+                encoding: str = "G729") -> SessionDescription:
+        return SessionDescription.for_audio(ua.host.ip, port, payload_type,
+                                            encoding)
+
+    def register_both(self):
+        self.ua_a.register()
+        self.ua_b.register()
+        self.net.run(until=self.sim.now + 2.0)
+        assert self.ua_a.registered and self.ua_b.registered
+
+
+def build_mini_voip(seed=0, internet_delay=0.05, internet_loss=0.0):
+    net = Network(seed=seed)
+    router_a = Router(net, "router-a")
+    router_b = Router(net, "router-b")
+    cloud = InternetCloud(net, transit_delay=internet_delay,
+                          loss_rate=internet_loss)
+    host_a = Host(net, "ua-a", "10.1.0.11")
+    host_b = Host(net, "ua-b", "10.2.0.11")
+    proxy_host_a = Host(net, "proxy-a", "10.1.0.1")
+    proxy_host_b = Host(net, "proxy-b", "10.2.0.1")
+    net.link(host_a, router_a)
+    net.link(proxy_host_a, router_a)
+    net.link(host_b, router_b)
+    net.link(proxy_host_b, router_b)
+    net.link(router_a, cloud, bandwidth_bps=BPS_DS1, propagation_delay=0.001)
+    net.link(router_b, cloud, bandwidth_bps=BPS_DS1, propagation_delay=0.001)
+    dns = DomainDirectory()
+    proxy_a = ProxyServer(proxy_host_a, "a.example.com", dns)
+    proxy_b = ProxyServer(proxy_host_b, "b.example.com", dns)
+    ua_a = UserAgent(host_a, "sip:alice@a.example.com", proxy_a.endpoint)
+    ua_b = UserAgent(host_b, "sip:bob@b.example.com", proxy_b.endpoint)
+    net.compute_routes()
+    return MiniVoip(net, ua_a, ua_b, proxy_a, proxy_b, dns, cloud)
+
+
+@pytest.fixture
+def mini_voip():
+    return build_mini_voip()
+
+
+@pytest.fixture
+def lossy_voip():
+    return build_mini_voip(seed=2, internet_loss=0.05)

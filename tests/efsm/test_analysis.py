@@ -1,0 +1,87 @@
+"""Unit tests for EFSM structural analysis (reachability, attack paths)."""
+
+from repro.efsm import (
+    Efsm,
+    attack_paths,
+    event_coverage,
+    reachable_states,
+    summarize_machine,
+)
+from repro.vids import build_rtp_machine, build_sip_machine
+
+
+def diamond():
+    machine = Efsm("d", "s0")
+    machine.add_state("s1")
+    machine.add_state("s2")
+    machine.add_state("bad", attack=True)
+    machine.add_state("island")      # deliberately unreachable
+    machine.add_transition("s0", "a", "s1")
+    machine.add_transition("s0", "b", "s2")
+    machine.add_transition("s1", "c", "bad")
+    machine.add_transition("s2", "c", "bad")
+    machine.add_transition("s2", "d", "s0")
+    return machine
+
+
+def test_reachable_states():
+    machine = diamond()
+    assert reachable_states(machine) == {"s0", "s1", "s2", "bad"}
+    assert reachable_states(machine, start="s1") == {"s1", "bad"}
+
+
+def test_attack_paths_shortest():
+    machine = diamond()
+    paths = attack_paths(machine)
+    assert set(paths) == {"bad"}
+    path = paths["bad"]
+    assert len(path) == 2            # s0 -> (s1|s2) -> bad
+    assert path[0].source == "s0"
+    assert path[-1].target == "bad"
+
+
+def test_unreachable_attack_state_omitted():
+    machine = Efsm("m", "s0")
+    machine.add_state("bad", attack=True)   # no transition leads there
+    assert attack_paths(machine) == {}
+
+
+def test_event_coverage():
+    machine = diamond()
+    coverage = event_coverage(machine)
+    assert coverage["s0"] == {"a", "b"}
+    assert coverage["s2"] == {"c", "d"}
+    assert coverage["bad"] == set()
+    assert coverage["island"] == set()
+
+
+def test_summary_renders():
+    text = summarize_machine(diamond())
+    assert "machine 'd'" in text
+    assert "reachable: 4/5" in text
+    assert "[2 steps]" in text
+
+
+class TestVidsMachines:
+    def test_every_sip_attack_state_reachable(self):
+        machine = build_sip_machine()
+        paths = attack_paths(machine)
+        assert set(paths) == set(machine.attack_states)
+        # The paper's patterns are short: a handful of transitions.
+        assert all(1 <= len(path) <= 6 for path in paths.values())
+
+    def test_every_rtp_attack_state_reachable(self):
+        machine = build_rtp_machine()
+        paths = attack_paths(machine)
+        assert set(paths) == set(machine.attack_states)
+
+    def test_bye_dos_pattern_goes_through_teardown(self):
+        """The Figure-5 pattern: established -> bye -> close -> attack."""
+        machine = build_rtp_machine()
+        path = attack_paths(machine)["ATTACK_Media_After_Close"]
+        states = [t.source for t in path] + [path[-1].target]
+        assert "RTP_Close" in states
+
+    def test_no_state_is_structurally_dead(self):
+        for machine in (build_sip_machine(), build_rtp_machine()):
+            assert reachable_states(machine) == set(machine.states)

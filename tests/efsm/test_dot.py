@@ -1,0 +1,27 @@
+"""Unit tests for Graphviz export."""
+
+from repro.efsm import Efsm, Output, to_dot
+from repro.vids import build_rtp_machine, build_sip_machine
+
+
+def test_dot_contains_states_and_edges():
+    machine = Efsm("demo", "s0")
+    machine.add_state("bad", attack=True)
+    machine.add_state("end", final=True)
+    machine.add_transition("s0", "go", "end",
+                           outputs=[Output("demo->peer", "delta")])
+    machine.add_transition("s0", "evil", "bad")
+    dot = to_dot(machine)
+    assert dot.startswith('digraph "demo"')
+    assert '"s0"' in dot and '"bad"' in dot and '"end"' in dot
+    assert "doubleoctagon" in dot      # attack state styling
+    assert "doublecircle" in dot       # final state styling
+    assert "demo->peer!delta" in dot   # output annotation
+    assert dot.rstrip().endswith("}")
+
+
+def test_vids_machines_export():
+    for machine in (build_sip_machine(), build_rtp_machine()):
+        dot = to_dot(machine)
+        for state in machine.states:
+            assert f'"{state}"' in dot

@@ -1,0 +1,36 @@
+"""Unit tests for EFSM events."""
+
+from repro.efsm import Event, TIMER_CHANNEL
+
+
+def test_event_accessors():
+    event = Event("INVITE", {"src_ip": "1.2.3.4", "cseq": 7})
+    assert event["src_ip"] == "1.2.3.4"
+    assert event.get("cseq") == 7
+    assert event.get("missing") is None
+    assert event.get("missing", "d") == "d"
+
+
+def test_channel_classification():
+    data = Event("pkt")
+    sync = Event("delta", channel="sip->rtp")
+    timer = Event("T", channel=TIMER_CHANNEL)
+    assert not data.is_sync and not data.is_timer
+    assert sync.is_sync and not sync.is_timer
+    assert timer.is_timer and not timer.is_sync
+
+
+def test_describe_renders_csp_style():
+    event = Event("delta", {"b": 2, "a": 1}, channel="sip->rtp")
+    assert event.describe() == "sip->rtp?delta(a=1, b=2)"
+    assert Event("pkt").describe() == "pkt()"
+
+
+def test_events_are_immutable():
+    event = Event("x", {"k": 1})
+    try:
+        event.name = "y"  # type: ignore[misc]
+        raised = False
+    except Exception:
+        raised = True
+    assert raised

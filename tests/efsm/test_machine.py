@@ -1,0 +1,242 @@
+"""Unit tests for the EFSM definition and interpreter."""
+
+import pytest
+
+from repro.efsm import (
+    DefinitionError,
+    Efsm,
+    EfsmInstance,
+    Event,
+    ManualClock,
+    NondeterminismError,
+    Output,
+    TIMER_CHANNEL,
+)
+
+
+def turnstile():
+    """A classic coin/push turnstile with a coin counter."""
+    machine = Efsm("turnstile", "locked")
+    machine.add_state("unlocked")
+    machine.declare(coins=0)
+    machine.add_transition(
+        "locked", "coin", "unlocked",
+        action=lambda ctx: ctx.v.__setitem__("coins", ctx.v["coins"] + 1))
+    machine.add_transition("unlocked", "push", "locked")
+    machine.add_transition("unlocked", "coin", "unlocked",
+                           action=lambda ctx: ctx.v.__setitem__(
+                               "coins", ctx.v["coins"] + 1))
+    machine.validate()
+    return machine
+
+
+def test_transitions_and_actions():
+    instance = EfsmInstance(turnstile())
+    assert instance.state == "locked"
+    result = instance.deliver(Event("coin"))
+    assert not result.deviation
+    assert instance.state == "unlocked"
+    assert instance.variables["coins"] == 1
+    instance.deliver(Event("coin"))
+    assert instance.variables["coins"] == 2
+    instance.deliver(Event("push"))
+    assert instance.state == "locked"
+
+
+def test_deviation_when_no_transition():
+    instance = EfsmInstance(turnstile())
+    result = instance.deliver(Event("push"))   # push while locked
+    assert result.deviation
+    assert instance.state == "locked"
+    assert result.from_state == result.to_state == "locked"
+
+
+def test_history_records_firings():
+    instance = EfsmInstance(turnstile())
+    instance.deliver(Event("coin"))
+    instance.deliver(Event("push"))
+    assert [r.event.name for r in instance.history] == ["coin", "push"]
+
+
+def test_predicates_select_transition():
+    machine = Efsm("gate", "idle")
+    machine.add_state("open")
+    machine.add_state("alarm", attack=True)
+    machine.add_transition("idle", "badge", "open",
+                           predicate=lambda ctx: ctx.x["valid"])
+    machine.add_transition("idle", "badge", "alarm",
+                           predicate=lambda ctx: not ctx.x["valid"],
+                           attack=True)
+    instance = EfsmInstance(machine)
+    result = instance.deliver(Event("badge", {"valid": False}))
+    assert result.attack
+    assert instance.in_attack_state
+
+
+def test_attack_flag_inferred_from_target_state():
+    machine = Efsm("m", "s0")
+    machine.add_state("bad", attack=True)
+    transition = machine.add_transition("s0", "evil", "bad")
+    assert transition.attack
+
+
+def test_nondeterminism_detected_at_runtime():
+    machine = Efsm("nd", "s0")
+    machine.add_state("s1")
+    machine.add_state("s2")
+    machine.add_transition("s0", "go", "s1")
+    machine.add_transition("s0", "go", "s2")
+    instance = EfsmInstance(machine)
+    with pytest.raises(NondeterminismError):
+        instance.deliver(Event("go"))
+
+
+def test_check_determinism_samples():
+    machine = Efsm("nd", "s0")
+    machine.add_state("s1")
+    machine.add_state("s2")
+    machine.add_transition("s0", "go", "s1",
+                           predicate=lambda ctx: ctx.x["n"] > 0)
+    machine.add_transition("s0", "go", "s2",
+                           predicate=lambda ctx: ctx.x["n"] >= 0)
+    with pytest.raises(NondeterminismError):
+        machine.check_determinism([({}, Event("go", {"n": 1}))])
+    # Disjoint sample: no overlap detected.
+    machine.check_determinism([({}, Event("go", {"n": -1}))])
+
+
+def test_unknown_state_in_transition_rejected():
+    machine = Efsm("m", "s0")
+    with pytest.raises(DefinitionError):
+        machine.add_transition("s0", "e", "nowhere")
+
+
+def test_validate_rejects_unreachable_states():
+    machine = Efsm("m", "s0")
+    machine.add_state("island")
+    with pytest.raises(DefinitionError):
+        machine.validate()
+
+
+def test_channel_events_only_match_channel_transitions():
+    machine = Efsm("m", "s0")
+    machine.add_state("s1")
+    machine.add_transition("s0", "sync", "s1", channel="a->m")
+    instance = EfsmInstance(machine)
+    # Data event with the same name does not match the channel transition.
+    assert instance.deliver(Event("sync")).deviation
+    assert not instance.deliver(Event("sync", channel="a->m")).deviation
+    assert instance.state == "s1"
+
+
+def test_final_states():
+    machine = Efsm("m", "s0")
+    machine.add_state("done", final=True)
+    machine.add_transition("s0", "finish", "done")
+    instance = EfsmInstance(machine)
+    assert not instance.in_final_state
+    instance.deliver(Event("finish"))
+    assert instance.in_final_state
+
+
+def test_outputs_built_from_context():
+    machine = Efsm("m", "s0")
+    machine.add_state("s1")
+    machine.declare(name="x")
+    machine.add_transition(
+        "s0", "go", "s1",
+        outputs=[Output("m->peer", "delta",
+                        lambda ctx: {"who": ctx.v["name"]})])
+    instance = EfsmInstance(machine)
+    result = instance.deliver(Event("go"))
+    assert len(result.outputs) == 1
+    output = result.outputs[0]
+    assert output.name == "delta"
+    assert output.channel == "m->peer"
+    assert output.args == {"who": "x"}
+
+
+def test_default_output_forwards_event_args():
+    machine = Efsm("m", "s0")
+    machine.add_state("s1")
+    machine.add_transition("s0", "go", "s1",
+                           outputs=[Output("m->peer", "delta")])
+    instance = EfsmInstance(machine)
+    result = instance.deliver(Event("go", {"k": 1}))
+    assert result.outputs[0].args == {"k": 1}
+
+
+def test_dynamic_emit_from_action():
+    machine = Efsm("m", "s0")
+    machine.add_state("s1")
+    machine.add_transition(
+        "s0", "go", "s1",
+        action=lambda ctx: ctx.emit("m->peer", "extra", {"n": 5}))
+    instance = EfsmInstance(machine)
+    result = instance.deliver(Event("go"))
+    assert result.outputs[0].name == "extra"
+
+
+def test_timers_via_manual_clock():
+    clock = ManualClock()
+    machine = Efsm("m", "waiting")
+    machine.add_state("expired")
+    machine.add_transition(
+        "waiting", "start", "waiting",
+        action=lambda ctx: ctx.start_timer("T", 5.0))
+    machine.add_transition("waiting", "T", "expired", channel=TIMER_CHANNEL)
+    instance = EfsmInstance(machine, clock_now=clock.now,
+                            timer_scheduler=clock.schedule)
+    instance.deliver(Event("start"))
+    assert instance.active_timers == ["T"]
+    clock.advance(4.0)
+    assert instance.state == "waiting"
+    clock.advance(2.0)
+    assert instance.state == "expired"
+    assert instance.active_timers == []
+
+
+def test_timer_restart_and_cancel():
+    clock = ManualClock()
+    machine = Efsm("m", "s0")
+    machine.add_state("fired")
+    machine.add_transition("s0", "arm", "s0",
+                           action=lambda ctx: ctx.start_timer("T", 5.0))
+    machine.add_transition("s0", "disarm", "s0",
+                           action=lambda ctx: ctx.cancel_timer("T"))
+    machine.add_transition("s0", "T", "fired", channel=TIMER_CHANNEL)
+    instance = EfsmInstance(machine, clock_now=clock.now,
+                            timer_scheduler=clock.schedule)
+    instance.deliver(Event("arm"))
+    clock.advance(3.0)
+    instance.deliver(Event("arm"))      # restart
+    clock.advance(3.0)
+    assert instance.state == "s0"       # old deadline did not fire
+    instance.deliver(Event("disarm"))
+    clock.advance(10.0)
+    assert instance.state == "s0"
+
+
+def test_timer_without_scheduler_raises():
+    machine = Efsm("m", "s0")
+    machine.add_transition("s0", "arm", "s0",
+                           action=lambda ctx: ctx.start_timer("T", 1.0))
+    instance = EfsmInstance(machine)
+    with pytest.raises(RuntimeError):
+        instance.deliver(Event("arm"))
+
+
+def test_variables_local_shadow_globals():
+    from repro.efsm import Variables
+    shared = {"x": "global", "g": 1}
+    variables = Variables({"x": "local"}, shared)
+    assert variables["x"] == "local"
+    assert variables["g"] == 1
+    variables["x"] = "updated"
+    assert shared["x"] == "global"      # local write does not leak
+    variables["g"] = 2
+    assert shared["g"] == 2             # global write is shared
+    assert "missing" not in variables
+    assert variables.get("missing", "d") == "d"
+    snapshot = variables.snapshot()
+    assert snapshot["x"] == "updated" and snapshot["g"] == 2

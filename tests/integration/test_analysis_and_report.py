@@ -1,0 +1,120 @@
+"""Tests for the analysis package (stats, tables, figure export) and the
+vids situation report."""
+
+import csv
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    Summary,
+    bucketize,
+    export_all,
+    format_table,
+    mean,
+    paper_vs_measured,
+    percentile,
+    std,
+    summarize,
+)
+from repro.telephony import (
+    ScenarioParams,
+    TestbedParams,
+    WorkloadParams,
+    run_scenario,
+)
+
+
+class TestStats:
+    def test_mean_std(self):
+        assert mean([]) == 0.0
+        assert mean([1, 2, 3]) == 2.0
+        assert std([5]) == 0.0
+        assert std([1, 3]) == pytest.approx(2 ** 0.5)
+
+    def test_percentile(self):
+        values = list(range(100))
+        assert percentile(values, 0.0) == 0
+        assert percentile(values, 0.5) == 50
+        assert percentile([], 0.5) == 0.0
+
+    def test_summary(self):
+        summary = summarize([3.0, 1.0, 2.0])
+        assert summary.count == 3
+        assert summary.minimum == 1.0
+        assert summary.maximum == 3.0
+        assert summary.median == 2.0
+        assert isinstance(summary, Summary)
+
+    def test_bucketize(self):
+        samples = [(0.1, 1.0), (0.9, 3.0), (1.5, 10.0)]
+        buckets = bucketize(samples, bucket=1.0)
+        assert buckets == [(0.0, 2.0), (1.0, 10.0)]
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        table = format_table(("a", "bee"), [("xx", 1), ("y", 22)])
+        lines = table.split("\n")
+        assert lines[0].startswith("a ")
+        assert "--" in lines[1]
+        assert len(lines) == 4
+        # Columns are aligned: every row has the same prefix width.
+        assert lines[2].index("1") == lines[3].index("22")
+
+    def test_paper_vs_measured_header(self):
+        text = paper_vs_measured("My Table", [("m", "p", "v", "")])
+        assert "My Table" in text
+        assert "metric" in text and "paper" in text and "measured" in text
+
+
+class TestFigureExport:
+    @pytest.fixture(scope="class")
+    def paired(self):
+        workload = WorkloadParams(mean_interarrival=25.0, mean_duration=20.0,
+                                  horizon=120.0)
+        on = run_scenario(ScenarioParams(
+            testbed=TestbedParams(seed=6, phones_per_network=3),
+            workload=workload, with_vids=True, drain_time=60.0))
+        off = run_scenario(ScenarioParams(
+            testbed=TestbedParams(seed=6, phones_per_network=3),
+            workload=workload, with_vids=False, drain_time=60.0))
+        return on, off
+
+    def test_export_all_writes_csvs(self, paired, tmp_path):
+        on, off = paired
+        paths = export_all(on, off, tmp_path)
+        assert set(paths) == {"arrivals", "durations", "fig9", "fig10"}
+        for path in paths.values():
+            assert Path(path).exists()
+
+    def test_fig9_rows_cover_both_runs(self, paired, tmp_path):
+        on, off = paired
+        paths = export_all(on, off, tmp_path)
+        with open(paths["fig9"]) as handle:
+            rows = list(csv.DictReader(handle))
+        flags = {row["with_vids"] for row in rows}
+        assert flags == {"0", "1"}
+        delays = [float(row["setup_delay_s"]) for row in rows]
+        assert all(0 < d < 2 for d in delays)
+
+    def test_fig8_arrivals_sum_to_call_count(self, paired, tmp_path):
+        on, off = paired
+        paths = export_all(on, off, tmp_path)
+        with open(paths["arrivals"]) as handle:
+            rows = list(csv.DictReader(handle))
+        total = sum(int(row["arrivals"]) for row in rows)
+        assert total == len(on.workload.calls)
+
+
+def test_vids_report_renders(tmp_path):
+    result = run_scenario(ScenarioParams(
+        testbed=TestbedParams(seed=6, phones_per_network=2),
+        workload=WorkloadParams(mean_interarrival=20.0, mean_duration=15.0,
+                                horizon=60.0),
+        with_vids=True, drain_time=60.0))
+    report = result.vids.report()
+    assert "vids report" in report
+    assert "SIP messages" in report
+    assert "no alerts" in report
+    assert str(result.vids.metrics.rtp_packets) in report

@@ -1,0 +1,55 @@
+"""CLI tests for the vids-repro entry point."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_scenario_defaults(self):
+        args = build_parser().parse_args(["scenario"])
+        assert args.command == "scenario"
+        assert args.horizon == 1800.0
+        assert args.seed == 3
+        assert args.figures is None
+
+    def test_scenario_options(self):
+        args = build_parser().parse_args(
+            ["scenario", "--horizon", "600", "--seed", "9",
+             "--phones", "4", "--figures", "/tmp/figs"])
+        assert args.horizon == 600.0
+        assert args.seed == 9
+        assert args.phones == 4
+        assert args.figures == "/tmp/figs"
+
+    def test_machines_flags(self):
+        args = build_parser().parse_args(["machines", "--dot"])
+        assert args.command == "machines" and args.dot
+
+
+class TestCommands:
+    def test_machines_summary(self, capsys):
+        assert main(["machines"]) == 0
+        out = capsys.readouterr().out
+        assert "machine 'sip'" in out
+        assert "machine 'rtp'" in out
+        assert "attack patterns" in out
+        assert "ATTACK_Invite_Flood" in out
+
+    def test_machines_dot(self, capsys):
+        assert main(["machines", "--dot"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("digraph") == 4
+
+    def test_scenario_runs_and_exports(self, capsys, tmp_path):
+        code = main(["scenario", "--horizon", "240", "--phones", "3",
+                     "--figures", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mean setup delay" in out
+        assert "mean MOS" in out
+        assert (tmp_path / "fig9_setup_delay.csv").exists()

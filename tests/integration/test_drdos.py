@@ -1,0 +1,55 @@
+"""Integration: DRDoS reflection through the proxy is caught per-source."""
+
+from repro.attacks import DrdosReflectionAttack, InviteFloodAttack
+from repro.telephony import (
+    ScenarioParams,
+    TestbedParams,
+    WorkloadParams,
+    run_scenario,
+)
+from repro.vids import AttackType
+
+WORKLOAD = WorkloadParams(mean_interarrival=30.0, mean_duration=60.0,
+                          horizon=90.0)
+
+
+def run_with(attack):
+    return run_scenario(ScenarioParams(
+        testbed=TestbedParams(seed=11, phones_per_network=4),
+        workload=WORKLOAD, with_vids=True, attacks=(attack,),
+        drain_time=60.0))
+
+
+def test_reflection_detected_and_names_the_victim():
+    attack = DrdosReflectionAttack(30.0, victim_ip="198.51.100.7",
+                                   count=20, callees=10)
+    result = run_with(attack)
+    assert attack.launched
+    alerts = result.vids.alert_manager.by_type(AttackType.DRDOS_REFLECTION)
+    assert len(alerts) == 1
+    assert alerts[0].source == "198.51.100.7"
+    assert alerts[0].detail["scenario"] == "S9"
+
+
+def test_reflection_fanout_does_not_trip_per_callee_flood():
+    """Spread over 10 callees, each callee sees only 2 INVITEs."""
+    attack = DrdosReflectionAttack(30.0, count=20, callees=10)
+    result = run_with(attack)
+    assert result.vids.alert_count(AttackType.INVITE_FLOOD) == 0
+    assert result.vids.alert_count(AttackType.DRDOS_REFLECTION) == 1
+
+
+def test_single_target_flood_still_caught_by_figure4_machine():
+    attack = InviteFloodAttack(30.0, count=8, interval=0.05)
+    result = run_with(attack)
+    assert result.vids.alert_count(AttackType.INVITE_FLOOD) == 1
+
+
+def test_benign_calling_rate_trips_neither_counter():
+    result = run_scenario(ScenarioParams(
+        testbed=TestbedParams(seed=5),
+        workload=WorkloadParams(mean_interarrival=15.0, mean_duration=30.0,
+                                horizon=300.0),
+        with_vids=True, drain_time=90.0))
+    assert result.vids.alert_count(AttackType.INVITE_FLOOD) == 0
+    assert result.vids.alert_count(AttackType.DRDOS_REFLECTION) == 0

@@ -1,0 +1,60 @@
+"""Scenario result surface: summaries, MOS, and series accessors."""
+
+import pytest
+
+from repro.telephony import (
+    ScenarioParams,
+    TestbedParams,
+    WorkloadParams,
+    run_scenario,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_scenario(ScenarioParams(
+        testbed=TestbedParams(seed=12, phones_per_network=3),
+        workload=WorkloadParams(mean_interarrival=25.0, mean_duration=25.0,
+                                horizon=150.0),
+        with_vids=True, drain_time=90.0))
+
+
+def test_summary_contains_all_headline_metrics(result):
+    summary = result.summary()
+    for key in ("with_vids", "placed_calls", "answered_calls",
+                "mean_setup_delay", "mean_rtp_delay",
+                "mean_rtp_delay_variation", "mean_rtp_jitter", "mean_mos",
+                "cpu_utilization", "alerts"):
+        assert key in summary, key
+    assert summary["with_vids"] is True
+    assert summary["placed_calls"] >= summary["answered_calls"] > 0
+
+
+def test_mos_scores_in_valid_range(result):
+    scores = result.mos_scores()
+    assert scores
+    assert all(1.0 <= score <= 4.5 for score in scores)
+    # The testbed is toll-quality.
+    assert result.mean_mos > 3.5
+
+
+def test_series_accessors_consistent(result):
+    answered = result.answered_calls
+    assert len(result.setup_delays()) == answered
+    # Each answered call produced stats on both legs with media.
+    assert len(result.rtp_delays()) >= answered
+    assert all(delay > 0.0 for delay in result.rtp_delays())
+    assert all(value >= 0.0 for value in result.rtp_delay_variations())
+
+
+def test_per_caller_filter(result):
+    all_delays = result.setup_delays()
+    by_caller = []
+    for index in range(1, 4):
+        by_caller.extend(result.setup_delays(caller=f"a{index}"))
+    assert sorted(by_caller) == sorted(all_delays)
+
+
+def test_elapsed_and_workload_bookkeeping(result):
+    assert result.elapsed >= result.params.workload.horizon
+    assert len(result.workload.calls) == result.placed_calls

@@ -1,0 +1,112 @@
+"""Unit-level tests for the telephony layer (workload, phones, scenario)."""
+
+import pytest
+
+from repro.netsim import RandomStreams
+from repro.telephony import (
+    CallWorkload,
+    PhoneProfile,
+    TestbedParams,
+    WorkloadParams,
+    build_testbed,
+)
+
+
+class TestWorkloadGenerator:
+    def make(self, **overrides):
+        params = WorkloadParams(**overrides)
+        return CallWorkload(params, RandomStreams(5), n_callers=10,
+                            n_callees=10)
+
+    def test_arrivals_within_horizon_and_sorted(self):
+        workload = self.make(horizon=3600.0)
+        times = [c.arrival_time for c in workload.calls]
+        assert times == sorted(times)
+        assert all(0 < t < 3600.0 for t in times)
+
+    def test_durations_bounded_below(self):
+        workload = self.make(min_duration=10.0, mean_duration=30.0)
+        assert all(c.duration >= 10.0 for c in workload.calls)
+
+    def test_party_indices_in_range(self):
+        workload = self.make()
+        assert all(0 <= c.caller_index < 10 for c in workload.calls)
+        assert all(0 <= c.callee_index < 10 for c in workload.calls)
+
+    def test_mean_interarrival_roughly_respected(self):
+        workload = self.make(mean_interarrival=60.0, horizon=36_000.0)
+        expected = 36_000.0 / 60.0
+        assert 0.7 * expected < len(workload.calls) < 1.3 * expected
+
+    def test_arrival_series_buckets_sum_to_total(self):
+        workload = self.make()
+        series = workload.arrival_series(bucket=600.0)
+        assert sum(series) == len(workload.calls)
+
+    def test_duration_series_matches_calls(self):
+        workload = self.make()
+        assert len(workload.duration_series()) == len(workload.calls)
+
+
+class TestPhones:
+    def test_media_port_allocation_is_unique_per_call(self):
+        testbed = build_testbed(TestbedParams(phones_per_network=1, seed=1))
+        phone = testbed.phones_a[0]
+        ports = {phone._allocate_port() for _ in range(10)}
+        assert len(ports) == 10
+        assert all(port >= 20_000 and port % 2 == 0 for port in ports)
+
+    def test_profile_defaults_match_paper_codec(self):
+        profile = PhoneProfile()
+        assert profile.codec.name == "G729"
+        assert profile.codec.frame_ms == 10.0
+        assert profile.vad is True
+
+    def test_call_stats_recorded_for_failed_call(self):
+        testbed = build_testbed(TestbedParams(phones_per_network=1, seed=1))
+        testbed.register_all()
+        testbed.sim.run(until=2.0)
+        call = testbed.phones_a[0].place_call("sip:ghost@b.example.com", 5.0)
+        testbed.network.run(until=30.0)
+        stats = testbed.phones_a[0].stats
+        assert len(stats) == 1
+        assert not stats[0].answered
+        assert stats[0].final_state == "failed"
+        assert stats[0].rtp_packets_received == 0
+
+
+class TestTestbedTopology:
+    def test_vids_device_sits_between_router_b_and_hub_b(self):
+        testbed = build_testbed(TestbedParams(seed=1))
+        names = {link.other(testbed.vids_device).name
+                 for link in testbed.vids_device.links}
+        assert names == {"router-b", "hub-b"}
+
+    def test_all_cross_domain_traffic_crosses_vids(self):
+        """Every packet from A to B traverses the inline device."""
+        testbed = build_testbed(TestbedParams(phones_per_network=2, seed=1))
+        testbed.register_all()
+        testbed.sim.run(until=2.0)
+        before = testbed.vids_device.packets_forwarded
+        testbed.phones_a[0].place_call("sip:b1@b.example.com", 5.0)
+        testbed.network.run(until=30.0)
+        forwarded = testbed.vids_device.packets_forwarded - before
+        # Signaling + two directions of media must all have crossed.
+        assert forwarded > 100
+
+    def test_intra_domain_traffic_does_not_cross_vids(self):
+        testbed = build_testbed(TestbedParams(phones_per_network=2, seed=1))
+        testbed.register_all()          # registration is proxy-local
+        testbed.sim.run(until=2.0)
+        # A-side registrations never touch the B-side perimeter; the only
+        # packets seen so far are B-side phones registering (hub <-> proxy
+        # stays on the hub, so even those do not cross the inline device).
+        assert testbed.vids_device.packets_forwarded == 0
+
+    def test_paper_defaults(self):
+        params = TestbedParams()
+        assert params.internet_delay == 0.050
+        assert params.internet_loss == 0.0042
+        assert params.uplink_bps == 1_544_000
+        assert params.lan_bps == 100_000_000
+        assert params.phones_per_network == 10

@@ -1,0 +1,44 @@
+"""Workload installation wiring: planned calls become real calls."""
+
+from repro.netsim import RandomStreams
+from repro.telephony import (
+    CallWorkload,
+    TestbedParams,
+    WorkloadParams,
+    build_testbed,
+)
+
+
+def test_install_places_every_planned_call_and_records_ids():
+    testbed = build_testbed(TestbedParams(phones_per_network=3, seed=4))
+    testbed.register_all()
+    testbed.sim.run(until=2.0)
+    workload = CallWorkload(
+        WorkloadParams(mean_interarrival=15.0, mean_duration=10.0,
+                       horizon=90.0),
+        RandomStreams(4).fork("wl"), n_callers=3, n_callees=3)
+    base = testbed.sim.now
+    for planned in workload.calls:
+        planned.arrival_time += base
+    workload.install(testbed)
+    testbed.network.run(until=base + 90.0 + 60.0)
+
+    assert all(planned.call_id is not None for planned in workload.calls)
+    placed = [record for phone in testbed.phones_a
+              for record in phone.stats if record.is_caller_side]
+    assert len(placed) == len(workload.calls)
+    # Caller/callee selection honoured the plan.
+    by_id = {record.call_id: record for record in placed}
+    for planned in workload.calls:
+        record = by_id[planned.call_id]
+        assert record.caller == f"a{planned.caller_index + 1}@a.example.com"
+        assert record.callee == f"b{planned.callee_index + 1}@b.example.com"
+
+
+def test_empty_workload_is_fine():
+    testbed = build_testbed(TestbedParams(phones_per_network=1, seed=4))
+    workload = CallWorkload(
+        WorkloadParams(horizon=0.0), RandomStreams(1), 1, 1)
+    assert workload.calls == []
+    workload.install(testbed)
+    testbed.network.run(until=5.0)

@@ -1,0 +1,110 @@
+"""Unit tests for inline (bump-in-the-wire) devices."""
+
+import pytest
+
+from repro.netsim import (
+    Endpoint,
+    Host,
+    InlineDevice,
+    Network,
+    NullProcessor,
+    PacketTrace,
+)
+
+
+class FixedCostProcessor:
+    """Charges a constant service time and counts packets."""
+
+    def __init__(self, cost):
+        self.cost = cost
+        self.seen = []
+
+    def process(self, datagram, now):
+        self.seen.append((now, datagram))
+        return self.cost
+
+
+def build(processor=None):
+    net = Network(seed=0)
+    a = Host(net, "a", "10.0.0.1")
+    b = Host(net, "b", "10.0.1.1")
+    device = InlineDevice(net, "mid", processor=processor)
+    net.link(a, device, propagation_delay=0.0)
+    net.link(device, b, propagation_delay=0.0)
+    net.compute_routes()
+    return net, a, b, device
+
+
+def test_transparent_forwarding_with_null_processor():
+    net, a, b, device = build(NullProcessor())
+    received = []
+    b.bind(7, received.append)
+    a.send_udp(Endpoint("10.0.1.1", 7), b"x", 7)
+    net.run()
+    assert len(received) == 1
+    assert device.packets_forwarded == 1
+    assert device.cpu_utilization() == 0.0
+
+
+def test_forwarding_in_both_directions():
+    net, a, b, device = build()
+    got_a, got_b = [], []
+    a.bind(7, got_a.append)
+    b.bind(7, got_b.append)
+    a.send_udp(Endpoint("10.0.1.1", 7), b"to-b", 7)
+    b.send_udp(Endpoint("10.0.0.1", 7), b"to-a", 7)
+    net.run()
+    assert got_b[0].payload == b"to-b"
+    assert got_a[0].payload == b"to-a"
+
+
+def test_processing_cost_delays_packets():
+    processor = FixedCostProcessor(0.05)
+    net, a, b, device = build(processor)
+    arrivals = []
+    b.bind(7, lambda d: arrivals.append(net.sim.now))
+    a.send_udp(Endpoint("10.0.1.1", 7), b"x", 7)
+    net.run()
+    assert arrivals[0] == pytest.approx(0.05, abs=0.001)
+
+
+def test_single_server_queueing():
+    processor = FixedCostProcessor(0.05)
+    net, a, b, device = build(processor)
+    arrivals = []
+    b.bind(7, lambda d: arrivals.append(net.sim.now))
+    a.send_udp(Endpoint("10.0.1.1", 7), b"x", 7)
+    a.send_udp(Endpoint("10.0.1.1", 7), b"y", 7)
+    net.run()
+    # Second packet waits for the first one's service.
+    assert arrivals[1] - arrivals[0] == pytest.approx(0.05, abs=0.002)
+
+
+def test_cpu_utilization_accounting():
+    processor = FixedCostProcessor(0.1)
+    net, a, b, device = build(processor)
+    b.bind(7, lambda d: None)
+    for _ in range(5):
+        a.send_udp(Endpoint("10.0.1.1", 7), b"x", 7)
+    net.run(until=10.0)
+    # 5 packets x 0.1 s busy over ~10 s elapsed.
+    assert device.cpu_utilization(until=10.0) == pytest.approx(0.05, rel=0.05)
+
+
+def test_third_link_rejected():
+    net, a, b, device = build()
+    c = Host(net, "c", "10.0.2.1")
+    with pytest.raises(ValueError):
+        net.link(device, c)
+
+
+def test_packet_trace_as_processor():
+    trace = PacketTrace(where="mid")
+    net, a, b, device = build(trace)
+    b.bind(7, lambda d: None)
+    a.send_udp(Endpoint("10.0.1.1", 7), b"x", 7)
+    net.run()
+    assert len(trace) == 1
+    assert trace.records[0].where == "mid"
+    trace.clear()
+    assert len(trace) == 0

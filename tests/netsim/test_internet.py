@@ -1,0 +1,59 @@
+"""Unit tests for the Internet cloud node."""
+
+import pytest
+
+from repro.netsim import Endpoint, Host, InternetCloud, Network
+
+
+def build(delay=0.05, loss=0.0, seed=0):
+    net = Network(seed=seed)
+    a = Host(net, "a", "10.0.0.1")
+    b = Host(net, "b", "10.0.1.1")
+    cloud = InternetCloud(net, transit_delay=delay, loss_rate=loss)
+    net.link(a, cloud, propagation_delay=0.0)
+    net.link(cloud, b, propagation_delay=0.0)
+    net.compute_routes()
+    return net, a, b, cloud
+
+
+def test_transit_delay_applied():
+    net, a, b, cloud = build(delay=0.05)
+    arrivals = []
+    b.bind(7, lambda d: arrivals.append(net.sim.now))
+    a.send_udp(Endpoint("10.0.1.1", 7), b"x", 7)
+    net.run()
+    assert len(arrivals) == 1
+    # serialization is ~microseconds at 100 Mb/s; transit dominates.
+    assert arrivals[0] == pytest.approx(0.05, abs=0.001)
+    assert cloud.packets_carried == 1
+
+
+def test_loss_rate_applied():
+    net, a, b, cloud = build(loss=1.0)
+    received = []
+    b.bind(7, received.append)
+    a.send_udp(Endpoint("10.0.1.1", 7), b"x", 7)
+    net.run()
+    assert received == []
+    assert cloud.packets_lost == 1
+    assert net.drops[("internet", "internet-loss")] == 1
+
+
+def test_testbed_loss_rate_statistics():
+    net, a, b, cloud = build(loss=0.0042, seed=3)
+    received = []
+    b.bind(7, received.append)
+    for _ in range(10_000):
+        a.send_udp(Endpoint("10.0.1.1", 7), b"x", 7)
+    net.run()
+    loss = cloud.packets_lost / 10_000
+    assert 0.002 < loss < 0.007  # around the configured 0.42%
+
+
+def test_zero_delay_cloud_forwards_immediately():
+    net, a, b, cloud = build(delay=0.0)
+    arrivals = []
+    b.bind(7, lambda d: arrivals.append(net.sim.now))
+    a.send_udp(Endpoint("10.0.1.1", 7), b"x", 7)
+    net.run()
+    assert arrivals[0] < 0.001

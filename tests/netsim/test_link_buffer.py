@@ -1,0 +1,66 @@
+"""Drop-tail link buffer tests."""
+
+import pytest
+
+from repro.netsim import Endpoint, Host, Network
+
+
+def build(max_queue_delay=None, bandwidth=1_000_000):
+    net = Network(seed=0)
+    a = Host(net, "a", "10.0.0.1")
+    b = Host(net, "b", "10.0.0.2")
+    link = net.link(a, b, bandwidth_bps=bandwidth, propagation_delay=0.0,
+                    max_queue_delay=max_queue_delay)
+    net.compute_routes()
+    received = []
+    b.bind(7, received.append)
+    return net, a, link, received
+
+
+def burst(net, a, count, size=972):
+    for _ in range(count):
+        a.send_udp(Endpoint("10.0.0.2", 7), bytes(size), 7)
+
+
+def test_unbounded_buffer_by_default():
+    net, a, link, received = build(max_queue_delay=None)
+    burst(net, a, 100)   # 100 x 8 ms = 800 ms of queue
+    net.run()
+    assert len(received) == 100
+    assert link.stats["a"].packets_overflowed == 0
+
+
+def test_overflow_drops_beyond_buffer():
+    # 1000 B at 1 Mb/s = 8 ms serialization; 50 ms buffer holds ~6 packets
+    # beyond the one in service.
+    net, a, link, received = build(max_queue_delay=0.05)
+    burst(net, a, 100)
+    net.run()
+    stats = link.stats["a"]
+    assert stats.packets_overflowed > 0
+    assert stats.packets_sent + stats.packets_overflowed == 100
+    assert len(received) == stats.packets_sent
+    # Roughly buffer/serialization packets get through per burst.
+    assert 5 <= stats.packets_sent <= 9
+
+
+def test_queueing_delay_bounded_by_buffer():
+    net, a, link, received = build(max_queue_delay=0.05)
+    arrival_times = []
+    net.hosts["10.0.0.2"].unbind(7)
+    net.hosts["10.0.0.2"].bind(
+        7, lambda d: arrival_times.append(net.sim.now - d.created_at))
+    burst(net, a, 100)
+    net.run()
+    assert max(arrival_times) <= 0.05 + 0.008 + 1e-9
+
+
+def test_buffer_drains_between_bursts():
+    net, a, link, received = build(max_queue_delay=0.05)
+    burst(net, a, 10)
+    net.sim.run(until=1.0)      # drain completely
+    first_through = len(received)
+    burst(net, a, 10)
+    net.run()
+    # Second burst is treated identically to the first.
+    assert len(received) == 2 * first_through

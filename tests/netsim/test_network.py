@@ -1,0 +1,59 @@
+"""Unit tests for topology/route computation."""
+
+from repro.netsim import Endpoint, Host, Network, Router
+
+
+def test_routes_prefer_shortest_path():
+    net = Network(seed=0)
+    a = Host(net, "a", "10.0.0.1")
+    b = Host(net, "b", "10.0.1.1")
+    r1 = Router(net, "r1")
+    r2 = Router(net, "r2")
+    r3 = Router(net, "r3")
+    # Short path a-r1-b; long path a-r2-r3-b.
+    net.link(a, r1)
+    net.link(r1, b)
+    net.link(a, r2)
+    net.link(r2, r3)
+    net.link(r3, b)
+    net.compute_routes()
+    # a's next hop toward b must be the a-r1 link.
+    link = a.routes["10.0.1.1"]
+    assert {link.node_a.name, link.node_b.name} == {"a", "r1"}
+
+
+def test_routes_recomputed_after_topology_change():
+    net = Network(seed=0)
+    a = Host(net, "a", "10.0.0.1")
+    b = Host(net, "b", "10.0.1.1")
+    net.link(a, b)
+    net.compute_routes()
+    received = []
+    b.bind(7, received.append)
+    a.send_udp(Endpoint("10.0.1.1", 7), b"one", 7)
+    net.run()
+    assert len(received) == 1
+
+    c = Host(net, "c", "10.0.2.1")
+    net.link(b, c)
+    got_c = []
+    c.bind(7, got_c.append)
+    net.compute_routes()  # send_udp forwards immediately, so refresh first
+    a.send_udp(Endpoint("10.0.2.1", 7), b"x", 7)
+    net.run()
+    # a->c goes through b, but b is a host and drops transit traffic.
+    assert net.drops[("b", "not-mine")] == 1
+
+
+def test_host_by_ip_lookup():
+    net = Network(seed=0)
+    a = Host(net, "a", "10.0.0.1")
+    assert net.host_by_ip("10.0.0.1") is a
+
+
+def test_disconnected_node_has_no_route():
+    net = Network(seed=0)
+    a = Host(net, "a", "10.0.0.1")
+    Host(net, "b", "10.0.1.1")
+    net.compute_routes()
+    assert "10.0.1.1" not in a.routes

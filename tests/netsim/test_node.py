@@ -1,0 +1,100 @@
+"""Unit tests for hosts, routers, and forwarding."""
+
+import pytest
+
+from repro.netsim import Endpoint, Host, Network, Router
+
+
+def build_line():
+    """a -- r1 -- r2 -- b"""
+    net = Network(seed=0)
+    a = Host(net, "a", "10.0.0.1")
+    b = Host(net, "b", "10.0.1.1")
+    r1 = Router(net, "r1")
+    r2 = Router(net, "r2")
+    net.link(a, r1)
+    net.link(r1, r2)
+    net.link(r2, b)
+    net.compute_routes()
+    return net, a, b
+
+
+def test_multihop_forwarding():
+    net, a, b = build_line()
+    received = []
+    b.bind(7, received.append)
+    a.send_udp(Endpoint("10.0.1.1", 7), b"ping", 7)
+    net.run()
+    assert len(received) == 1
+    assert received[0].payload == b"ping"
+    assert received[0].hops == 3
+
+
+def test_unbound_port_counts_drop():
+    net, a, b = build_line()
+    a.send_udp(Endpoint("10.0.1.1", 99), b"x", 7)
+    net.run()
+    assert net.drops[("b", "port-unreachable")] == 1
+
+
+def test_unknown_destination_counts_drop():
+    net, a, b = build_line()
+    a.send_udp(Endpoint("10.9.9.9", 7), b"x", 7)
+    net.run()
+    assert net.drops[("a", "no-route")] == 1
+
+
+def test_source_spoofing_is_possible():
+    net, a, b = build_line()
+    received = []
+    b.bind(7, received.append)
+    a.send_udp(Endpoint("10.0.1.1", 7), b"x", 7, src_ip="6.6.6.6")
+    net.run()
+    assert received[0].src == Endpoint("6.6.6.6", 7)
+
+
+def test_loopback_delivery():
+    net, a, b = build_line()
+    received = []
+    a.bind(7, received.append)
+    a.send_udp(Endpoint("10.0.0.1", 7), b"self", 7)
+    net.run()
+    assert received[0].payload == b"self"
+    assert received[0].hops == 0
+
+
+def test_hosts_do_not_forward_transit_traffic():
+    net = Network(seed=0)
+    a = Host(net, "a", "10.0.0.1")
+    middle = Host(net, "m", "10.0.0.2")
+    c = Host(net, "c", "10.0.0.3")
+    net.link(a, middle)
+    net.link(middle, c)
+    net.compute_routes()
+    a.send_udp(Endpoint("10.0.0.3", 7), b"x", 7)
+    net.run()
+    assert net.drops[("m", "not-mine")] == 1
+
+
+def test_double_bind_rejected():
+    net = Network(seed=0)
+    a = Host(net, "a", "10.0.0.1")
+    a.bind(5, lambda d: None)
+    with pytest.raises(ValueError):
+        a.bind(5, lambda d: None)
+    a.unbind(5)
+    a.bind(5, lambda d: None)  # rebinding after unbind is fine
+
+
+def test_duplicate_node_name_rejected():
+    net = Network(seed=0)
+    Host(net, "a", "10.0.0.1")
+    with pytest.raises(ValueError):
+        Router(net, "a")
+
+
+def test_duplicate_host_ip_rejected():
+    net = Network(seed=0)
+    Host(net, "a", "10.0.0.1")
+    with pytest.raises(ValueError):
+        Host(net, "b", "10.0.0.1")

@@ -1,0 +1,44 @@
+"""Unit tests for named seeded random streams."""
+
+from repro.netsim import RandomStreams
+
+
+def test_same_seed_same_stream_is_deterministic():
+    a = RandomStreams(42).stream("calls")
+    b = RandomStreams(42).stream("calls")
+    assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+
+def test_different_names_give_different_sequences():
+    streams = RandomStreams(42)
+    a = [streams.stream("a").random() for _ in range(5)]
+    b = [streams.stream("b").random() for _ in range(5)]
+    assert a != b
+
+
+def test_different_seeds_give_different_sequences():
+    a = RandomStreams(1).stream("x").random()
+    b = RandomStreams(2).stream("x").random()
+    assert a != b
+
+
+def test_stream_identity_is_cached():
+    streams = RandomStreams(0)
+    assert streams.stream("x") is streams.stream("x")
+
+
+def test_draws_on_one_stream_do_not_disturb_another():
+    pristine = RandomStreams(7)
+    reference = [pristine.stream("b").random() for _ in range(5)]
+    streams = RandomStreams(7)
+    for _ in range(100):
+        streams.stream("a").random()
+    assert [streams.stream("b").random() for _ in range(5)] == reference
+
+
+def test_fork_is_deterministic_and_distinct():
+    parent = RandomStreams(5)
+    child1 = parent.fork("wl")
+    child2 = RandomStreams(5).fork("wl")
+    assert child1.seed == child2.seed
+    assert child1.seed != parent.seed

@@ -1,0 +1,83 @@
+"""Property-based tests for the network substrate."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.netsim import Endpoint, Host, Network, Router
+
+
+def build_star(n_hosts):
+    net = Network(seed=0)
+    hub = Router(net, "hub")
+    hosts = []
+    for index in range(n_hosts):
+        host = Host(net, f"h{index}", f"10.0.0.{index + 1}")
+        net.link(host, hub)
+        hosts.append(host)
+    net.compute_routes()
+    return net, hosts
+
+
+@given(st.lists(st.tuples(st.integers(0, 4), st.integers(0, 4),
+                          st.binary(min_size=1, max_size=50)),
+                min_size=1, max_size=40))
+@settings(max_examples=40, deadline=None)
+def test_packet_conservation_on_lossless_network(sends):
+    """Every packet sent to a bound port on a lossless net arrives once."""
+    net, hosts = build_star(5)
+    received = {index: [] for index in range(5)}
+    for index, host in enumerate(hosts):
+        host.bind(7, received[index].append)
+    expected = {index: 0 for index in range(5)}
+    for src, dst, payload in sends:
+        hosts[src].send_udp(Endpoint(f"10.0.0.{dst + 1}", 7), payload, 7)
+        expected[dst] += 1
+    net.run()
+    for index in range(5):
+        assert len(received[index]) == expected[index]
+    # Payload integrity.
+    all_sent = sorted(payload for _, _, payload in sends)
+    all_got = sorted(d.payload for datagrams in received.values()
+                     for d in datagrams)
+    assert all_got == all_sent
+
+
+@given(loss=st.floats(min_value=0.0, max_value=1.0),
+       count=st.integers(1, 200), seed=st.integers(0, 10))
+@settings(max_examples=30, deadline=None)
+def test_loss_accounting_is_complete(loss, count, seed):
+    """sent + dropped == offered, at any loss rate."""
+    net = Network(seed=seed)
+    a = Host(net, "a", "10.0.0.1")
+    b = Host(net, "b", "10.0.0.2")
+    link = net.link(a, b, loss_rate=loss)
+    got = []
+    b.bind(7, got.append)
+    net.compute_routes()
+    for _ in range(count):
+        a.send_udp(Endpoint("10.0.0.2", 7), b"x", 7)
+    net.run()
+    stats = link.stats["a"]
+    assert stats.packets_sent + stats.packets_dropped == count
+    assert len(got) == stats.packets_sent
+
+
+@given(st.lists(st.floats(min_value=0.0001, max_value=10.0,
+                          allow_nan=False), min_size=2, max_size=30))
+@settings(max_examples=40, deadline=None)
+def test_fifo_links_never_reorder(delays_between_sends):
+    """A FIFO link delivers equal-priority packets in send order."""
+    net = Network(seed=1)
+    a = Host(net, "a", "10.0.0.1")
+    b = Host(net, "b", "10.0.0.2")
+    net.link(a, b, bandwidth_bps=1_000_000, propagation_delay=0.01)
+    net.compute_routes()
+    order = []
+    b.bind(7, lambda d: order.append(int(d.payload)))
+    time = 0.0
+    for index, gap in enumerate(delays_between_sends):
+        net.sim.schedule_at(time, a.send_udp,
+                            Endpoint("10.0.0.2", 7),
+                            str(index).encode(), 7)
+        time += gap
+    net.run()
+    assert order == sorted(order)

@@ -1,0 +1,103 @@
+"""Property-based tests for the SIP wire format (hypothesis)."""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sip import (
+    CSeq,
+    METHODS,
+    NameAddr,
+    SipRequest,
+    SipResponse,
+    SipUri,
+    Via,
+    parse_message,
+)
+
+_token = st.text(alphabet=string.ascii_lowercase + string.digits,
+                 min_size=1, max_size=16)
+_hosts = st.from_regex(r"[a-z][a-z0-9]{0,8}(\.[a-z][a-z0-9]{0,6}){0,2}",
+                       fullmatch=True)
+_ips = st.from_regex(r"(\d{1,3}\.){3}\d{1,3}", fullmatch=True)
+
+
+@given(method=st.sampled_from(METHODS), user=_token, host=_hosts,
+       call_id=_token, cseq=st.integers(1, 2 ** 31 - 1),
+       from_tag=_token, body=st.text(
+           alphabet=string.ascii_letters + string.digits + " .=\n",
+           max_size=200))
+@settings(max_examples=60)
+def test_request_survives_serialization(method, user, host, call_id, cseq,
+                                        from_tag, body):
+    request = SipRequest(method, SipUri(user, host), body=body)
+    request.set("Via", f"SIP/2.0/UDP {host}:5060;branch=z9hG4bK{call_id}")
+    request.set("From", str(NameAddr(SipUri(user, host)).with_tag(from_tag)))
+    request.set("To", str(NameAddr(SipUri("peer", host))))
+    request.set("Call-ID", f"{call_id}@{host}")
+    request.set("CSeq", str(CSeq(cseq, method)))
+
+    parsed = parse_message(request.serialize())
+    assert isinstance(parsed, SipRequest)
+    assert parsed.method == method
+    assert parsed.uri == request.uri
+    assert parsed.call_id == f"{call_id}@{host}"
+    assert parsed.cseq == CSeq(cseq, method)
+    assert parsed.from_.tag == from_tag
+    assert parsed.body == body
+    # Content-Length reflects the body bytes exactly.
+    assert int(parsed.get("Content-Length")) == len(body.encode())
+
+
+@given(status=st.integers(100, 699), host=_ips, tag=_token)
+@settings(max_examples=60)
+def test_response_survives_serialization(status, host, tag):
+    response = SipResponse(status)
+    response.set("Via", f"SIP/2.0/UDP {host}:5060;branch=z9hG4bKx")
+    response.set("To", str(NameAddr(SipUri("u", "h.com")).with_tag(tag)))
+    response.set("From", "<sip:a@b.com>;tag=f")
+    response.set("Call-ID", "c@h")
+    response.set("CSeq", "1 INVITE")
+    parsed = parse_message(response.serialize())
+    assert isinstance(parsed, SipResponse)
+    assert parsed.status == status
+    assert parsed.to.tag == tag
+    assert parsed.is_final == (status >= 200)
+
+
+@given(host=_hosts, port=st.integers(1, 65535), branch=_token)
+@settings(max_examples=60)
+def test_via_round_trip(host, port, branch):
+    via = Via(host, port, params={"branch": f"z9hG4bK{branch}"})
+    parsed = Via.parse(str(via))
+    assert parsed.host == host
+    assert parsed.port == port
+    assert parsed.branch == f"z9hG4bK{branch}"
+
+
+@given(display=st.text(alphabet=string.ascii_letters + " ",
+                       min_size=1, max_size=20).filter(str.strip),
+       user=_token, host=_hosts, tag=_token)
+@settings(max_examples=60)
+def test_name_addr_round_trip(display, user, host, tag):
+    addr = NameAddr(SipUri(user, host), display.strip(), {"tag": tag})
+    parsed = NameAddr.parse(str(addr))
+    assert parsed.display_name == display.strip()
+    assert parsed.uri.user == user
+    assert parsed.tag == tag
+
+
+@given(requests=st.lists(st.sampled_from(METHODS), min_size=1, max_size=6))
+@settings(max_examples=30)
+def test_create_response_always_parseable(requests):
+    for method in requests:
+        request = SipRequest(method, "sip:x@y.com")
+        request.set("Via", "SIP/2.0/UDP 1.2.3.4:5060;branch=z9hG4bK1")
+        request.set("From", "<sip:a@b.com>;tag=1")
+        request.set("To", "<sip:x@y.com>")
+        request.set("Call-ID", "c@d")
+        request.set("CSeq", f"1 {method}")
+        response = request.create_response(200, to_tag="t")
+        parsed = parse_message(response.serialize())
+        assert parsed.status == 200
+        assert parsed.cseq.method == method

@@ -1,0 +1,51 @@
+"""Unit tests for codec timing/rate models."""
+
+import pytest
+
+from repro.rtp import (
+    G711U,
+    G723,
+    G729,
+    codec_by_name,
+    codec_by_payload_type,
+)
+
+
+def test_g729_matches_paper_settings():
+    # Section 7.1: Frame Size = 10 ms, Lookahead = 5 ms, DSP ratio 1,
+    # Coding Rate 8 Kbps.
+    assert G729.frame_ms == 10.0
+    assert G729.lookahead_ms == 5.0
+    assert G729.dsp_ratio == 1.0
+    assert G729.bitrate_bps == 8000
+    assert G729.payload_type == 18
+    assert G729.frame_bytes == 10          # 8 kb/s x 10 ms = 10 bytes
+
+
+def test_g729_packetization_at_20ms():
+    assert G729.payload_bytes(20) == 20    # two frames per packet
+    assert G729.timestamp_increment(20) == 160
+
+
+def test_g711_rates():
+    assert G711U.frame_bytes == 160
+    assert G711U.payload_bytes(20) == 160
+    assert G711U.timestamp_increment(20) == 160
+
+
+def test_g723_rates():
+    assert G723.frame_bytes == 24          # 6.3 kb/s (rounded) x 30 ms
+    assert G723.timestamp_increment(30) == 240
+
+
+def test_encoding_delay_includes_lookahead_and_processing():
+    assert G729.encoding_delay() == pytest.approx(0.015)  # 10 ms + 5 ms
+
+
+def test_lookups():
+    assert codec_by_name("g729") is G729
+    assert codec_by_name("PCMU") is G711U
+    assert codec_by_name("OPUS") is None
+    assert codec_by_payload_type(18) is G729
+    assert codec_by_payload_type(0) is G711U
+    assert codec_by_payload_type(96) is None

@@ -1,0 +1,76 @@
+"""Unit tests for the RFC 3550 jitter filter and delay statistics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.rtp import DelayStats, JitterEstimator
+
+
+def test_constant_spacing_gives_zero_jitter():
+    estimator = JitterEstimator(clock_rate=8000)
+    for index in range(50):
+        # Perfectly paced: arrival and timestamp advance in lock step.
+        estimator.update(arrival_time=index * 0.02,
+                         rtp_timestamp=index * 160)
+    assert estimator.jitter_seconds == pytest.approx(0.0)
+    assert estimator.samples == 50
+
+
+def test_jitter_filter_converges_toward_variation():
+    estimator = JitterEstimator(clock_rate=8000)
+    # Alternate early/late arrivals by 5 ms.
+    for index in range(500):
+        wobble = 0.005 if index % 2 else 0.0
+        estimator.update(index * 0.02 + wobble, index * 160)
+    # |D| alternates around 0.005 s -> filter converges near 5 ms.
+    assert 0.003 < estimator.jitter_seconds < 0.006
+
+
+def test_single_packet_has_no_jitter():
+    estimator = JitterEstimator(clock_rate=8000)
+    estimator.update(1.0, 160)
+    assert estimator.jitter_seconds == 0.0
+
+
+def test_jitter_is_nonnegative_property():
+    estimator = JitterEstimator(clock_rate=8000)
+    for index, wobble in enumerate([0.0, 0.1, -0.002, 0.05, 0.0]):
+        estimator.update(index * 0.02 + abs(wobble), index * 160)
+        assert estimator.jitter_seconds >= 0.0
+
+
+class TestDelayStats:
+    def test_empty(self):
+        stats = DelayStats()
+        assert stats.mean == 0.0
+        assert stats.std == 0.0
+        assert stats.maximum == 0.0
+        assert stats.mean_variation == 0.0
+        assert stats.percentile(0.5) == 0.0
+
+    def test_basic_moments(self):
+        stats = DelayStats()
+        for value in (0.05, 0.06, 0.07):
+            stats.add(value)
+        assert stats.count == 3
+        assert stats.mean == pytest.approx(0.06)
+        assert stats.maximum == pytest.approx(0.07)
+        assert stats.std == pytest.approx(0.01)
+        assert stats.mean_variation == pytest.approx(0.01)
+
+    def test_percentile(self):
+        stats = DelayStats()
+        for value in range(100):
+            stats.add(value / 100)
+        assert stats.percentile(0.5) == pytest.approx(0.5)
+        assert stats.percentile(0.95) == pytest.approx(0.95)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1, allow_nan=False),
+                    min_size=2, max_size=50))
+    def test_property_variation_bounded_by_range(self, delays):
+        stats = DelayStats()
+        for delay in delays:
+            stats.add(delay)
+        spread = stats.maximum - min(delays)
+        assert stats.mean_variation <= spread + 1e-12
+        assert stats.mean >= 0

@@ -1,0 +1,91 @@
+"""Unit tests for RTP packet pack/parse."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.rtp import (
+    RTP_HEADER_SIZE,
+    RtpPacket,
+    RtpParseError,
+    looks_like_rtp,
+)
+
+
+def test_round_trip_basic():
+    packet = RtpPacket(payload_type=18, sequence_number=1234,
+                       timestamp=567890, ssrc=0xDEADBEEF,
+                       payload=b"voice", marker=True)
+    parsed = RtpPacket.parse(packet.serialize())
+    assert parsed.payload_type == 18
+    assert parsed.sequence_number == 1234
+    assert parsed.timestamp == 567890
+    assert parsed.ssrc == 0xDEADBEEF
+    assert parsed.payload == b"voice"
+    assert parsed.marker is True
+    assert parsed.padding is False
+
+
+def test_header_is_twelve_bytes():
+    packet = RtpPacket(0, 0, 0, 0)
+    assert len(packet.serialize()) == RTP_HEADER_SIZE
+    assert packet.size == RTP_HEADER_SIZE
+
+
+def test_csrc_list_round_trip():
+    packet = RtpPacket(0, 1, 2, 3, csrc_list=(10, 20, 30))
+    parsed = RtpPacket.parse(packet.serialize())
+    assert parsed.csrc_list == (10, 20, 30)
+    assert parsed.size == RTP_HEADER_SIZE + 12
+
+
+def test_values_wrap_to_field_width():
+    packet = RtpPacket(0, 1 << 16, 1 << 32, (1 << 32) + 7)
+    assert packet.sequence_number == 0
+    assert packet.timestamp == 0
+    assert packet.ssrc == 7
+
+
+def test_invalid_payload_type_rejected():
+    with pytest.raises(RtpParseError):
+        RtpPacket(payload_type=128, sequence_number=0, timestamp=0, ssrc=0)
+
+
+def test_parse_too_short():
+    with pytest.raises(RtpParseError):
+        RtpPacket.parse(b"\x80\x00\x00")
+
+
+def test_parse_bad_version():
+    data = bytearray(RtpPacket(0, 1, 2, 3).serialize())
+    data[0] = 0x00  # version 0
+    with pytest.raises(RtpParseError):
+        RtpPacket.parse(bytes(data))
+
+
+def test_parse_truncated_csrc():
+    data = RtpPacket(0, 1, 2, 3).serialize()
+    corrupted = bytes([data[0] | 0x02]) + data[1:]  # claims 2 CSRCs
+    with pytest.raises(RtpParseError):
+        RtpPacket.parse(corrupted)
+
+
+def test_looks_like_rtp():
+    assert looks_like_rtp(RtpPacket(18, 1, 2, 3).serialize())
+    assert not looks_like_rtp(b"INVITE sip:")
+    assert not looks_like_rtp(b"\x80")  # too short
+
+
+@given(
+    payload_type=st.integers(0, 127),
+    seq=st.integers(0, (1 << 16) - 1),
+    timestamp=st.integers(0, (1 << 32) - 1),
+    ssrc=st.integers(0, (1 << 32) - 1),
+    payload=st.binary(max_size=200),
+    marker=st.booleans(),
+)
+def test_property_round_trip(payload_type, seq, timestamp, ssrc, payload,
+                             marker):
+    packet = RtpPacket(payload_type, seq, timestamp, ssrc, payload,
+                       marker=marker)
+    parsed = RtpPacket.parse(packet.serialize())
+    assert parsed == packet

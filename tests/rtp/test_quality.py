@@ -1,0 +1,79 @@
+"""Unit tests for the E-model voice-quality estimator."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.rtp import (
+    G711U,
+    G723,
+    G729,
+    estimate_mos,
+    mos_from_r,
+    r_factor,
+)
+
+
+class TestRFactor:
+    def test_ideal_conditions_near_r0(self):
+        assert r_factor(0.0, 0.0, G711U) == pytest.approx(93.2)
+        # G.729 pays its equipment impairment even at zero delay/loss.
+        assert r_factor(0.0, 0.0, G729) == pytest.approx(93.2 - 11.0)
+
+    def test_delay_monotone(self):
+        values = [r_factor(d, 0.0, G729) for d in (0.0, 0.05, 0.15, 0.3)]
+        assert values == sorted(values, reverse=True)
+
+    def test_echo_knee_at_177ms(self):
+        # The slope steepens past 177.3 ms.
+        before = r_factor(0.150, 0.0, G729) - r_factor(0.170, 0.0, G729)
+        after = r_factor(0.200, 0.0, G729) - r_factor(0.220, 0.0, G729)
+        assert after > before
+
+    def test_loss_monotone(self):
+        values = [r_factor(0.05, loss, G729)
+                  for loss in (0.0, 0.01, 0.05, 0.2)]
+        assert values == sorted(values, reverse=True)
+
+    def test_codec_robustness_ordering(self):
+        # At high loss, G.711's higher Bpl keeps it above G.723.
+        assert r_factor(0.05, 0.05, G711U) > r_factor(0.05, 0.05, G723)
+
+    def test_clamped_to_valid_range(self):
+        assert r_factor(3.0, 1.0, G723) == 0.0
+        assert 0.0 <= r_factor(0.0, 0.0, G711U) <= 100.0
+
+
+class TestMos:
+    def test_extremes(self):
+        assert mos_from_r(0) == 1.0
+        assert mos_from_r(-5) == 1.0
+        assert mos_from_r(100) == 4.5
+
+    def test_canonical_points(self):
+        # R=93.2 is the "very satisfied" region (~4.4 MOS).
+        assert mos_from_r(93.2) == pytest.approx(4.41, abs=0.05)
+        # R=50 is "nearly all users dissatisfied" (~2.6 MOS).
+        assert mos_from_r(50) == pytest.approx(2.6, abs=0.1)
+
+    @given(st.floats(min_value=0, max_value=100))
+    def test_property_range_and_monotonicity(self, r):
+        mos = mos_from_r(r)
+        assert 1.0 <= mos <= 4.5
+        assert mos_from_r(min(100.0, r + 5)) >= mos - 1e-9
+
+
+class TestEstimate:
+    def test_testbed_conditions_are_toll_quality(self):
+        # ~55 ms delay, 0.42% loss on G.729: users satisfied (MOS ~ 4).
+        mos = estimate_mos(0.055, 0.0042, G729)
+        assert 3.8 < mos < 4.3
+
+    def test_bad_network_is_poor_quality(self):
+        assert estimate_mos(0.4, 0.15, G729) < 2.5
+
+    @given(delay=st.floats(min_value=0, max_value=0.5),
+           loss=st.floats(min_value=0, max_value=0.3))
+    def test_property_worse_network_never_improves_mos(self, delay, loss):
+        base = estimate_mos(delay, loss, G729)
+        assert estimate_mos(delay + 0.05, loss, G729) <= base + 1e-9
+        assert estimate_mos(delay, min(1.0, loss + 0.05), G729) <= base + 1e-9

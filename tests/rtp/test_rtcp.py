@@ -1,0 +1,68 @@
+"""Unit tests for the minimal RTCP SR/RR implementation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.rtp import (
+    ReceiverReport,
+    ReportBlock,
+    RtcpParseError,
+    SenderReport,
+    parse_rtcp,
+)
+
+
+def make_block():
+    return ReportBlock(ssrc=42, fraction_lost=12, cumulative_lost=345,
+                       highest_seq=7000, jitter=88, lsr=1, dlsr=2)
+
+
+def test_sender_report_round_trip():
+    report = SenderReport(ssrc=99, ntp_timestamp=0x1234567890ABCDEF,
+                          rtp_timestamp=160_000, packet_count=500,
+                          octet_count=10_000, report=make_block())
+    parsed = parse_rtcp(report.serialize())
+    assert isinstance(parsed, SenderReport)
+    assert parsed.ssrc == 99
+    assert parsed.ntp_timestamp == 0x1234567890ABCDEF
+    assert parsed.rtp_timestamp == 160_000
+    assert parsed.packet_count == 500
+    assert parsed.octet_count == 10_000
+    assert parsed.report == make_block()
+
+
+def test_sender_report_without_block():
+    report = SenderReport(1, 2, 3, 4, 5)
+    parsed = parse_rtcp(report.serialize())
+    assert parsed.report is None
+
+
+def test_receiver_report_round_trip():
+    report = ReceiverReport(ssrc=7, report=make_block())
+    parsed = parse_rtcp(report.serialize())
+    assert isinstance(parsed, ReceiverReport)
+    assert parsed.ssrc == 7
+    assert parsed.report.cumulative_lost == 345
+
+
+def test_parse_errors():
+    with pytest.raises(RtcpParseError):
+        parse_rtcp(b"\x80\xc8")                      # too short
+    with pytest.raises(RtcpParseError):
+        parse_rtcp(b"\x00" * 30)                     # wrong version
+    with pytest.raises(RtcpParseError):
+        parse_rtcp(bytes([0x80, 99]) + bytes(26))    # unknown packet type
+
+
+@given(ssrc=st.integers(0, (1 << 32) - 1),
+       packets=st.integers(0, (1 << 32) - 1),
+       fraction=st.integers(0, 255),
+       lost=st.integers(0, (1 << 24) - 1))
+def test_property_sr_round_trip(ssrc, packets, fraction, lost):
+    block = ReportBlock(ssrc=ssrc, fraction_lost=fraction,
+                        cumulative_lost=lost, highest_seq=1, jitter=2)
+    report = SenderReport(ssrc, 0, 0, packets, 0, report=block)
+    parsed = parse_rtcp(report.serialize())
+    assert parsed.packet_count == packets
+    assert parsed.report.fraction_lost == fraction
+    assert parsed.report.cumulative_lost == lost

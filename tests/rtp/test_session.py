@@ -1,0 +1,153 @@
+"""Unit tests for RTP sender/receiver sessions."""
+
+import random
+
+import pytest
+
+from repro.netsim import Endpoint, Host, Network
+from repro.rtp import (
+    G729,
+    RtpPacket,
+    RtpReceiver,
+    RtpSender,
+    TalkSpurtModel,
+)
+
+
+def build_pair(loss=0.0, seed=0):
+    net = Network(seed=seed)
+    a = Host(net, "a", "10.0.0.1")
+    b = Host(net, "b", "10.0.0.2")
+    net.link(a, b, propagation_delay=0.01, loss_rate=loss)
+    net.compute_routes()
+    return net, a, b
+
+
+def test_sender_paces_at_ptime_without_vad():
+    net, a, b = build_pair()
+    receiver = RtpReceiver(b, 9000, codec=G729)
+    sender = RtpSender(a, 9000, Endpoint("10.0.0.2", 9000), codec=G729,
+                       ptime_ms=20, vad=False, rng=random.Random(1))
+    sender.start()
+    net.sim.schedule(2.0, sender.stop)
+    net.run(until=3.0)  # drain in-flight packets
+    # ~2 s / 20 ms = ~100 packets (first leaves after interval + codec delay).
+    assert 95 <= sender.packets_sent <= 100
+    assert receiver.packets_received == sender.packets_sent
+    assert receiver.lost_estimate == 0
+    assert receiver.out_of_order == 0
+
+
+def test_vad_reduces_packet_rate():
+    net, a, b = build_pair()
+    RtpReceiver(b, 9000, codec=G729)
+    sender = RtpSender(a, 9000, Endpoint("10.0.0.2", 9000), codec=G729,
+                       ptime_ms=20, vad=True, rng=random.Random(1))
+    sender.start()
+    net.run(until=30.0)
+    full_rate = 30.0 / 0.02
+    assert sender.packets_sent < 0.75 * full_rate
+    assert sender.packets_sent > 0.15 * full_rate
+
+
+def test_timestamps_advance_across_silence():
+    net, a, b = build_pair()
+    seen = []
+    RtpReceiver(b, 9000, codec=G729,
+                on_packet=lambda packet, datagram: seen.append(packet))
+    sender = RtpSender(a, 9000, Endpoint("10.0.0.2", 9000), codec=G729,
+                       ptime_ms=20, vad=True, rng=random.Random(3))
+    sender.start()
+    net.run(until=30.0)
+    # Sequence numbers are contiguous even when timestamps jump (silence).
+    seqs = [p.sequence_number for p in seen]
+    gaps = [(b - a) % (1 << 16) for a, b in zip(seqs, seqs[1:])]
+    assert all(g == 1 for g in gaps)
+    ts_gaps = [(q.timestamp - p.timestamp) % (1 << 32)
+               for p, q in zip(seen, seen[1:])]
+    assert max(ts_gaps) > 160  # at least one silence gap
+
+
+def test_receiver_measures_constant_delay():
+    net, a, b = build_pair()
+    receiver = RtpReceiver(b, 9000, codec=G729)
+    sender = RtpSender(a, 9000, Endpoint("10.0.0.2", 9000), codec=G729,
+                       vad=False, rng=random.Random(1))
+    sender.start()
+    net.run(until=2.0)
+    assert receiver.delay_stats.mean == pytest.approx(0.01, abs=0.001)
+    assert receiver.jitter.jitter_seconds < 0.001
+
+
+def test_receiver_counts_losses():
+    net, a, b = build_pair(loss=0.2, seed=7)
+    receiver = RtpReceiver(b, 9000, codec=G729)
+    sender = RtpSender(a, 9000, Endpoint("10.0.0.2", 9000), codec=G729,
+                       vad=False, rng=random.Random(1))
+    sender.start()
+    net.sim.schedule(20.0, sender.stop)
+    net.run(until=21.0)  # drain in-flight packets
+    total = receiver.packets_received + receiver.lost_estimate
+    # Equal up to trailing losses (a lost *final* packet leaves no gap to
+    # observe).
+    assert total <= sender.packets_sent
+    assert sender.packets_sent - total <= 5
+    assert receiver.lost_estimate > 0
+
+
+def test_receiver_ignores_garbage():
+    net, a, b = build_pair()
+    receiver = RtpReceiver(b, 9000, codec=G729)
+    a.send_udp(Endpoint("10.0.0.2", 9000), b"not rtp at all", 9000)
+    net.run()
+    assert receiver.parse_errors == 1
+    assert receiver.packets_received == 0
+
+
+def test_sender_stop_halts_stream():
+    net, a, b = build_pair()
+    receiver = RtpReceiver(b, 9000, codec=G729)
+    sender = RtpSender(a, 9000, Endpoint("10.0.0.2", 9000), codec=G729,
+                       vad=False, rng=random.Random(1))
+    sender.start()
+    net.run(until=1.0)
+    sender.stop()
+    count = receiver.packets_received
+    net.run(until=5.0)
+    assert receiver.packets_received <= count + 1  # at most one in flight
+
+
+def test_sender_start_is_idempotent():
+    net, a, b = build_pair()
+    RtpReceiver(b, 9000, codec=G729)
+    sender = RtpSender(a, 9000, Endpoint("10.0.0.2", 9000), codec=G729,
+                       vad=False, rng=random.Random(1))
+    sender.start()
+    sender.start()
+    net.run(until=1.0)
+    assert 45 <= sender.packets_sent <= 50  # not double-paced
+
+
+class TestTalkSpurtModel:
+    def test_phases_alternate(self):
+        model = TalkSpurtModel(random.Random(1))
+        states = [model.is_talking(t * 0.1) for t in range(600)]
+        assert any(states) and not all(states)
+
+    def test_pause_clamped(self):
+        model = TalkSpurtModel(random.Random(1), max_pause=2.0)
+        silence_run = 0
+        longest = 0
+        for tick in range(5000):
+            if model.is_talking(tick * 0.02):
+                silence_run = 0
+            else:
+                silence_run += 1
+                longest = max(longest, silence_run)
+        assert longest * 0.02 <= 2.5
+
+    def test_deterministic_for_same_seed(self):
+        a = TalkSpurtModel(random.Random(9))
+        b = TalkSpurtModel(random.Random(9))
+        for tick in range(100):
+            assert a.is_talking(tick * 0.05) == b.is_talking(tick * 0.05)

@@ -1,0 +1,63 @@
+"""Edge cases in the UA's 401-challenge handling."""
+
+from repro.sip import (
+    DigestCredentials,
+    SipRequest,
+    SipResponse,
+)
+
+
+def make_register():
+    request = SipRequest("REGISTER", "sip:b.example.com")
+    request.set("Via", "SIP/2.0/UDP 10.2.0.11:5060;branch=z9hG4bKr1")
+    request.set("To", "<sip:bob@b.example.com>")
+    request.set("From", "<sip:bob@b.example.com>;tag=r")
+    request.set("Call-ID", "reg@10.2.0.11")
+    request.set("CSeq", "1 REGISTER")
+    request.set("Contact", "<sip:bob@10.2.0.11:5060>")
+    return request
+
+
+def make_401(challenge_value):
+    response = SipResponse(401)
+    if challenge_value is not None:
+        response.set("WWW-Authenticate", challenge_value)
+    return response
+
+
+def test_retry_built_with_fresh_branch_and_bumped_cseq(mini_voip):
+    ua = mini_voip.ua_b
+    ua.credentials = DigestCredentials("bob", "b.example.com", "pw")
+    original = make_register()
+    retry = ua._answer_challenge(
+        original, make_401('Digest realm="b.example.com", nonce="n1"'))
+    assert retry is not None
+    assert retry.method == "REGISTER"
+    assert retry.cseq.number == 2
+    assert retry.branch != original.branch
+    auth = retry.get("Authorization")
+    assert auth is not None and 'username="bob"' in auth
+    assert 'nonce="n1"' in auth
+    # Non-auth headers survive.
+    assert retry.get("Contact") == original.get("Contact")
+
+
+def test_no_credentials_means_no_retry(mini_voip):
+    ua = mini_voip.ua_b
+    ua.credentials = None
+    retry = ua._answer_challenge(
+        make_register(), make_401('Digest realm="r", nonce="n"'))
+    assert retry is None
+
+
+def test_missing_challenge_header_means_no_retry(mini_voip):
+    ua = mini_voip.ua_b
+    ua.credentials = DigestCredentials("bob", "b.example.com", "pw")
+    assert ua._answer_challenge(make_register(), make_401(None)) is None
+
+
+def test_garbage_challenge_means_no_retry(mini_voip):
+    ua = mini_voip.ua_b
+    ua.credentials = DigestCredentials("bob", "b.example.com", "pw")
+    assert ua._answer_challenge(make_register(),
+                                make_401("Digest realm-only-garbage")) is None

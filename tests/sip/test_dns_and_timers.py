@@ -1,0 +1,53 @@
+"""Unit tests for the DNS directory and SIP timer table."""
+
+import pytest
+
+from repro.netsim import Endpoint
+from repro.sip import DEFAULT_TIMERS, DomainDirectory, TimerTable
+
+
+class TestDomainDirectory:
+    def test_publish_and_resolve(self):
+        dns = DomainDirectory()
+        dns.publish("A.Example.COM", Endpoint("10.1.0.1", 5060))
+        assert dns.resolve("a.example.com") == Endpoint("10.1.0.1", 5060)
+        assert dns.resolve("A.EXAMPLE.COM") == Endpoint("10.1.0.1", 5060)
+        assert dns.resolve("other.com") is None
+
+    def test_republish_overrides(self):
+        dns = DomainDirectory()
+        dns.publish("a.com", Endpoint("1.1.1.1", 5060))
+        dns.publish("a.com", Endpoint("2.2.2.2", 5070))
+        assert dns.resolve("a.com") == Endpoint("2.2.2.2", 5070)
+
+    def test_domains_sorted(self):
+        dns = DomainDirectory()
+        dns.publish("zeta.com", Endpoint("1.1.1.1", 1))
+        dns.publish("alpha.com", Endpoint("2.2.2.2", 2))
+        assert dns.domains() == ["alpha.com", "zeta.com"]
+
+
+class TestTimerTable:
+    def test_rfc_3261_defaults(self):
+        assert DEFAULT_TIMERS.t1 == 0.5
+        assert DEFAULT_TIMERS.t2 == 4.0
+        assert DEFAULT_TIMERS.t4 == 5.0
+        assert DEFAULT_TIMERS.timer_b == 32.0
+        assert DEFAULT_TIMERS.timer_f == 32.0
+        assert DEFAULT_TIMERS.timer_h == 32.0
+        assert DEFAULT_TIMERS.timer_j == 32.0
+        assert DEFAULT_TIMERS.timer_d == 32.0
+        assert DEFAULT_TIMERS.timer_i == 5.0
+        assert DEFAULT_TIMERS.timer_k == 5.0
+
+    def test_scaled_table(self):
+        fast = DEFAULT_TIMERS.scaled(0.1)
+        assert fast.t1 == pytest.approx(0.05)
+        assert fast.timer_b == pytest.approx(3.2)
+        assert fast.t4 == pytest.approx(0.5)
+        # Original untouched (frozen dataclass).
+        assert DEFAULT_TIMERS.t1 == 0.5
+
+    def test_table_is_immutable(self):
+        with pytest.raises(Exception):
+            DEFAULT_TIMERS.t1 = 1.0  # type: ignore[misc]

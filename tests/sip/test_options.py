@@ -1,0 +1,38 @@
+"""OPTIONS method support (RFC 3261 §11): capability query / keepalive."""
+
+from repro.netsim import Endpoint
+from repro.sip import SipRequest, SipResponse
+
+
+def test_ua_answers_options_with_capabilities(mini_voip):
+    mini_voip.register_both()
+    responses = []
+    options = SipRequest("OPTIONS", "sip:bob@10.2.0.11")
+    mini_voip.ua_a._stamp_request(options)
+    options.set("From", "<sip:alice@a.example.com>;tag=opt1")
+    options.set("To", "<sip:bob@b.example.com>")
+    options.set("Call-ID", "opt@10.1.0.11")
+    options.set("CSeq", "1 OPTIONS")
+    mini_voip.ua_a.manager.send_request(
+        options, Endpoint("10.2.0.11", 5060), responses.append)
+    mini_voip.net.run(until=mini_voip.sim.now + 5.0)
+    assert len(responses) == 1
+    response = responses[0]
+    assert response.status == 200
+    assert "INVITE" in (response.get("Allow") or "")
+    assert response.to.tag is not None
+
+
+def test_unknown_method_rejected_501(mini_voip):
+    mini_voip.register_both()
+    responses = []
+    probe = SipRequest("INFO", "sip:bob@10.2.0.11")
+    mini_voip.ua_a._stamp_request(probe)
+    probe.set("From", "<sip:alice@a.example.com>;tag=i1")
+    probe.set("To", "<sip:bob@b.example.com>")
+    probe.set("Call-ID", "info@10.1.0.11")
+    probe.set("CSeq", "1 INFO")
+    mini_voip.ua_a.manager.send_request(
+        probe, Endpoint("10.2.0.11", 5060), responses.append)
+    mini_voip.net.run(until=mini_voip.sim.now + 5.0)
+    assert [r.status for r in responses] == [501]

@@ -1,0 +1,179 @@
+"""Unit tests for the stateless proxy + registrar element."""
+
+import pytest
+
+from repro.netsim import Endpoint, Host, Network, Router
+from repro.sip import (
+    DomainDirectory,
+    ProxyServer,
+    SipRequest,
+    SipUri,
+    parse_message,
+)
+
+
+class Harness:
+    """One proxy with a client host and a registered local phone."""
+
+    def __init__(self):
+        self.net = Network(seed=0)
+        router = Router(self.net, "r")
+        proxy_host = Host(self.net, "proxy", "10.1.0.1")
+        self.client = Host(self.net, "client", "10.9.0.1")
+        self.phone = Host(self.net, "phone", "10.1.0.11")
+        for host in (proxy_host, self.client, self.phone):
+            self.net.link(host, router)
+        self.dns = DomainDirectory()
+        self.proxy = ProxyServer(proxy_host, "a.com", self.dns)
+        self.net.compute_routes()
+        self.client_got = []
+        self.phone_got = []
+        self.client.bind(5060, self.client_got.append)
+        self.phone.bind(5060, self.phone_got.append)
+        self.proxy.location.register(
+            "alice@a.com", SipUri("alice", "10.1.0.11", 5060),
+            expires_at=10_000.0)
+
+    def send(self, message, src_port=5060):
+        self.client.send_udp(self.proxy.endpoint, message.serialize(),
+                             src_port)
+        self.net.run()
+
+
+def make_invite(uri="sip:alice@a.com", via_host="10.9.0.1",
+                branch="z9hG4bKc1", max_forwards=70):
+    request = SipRequest("INVITE", uri)
+    request.set("Via", f"SIP/2.0/UDP {via_host}:5060;branch={branch}")
+    request.set("Max-Forwards", max_forwards)
+    request.set("From", "<sip:caller@remote.com>;tag=c1")
+    request.set("To", "<sip:alice@a.com>")
+    request.set("Call-ID", "p1@10.9.0.1")
+    request.set("CSeq", "1 INVITE")
+    return request
+
+
+def test_dns_publishes_proxy_endpoint():
+    harness = Harness()
+    assert harness.dns.resolve("a.com") == Endpoint("10.1.0.1", 5060)
+    assert harness.dns.resolve("A.COM") == Endpoint("10.1.0.1", 5060)
+    assert harness.dns.resolve("nowhere.com") is None
+
+
+def test_local_domain_routes_to_registered_contact():
+    harness = Harness()
+    harness.send(make_invite())
+    assert len(harness.phone_got) == 1
+    forwarded = parse_message(harness.phone_got[0].payload)
+    # Request-URI retargeted at the binding; proxy Via stacked on top.
+    assert forwarded.uri.host == "10.1.0.11"
+    vias = forwarded.vias
+    assert vias[0].host == "10.1.0.1"
+    assert vias[1].host == "10.9.0.1"
+    assert int(forwarded.get("Max-Forwards")) == 69
+
+
+def test_unknown_user_rejected_404():
+    harness = Harness()
+    harness.send(make_invite(uri="sip:nobody@a.com"))
+    assert harness.phone_got == []
+    response = parse_message(harness.client_got[0].payload)
+    assert response.status == 404
+
+
+def test_remote_domain_resolved_via_dns():
+    harness = Harness()
+    other = Host(harness.net, "other-proxy", "10.2.0.1")
+    harness.net.link(other, harness.net.nodes["r"])
+    harness.net.compute_routes()
+    other_got = []
+    other.bind(5060, other_got.append)
+    harness.dns.publish("b.com", Endpoint("10.2.0.1", 5060))
+    harness.send(make_invite(uri="sip:bob@b.com"))
+    assert len(other_got) == 1
+
+
+def test_numeric_uri_host_forwarded_literally():
+    harness = Harness()
+    harness.send(make_invite(uri="sip:alice@10.1.0.11"))
+    assert len(harness.phone_got) == 1
+
+
+def test_max_forwards_exhaustion_rejected_483():
+    harness = Harness()
+    harness.send(make_invite(max_forwards=1))
+    response = parse_message(harness.client_got[0].payload)
+    assert response.status == 483
+    assert harness.phone_got == []
+
+
+def test_response_via_popped_and_forwarded():
+    harness = Harness()
+    harness.send(make_invite())
+    forwarded = parse_message(harness.phone_got[0].payload)
+    response = forwarded.create_response(180, to_tag="t9")
+    harness.phone.send_udp(harness.proxy.endpoint, response.serialize(), 5060)
+    harness.net.run()
+    back = parse_message(harness.client_got[-1].payload)
+    assert back.status == 180
+    assert len(back.vias) == 1
+    assert back.top_via.host == "10.9.0.1"
+
+
+def test_response_not_ours_dropped():
+    harness = Harness()
+    stray = make_invite().create_response(200)
+    harness.send(stray)
+    assert harness.client_got == []
+    assert harness.phone_got == []
+
+
+def test_stateless_branch_is_stable_for_retransmissions():
+    harness = Harness()
+    invite = make_invite()
+    harness.send(invite)
+    harness.send(make_invite())  # identical transaction
+    first = parse_message(harness.phone_got[0].payload)
+    second = parse_message(harness.phone_got[1].payload)
+    assert first.branch == second.branch
+
+
+def test_cancel_gets_same_proxy_branch_as_invite():
+    harness = Harness()
+    invite = make_invite()
+    harness.send(invite)
+    cancel = SipRequest("CANCEL", "sip:alice@a.com")
+    cancel.set("Via", invite.get("Via"))
+    cancel.set("Max-Forwards", 70)
+    cancel.set("From", invite.get("From"))
+    cancel.set("To", invite.get("To"))
+    cancel.set("Call-ID", invite.call_id)
+    cancel.set("CSeq", "1 CANCEL")
+    harness.send(cancel)
+    fwd_invite = parse_message(harness.phone_got[0].payload)
+    fwd_cancel = parse_message(harness.phone_got[1].payload)
+    assert fwd_invite.branch == fwd_cancel.branch
+
+
+def test_register_answered_directly():
+    harness = Harness()
+    register = SipRequest("REGISTER", "sip:a.com")
+    register.set("Via", "SIP/2.0/UDP 10.9.0.1:5060;branch=z9hG4bKr")
+    register.set("To", "<sip:visitor@a.com>")
+    register.set("From", "<sip:visitor@a.com>;tag=v")
+    register.set("Call-ID", "r@10.9.0.1")
+    register.set("CSeq", "1 REGISTER")
+    register.set("Contact", "<sip:visitor@10.9.0.1:5060>")
+    harness.send(register)
+    response = parse_message(harness.client_got[0].payload)
+    assert response.status == 200
+    assert harness.proxy.location.lookup("visitor@a.com", 0.0) is not None
+
+
+def test_ack_never_answered_on_reject():
+    harness = Harness()
+    ack = make_invite()
+    ack.method = "ACK"
+    ack.uri = SipUri.parse("sip:nobody@a.com")
+    ack.set("CSeq", "1 ACK")
+    harness.send(ack)
+    assert harness.client_got == []  # no 404 for an ACK

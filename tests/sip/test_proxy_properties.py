@@ -1,0 +1,46 @@
+"""Stateless-proxy properties: determinism and idempotence of forwarding."""
+
+from repro.sip import parse_message
+from tests.sip.test_proxy import Harness, make_invite
+
+
+def test_forwarding_is_deterministic_across_proxy_instances():
+    """Two separate proxies forward the same request identically (modulo
+    nothing: the stateless branch is derived, not random)."""
+    first = Harness()
+    second = Harness()
+    first.send(make_invite())
+    second.send(make_invite())
+    a = parse_message(first.phone_got[0].payload)
+    b = parse_message(second.phone_got[0].payload)
+    assert a.serialize() == b.serialize()
+
+
+def test_forwarded_request_body_untouched():
+    harness = Harness()
+    invite = make_invite()
+    invite.body = "v=0\r\no=- 1 1 IN IP4 10.9.0.1\r\ns=x\r\n"
+    invite.set("Content-Type", "application/sdp")
+    harness.send(invite)
+    forwarded = parse_message(harness.phone_got[0].payload)
+    # The parser normalizes body line endings to LF; content is intact and
+    # Content-Length is recomputed on every serialize.
+    assert forwarded.body.replace("\n", "\r\n") == invite.body
+    assert forwarded.get("Content-Type") == "application/sdp"
+
+
+def test_from_to_callid_cseq_pass_through_unmodified():
+    harness = Harness()
+    invite = make_invite()
+    harness.send(invite)
+    forwarded = parse_message(harness.phone_got[0].payload)
+    for header in ("From", "To", "Call-ID", "CSeq"):
+        assert forwarded.get(header) == invite.get(header), header
+
+
+def test_proxy_counters():
+    harness = Harness()
+    harness.send(make_invite())
+    harness.send(make_invite(uri="sip:nobody@a.com", branch="z9hG4bKother"))
+    assert harness.proxy.requests_forwarded == 1
+    assert harness.proxy.requests_rejected == 1

@@ -1,0 +1,95 @@
+"""Unit tests for the location service and REGISTER processing."""
+
+import pytest
+
+from repro.sip import (
+    LocationService,
+    SipProtocolError,
+    SipRequest,
+    SipUri,
+    process_register,
+)
+
+
+def make_register(aor="sip:alice@a.com", contact="<sip:alice@10.1.0.11:5060>",
+                  expires=None):
+    request = SipRequest("REGISTER", "sip:a.com")
+    request.set("Via", "SIP/2.0/UDP 10.1.0.11:5060;branch=z9hG4bK1")
+    request.set("To", f"<{aor}>")
+    request.set("From", f"<{aor}>;tag=1")
+    request.set("Call-ID", "reg1@10.1.0.11")
+    request.set("CSeq", "1 REGISTER")
+    if contact is not None:
+        request.set("Contact", contact)
+    if expires is not None:
+        request.set("Expires", expires)
+    return request
+
+
+def test_register_creates_binding():
+    location = LocationService()
+    response = process_register(make_register(), location, now=0.0)
+    assert response.status == 200
+    contact = location.lookup("alice@a.com", now=10.0)
+    assert contact == SipUri("alice", "10.1.0.11", 5060)
+    assert len(location) == 1
+
+
+def test_binding_expires():
+    location = LocationService()
+    process_register(make_register(expires=60), location, now=0.0)
+    assert location.lookup("alice@a.com", now=59.0) is not None
+    assert location.lookup("alice@a.com", now=61.0) is None
+    assert len(location) == 0  # expired entry dropped on lookup
+
+
+def test_star_contact_unregisters():
+    location = LocationService()
+    process_register(make_register(), location, now=0.0)
+    process_register(make_register(contact="*"), location, now=1.0)
+    assert location.lookup("alice@a.com", now=2.0) is None
+
+
+def test_zero_expires_unregisters():
+    location = LocationService()
+    process_register(make_register(), location, now=0.0)
+    process_register(make_register(expires=0), location, now=1.0)
+    assert location.lookup("alice@a.com", now=2.0) is None
+
+
+def test_query_without_contact_reports_binding():
+    location = LocationService()
+    process_register(make_register(), location, now=0.0)
+    response = process_register(make_register(contact=None), location, now=1.0)
+    assert response.status == 200
+    assert "10.1.0.11" in (response.get("Contact") or "")
+
+
+def test_rebinding_replaces_contact():
+    location = LocationService()
+    process_register(make_register(), location, now=0.0)
+    process_register(
+        make_register(contact="<sip:alice@10.9.9.9:5062>"), location, now=1.0)
+    assert location.lookup("alice@a.com", now=2.0).host == "10.9.9.9"
+
+
+def test_missing_to_is_400():
+    request = make_register()
+    request.headers = [(k, v) for k, v in request.headers if k != "To"]
+    response = process_register(request, LocationService(), now=0.0)
+    assert response.status == 400
+
+
+def test_non_register_rejected():
+    with pytest.raises(SipProtocolError):
+        process_register(SipRequest("INVITE", "sip:x@y.com"),
+                         LocationService(), now=0.0)
+
+
+def test_contact_expires_param_wins():
+    location = LocationService()
+    request = make_register(contact="<sip:alice@10.1.0.11:5060>;expires=30",
+                            expires=3600)
+    process_register(request, location, now=0.0)
+    assert location.lookup("alice@a.com", now=29.0) is not None
+    assert location.lookup("alice@a.com", now=31.0) is None

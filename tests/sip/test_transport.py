@@ -1,0 +1,68 @@
+"""Unit tests for the SIP UDP transport binding."""
+
+from repro.netsim import Endpoint, Host, Network
+from repro.sip import SipRequest, SipResponse
+from repro.sip.transport import SipTransport
+
+
+def build_pair():
+    net = Network(seed=0)
+    a = Host(net, "a", "10.0.0.1")
+    b = Host(net, "b", "10.0.0.2")
+    net.link(a, b)
+    net.compute_routes()
+    ta = SipTransport(a)
+    tb = SipTransport(b)
+    return net, ta, tb
+
+
+def make_request():
+    request = SipRequest("OPTIONS", "sip:x@10.0.0.2")
+    request.set("Via", "SIP/2.0/UDP 10.0.0.1:5060;branch=z9hG4bKt")
+    request.set("CSeq", "1 OPTIONS")
+    request.set("Call-ID", "t@10.0.0.1")
+    return request
+
+
+def test_message_round_trip_with_source():
+    net, ta, tb = build_pair()
+    inbox = []
+    tb.set_handler(lambda message, source: inbox.append((message, source)))
+    ta.send_message(make_request(), Endpoint("10.0.0.2", 5060))
+    net.run()
+    assert len(inbox) == 1
+    message, source = inbox[0]
+    assert message.method == "OPTIONS"
+    assert source == Endpoint("10.0.0.1", 5060)
+    assert ta.messages_sent == 1
+    assert tb.messages_received == 1
+
+
+def test_responses_parse_too():
+    net, ta, tb = build_pair()
+    inbox = []
+    ta.set_handler(lambda message, source: inbox.append(message))
+    tb.send_message(SipResponse(200), Endpoint("10.0.0.1", 5060))
+    net.run()
+    assert isinstance(inbox[0], SipResponse)
+
+
+def test_garbage_counts_parse_error_without_crashing():
+    net, ta, tb = build_pair()
+    inbox = []
+    tb.set_handler(lambda message, source: inbox.append(message))
+    net.hosts["10.0.0.1"].send_udp(Endpoint("10.0.0.2", 5060),
+                                   b"\xff\xfenot sip", 5060)
+    net.run()
+    assert inbox == []
+    assert tb.parse_errors == 1
+
+
+def test_custom_port_and_close():
+    net = Network(seed=0)
+    a = Host(net, "a", "10.0.0.1")
+    transport = SipTransport(a, port=5070)
+    assert transport.local_endpoint == Endpoint("10.0.0.1", 5070)
+    assert a.is_bound(5070)
+    transport.close()
+    assert not a.is_bound(5070)

@@ -1,0 +1,72 @@
+"""Unit tests for SIP URI parsing and formatting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sip import SipParseError, SipUri
+
+
+def test_parse_full_uri():
+    uri = SipUri.parse("sip:alice@example.com:5070;transport=udp;lr")
+    assert uri.user == "alice"
+    assert uri.host == "example.com"
+    assert uri.port == 5070
+    assert uri.param("transport") == "udp"
+    assert uri.param("lr") is None
+    assert uri.param("missing") is None
+
+
+def test_parse_minimal_uri():
+    uri = SipUri.parse("sip:example.com")
+    assert uri.user is None
+    assert uri.host == "example.com"
+    assert uri.port is None
+    assert uri.effective_port == 5060
+
+
+def test_parse_angle_brackets_stripped():
+    uri = SipUri.parse("<sip:bob@b.example.com>")
+    assert uri.user == "bob"
+
+
+def test_address_of_record():
+    assert SipUri.parse("sip:bob@b.com:5080").address_of_record == "bob@b.com"
+    assert SipUri.parse("sip:b.com").address_of_record == "b.com"
+
+
+def test_round_trip():
+    text = "sip:alice@example.com:5070;transport=udp"
+    assert str(SipUri.parse(text)) == text
+
+
+def test_with_params():
+    uri = SipUri.parse("sip:a@b.com").with_params(tag="x")
+    assert uri.param("tag") == "x"
+
+
+@pytest.mark.parametrize("bad", [
+    "http://example.com",
+    "sip:@example.com",
+    "sip:",
+    "sip:alice@host:notaport",
+    "alice@example.com",
+])
+def test_parse_errors(bad):
+    with pytest.raises(SipParseError):
+        SipUri.parse(bad)
+
+
+_users = st.text(alphabet=st.sampled_from("abcdefgh0123456789.-_"),
+                 min_size=1, max_size=12)
+_hosts = st.from_regex(r"[a-z][a-z0-9]{0,10}(\.[a-z][a-z0-9]{0,8}){0,3}",
+                       fullmatch=True)
+
+
+@given(user=_users, host=_hosts,
+       port=st.one_of(st.none(), st.integers(1, 65535)))
+def test_property_uri_round_trip(user, host, port):
+    uri = SipUri(user, host, port)
+    parsed = SipUri.parse(str(uri))
+    assert parsed.user == user
+    assert parsed.host == host
+    assert parsed.port == port

@@ -1,0 +1,61 @@
+"""Responses honour the Via 'received' parameter (RFC 3261 §18.2.2)."""
+
+from repro.netsim import Endpoint, Simulator
+from repro.sip import SipRequest, TimerTable
+from repro.sip.transaction import NonInviteServerTransaction
+
+
+class RecordingTransport:
+    def __init__(self):
+        self.sim = Simulator()
+        self.sent = []
+
+    def send_message(self, message, destination):
+        self.sent.append((message, destination))
+
+
+def make_bye(via):
+    request = SipRequest("BYE", "sip:bob@10.2.0.11")
+    request.set("Via", via)
+    request.set("From", "<sip:a@a.com>;tag=f")
+    request.set("To", "<sip:b@b.com>;tag=t")
+    request.set("Call-ID", "c@x")
+    request.set("CSeq", "2 BYE")
+    return request
+
+
+def test_response_goes_to_sent_by_without_received():
+    transport = RecordingTransport()
+    request = make_bye("SIP/2.0/UDP 10.1.0.11:5060;branch=z9hG4bKx")
+    txn = NonInviteServerTransaction(transport, request,
+                                     Endpoint("9.9.9.9", 5060),
+                                     timers=TimerTable())
+    txn.send_response(request.create_response(200))
+    _, destination = transport.sent[0]
+    assert destination == Endpoint("10.1.0.11", 5060)
+
+
+def test_received_param_overrides_sent_by():
+    """A NAT'd sender's Via names its private address; the 'received'
+    parameter added by the first hop wins."""
+    transport = RecordingTransport()
+    request = make_bye(
+        "SIP/2.0/UDP 192.168.1.5:5060;branch=z9hG4bKx;received=203.0.113.9")
+    txn = NonInviteServerTransaction(transport, request,
+                                     Endpoint("203.0.113.9", 5060),
+                                     timers=TimerTable())
+    txn.send_response(request.create_response(200))
+    _, destination = transport.sent[0]
+    assert destination == Endpoint("203.0.113.9", 5060)
+
+
+def test_missing_via_falls_back_to_source():
+    transport = RecordingTransport()
+    request = make_bye("SIP/2.0/UDP 10.1.0.11:5060;branch=z9hG4bKx")
+    request.remove_first("Via")
+    txn = NonInviteServerTransaction(transport, request,
+                                     Endpoint("7.7.7.7", 1234),
+                                     timers=TimerTable())
+    txn.send_response(request.create_response(200))
+    _, destination = transport.sent[0]
+    assert destination == Endpoint("7.7.7.7", 1234)

@@ -1,0 +1,87 @@
+"""Unit tests for the packet classifier."""
+
+from repro.netsim import Datagram, Endpoint
+from repro.rtp import RtpPacket, SenderReport
+from repro.sip import SipRequest
+from repro.vids import PacketClassifier, PacketKind
+
+
+def datagram(payload, src=("10.0.0.1", 5060), dst=("10.0.0.2", 5060)):
+    return Datagram(Endpoint(*src), Endpoint(*dst), payload)
+
+
+def make_invite_bytes():
+    request = SipRequest("INVITE", "sip:bob@b.com")
+    request.set("Via", "SIP/2.0/UDP 10.0.0.1:5060;branch=z9hG4bK1")
+    request.set("From", "<sip:a@a.com>;tag=1")
+    request.set("To", "<sip:b@b.com>")
+    request.set("Call-ID", "c@1")
+    request.set("CSeq", "1 INVITE")
+    return request.serialize()
+
+
+def test_sip_request_classified_and_parsed():
+    classifier = PacketClassifier()
+    result = classifier.classify(datagram(make_invite_bytes()))
+    assert result.kind is PacketKind.SIP
+    assert result.sip.method == "INVITE"
+    assert result.src_ip == "10.0.0.1"
+
+
+def test_sip_response_classified_off_port():
+    classifier = PacketClassifier()
+    payload = b"SIP/2.0 200 OK\r\nCSeq: 1 INVITE\r\n\r\n"
+    result = classifier.classify(
+        datagram(payload, src=("1.1.1.1", 9999), dst=("2.2.2.2", 8888)))
+    assert result.kind is PacketKind.SIP
+    assert result.sip.status == 200
+
+
+def test_malformed_sip_on_sip_port():
+    classifier = PacketClassifier()
+    result = classifier.classify(datagram(b"INVITE broken"))
+    assert result.kind is PacketKind.MALFORMED_SIP
+    assert result.sip is None
+
+
+def test_garbage_on_sip_port_is_malformed_sip():
+    classifier = PacketClassifier()
+    result = classifier.classify(datagram(b"hello world"))
+    assert result.kind is PacketKind.MALFORMED_SIP
+
+
+def test_rtp_classified_on_media_port():
+    classifier = PacketClassifier()
+    packet = RtpPacket(18, 55, 8000, 0xABCD, payload=bytes(20))
+    result = classifier.classify(
+        datagram(packet.serialize(), src=("10.0.0.1", 20_000),
+                 dst=("10.0.0.2", 20_002)))
+    assert result.kind is PacketKind.RTP
+    assert result.rtp.sequence_number == 55
+    assert result.rtp.ssrc == 0xABCD
+
+
+def test_rtcp_distinguished_from_rtp():
+    classifier = PacketClassifier()
+    report = SenderReport(ssrc=9, ntp_timestamp=1, rtp_timestamp=2,
+                          packet_count=3, octet_count=4)
+    result = classifier.classify(
+        datagram(report.serialize(), src=("10.0.0.1", 20_001),
+                 dst=("10.0.0.2", 20_003)))
+    assert result.kind is PacketKind.RTCP
+
+
+def test_unclassifiable_payload_is_other():
+    classifier = PacketClassifier()
+    result = classifier.classify(
+        datagram(b"\x00\x01\x02", src=("1.1.1.1", 7), dst=("2.2.2.2", 7)))
+    assert result.kind is PacketKind.OTHER
+    assert classifier.classified == 1
+
+
+def test_short_binary_on_media_port_is_other():
+    classifier = PacketClassifier()
+    result = classifier.classify(
+        datagram(b"\x80\x12", src=("1.1.1.1", 20_000),
+                 dst=("2.2.2.2", 20_002)))
+    assert result.kind is PacketKind.OTHER

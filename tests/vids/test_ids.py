@@ -1,0 +1,257 @@
+"""End-to-end tests for the Vids facade fed with crafted wire packets."""
+
+import pytest
+
+from repro.efsm import ManualClock
+from repro.netsim import Datagram, Endpoint
+from repro.rtp import RtpPacket
+from repro.sip import SipRequest
+from repro.vids import AttackType, DEFAULT_CONFIG, Vids
+
+CALLER = "10.1.0.11"
+PROXY_A = "10.1.0.1"
+PROXY_B = "10.2.0.1"
+CALLEE = "10.2.0.11"
+ATTACKER = "172.16.66.6"
+CALL_ID = "e2e-1@10.1.0.11"
+
+SDP_OFFER = (
+    "v=0\r\no=- 1 1 IN IP4 {ip}\r\ns=call\r\nc=IN IP4 {ip}\r\nt=0 0\r\n"
+    "m=audio {port} RTP/AVP 18\r\na=rtpmap:18 G729/8000\r\na=ptime:20\r\n"
+)
+
+
+def make_vids(config=DEFAULT_CONFIG):
+    clock = ManualClock()
+    vids = Vids(config=config, clock_now=clock.now,
+                timer_scheduler=clock.schedule)
+    return vids, clock
+
+
+def dgram(payload, src, dst, sport=5060, dport=5060, created_at=0.0):
+    return Datagram(Endpoint(src, sport), Endpoint(dst, dport), payload,
+                    created_at=created_at)
+
+
+def invite_bytes(call_id=CALL_ID, branch="z9hG4bKe1", from_tag="ft"):
+    request = SipRequest("INVITE", "sip:bob@b.example.com",
+                         body=SDP_OFFER.format(ip=CALLER, port=20_000))
+    request.set("Via", f"SIP/2.0/UDP {PROXY_A}:5060;branch={branch}p")
+    request.add("Via", f"SIP/2.0/UDP {CALLER}:5060;branch={branch}")
+    request.set("Max-Forwards", 69)
+    request.set("From", f"<sip:alice@a.example.com>;tag={from_tag}")
+    request.set("To", "<sip:bob@b.example.com>")
+    request.set("Call-ID", call_id)
+    request.set("CSeq", "1 INVITE")
+    request.set("Contact", f"<sip:alice@{CALLER}:5060>")
+    request.set("Content-Type", "application/sdp")
+    return request.serialize()
+
+
+def response_bytes(status, call_id=CALL_ID, branch="z9hG4bKe1",
+                   cseq="1 INVITE", with_sdp=False, to_tag="tt"):
+    from repro.sip import SipResponse
+    response = SipResponse(status)
+    response.set("Via", f"SIP/2.0/UDP {PROXY_A}:5060;branch={branch}p")
+    response.add("Via", f"SIP/2.0/UDP {CALLER}:5060;branch={branch}")
+    response.set("From", "<sip:alice@a.example.com>;tag=ft")
+    response.set("To", f"<sip:bob@b.example.com>;tag={to_tag}")
+    response.set("Call-ID", call_id)
+    response.set("CSeq", cseq)
+    response.set("Contact", f"<sip:bob@{CALLEE}:5060>")
+    if with_sdp:
+        response.body = SDP_OFFER.format(ip=CALLEE, port=20_002)
+        response.set("Content-Type", "application/sdp")
+    return response.serialize()
+
+
+def ack_bytes(call_id=CALL_ID):
+    request = SipRequest("ACK", f"sip:bob@{CALLEE}:5060")
+    request.set("Via", f"SIP/2.0/UDP {CALLER}:5060;branch=z9hG4bKack")
+    request.set("From", "<sip:alice@a.example.com>;tag=ft")
+    request.set("To", "<sip:bob@b.example.com>;tag=tt")
+    request.set("Call-ID", call_id)
+    request.set("CSeq", "1 ACK")
+    return request.serialize()
+
+
+def bye_bytes(call_id=CALL_ID, src_tag="tt", dst_tag="ft", cseq=2):
+    request = SipRequest("BYE", f"sip:alice@{CALLER}:5060")
+    request.set("Via", f"SIP/2.0/UDP {CALLEE}:5060;branch=z9hG4bKbye")
+    request.set("From", f"<sip:bob@b.example.com>;tag={src_tag}")
+    request.set("To", f"<sip:alice@a.example.com>;tag={dst_tag}")
+    request.set("Call-ID", call_id)
+    request.set("CSeq", f"{cseq} BYE")
+    return request.serialize()
+
+
+def rtp_bytes(ssrc=0xAAAA, seq=1, ts=160, pt=18):
+    return RtpPacket(pt, seq, ts, ssrc, payload=bytes(20)).serialize()
+
+
+def establish_call(vids, clock):
+    vids.process(dgram(invite_bytes(), PROXY_A, PROXY_B), clock.now())
+    clock.advance(0.05)
+    vids.process(dgram(response_bytes(180), PROXY_B, PROXY_A), clock.now())
+    clock.advance(0.05)
+    vids.process(dgram(response_bytes(200, with_sdp=True), PROXY_B, PROXY_A),
+                 clock.now())
+    clock.advance(0.05)
+    vids.process(dgram(ack_bytes(), CALLER, CALLEE), clock.now())
+
+
+def stream_media(vids, clock, count=10, start_seq=1, ssrc=0xAAAA,
+                 src=CALLER, dst=CALLEE, dport=20_002, pt=18):
+    for index in range(count):
+        clock.advance(0.02)
+        vids.process(
+            dgram(rtp_bytes(ssrc=ssrc, seq=start_seq + index,
+                            ts=(start_seq + index) * 160, pt=pt),
+                  src, dst, sport=20_000, dport=dport),
+            clock.now())
+
+
+class TestBenignCall:
+    def test_call_tracked_and_cleaned_up(self):
+        vids, clock = make_vids()
+        establish_call(vids, clock)
+        assert vids.active_calls == 1
+        record = vids.factbase.get(CALL_ID)
+        assert record.sip.state == "Call_Established"
+        stream_media(vids, clock, count=20)
+        assert record.rtp.state == "RTP_Rcvd"
+
+        vids.process(dgram(bye_bytes(), CALLEE, CALLER), clock.now())
+        vids.process(
+            dgram(response_bytes(200, cseq="2 BYE"), CALLER, CALLEE),
+            clock.now())
+        assert record.sip.state == "Closed"
+        # Timer T then the linger delay pass; the record is deleted.
+        clock.advance(DEFAULT_CONFIG.bye_inflight_timer + 0.1)
+        assert record.rtp.state == "RTP_Close"
+        clock.advance(DEFAULT_CONFIG.closed_record_linger + 1)
+        assert vids.active_calls == 0
+        assert vids.alerts == []
+        assert vids.metrics.calls_deleted == 1
+
+    def test_metrics_classify_traffic(self):
+        vids, clock = make_vids()
+        establish_call(vids, clock)
+        stream_media(vids, clock, count=5)
+        vids.process(dgram(b"\x01\x02", "9.9.9.9", CALLEE, 99, 99),
+                     clock.now())
+        assert vids.metrics.sip_messages == 4
+        assert vids.metrics.rtp_packets == 5
+        assert vids.metrics.other_packets == 1
+        assert vids.metrics.packets_processed == 10
+        assert vids.metrics.cpu_time > 0
+
+    def test_processing_costs_by_kind(self):
+        vids, clock = make_vids()
+        sip_cost = vids.process(dgram(invite_bytes(), PROXY_A, PROXY_B),
+                                clock.now())
+        assert sip_cost == DEFAULT_CONFIG.sip_processing_cost
+        rtp_cost = vids.process(
+            dgram(rtp_bytes(), CALLER, CALLEE, 20_000, 20_002), clock.now())
+        assert rtp_cost == DEFAULT_CONFIG.rtp_processing_cost
+
+    def test_malformed_sip_counted(self):
+        vids, clock = make_vids()
+        vids.process(dgram(b"INVITE junk", ATTACKER, PROXY_B), clock.now())
+        assert vids.metrics.malformed_packets == 1
+
+
+class TestDetectionEndToEnd:
+    def test_invite_flood_alert(self):
+        vids, clock = make_vids()
+        for index in range(DEFAULT_CONFIG.invite_flood_threshold + 1):
+            vids.process(
+                dgram(invite_bytes(call_id=f"flood{index}@x",
+                                   branch=f"z9hG4bKf{index}"),
+                      ATTACKER, PROXY_B),
+                clock.now())
+            clock.advance(0.01)
+        assert vids.alert_count(AttackType.INVITE_FLOOD) == 1
+        alert = vids.alert_manager.by_type(AttackType.INVITE_FLOOD)[0]
+        assert alert.destination == "bob@b.example.com"
+
+    def test_spoofed_bye_then_media_is_toll_fraud_signal(self):
+        vids, clock = make_vids()
+        establish_call(vids, clock)
+        stream_media(vids, clock, count=5)
+        # BYE claims to come from the callee.
+        vids.process(dgram(bye_bytes(), CALLEE, CALLER), clock.now())
+        clock.advance(DEFAULT_CONFIG.bye_inflight_timer + 0.05)
+        # The callee "keeps" streaming to the caller after close.
+        vids.process(
+            dgram(rtp_bytes(ssrc=0xBBBB, seq=900, ts=90_000),
+                  CALLEE, CALLER, 20_002, 20_000),
+            clock.now())
+        assert vids.alert_count(AttackType.TOLL_FRAUD) == 1
+
+    def test_media_after_close_from_other_party_is_bye_dos(self):
+        vids, clock = make_vids()
+        establish_call(vids, clock)
+        stream_media(vids, clock, count=5)
+        vids.process(dgram(bye_bytes(), CALLEE, CALLER), clock.now())
+        clock.advance(DEFAULT_CONFIG.bye_inflight_timer + 0.05)
+        # Media continues from the *caller* (not the BYE sender).
+        vids.process(
+            dgram(rtp_bytes(ssrc=0xAAAA, seq=900, ts=900 * 160),
+                  CALLER, CALLEE, 20_000, 20_002),
+            clock.now())
+        assert vids.alert_count(AttackType.BYE_DOS) == 1
+
+    def test_third_party_bye_flagged_immediately(self):
+        vids, clock = make_vids()
+        establish_call(vids, clock)
+        payload = bye_bytes()
+        vids.process(dgram(payload, ATTACKER, CALLER), clock.now())
+        assert vids.alert_count(AttackType.BYE_DOS) == 1
+
+    def test_media_spam_alert(self):
+        vids, clock = make_vids()
+        establish_call(vids, clock)
+        stream_media(vids, clock, count=5)
+        vids.process(
+            dgram(rtp_bytes(ssrc=0xAAAA, seq=5 + 2000, ts=400_000),
+                  ATTACKER, CALLEE, 20_000, 20_002),
+            clock.now())
+        assert vids.alert_count(AttackType.MEDIA_SPAM) == 1
+
+    def test_codec_change_alert(self):
+        vids, clock = make_vids()
+        establish_call(vids, clock)
+        stream_media(vids, clock, count=5)
+        stream_media(vids, clock, count=1, start_seq=6, pt=0)
+        assert vids.alert_count(AttackType.CODEC_CHANGE) == 1
+
+    def test_unsolicited_media_alert(self):
+        vids, clock = make_vids()
+        for index in range(DEFAULT_CONFIG.unsolicited_media_threshold + 2):
+            clock.advance(0.02)
+            vids.process(
+                dgram(rtp_bytes(seq=index, ts=index * 160),
+                      ATTACKER, CALLEE, 40_000, 31_337),
+                clock.now())
+        assert vids.alert_count(AttackType.UNSOLICITED_MEDIA) == 1
+
+    def test_stray_bye_for_unknown_call_noted(self):
+        vids, clock = make_vids()
+        vids.process(dgram(bye_bytes(call_id="ghost@x"), ATTACKER, CALLEE),
+                     clock.now())
+        assert vids.alert_count(AttackType.SPEC_DEVIATION) == 1
+
+
+class TestConstruction:
+    def test_requires_clock_or_sim(self):
+        with pytest.raises(ValueError):
+            Vids()
+
+    def test_summary_shape(self):
+        vids, clock = make_vids()
+        establish_call(vids, clock)
+        summary = vids.summary()
+        assert summary["sip_messages"] == 4
+        assert summary["active_calls"] == 1
+        assert "alerts" in summary

@@ -1,0 +1,96 @@
+"""Call-record lifecycle: every call outcome leads to reclamation."""
+
+from repro.vids import DEFAULT_CONFIG
+
+from .test_ids import (
+    CALLEE,
+    CALLER,
+    PROXY_A,
+    PROXY_B,
+    ack_bytes,
+    bye_bytes,
+    dgram,
+    establish_call,
+    invite_bytes,
+    make_vids,
+    response_bytes,
+)
+
+
+def drain(vids, clock):
+    clock.advance(DEFAULT_CONFIG.bye_inflight_timer
+                  + DEFAULT_CONFIG.closed_record_linger + 1.0)
+
+
+def test_normal_call_reclaimed():
+    vids, clock = make_vids()
+    establish_call(vids, clock)
+    vids.process(dgram(bye_bytes(), CALLEE, CALLER), clock.now())
+    vids.process(dgram(response_bytes(200, cseq="2 BYE"), CALLER, CALLEE),
+                 clock.now())
+    drain(vids, clock)
+    assert vids.active_calls == 0
+    assert vids.metrics.calls_deleted == 1
+
+
+def test_rejected_call_reclaimed():
+    """486 Busy: both machines must still reach final states."""
+    vids, clock = make_vids()
+    vids.process(dgram(invite_bytes(), PROXY_A, PROXY_B), clock.now())
+    clock.advance(0.05)
+    vids.process(dgram(response_bytes(486), PROXY_B, PROXY_A), clock.now())
+    record = vids.factbase.get("e2e-1@10.1.0.11")
+    assert record.sip.state == "Failed"
+    assert record.rtp.state == "RTP_Close"
+    assert record.system.all_final
+    drain(vids, clock)
+    assert vids.active_calls == 0
+    assert vids.alerts == []
+
+
+def test_cancelled_call_reclaimed():
+    vids, clock = make_vids()
+    vids.process(dgram(invite_bytes(), PROXY_A, PROXY_B), clock.now())
+    clock.advance(0.05)
+    vids.process(dgram(response_bytes(180), PROXY_B, PROXY_A), clock.now())
+
+    from repro.sip import SipRequest
+    cancel = SipRequest("CANCEL", "sip:bob@b.example.com")
+    cancel.set("Via", f"SIP/2.0/UDP {PROXY_A}:5060;branch=z9hG4bKe1p")
+    cancel.set("From", "<sip:alice@a.example.com>;tag=ft")
+    cancel.set("To", "<sip:bob@b.example.com>")
+    cancel.set("Call-ID", "e2e-1@10.1.0.11")
+    cancel.set("CSeq", "1 CANCEL")
+    vids.process(dgram(cancel.serialize(), PROXY_A, PROXY_B), clock.now())
+    clock.advance(0.05)
+    vids.process(dgram(response_bytes(200, cseq="1 CANCEL"),
+                       PROXY_B, PROXY_A), clock.now())
+    vids.process(dgram(response_bytes(487), PROXY_B, PROXY_A), clock.now())
+    vids.process(dgram(ack_bytes(), PROXY_A, PROXY_B), clock.now())
+
+    record = vids.factbase.get("e2e-1@10.1.0.11")
+    assert record.sip.state == "Cancelled"
+    assert record.rtp.state == "RTP_Close"
+    assert record.system.all_final
+    drain(vids, clock)
+    assert vids.active_calls == 0
+    assert vids.alerts == []
+
+
+def test_timed_out_call_garbage_collected():
+    """An INVITE that never completes is eventually GC'd by TTL."""
+    config = DEFAULT_CONFIG.with_overrides(call_record_ttl=100.0)
+    vids, clock = make_vids(config)
+    vids.process(dgram(invite_bytes(), PROXY_A, PROXY_B), clock.now())
+    assert vids.active_calls == 1
+    clock.advance(200.0)
+    vids.factbase.collect_garbage()
+    assert vids.active_calls == 0
+
+
+def test_established_call_is_never_reclaimed_early():
+    vids, clock = make_vids()
+    establish_call(vids, clock)
+    clock.advance(3600.0 / 2)       # half the TTL of silence
+    vids.factbase.collect_garbage()
+    assert vids.active_calls == 1

@@ -1,0 +1,58 @@
+"""Recording alongside live detection: the tee must be transparent."""
+
+from repro.vids import RecordingProcessor, Vids, replay_trace
+
+from .test_ids import (
+    CALLEE,
+    CALLER,
+    bye_bytes,
+    dgram,
+    establish_call,
+    make_vids,
+    response_bytes,
+)
+
+
+def test_recorder_wrapping_live_vids_charges_inner_cost():
+    vids, clock = make_vids()
+    recorder = RecordingProcessor(inner=vids)
+    # Drive through the recorder exactly as the inline device would.
+    import tests.vids.test_ids as helpers
+
+    packets = [
+        dgram(helpers.invite_bytes(), helpers.PROXY_A, helpers.PROXY_B),
+        dgram(helpers.response_bytes(180), helpers.PROXY_B, helpers.PROXY_A),
+    ]
+    costs = [recorder.process(packet, clock.now()) for packet in packets]
+    assert costs == [vids.config.sip_processing_cost] * 2
+    assert len(recorder) == 2
+    assert vids.metrics.sip_messages == 2
+
+
+def test_capture_replays_to_identical_verdict():
+    vids, clock = make_vids()
+    recorder = RecordingProcessor(inner=vids)
+
+    def feed(datagram):
+        clock.advance(0.03)
+        recorder.process(datagram, clock.now())
+
+    import tests.vids.test_ids as helpers
+
+    feed(dgram(helpers.invite_bytes(), helpers.PROXY_A, helpers.PROXY_B))
+    feed(dgram(helpers.response_bytes(200, with_sdp=True),
+               helpers.PROXY_B, helpers.PROXY_A))
+    feed(dgram(helpers.ack_bytes(), CALLER, CALLEE))
+    for index in range(5):
+        feed(dgram(helpers.rtp_bytes(seq=index + 1, ts=(index + 1) * 160),
+                   CALLER, CALLEE, 20_000, 20_002))
+    # Third-party BYE: the live vids alerts.
+    feed(dgram(bye_bytes(), "172.16.66.6", CALLER))
+    live_kinds = sorted(a.attack_type.value for a in vids.alerts)
+    assert live_kinds == ["bye-dos"]
+
+    offline = replay_trace(recorder.capture)
+    replay_kinds = sorted(a.attack_type.value for a in offline.alerts)
+    assert replay_kinds == live_kinds
+    assert offline.metrics.sip_messages == vids.metrics.sip_messages
+    assert offline.metrics.rtp_packets == vids.metrics.rtp_packets

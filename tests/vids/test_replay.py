@@ -1,0 +1,107 @@
+"""Unit tests for capture and offline replay."""
+
+import pytest
+
+from repro.netsim import Datagram, Endpoint
+from repro.vids import (
+    AttackType,
+    CapturedPacket,
+    DEFAULT_CONFIG,
+    RecordingProcessor,
+    replay_trace,
+)
+
+from .test_ids import (
+    ATTACKER,
+    CALLEE,
+    CALLER,
+    PROXY_A,
+    PROXY_B,
+    ack_bytes,
+    bye_bytes,
+    dgram,
+    invite_bytes,
+    response_bytes,
+    rtp_bytes,
+)
+
+
+def make_capture():
+    """A benign full call as CapturedPackets."""
+    entries = [
+        (0.00, dgram(invite_bytes(), PROXY_A, PROXY_B)),
+        (0.05, dgram(response_bytes(180), PROXY_B, PROXY_A)),
+        (1.00, dgram(response_bytes(200, with_sdp=True), PROXY_B, PROXY_A)),
+        (1.10, dgram(ack_bytes(), CALLER, CALLEE)),
+    ]
+    time = 1.2
+    for index in range(10):
+        entries.append((time, dgram(rtp_bytes(seq=index + 1,
+                                              ts=(index + 1) * 160),
+                                    CALLER, CALLEE, 20_000, 20_002)))
+        time += 0.02
+    entries.append((time + 0.1, dgram(bye_bytes(), CALLEE, CALLER)))
+    entries.append((time + 0.2,
+                    dgram(response_bytes(200, cseq="2 BYE"), CALLER, CALLEE)))
+    return [CapturedPacket(t, d) for t, d in entries]
+
+
+class TestRecordingProcessor:
+    def test_records_and_delegates(self):
+        recorder = RecordingProcessor()
+        datagram = Datagram(Endpoint("1.1.1.1", 1), Endpoint("2.2.2.2", 2),
+                            b"x")
+        cost = recorder.process(datagram, 1.5)
+        assert cost == 0.0
+        assert len(recorder) == 1
+        assert recorder.capture[0].time == 1.5
+        recorder.clear()
+        assert len(recorder) == 0
+
+    def test_wraps_inner_processor(self):
+        class Inner:
+            def process(self, datagram, now):
+                return 0.42
+
+        recorder = RecordingProcessor(Inner())
+        datagram = Datagram(Endpoint("1.1.1.1", 1), Endpoint("2.2.2.2", 2),
+                            b"x")
+        assert recorder.process(datagram, 0.0) == 0.42
+
+
+class TestReplay:
+    def test_benign_capture_replays_clean(self):
+        vids = replay_trace(make_capture())
+        assert vids.metrics.calls_created == 1
+        assert vids.metrics.calls_deleted == 1
+        assert vids.alerts == []
+        assert vids.metrics.sip_messages == 6
+        assert vids.metrics.rtp_packets == 10
+
+    def test_replay_with_tighter_config_changes_verdict(self):
+        """Forensics: re-run the same capture with a hair-trigger flood
+        threshold — the single INVITE is fine, but Δn=0 flags the stream."""
+        config = DEFAULT_CONFIG.with_overrides(media_spam_seq_gap=0)
+        vids = replay_trace(make_capture(), config)
+        assert vids.alert_count(AttackType.MEDIA_SPAM) >= 1
+
+    def test_attack_capture_detected_offline(self):
+        capture = make_capture()[:14]  # call established + media, no BYE
+        last = capture[-1].time
+        capture.append(CapturedPacket(
+            last + 0.02,
+            dgram(rtp_bytes(ssrc=0xAAAA, seq=5000, ts=900_000),
+                  ATTACKER, CALLEE, 20_000, 20_002)))
+        vids = replay_trace(capture)
+        assert vids.alert_count(AttackType.MEDIA_SPAM) == 1
+
+    def test_out_of_order_capture_rejected(self):
+        capture = make_capture()
+        capture[0], capture[1] = capture[1], capture[0]
+        with pytest.raises(ValueError):
+            replay_trace(capture)
+
+    def test_timers_resolve_after_replay(self):
+        """The trailing clock advance lets timer T close the session."""
+        vids = replay_trace(make_capture())
+        assert vids.active_calls == 0

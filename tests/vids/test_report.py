@@ -1,0 +1,40 @@
+"""The vids situation report must render traffic, calls, and alerts."""
+
+from repro.vids import AttackType
+
+from .test_ids import (
+    ATTACKER,
+    CALLER,
+    bye_bytes,
+    dgram,
+    establish_call,
+    make_vids,
+)
+
+
+def test_report_with_no_traffic():
+    vids, clock = make_vids()
+    report = vids.report()
+    assert "vids report" in report
+    assert "no alerts" in report
+
+
+def test_report_with_alert_lists_scenario():
+    vids, clock = make_vids()
+    establish_call(vids, clock)
+    vids.process(dgram(bye_bytes(), ATTACKER, CALLER), clock.now())
+    report = vids.report()
+    assert "bye-dos" in report
+    assert "S2" in report                 # scenario id column
+    assert ATTACKER in report             # source column
+    assert "no alerts" not in report
+
+
+def test_report_counts_match_metrics():
+    vids, clock = make_vids()
+    establish_call(vids, clock)
+    report = vids.report()
+    assert f"SIP messages {' ' * 0}".split()[0] in report
+    assert str(vids.metrics.sip_messages) in report
+    assert "active now" in report
+    assert str(vids.active_calls) in report
