@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-full figures examples clean
+.PHONY: install test chaos bench bench-full figures examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -12,6 +12,11 @@ test:
 
 test-out:
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+
+# Heavy fault-injection sweeps (see docs/ROBUSTNESS.md); excluded from
+# `make test` via the pytest addopts marker filter.
+chaos:
+	$(PYTHON) -m pytest tests/ -m chaos
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -11,10 +11,13 @@ Public surface:
   (where vids is deployed).
 - :class:`Datagram`, :class:`Endpoint` — the packet model.
 - :class:`RandomStreams` — named, seeded randomness.
+- :class:`FaultPlan`, :class:`FaultyLink` — seeded fault injection
+  (corruption, duplication, reordering, burst loss, link flaps).
 """
 
 from .address import Endpoint, parse_endpoint
 from .engine import SimulationError, Simulator, Timer
+from .faults import FaultPlan, FaultStats, FaultyLink, inject_faults
 from .inline import InlineDevice, NullProcessor, PacketProcessor
 from .internet import (
     DEFAULT_INTERNET_DELAY,
@@ -37,6 +40,9 @@ __all__ = [
     "DEFAULT_INTERNET_LOSS",
     "Datagram",
     "Endpoint",
+    "FaultPlan",
+    "FaultStats",
+    "FaultyLink",
     "Host",
     "Hub",
     "IP_UDP_OVERHEAD",
@@ -57,5 +63,6 @@ __all__ = [
     "Timer",
     "TraceRecord",
     "TrafficSink",
+    "inject_faults",
     "parse_endpoint",
 ]

@@ -52,6 +52,7 @@ class InlineDevice(Node):
         name: str,
         processor: Optional[PacketProcessor] = None,
         forwarding_latency: float = 0.0,
+        fail_open: bool = True,
     ):
         super().__init__(network, name)
         # Explicit None check: a processor may define __len__ (e.g. a
@@ -63,9 +64,13 @@ class InlineDevice(Node):
         #: Fixed store-and-forward latency even with no processor (the host
         #: still moves the packet between NICs).
         self.forwarding_latency = float(forwarding_latency)
+        #: Fail-open policy: a crashing processor must not take the wire
+        #: down with it — the packet is forwarded uninspected and counted.
+        self.fail_open = fail_open
         self._cpu_free_at = 0.0
         self.busy_time = 0.0
         self.packets_forwarded = 0
+        self.processor_failures = 0
         self._started_at: Optional[float] = None
 
     def attach_link(self, link: "Link") -> None:
@@ -80,7 +85,15 @@ class InlineDevice(Node):
             self._started_at = self.sim.now
         out_link = self.links[0] if in_link is self.links[1] else self.links[1]
 
-        service = self.processor.process(datagram, self.sim.now)
+        try:
+            service = self.processor.process(datagram, self.sim.now)
+        except Exception:
+            if not self.fail_open:
+                raise
+            self.processor_failures += 1
+            service = 0.0
+        # A misbehaving processor must not run the device clock backwards.
+        service = max(0.0, service)
         start = max(self.sim.now, self._cpu_free_at)
         done = start + service + self.forwarding_latency
         self._cpu_free_at = done
@@ -93,9 +106,26 @@ class InlineDevice(Node):
                                  label=f"fwd@{self.name}")
 
     def cpu_utilization(self, until: Optional[float] = None) -> float:
-        """Fraction of elapsed time the device CPU spent processing."""
+        """Fraction of elapsed time the device CPU spent processing.
+
+        Zero or negative observation windows (``until`` at or before the
+        first packet) report 0.0 rather than dividing by zero.
+        """
         if self._started_at is None:
             return 0.0
         end = until if until is not None else self.sim.now
         elapsed = end - self._started_at
-        return self.busy_time / elapsed if elapsed > 0 else 0.0
+        if elapsed <= 0.0:
+            return 0.0
+        return self.busy_time / elapsed
+
+    def queue_depth(self, now: Optional[float] = None) -> float:
+        """Seconds of processing backlog queued on the device CPU.
+
+        This is the single-server queue's virtual waiting time: how long a
+        packet arriving at ``now`` would wait before its own service
+        starts.  Overload-shedding processors watch this against their
+        high/low watermarks.
+        """
+        current = self.sim.now if now is None else now
+        return max(0.0, self._cpu_free_at - current)

@@ -15,7 +15,7 @@ from ..netsim.address import Endpoint
 from ..netsim.node import Host
 from ..netsim.packet import Datagram
 from .constants import DEFAULT_SIP_PORT
-from .errors import SipParseError
+from .errors import SipError, SipParseError
 from .message import SipRequest, SipResponse, parse_message
 
 __all__ = ["SipTransport"]
@@ -59,7 +59,14 @@ class SipTransport:
             return
         self.messages_received += 1
         if self._handler is not None:
-            self._handler(message, datagram.src)
+            try:
+                self._handler(message, datagram.src)
+            except SipError:
+                # Wire-parseable but semantically malformed (a corrupted
+                # Request-URI, an INVITE whose dialog headers were mangled
+                # in transit, ...): real stacks drop or 400 such requests;
+                # either way the endpoint must survive them.
+                self.parse_errors += 1
 
     def close(self) -> None:
         self.host.unbind(self.port)

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional
 
+from ..netsim.faults import FaultPlan, FaultyLink, inject_faults
 from ..netsim.random import RandomStreams
 from ..vids.config import DEFAULT_CONFIG, VidsConfig
 from ..vids.ids import Vids
@@ -43,6 +44,14 @@ class ScenarioParams:
     #: Attack injectors (objects with ``install(testbed)``).
     attacks: tuple = ()
     drain_time: float = DRAIN_TIME
+    #: Optional fault plan installed on the vids perimeter link (the
+    #: router-B side), so chaos runs stress exactly the traffic the IDS
+    #: inspects.  See :mod:`repro.netsim.faults`.
+    fault_plan: Optional["FaultPlan"] = None
+    #: Callables invoked as ``hook(testbed, vids, sim)`` after workload and
+    #: attacks are installed but before the run — for scheduling scenario
+    #: events (e.g. poisoning a call mid-run in chaos tests).
+    hooks: tuple = ()
 
 
 @dataclass
@@ -56,6 +65,8 @@ class ScenarioResult:
     elapsed: float
     workload: CallWorkload
     testbed: EnterpriseTestbed
+    #: The installed fault wrapper when ``params.fault_plan`` was set.
+    faulty_link: Optional["FaultyLink"] = None
 
     # -- call setup (Figure 9) -------------------------------------------------
 
@@ -182,6 +193,16 @@ def run_scenario(params: ScenarioParams) -> ScenarioResult:
     for attack in params.attacks:
         attack.install(testbed)
 
+    faulty_link: Optional[FaultyLink] = None
+    if params.fault_plan is not None:
+        # links[0] is the router-B (perimeter) side: everything the inline
+        # device inspects crosses it in both directions.
+        faulty_link = inject_faults(testbed.vids_device.links[0],
+                                    params.fault_plan)
+
+    for hook in params.hooks:
+        hook(testbed, vids, sim)
+
     end_time = base + params.workload.horizon + params.drain_time
     testbed.network.run(until=end_time)
 
@@ -199,4 +220,5 @@ def run_scenario(params: ScenarioParams) -> ScenarioResult:
         elapsed=sim.now,
         workload=workload,
         testbed=testbed,
+        faulty_link=faulty_link,
     )

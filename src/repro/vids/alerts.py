@@ -31,6 +31,12 @@ class AttackType(enum.Enum):
     UNSOLICITED_MEDIA = "unsolicited-media"
     REGISTRATION_HIJACK = "registration-hijack"
     SPEC_DEVIATION = "spec-deviation"
+    #: Sustained malformed traffic from one source (protocol fuzzing).
+    PROTOCOL_FUZZING = "protocol-fuzzing"
+    #: The IDS contained an internal error and quarantined a call.
+    IDS_INTERNAL = "ids-internal"
+    #: CPU overload: RTP deep inspection shed, signaling-only mode.
+    OVERLOAD_SHED = "overload-shed"
 
 
 @dataclass

@@ -41,6 +41,11 @@ class ClassifiedPacket:
     kind: PacketKind
     sip: Optional[Union[SipRequest, SipResponse]] = None
     rtp: Optional[RtpPacket] = None
+    #: Which protocol's parser rejected the payload (``"sip"``, ``"rtp"``,
+    #: ``"rtcp"``), when the packet looked like that protocol but failed to
+    #: parse.  Lets the facade account for every drop instead of silently
+    #: folding parse failures into OTHER.
+    malformed: Optional[str] = None
 
     @property
     def src_ip(self) -> str:
@@ -63,14 +68,17 @@ class PacketClassifier:
         payload = datagram.payload
         on_sip_port = (datagram.dst.port in self.sip_ports
                        or datagram.src.port in self.sip_ports)
+        malformed: Optional[str] = None
 
         if on_sip_port or is_sip_payload(payload):
             try:
                 message = parse_message(payload)
                 return ClassifiedPacket(datagram, PacketKind.SIP, sip=message)
             except SipParseError:
+                malformed = "sip"
                 if on_sip_port:
-                    return ClassifiedPacket(datagram, PacketKind.MALFORMED_SIP)
+                    return ClassifiedPacket(datagram, PacketKind.MALFORMED_SIP,
+                                            malformed=malformed)
                 # fall through: maybe binary media on a non-SIP port
 
         if looks_like_rtp(payload):
@@ -82,11 +90,12 @@ class PacketClassifier:
                     parse_rtcp(payload)
                     return ClassifiedPacket(datagram, PacketKind.RTCP)
                 except RtcpParseError:
-                    pass
+                    malformed = "rtcp"
             try:
                 packet = RtpPacket.parse(payload)
                 return ClassifiedPacket(datagram, PacketKind.RTP, rtp=packet)
             except RtpParseError:
-                pass
+                # Keep the more specific RTCP verdict when both fail.
+                malformed = malformed or "rtp"
 
-        return ClassifiedPacket(datagram, PacketKind.OTHER)
+        return ClassifiedPacket(datagram, PacketKind.OTHER, malformed=malformed)

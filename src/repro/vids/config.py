@@ -86,6 +86,25 @@ class VidsConfig:
     #: CPU seconds for non-VoIP packets (classification only).
     other_processing_cost: float = 0.00005
 
+    # -- Robustness / survivability (beyond the paper; docs/ROBUSTNESS.md) ----
+    #: Contain unexpected per-packet exceptions: quarantine the offending
+    #: call instead of letting the error propagate into the forwarding
+    #: path.  Turning this off re-raises (useful when debugging machines).
+    crash_containment: bool = True
+    #: Malformed packets from one source within ``malformed_rate_window``
+    #: before a protocol-fuzzing alert is raised for that source.
+    malformed_rate_threshold: int = 20
+    #: Observation window (seconds) for the per-source malformed rate.
+    malformed_rate_window: float = 1.0
+    #: CPU backlog (seconds of queued service time) above which vids sheds
+    #: RTP/RTCP deep inspection and runs signaling-only.
+    shed_high_watermark: float = 1.0
+    #: Backlog below which full inspection resumes.
+    shed_low_watermark: float = 0.25
+    #: CPU seconds charged for an RTP/RTCP packet while shedding
+    #: (classification only; the packet is still forwarded fail-open).
+    shed_processing_cost: float = 0.0001
+
     # -- Housekeeping --------------------------------------------------------
     #: Idle seconds after which a call record is garbage-collected.
     call_record_ttl: float = 3600.0

@@ -18,6 +18,7 @@ from typing import Any, Dict, Optional, Tuple, Union
 
 from ..efsm.events import Event
 from ..sip.constants import INVITE, OPTIONS, REGISTER
+from .metrics import VidsMetrics
 from ..sip.errors import SipParseError
 from ..sip.message import SipRequest, SipResponse
 from ..sip.sdp import SessionDescription
@@ -32,7 +33,8 @@ from .sync import RTP_MACHINE, SIP_MACHINE
 __all__ = ["EventDistributor", "sip_event_from_message", "rtp_event_from_packet"]
 
 
-def _sdp_fields(message: Union[SipRequest, SipResponse]) -> Dict[str, Any]:
+def _sdp_fields(message: Union[SipRequest, SipResponse],
+                metrics: Optional["VidsMetrics"] = None) -> Dict[str, Any]:
     """Extract the media attributes the machines care about from an SDP body."""
     if not message.body:
         return {}
@@ -42,6 +44,11 @@ def _sdp_fields(message: Union[SipRequest, SipResponse]) -> Dict[str, Any]:
     try:
         session = SessionDescription.parse(message.body)
     except (SipParseError, ValueError):
+        # Not a silent drop: a message whose SDP we cannot read still
+        # drives the SIP machine, but the analysis loses the media index —
+        # count it so a fuzzing campaign against SDP shows up in metrics.
+        if metrics is not None:
+            metrics.sdp_parse_failures += 1
         return {}
     audio = session.audio
     if audio is None:
@@ -58,7 +65,8 @@ def _sdp_fields(message: Union[SipRequest, SipResponse]) -> Dict[str, Any]:
 
 def sip_event_from_message(message: Union[SipRequest, SipResponse],
                            src: Tuple[str, int], dst: Tuple[str, int],
-                           now: float) -> Event:
+                           now: float,
+                           metrics: Optional["VidsMetrics"] = None) -> Event:
     """Build the EFSM input vector x from a SIP message on the wire."""
     from_addr = message.from_
     to_addr = message.to
@@ -80,7 +88,7 @@ def sip_event_from_message(message: Union[SipRequest, SipResponse],
         "contact_host": contact.uri.host if contact else None,
         "via_hosts": tuple(via.host for via in message.vias),
     }
-    args.update(_sdp_fields(message))
+    args.update(_sdp_fields(message, metrics))
     if isinstance(message, SipRequest):
         name = message.method
         args["uri_host"] = message.uri.host
@@ -150,10 +158,15 @@ class EventDistributor:
         message = classified.sip
         assert message is not None
         datagram = classified.datagram
+        call_id = message.call_id or ""
+        if call_id and self.factbase.is_quarantined(call_id):
+            self.factbase.metrics.quarantined_drops += 1
+            return None
         now = self.clock_now()
         event = sip_event_from_message(
             message, (datagram.src.ip, datagram.src.port),
-            (datagram.dst.ip, datagram.dst.port), now)
+            (datagram.dst.ip, datagram.dst.port), now,
+            metrics=self.factbase.metrics)
 
         if isinstance(message, SipRequest) and message.method == REGISTER:
             # Legitimate registrations are intra-enterprise and never reach
@@ -214,6 +227,12 @@ class EventDistributor:
     def _distribute_rtp(self, classified: ClassifiedPacket) -> None:
         datagram = classified.datagram
         destination = (datagram.dst.ip, datagram.dst.port)
+        if destination in self.factbase.quarantined_media:
+            # Lingering media of a quarantined call: drop from inspection
+            # (still forwarded on the wire) rather than feeding the orphan
+            # tracker with a stream we know the history of.
+            self.factbase.metrics.quarantined_drops += 1
+            return None
         now = self.clock_now()
         match = self.factbase.lookup_media(destination)
         if match is None:

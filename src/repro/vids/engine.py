@@ -189,6 +189,46 @@ class AnalysisEngine:
                     "reason": "REGISTER from outside the perimeter"},
         ))
 
+    def note_internal_error(self, call_id: Optional[str], error: BaseException,
+                            src_ip: Optional[str] = None,
+                            dst_ip: Optional[str] = None) -> None:
+        """Crash containment fired: the offending call was quarantined."""
+        self.alerts.raise_alert(Alert(
+            time=self.clock_now(),
+            attack_type=AttackType.IDS_INTERNAL,
+            call_id=call_id,
+            source=src_ip,
+            destination=dst_ip,
+            machine="vids",
+            state="-",
+            detail={"error": f"{type(error).__name__}: {error}",
+                    "quarantined": call_id is not None,
+                    "reason": "unexpected exception during packet analysis"},
+        ))
+
+    def note_fuzzing(self, source: str, count: int, window: float) -> None:
+        """One source exceeded the malformed-packet rate threshold."""
+        self.alerts.raise_alert(Alert(
+            time=self.clock_now(),
+            attack_type=AttackType.PROTOCOL_FUZZING,
+            source=source,
+            machine="classifier",
+            state="-",
+            detail={"malformed_in_window": count, "window": window,
+                    "reason": "sustained malformed traffic from one source"},
+        ))
+
+    def note_overload(self, backlog: float, watermark: float) -> None:
+        """CPU backlog crossed the high watermark; RTP inspection shed."""
+        self.alerts.raise_alert(Alert(
+            time=self.clock_now(),
+            attack_type=AttackType.OVERLOAD_SHED,
+            machine="vids",
+            state="-",
+            detail={"backlog": backlog, "high_watermark": watermark,
+                    "reason": "signaling-only mode; RTP forwarded fail-open"},
+        ))
+
     def note_stray_request(self, method: str, call_id: Optional[str],
                            src_ip: str, dst_ip: str) -> None:
         """A non-INVITE request for a call the fact base has never seen."""

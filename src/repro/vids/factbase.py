@@ -101,6 +101,13 @@ class CallStateFactBase:
         self._touches = 0
         self.records: Dict[str, CallRecord] = {}
         self.media_index: Dict[MediaKey, str] = {}
+        #: Calls torn down after an internal error: call-id -> quarantine
+        #: time.  Their traffic is dropped from inspection (not from the
+        #: wire) until the entry expires.
+        self.quarantined: Dict[str, float] = {}
+        #: Media endpoints of quarantined calls, so their lingering RTP
+        #: neither resurrects state nor feeds the orphan-media tracker.
+        self.quarantined_media: Dict[MediaKey, str] = {}
         #: Hook: called for every firing result of every call system.
         self.on_result: Optional[Callable[[CallRecord, FiringResult], None]] = None
 
@@ -182,6 +189,26 @@ class CallStateFactBase:
                 del self.media_index[key]
         return record
 
+    def is_quarantined(self, call_id: str) -> bool:
+        return call_id in self.quarantined
+
+    def quarantine(self, call_id: str) -> Optional[CallRecord]:
+        """Tear down one call's machines after an internal error.
+
+        The SIP/RTP machines are deleted from memory exactly as on normal
+        call completion (timers cancelled, memory sampled), but the call-id
+        and its negotiated media endpoints stay on a deny-list so further
+        packets of the poisoned call are dropped from inspection instead of
+        rebuilding (and re-crashing) the state.
+        """
+        record = self.records.get(call_id)
+        if record is not None:
+            for key in record.media_keys:
+                self.quarantined_media[key] = call_id
+        self.quarantined[call_id] = self.clock_now()
+        self.metrics.calls_quarantined += 1
+        return self.delete(call_id)
+
     def touch(self, record: CallRecord) -> None:
         record.last_activity = self.clock_now()
         # Peak concurrency is exact; the total-state-bytes walk is O(active
@@ -202,4 +229,11 @@ class CallStateFactBase:
         ]
         for call_id in stale:
             self.delete(call_id)
+        expired = [call_id for call_id, since in self.quarantined.items()
+                   if now - since > self.config.call_record_ttl]
+        for call_id in expired:
+            del self.quarantined[call_id]
+            for key in [k for k, cid in self.quarantined_media.items()
+                        if cid == call_id]:
+                del self.quarantined_media[key]
         return len(stale)

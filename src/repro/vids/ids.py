@@ -14,10 +14,13 @@ datagrams directly — handy for unit tests and trace replay.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..netsim.engine import Simulator
 from ..netsim.packet import Datagram
+from ..rtp.packet import RtpParseError
+from ..rtp.rtcp import RtcpParseError
+from ..sip.errors import SipError
 from .alerts import Alert, AlertManager, AttackType
 from .classifier import PacketClassifier, PacketKind
 from .config import DEFAULT_CONFIG, VidsConfig
@@ -32,6 +35,11 @@ __all__ = ["Vids"]
 
 #: How many packets between opportunistic garbage-collection sweeps.
 _GC_EVERY = 5000
+
+#: Cap on distinct sources tracked by the malformed-rate detector; beyond
+#: this, stale windows are pruned so a spoofed-source fuzzing campaign
+#: cannot grow the table without bound.
+_MAX_MALFORMED_SOURCES = 4096
 
 
 class Vids:
@@ -78,12 +86,38 @@ class Vids:
             self.orphan_tracker, clock_now,
             source_flood_tracker=self.source_flood_tracker)
 
+        # -- robustness state (docs/ROBUSTNESS.md) ---------------------------
+        #: Mirror of the inline device's single-server queue: the absolute
+        #: time the analysis CPU works off everything charged so far.  Also
+        #: maintained offline, where no InlineDevice exists.
+        self._busy_until = 0.0
+        self._shedding = False
+        self._shed_started = 0.0
+        #: Per-source malformed-rate windows: src_ip -> [start, count, alerted].
+        self._malformed_windows: Dict[str, list] = {}
+
     # -- PacketProcessor interface --------------------------------------------
 
     def process(self, datagram: Datagram, now: float) -> float:
-        """Inspect one packet; returns the CPU service time it cost."""
+        """Inspect one packet; returns the CPU service time it cost.
+
+        Survivability contract: whatever bytes arrive, this never raises
+        (with ``config.crash_containment`` on).  An unexpected exception
+        quarantines the offending call and is reported as an
+        ``ids-internal`` alert; the packet is still forwarded by the
+        inline device (fail-open).
+        """
         self.metrics.packets_processed += 1
-        classified = self.classifier.classify(datagram)
+        try:
+            classified = self.classifier.classify(datagram)
+        except Exception as exc:  # crash containment, layer 1
+            if not self.config.crash_containment:
+                raise
+            self.metrics.internal_errors += 1
+            self.engine.note_internal_error(
+                None, exc, src_ip=datagram.src.ip, dst_ip=datagram.dst.ip)
+            self.metrics.other_packets += 1
+            return self._finish(self.config.other_processing_cost, now)
 
         if classified.kind is PacketKind.SIP:
             self.metrics.sip_messages += 1
@@ -101,11 +135,107 @@ class Vids:
             self.metrics.other_packets += 1
             cost = self.config.other_processing_cost
 
-        self.distributor.distribute(classified)
+        if classified.malformed is not None:
+            self._note_malformed(classified.malformed, datagram.src.ip)
+
+        if (self._shedding
+                and classified.kind in (PacketKind.RTP, PacketKind.RTCP)):
+            # Signaling-only mode: media skips deep inspection and is
+            # forwarded at classification cost so the backlog can drain.
+            self.metrics.packets_shed += 1
+            cost = self.config.shed_processing_cost
+        else:
+            try:
+                self.distributor.distribute(classified)
+            except (SipError, RtpParseError, RtcpParseError):
+                # Wire-parseable but semantically corrupted (e.g. a mangled
+                # URI or Via discovered during event extraction): malformed
+                # *input*, not an IDS bug — account it, never quarantine.
+                kinds = {PacketKind.RTP: "rtp", PacketKind.RTCP: "rtcp"}
+                self._note_malformed(kinds.get(classified.kind, "sip"),
+                                     datagram.src.ip)
+            except Exception as exc:  # crash containment, layer 2
+                if not self.config.crash_containment:
+                    raise
+                self._contain(classified, exc)
+
         if self.metrics.packets_processed % _GC_EVERY == 0:
             self.factbase.collect_garbage()
+        return self._finish(cost, now)
+
+    # -- crash containment ----------------------------------------------------
+
+    def _contain(self, classified, exc: Exception) -> None:
+        """Quarantine the call whose machines raised; never propagate."""
+        self.metrics.internal_errors += 1
+        datagram = classified.datagram
+        call_id: Optional[str] = None
+        if classified.sip is not None:
+            call_id = classified.sip.call_id
+        elif classified.kind is PacketKind.RTP:
+            call_id = self.factbase.media_index.get(
+                (datagram.dst.ip, datagram.dst.port))
+        if call_id:
+            self.factbase.quarantine(call_id)
+        self.engine.note_internal_error(
+            call_id, exc, src_ip=datagram.src.ip, dst_ip=datagram.dst.ip)
+
+    # -- malformed-rate (protocol fuzzing) ------------------------------------
+
+    def _note_malformed(self, protocol: str, src_ip: str) -> None:
+        if protocol == "sip":
+            self.metrics.malformed_sip += 1
+        elif protocol == "rtcp":
+            self.metrics.malformed_rtcp += 1
+        else:
+            self.metrics.malformed_rtp += 1
+        now = self.clock_now()
+        window = self._malformed_windows.get(src_ip)
+        if window is None or now - window[0] > self.config.malformed_rate_window:
+            window = [now, 0, False]
+            if len(self._malformed_windows) >= _MAX_MALFORMED_SOURCES:
+                self._prune_malformed_windows(now)
+            self._malformed_windows[src_ip] = window
+        window[1] += 1
+        if not window[2] and window[1] >= self.config.malformed_rate_threshold:
+            window[2] = True
+            self.engine.note_fuzzing(src_ip, window[1],
+                                     self.config.malformed_rate_window)
+
+    def _prune_malformed_windows(self, now: float) -> None:
+        horizon = self.config.malformed_rate_window
+        stale = [src for src, window in self._malformed_windows.items()
+                 if now - window[0] > horizon]
+        for src in stale:
+            del self._malformed_windows[src]
+
+    # -- overload shedding ----------------------------------------------------
+
+    def _finish(self, cost: float, now: float) -> float:
+        """Charge ``cost``, update the backlog mirror, manage shed state."""
         self.metrics.cpu_time += cost
+        self._busy_until = max(self._busy_until, now) + cost
+        backlog = self._busy_until - now
+        config = self.config
+        if not self._shedding and backlog >= config.shed_high_watermark:
+            self._shedding = True
+            self._shed_started = now
+            self.metrics.shed_events += 1
+            self.engine.note_overload(backlog, config.shed_high_watermark)
+        elif self._shedding and backlog <= config.shed_low_watermark:
+            self._shedding = False
+            self.metrics.shed_intervals.append((self._shed_started, now))
         return cost
+
+    @property
+    def shedding(self) -> bool:
+        """True while RTP deep inspection is shed (signaling-only mode)."""
+        return self._shedding
+
+    def backlog(self, now: Optional[float] = None) -> float:
+        """Seconds of unworked analysis CPU time (the shedding signal)."""
+        current = self.clock_now() if now is None else now
+        return max(0.0, self._busy_until - current)
 
     # -- call lifecycle ---------------------------------------------------------
 
@@ -171,6 +301,17 @@ class Vids:
             ("peak concurrent", metrics.peak_concurrent_calls),
             ("peak state bytes", metrics.peak_state_bytes),
         ])
+        robustness = format_table(("robustness", "count"), [
+            ("malformed SIP/RTP/RTCP",
+             f"{metrics.malformed_sip}/{metrics.malformed_rtp}"
+             f"/{metrics.malformed_rtcp}"),
+            ("SDP parse failures", metrics.sdp_parse_failures),
+            ("internal errors contained", metrics.internal_errors),
+            ("calls quarantined", metrics.calls_quarantined),
+            ("quarantined drops", metrics.quarantined_drops),
+            ("packets shed", metrics.packets_shed),
+            ("shedding now", "yes" if self._shedding else "no"),
+        ])
         if self.alerts:
             alert_rows = [
                 (f"{alert.time:.3f}", alert.attack_type.value,
@@ -183,4 +324,4 @@ class Vids:
         else:
             alerts = "no alerts"
         return (f"=== vids report (t={self.clock_now():.3f}s) ===\n"
-                f"{traffic}\n\n{calls}\n\nalerts:\n{alerts}")
+                f"{traffic}\n\n{calls}\n\n{robustness}\n\nalerts:\n{alerts}")

@@ -64,6 +64,31 @@ class VidsMetrics:
     #: Per-call memory observations: (sip_bytes, rtp_bytes) at deletion time.
     call_memory_samples: List = field(default_factory=list)
 
+    # -- robustness accounting (docs/ROBUSTNESS.md) ---------------------------
+    #: Per-protocol parse failures (no drop is silent).
+    malformed_sip: int = 0
+    malformed_rtp: int = 0
+    malformed_rtcp: int = 0
+    #: SDP bodies that failed to parse inside otherwise-valid SIP messages.
+    sdp_parse_failures: int = 0
+    #: Unexpected exceptions contained by the crash-containment wrapper.
+    internal_errors: int = 0
+    #: Calls torn down by quarantine after an internal error.
+    calls_quarantined: int = 0
+    #: Packets addressed to quarantined calls, dropped from inspection.
+    quarantined_drops: int = 0
+    #: RTP/RTCP packets that skipped deep inspection during overload.
+    packets_shed: int = 0
+    #: Completed overload-shedding intervals as (start, end) times.
+    shed_intervals: List = field(default_factory=list)
+    #: Times shedding engaged (>= len(shed_intervals) if still shedding).
+    shed_events: int = 0
+
+    @property
+    def shed_time(self) -> float:
+        """Total seconds spent in completed shedding intervals."""
+        return sum(end - start for start, end in self.shed_intervals)
+
     def note_concurrency(self, active_calls: int, state_bytes: int) -> None:
         self.peak_concurrent_calls = max(self.peak_concurrent_calls, active_calls)
         self.peak_state_bytes = max(self.peak_state_bytes, state_bytes)
@@ -95,4 +120,14 @@ class VidsMetrics:
             "peak_state_bytes": self.peak_state_bytes,
             "mean_sip_state_bytes": self.mean_sip_state_bytes,
             "mean_rtp_state_bytes": self.mean_rtp_state_bytes,
+            "malformed_sip": self.malformed_sip,
+            "malformed_rtp": self.malformed_rtp,
+            "malformed_rtcp": self.malformed_rtcp,
+            "sdp_parse_failures": self.sdp_parse_failures,
+            "internal_errors": self.internal_errors,
+            "calls_quarantined": self.calls_quarantined,
+            "quarantined_drops": self.quarantined_drops,
+            "packets_shed": self.packets_shed,
+            "shed_events": self.shed_events,
+            "shed_time": self.shed_time,
         }

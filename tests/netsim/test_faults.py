@@ -1,0 +1,169 @@
+"""Unit tests for the seeded fault-injection layer (netsim.faults)."""
+
+import pytest
+
+from repro.netsim import (
+    Endpoint,
+    FaultPlan,
+    FaultyLink,
+    Host,
+    Network,
+    inject_faults,
+)
+
+
+def build(plan=None):
+    net = Network(seed=0)
+    a = Host(net, "a", "10.0.0.1")
+    b = Host(net, "b", "10.0.1.1")
+    link = net.link(a, b, propagation_delay=0.0)
+    net.compute_routes()
+    faulty = inject_faults(link, plan) if plan is not None else None
+    received = []
+    b.bind(7, received.append)
+    return net, a, b, link, faulty, received
+
+
+def send_many(net, a, payloads, spacing=0.001):
+    for index, payload in enumerate(payloads):
+        net.sim.schedule_at(index * spacing, a.send_udp,
+                            Endpoint("10.0.1.1", 7), payload, 7)
+    net.run()
+
+
+def test_inactive_plan_is_transparent():
+    net, a, b, link, faulty, received = build(FaultPlan())
+    assert not FaultPlan().active
+    send_many(net, a, [b"one", b"two"])
+    assert [d.payload for d in received] == [b"one", b"two"]
+    assert faulty.stats.delivered == 2
+    assert faulty.stats.offered == 2
+
+
+def test_corruption_mutates_payload_not_sender_copy():
+    plan = FaultPlan(seed=3, corrupt_rate=1.0, corrupt_bits=2)
+    net, a, b, link, faulty, received = build(plan)
+    original = bytes(64)
+    send_many(net, a, [original] * 10)
+    assert faulty.stats.corrupted == 10
+    assert len(received) == 10
+    for datagram in received:
+        assert datagram.payload != original
+        assert len(datagram.payload) == len(original)
+    assert original == bytes(64)  # sender's buffer untouched
+
+
+def test_truncation_shortens_payload():
+    plan = FaultPlan(seed=4, truncate_rate=1.0)
+    net, a, b, link, faulty, received = build(plan)
+    send_many(net, a, [b"x" * 100] * 5)
+    assert faulty.stats.truncated == 5
+    assert all(len(d.payload) < 100 for d in received)
+
+
+def test_duplication_delivers_twice():
+    plan = FaultPlan(seed=5, duplicate_rate=1.0)
+    net, a, b, link, faulty, received = build(plan)
+    send_many(net, a, [b"dup"] * 4)
+    assert faulty.stats.duplicated == 4
+    assert len(received) == 8
+
+
+def test_burst_loss_gilbert_elliott_all_bad():
+    # burst_enter=1 drives the channel to the bad state on the first packet
+    # and burst_exit=0 keeps it there; loss_bad=1 then drops everything.
+    plan = FaultPlan(seed=6, burst_enter=1.0, burst_exit=0.0, loss_bad=1.0)
+    net, a, b, link, faulty, received = build(plan)
+    send_many(net, a, [b"gone"] * 7)
+    assert faulty.stats.dropped_burst == 7
+    assert received == []
+
+
+def test_burst_loss_recovers_in_good_state():
+    plan = FaultPlan(seed=7, burst_enter=0.0, loss_good=0.0)
+    net, a, b, link, faulty, received = build(plan)
+    send_many(net, a, [b"ok"] * 7)
+    assert faulty.stats.dropped_burst == 0
+    assert len(received) == 7
+
+
+def test_link_flap_drops_during_outage():
+    plan = FaultPlan(seed=8, flaps=((0.0, 0.01),))
+    net, a, b, link, faulty, received = build(plan)
+    # Five packets during the outage, five after it.
+    send_many(net, a, [b"p"] * 10, spacing=0.002)
+    assert faulty.stats.dropped_flap == 5
+    assert len(received) == 5
+
+
+def test_reordering_delays_but_delivers():
+    plan = FaultPlan(seed=9, reorder_rate=1.0, reorder_delay=0.05)
+    net, a, b, link, faulty, received = build(plan)
+    send_many(net, a, [b"r1", b"r2", b"r3"])
+    assert faulty.stats.reordered == 3
+    assert sorted(d.payload for d in received) == [b"r1", b"r2", b"r3"]
+
+
+def test_same_seed_reproduces_identical_faults():
+    plan = FaultPlan(seed=42, corrupt_rate=0.3, truncate_rate=0.1,
+                     duplicate_rate=0.2, reorder_rate=0.15,
+                     burst_enter=0.05, burst_exit=0.4, loss_bad=0.9)
+    outcomes = []
+    for _ in range(2):
+        net, a, b, link, faulty, received = build(plan)
+        send_many(net, a, [bytes([i] * 40) for i in range(50)])
+        outcomes.append((faulty.stats.as_dict(),
+                         [d.payload for d in received]))
+    assert outcomes[0] == outcomes[1]
+
+
+def test_different_seed_changes_faults():
+    payloads = [bytes([i] * 40) for i in range(50)]
+    stats = []
+    for seed in (1, 2):
+        plan = FaultPlan(seed=seed, corrupt_rate=0.3, duplicate_rate=0.2)
+        net, a, b, link, faulty, received = build(plan)
+        send_many(net, a, payloads)
+        stats.append(faulty.stats.as_dict())
+    assert stats[0] != stats[1]
+
+
+def test_uninstall_restores_pristine_link():
+    plan = FaultPlan(seed=10, burst_enter=1.0, burst_exit=0.0, loss_bad=1.0)
+    net, a, b, link, faulty, received = build(plan)
+    send_many(net, a, [b"dropped"])
+    assert received == []
+    faulty.uninstall()
+    assert not faulty.installed
+    net.sim.schedule(0.001, a.send_udp, Endpoint("10.0.1.1", 7), b"ok", 7)
+    net.run()
+    assert [d.payload for d in received] == [b"ok"]
+    assert faulty.stats.offered == 1  # second send bypassed the wrapper
+
+
+def test_install_is_idempotent():
+    net, a, b, link, faulty, received = build(FaultPlan())
+    faulty.install()
+    faulty.install()
+    send_many(net, a, [b"once"])
+    assert faulty.stats.offered == 1
+    assert len(received) == 1
+
+
+def test_with_overrides():
+    plan = FaultPlan(seed=1).with_overrides(corrupt_rate=0.5)
+    assert plan.corrupt_rate == 0.5
+    assert plan.seed == 1
+    assert plan.active
+
+
+def test_is_down_respects_schedule():
+    faulty = FaultyLink.__new__(FaultyLink)
+    faulty.plan = FaultPlan(flaps=((1.0, 2.0), (5.0, 6.0)))
+    assert not FaultyLink.is_down(faulty, 0.5)
+    assert FaultyLink.is_down(faulty, 1.0)
+    assert FaultyLink.is_down(faulty, 1.999)
+    assert not FaultyLink.is_down(faulty, 2.0)
+    assert FaultyLink.is_down(faulty, 5.5)
+    with pytest.raises(AttributeError):
+        faulty.stats  # the bare instance never transmitted anything
