@@ -2,10 +2,19 @@
 
 PYTHON ?= python
 
-.PHONY: install test chaos bench bench-full figures examples clean
+.PHONY: install lint speclint test chaos bench bench-full figures examples clean
 
 install:
 	pip install -e . --no-build-isolation
+
+# Repo-wide static analysis gate: ruff + mypy when installed, with an
+# offline AST-based fallback otherwise (see tools/lint.py).
+lint:
+	$(PYTHON) tools/lint.py
+
+# Static verification of the EFSM specifications (docs/SPECCHECK.md).
+speclint:
+	PYTHONPATH=src $(PYTHON) -m repro.cli speclint --min-severity warning
 
 test:
 	$(PYTHON) -m pytest tests/

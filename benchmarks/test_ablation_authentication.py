@@ -11,7 +11,6 @@ two defences on the registration-hijacking attack:
   and vids still logs the attempt.
 """
 
-import pytest
 
 from conftest import run_once
 from repro.analysis import print_table

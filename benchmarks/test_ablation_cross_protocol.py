@@ -9,7 +9,6 @@ synchronization channel and shows exactly which attacks become invisible
 patterns keep working.
 """
 
-import pytest
 
 from conftest import run_once
 from repro.analysis import print_table

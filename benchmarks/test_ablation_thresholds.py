@@ -10,7 +10,6 @@ misses the flood; (b) false alarms on a legitimate same-callee call burst
 behaviour.  Together they bracket the operating range.
 """
 
-import pytest
 
 from conftest import run_once
 from repro.analysis import print_table

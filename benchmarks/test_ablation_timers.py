@@ -12,7 +12,6 @@ below the in-flight drain time mislabels legitimate trailing packets as a
 BYE DoS; T at/above one RTT is clean — exactly the paper's recommendation.
 """
 
-import pytest
 
 from conftest import run_once
 from repro.analysis import print_table

@@ -8,7 +8,6 @@ has headroom, collapsing as the background approaches the DS1 line rate —
 with the vids processing penalty staying negligible throughout.
 """
 
-import pytest
 
 from conftest import run_once
 from repro.analysis import print_table

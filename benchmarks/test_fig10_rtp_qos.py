@@ -8,7 +8,6 @@ scenario and asserts the negligibility bounds (one-way latency budget
 150 ms).
 """
 
-import pytest
 
 from conftest import paired_scenario, run_once
 from repro.analysis import print_table

@@ -7,9 +7,8 @@ series from the workload generator and prints per-bucket arrival counts and
 the duration distribution summary.
 """
 
-import pytest
 
-from conftest import FULL, SEED, run_once
+from conftest import SEED, run_once
 from repro.analysis import print_table, summarize
 from repro.netsim import RandomStreams
 from repro.telephony import CallWorkload, WorkloadParams

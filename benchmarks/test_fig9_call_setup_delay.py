@@ -7,9 +7,8 @@ scenario (identical seeded workload with and without the inline vids) and
 reproduces both the series and the average delta.
 """
 
-import pytest
 
-from conftest import HORIZON, paired_scenario, run_once
+from conftest import paired_scenario, run_once
 from repro.analysis import print_table, summarize
 
 

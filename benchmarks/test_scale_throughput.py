@@ -7,7 +7,6 @@ classifier, distributor, per-call machines — and (b) the wall-clock cost
 of tracking a thousand concurrent calls.
 """
 
-import pytest
 
 from repro.efsm import ManualClock
 from repro.netsim import Datagram, Endpoint

@@ -7,7 +7,6 @@ increase equals the vids host's busy fraction: per-packet analysis time
 elapsed time.
 """
 
-import pytest
 
 from conftest import paired_scenario, run_once
 from repro.analysis import print_table

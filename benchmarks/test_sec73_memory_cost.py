@@ -7,7 +7,6 @@ calls, the attack-pattern store is a few KBytes, and thousands of
 simultaneous calls are affordable.
 """
 
-import pytest
 
 from conftest import paired_scenario, run_once
 from repro.analysis import print_table

@@ -9,10 +9,9 @@ over a benign background workload) plus an attack-free control run, and
 reports the detection rate and false-positive count.
 """
 
-import pytest
 
 from conftest import SEED, run_once
-from repro.analysis import format_table, print_table
+from repro.analysis import print_table
 from repro.attacks import (
     ByeTeardownAttack,
     CallHijackAttack,

@@ -20,6 +20,7 @@ def build_handshake_machine() -> Efsm:
     machine.add_state("OPEN", final=True)
     machine.add_state("ATTACK_SynFlood", attack=True)
     machine.declare(pending=0, peer="")
+    machine.declare_channel("handshake->peer")
 
     def accept_syn(ctx):
         ctx.v["pending"] = ctx.v["pending"] + 1

@@ -17,7 +17,7 @@ not validate.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from ..netsim.link import BPS_100BASET

@@ -7,7 +7,10 @@ Subcommands:
 - ``attack-matrix`` — inject every threat-model attack and print the
   detection scoreboard;
 - ``machines`` — print structural summaries (or Graphviz dot) of the vids
-  protocol state machines.
+  protocol state machines;
+- ``speclint`` — statically verify the machine specifications (per-machine
+  rules plus cross-machine channel/deadlock analysis; docs/SPECCHECK.md)
+  and exit non-zero on ERROR findings.
 """
 
 from __future__ import annotations
@@ -44,6 +47,24 @@ def build_parser() -> argparse.ArgumentParser:
         "machines", help="describe the vids protocol state machines")
     machines.add_argument("--dot", action="store_true",
                           help="emit Graphviz dot instead of summaries")
+
+    speclint = sub.add_parser(
+        "speclint",
+        help="statically verify the EFSM specifications (spec-lint)")
+    speclint.add_argument("--json", action="store_true",
+                          help="emit findings as a JSON document")
+    speclint.add_argument("--strict", action="store_true",
+                          help="exit non-zero on WARNING findings too")
+    speclint.add_argument("--min-severity", choices=("info", "warning",
+                                                     "error"),
+                          default="info",
+                          help="lowest severity to report (default info)")
+    speclint.add_argument("--no-cross-protocol", action="store_true",
+                          help="lint the cross_protocol=False ablation "
+                               "machines instead")
+    speclint.add_argument("--dot", metavar="DIR", default=None,
+                          help="write per-machine Graphviz dot annotated "
+                               "with the findings to DIR")
 
     return parser
 
@@ -158,6 +179,55 @@ def _cmd_machines(args) -> int:
     return 0
 
 
+def _cmd_speclint(args) -> int:
+    import json
+    import os
+
+    from .efsm.diagnostics import (Severity, count_by_severity,
+                                   diagnostics_to_dicts, format_report)
+    from .efsm.dot import to_dot
+    from .vids.config import DEFAULT_CONFIG
+    from .vids.speclint import verify_vids_specs
+
+    config = DEFAULT_CONFIG
+    if args.no_cross_protocol:
+        config = config.with_overrides(cross_protocol=False)
+    diagnostics = verify_vids_specs(config)
+    min_severity = {"info": Severity.INFO, "warning": Severity.WARNING,
+                    "error": Severity.ERROR}[args.min_severity]
+    if args.json:
+        counts = count_by_severity(diagnostics)
+        print(json.dumps({
+            "findings": diagnostics_to_dicts(
+                d for d in diagnostics if d.severity >= min_severity),
+            "counts": {str(sev): n for sev, n in sorted(counts.items())},
+        }, indent=2, sort_keys=True))
+    else:
+        print(format_report(diagnostics, min_severity=min_severity))
+    if args.dot:
+        from .vids.patterns import (build_invite_flood_machine,
+                                    build_media_spam_machine)
+        from .vids.rtp_machine import build_rtp_machine
+        from .vids.sip_machine import build_sip_machine
+        os.makedirs(args.dot, exist_ok=True)
+        machines = [
+            build_sip_machine(config),
+            build_rtp_machine(config),
+            build_invite_flood_machine(config.invite_flood_threshold,
+                                       config.invite_flood_window),
+            build_media_spam_machine(config.media_spam_seq_gap,
+                                     config.media_spam_ts_gap),
+        ]
+        for machine in machines:
+            path = os.path.join(args.dot, f"{machine.name}.dot")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(to_dot(machine, diagnostics=diagnostics))
+                handle.write("\n")
+            print(f"wrote {path}", file=sys.stderr)
+    threshold = Severity.WARNING if args.strict else Severity.ERROR
+    return 1 if any(d.severity >= threshold for d in diagnostics) else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "scenario":
@@ -166,6 +236,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_attack_matrix(args)
     if args.command == "machines":
         return _cmd_machines(args)
+    if args.command == "speclint":
+        return _cmd_speclint(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

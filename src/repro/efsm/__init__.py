@@ -2,13 +2,28 @@
 
 from .analysis import (
     attack_paths,
+    coreachable_states,
     event_coverage,
     reachable_states,
     summarize_machine,
 )
-from .channels import Channel, channel_name
+from .channels import Channel, channel_name, parse_channel
+from .diagnostics import (
+    Diagnostic,
+    Severity,
+    count_by_severity,
+    diagnostics_to_dicts,
+    errors_only,
+    format_report,
+    max_severity,
+)
 from .dot import to_dot
-from .errors import DefinitionError, EfsmError, NondeterminismError
+from .errors import (
+    DefinitionError,
+    EfsmError,
+    NondeterminismError,
+    SpecVerificationError,
+)
 from .events import TIMER_CHANNEL, Event
 from .machine import (
     Efsm,
@@ -20,10 +35,12 @@ from .machine import (
     Variables,
 )
 from .system import EfsmSystem, ManualClock
+from .verify import RULES, verify_machine, verify_system
 
 __all__ = [
     "Channel",
     "DefinitionError",
+    "Diagnostic",
     "Efsm",
     "EfsmError",
     "EfsmInstance",
@@ -33,14 +50,26 @@ __all__ = [
     "ManualClock",
     "NondeterminismError",
     "Output",
+    "RULES",
+    "Severity",
+    "SpecVerificationError",
     "TIMER_CHANNEL",
     "Transition",
     "TransitionContext",
     "Variables",
     "attack_paths",
     "channel_name",
+    "coreachable_states",
+    "count_by_severity",
+    "diagnostics_to_dicts",
+    "errors_only",
     "event_coverage",
+    "format_report",
+    "max_severity",
+    "parse_channel",
     "reachable_states",
     "summarize_machine",
     "to_dot",
+    "verify_machine",
+    "verify_system",
 ]

@@ -20,12 +20,12 @@ enumeration of candidate attack patterns):
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set
 
 from .machine import Efsm, Transition
 
-__all__ = ["reachable_states", "attack_paths", "event_coverage",
-           "summarize_machine"]
+__all__ = ["reachable_states", "coreachable_states", "attack_paths",
+           "event_coverage", "summarize_machine"]
 
 
 def reachable_states(machine: Efsm,
@@ -43,6 +43,29 @@ def reachable_states(machine: Efsm,
             if transition.target not in seen:
                 seen.add(transition.target)
                 frontier.append(transition.target)
+    return seen
+
+
+def coreachable_states(machine: Efsm,
+                       targets: Optional[Set[str]] = None) -> Set[str]:
+    """States from which some target (default: final) state is reachable.
+
+    The complement over reachable states is the set of *dead* states: a call
+    wedged there can never complete, so its record would only ever leave the
+    fact base via the idle-TTL garbage collector.  Spec-lint flags those.
+    """
+    targets = set(machine.final_states if targets is None else targets)
+    incoming: Dict[str, List[Transition]] = {}
+    for transition in machine.transitions:
+        incoming.setdefault(transition.target, []).append(transition)
+    seen = set(targets)
+    frontier = deque(targets)
+    while frontier:
+        state = frontier.popleft()
+        for transition in incoming.get(state, ()):
+            if transition.source not in seen:
+                seen.add(transition.source)
+                frontier.append(transition.source)
     return seen
 
 

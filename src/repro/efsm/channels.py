@@ -14,7 +14,7 @@ from typing import Deque, Optional
 
 from .events import Event
 
-__all__ = ["Channel", "channel_name"]
+__all__ = ["Channel", "channel_name", "parse_channel"]
 
 
 def channel_name(sender: str, receiver: str) -> str:
@@ -24,6 +24,18 @@ def channel_name(sender: str, receiver: str) -> str:
     entity 1 and protocol entity 2 is named by its direction.
     """
     return f"{sender}->{receiver}"
+
+
+def parse_channel(name: str) -> tuple:
+    """Split a canonical channel id back into ``(sender, receiver)``.
+
+    Returns ``(None, None)`` for non-directional channel names (the timer
+    pseudo-channel, or machine-name shorthands used by ``ctx.emit``).
+    """
+    sender, arrow, receiver = name.partition("->")
+    if not arrow or not sender or not receiver:
+        return None, None
+    return sender, receiver
 
 
 class Channel:

@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-__all__ = ["EfsmError", "DefinitionError", "NondeterminismError"]
+__all__ = ["EfsmError", "DefinitionError", "NondeterminismError",
+           "SpecVerificationError"]
 
 
 class EfsmError(Exception):
@@ -20,3 +21,16 @@ class NondeterminismError(EfsmError):
     mutually disjoint for the EFSM to be deterministic; this error is raised
     when an execution or a determinism check finds an overlap.
     """
+
+
+class SpecVerificationError(EfsmError):
+    """Static spec verification found ERROR-severity findings.
+
+    Raised by the vids registration-time gate (``VidsConfig.verify_specs``)
+    so a broken specification fails fast instead of silently weakening
+    detection.  ``diagnostics`` carries the offending findings.
+    """
+
+    def __init__(self, message: str, diagnostics=()):
+        super().__init__(message)
+        self.diagnostics = list(diagnostics)

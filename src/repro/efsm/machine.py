@@ -203,6 +203,10 @@ class Efsm:
         self.final_states: set = set()
         #: Σ — event alphabet, accumulated from transitions.
         self.alphabet: set = set()
+        #: Declared synchronization channels this machine may send or
+        #: receive on (the paper's FIFO queues).  The timer pseudo-channel
+        #: is always implicitly available.
+        self.channels: set = set()
 
     # -- construction ------------------------------------------------------
 
@@ -223,6 +227,16 @@ class Efsm:
     def declare_global(self, **defaults: Any) -> "Efsm":
         """Declare shared (cross-machine) variables with defaults."""
         self.global_variables.update(defaults)
+        return self
+
+    def declare_channel(self, *names: str) -> "Efsm":
+        """Declare the sync channels this machine's transitions may use.
+
+        ``validate()`` rejects transitions whose inputs or outputs reference
+        a channel that was never declared — a typo'd channel name would
+        otherwise silently orphan the synchronization event at runtime.
+        """
+        self.channels.update(names)
         return self
 
     def add_transition(
@@ -276,6 +290,19 @@ class Efsm:
         if unreachable:
             raise DefinitionError(
                 f"{self.name}: unreachable states: {sorted(unreachable)}")
+        for transition in self.transitions:
+            if (transition.channel not in (None, TIMER_CHANNEL)
+                    and transition.channel not in self.channels):
+                raise DefinitionError(
+                    f"{self.name}: transition {transition.describe()} "
+                    f"receives on undeclared channel {transition.channel!r} "
+                    f"(declare_channel it first)")
+            for output in transition.outputs:
+                if output.channel not in self.channels:
+                    raise DefinitionError(
+                        f"{self.name}: transition {transition.describe()} "
+                        f"sends {output.event_name!r} on undeclared channel "
+                        f"{output.channel!r} (declare_channel it first)")
 
     # -- analysis ------------------------------------------------------------
 

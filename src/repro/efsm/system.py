@@ -28,7 +28,7 @@ class ManualClock:
 
     def __init__(self) -> None:
         self.time = 0.0
-        self._timers: List[tuple] = []
+        self._timers: List[list] = []
         self._seq = 0
 
     def now(self) -> float:

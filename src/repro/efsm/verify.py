@@ -1,0 +1,874 @@
+"""Static verification (spec-lint) of EFSM definitions and their composition.
+
+The paper's detection guarantee rests on the SIP and RTP EFSMs being correct
+*specifications*: Section 4.2 derives attack patterns from reachability over
+the transition structure, and the CSP-style ``c!δ`` / ``c?δ`` channel events
+only compose safely if every send has a matching receive.  This module
+analyzes machine definitions **without executing them** and reports findings
+as :class:`~repro.efsm.diagnostics.Diagnostic` records.
+
+Per-machine rules (:func:`verify_machine`):
+
+- ``unreachable-state`` / ``unreachable-attack-state`` — no structural path
+  from the initial state (an unreachable attack state is a pattern that can
+  never match);
+- ``trap-state`` — a reachable non-final state with no outgoing transitions;
+- ``dead-state`` — a reachable non-final state from which no final state is
+  reachable (the call record could only ever leave memory via the TTL GC);
+- ``nondeterministic-overlap`` — same (state, event, channel) transitions
+  whose guards are not mutually exclusive, generalizing
+  :meth:`Efsm.check_determinism` with unguarded-pair detection and sampled
+  predicate probing;
+- ``event-coverage-gap`` — alphabet events a state has no transition for
+  (informational: deviations *are* the anomaly signal, but the table is how
+  one audits specification completeness);
+- ``undeclared-variable`` / ``read-before-write`` / ``unused-variable`` —
+  state-variable hygiene, mined from predicate/action sources;
+- ``timer-unhandled`` / ``timer-never-fires`` / ``timer-never-started`` —
+  timers started but never consumed or cancelled, and vice versa;
+- ``undeclared-channel`` — sends/receives on channels the machine never
+  declared (see :meth:`Efsm.declare_channel`).
+
+Cross-machine rules (:func:`verify_system`):
+
+- ``unknown-channel-endpoint`` — a channel naming a machine that is not part
+  of the system;
+- ``unmatched-send`` — an emitted ``c!δ`` no receiver ever consumes;
+- ``unmatched-receive`` — a ``c?δ`` transition nothing ever sends;
+- ``sync-deadlock`` / ``sync-unbounded`` — a bounded product-automaton pass
+  over the interacting system that flags reachable configurations where a
+  queued synchronization event can never be consumed (a wedged FIFO is a
+  runtime deviation on a *legitimate* trace) or where a FIFO can grow past
+  the exploration bound.
+
+Predicate *probing* (calling guard callables against sampled configurations)
+is the only execution performed; machine state is never advanced.
+"""
+
+from __future__ import annotations
+
+import inspect
+import re
+from collections import deque
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from .analysis import coreachable_states, reachable_states
+from .channels import channel_name, parse_channel
+from .diagnostics import Diagnostic, Severity
+from .events import TIMER_CHANNEL, Event
+from .machine import Efsm, EfsmInstance, Transition, TransitionContext
+
+__all__ = ["verify_machine", "verify_system", "RULES"]
+
+#: Rule id -> one-line summary (the authoritative catalog is
+#: ``docs/SPECCHECK.md``).
+RULES: Dict[str, str] = {
+    "unreachable-state": "state has no structural path from the initial state",
+    "unreachable-attack-state": "attack state can never be reached, so its "
+                                "pattern can never match",
+    "trap-state": "non-final state with no outgoing transitions",
+    "dead-state": "non-final state from which no final state is reachable",
+    "nondeterministic-overlap": "same (state, event) transitions with "
+                                "non-exclusive guards",
+    "event-coverage-gap": "state handles only part of the event alphabet",
+    "undeclared-variable": "action writes a state variable that was never "
+                           "declared",
+    "read-before-write": "transition reads a variable that is never declared "
+                         "nor written",
+    "unused-variable": "declared variable no transition reads or writes",
+    "timer-unhandled": "timer is started but its expiry event has no "
+                       "transition and it is never cancelled",
+    "timer-never-fires": "timer is started and cancelled but no transition "
+                         "consumes its expiry",
+    "timer-never-started": "timer-channel transition for a timer no action "
+                           "ever starts",
+    "undeclared-channel": "transition references a sync channel the machine "
+                          "never declared",
+    "unknown-channel-endpoint": "channel endpoint is not a machine of the "
+                                "system",
+    "unmatched-send": "emitted sync event has no consuming transition in the "
+                      "receiver",
+    "unmatched-receive": "sync receive that no machine in the system sends",
+    "sync-deadlock": "reachable configuration wedges a queued sync event the "
+                     "receiver can never consume",
+    "sync-unbounded": "a sync FIFO can exceed the exploration bound",
+    "analysis-incomplete": "part of the specification could not be analyzed "
+                           "statically",
+}
+
+# ---------------------------------------------------------------------------
+# Source mining: predicates/actions are plain callables, so variable, timer,
+# and dynamic-emit usage is recovered from their (and their same-module
+# helpers') source text.  Best-effort by design: anything unresolvable is
+# surfaced as an `analysis-incomplete` finding instead of being guessed at.
+# ---------------------------------------------------------------------------
+
+_VAR_WRITE_RE = re.compile(
+    r"\.v\[\s*['\"]([A-Za-z_]\w*)['\"]\s*\]\s*(?:[-+*/%&|^@]|//|\*\*)?=(?!=)")
+_VAR_SUBSCRIPT_RE = re.compile(r"\.v\[\s*['\"]([A-Za-z_]\w*)['\"]\s*\]")
+_VAR_GET_RE = re.compile(r"\.v\.get\(\s*['\"]([A-Za-z_]\w*)['\"]")
+_VAR_DYNAMIC_RE = re.compile(r"\.v\[\s*([A-Za-z_]\w*)\s*\]")
+_TIMER_START_RE = re.compile(
+    r"\.start_timer\(\s*(?:['\"]([A-Za-z_]\w*)['\"]|([A-Za-z_]\w*))")
+_TIMER_CANCEL_RE = re.compile(
+    r"\.cancel_timer\(\s*(?:['\"]([A-Za-z_]\w*)['\"]|([A-Za-z_]\w*))")
+_EMIT_RE = re.compile(
+    r"\.emit\(\s*(?:['\"]([^'\"]+)['\"]|([A-Za-z_]\w*))\s*,"
+    r"\s*(?:['\"]([A-Za-z_]\w*)['\"]|([A-Za-z_]\w*))")
+
+
+def _closure_bindings(fn: Callable) -> Dict[str, Any]:
+    bindings: Dict[str, Any] = {}
+    code = getattr(fn, "__code__", None)
+    closure = getattr(fn, "__closure__", None)
+    if code is not None and closure:
+        for name, cell in zip(code.co_freevars, closure):
+            try:
+                bindings[name] = cell.cell_contents
+            except ValueError:       # empty cell
+                continue
+    return bindings
+
+
+def _resolve_identifier(fn: Callable, identifier: str) -> Any:
+    """Best-effort lookup of a name as seen from inside ``fn``."""
+    bindings = _closure_bindings(fn)
+    if identifier in bindings:
+        return bindings[identifier]
+    return getattr(fn, "__globals__", {}).get(identifier)
+
+
+def _expand_callables(root: Callable,
+                      limit: int = 64) -> List[Tuple[Callable, str]]:
+    """``root`` plus same-module helper functions it (transitively) calls.
+
+    Guard and action callables routinely delegate to module-level helpers
+    (``_add_participants``-style); the variable/timer rules must see those
+    bodies to avoid false positives.
+    """
+    module = getattr(root, "__module__", None)
+    expanded: List[Tuple[Callable, str]] = []
+    seen: Set[int] = set()
+    frontier = [root]
+    while frontier and len(expanded) < limit:
+        fn = frontier.pop()
+        code = getattr(fn, "__code__", None)
+        if code is None or id(code) in seen:
+            continue
+        seen.add(id(code))
+        try:
+            source = inspect.getsource(fn)
+        except (OSError, TypeError):
+            source = ""
+        expanded.append((fn, source))
+        referenced = set(code.co_names) | set(code.co_freevars)
+        for name in referenced:
+            value = _resolve_identifier(fn, name)
+            if (inspect.isfunction(value)
+                    and getattr(value, "__module__", None) == module
+                    and id(getattr(value, "__code__", None)) not in seen):
+                frontier.append(value)
+    return expanded
+
+
+class _TransitionUsage:
+    """What one transition's callables read, write, start, and emit."""
+
+    def __init__(self, transition: Transition):
+        self.transition = transition
+        self.reads_subscript: Set[str] = set()
+        self.reads_get: Set[str] = set()
+        self.writes: Set[str] = set()
+        self.timer_starts: Set[str] = set()
+        self.timer_cancels: Set[str] = set()
+        #: Dynamically emitted (channel, event) pairs via ``ctx.emit``.
+        self.emits: Set[Tuple[str, str]] = set()
+        self.unresolved: List[str] = []
+
+    def _resolve(self, fn: Callable, literal: Optional[str],
+                 identifier: Optional[str], what: str) -> Optional[str]:
+        if literal:
+            return literal
+        if identifier:
+            value = _resolve_identifier(fn, identifier)
+            if isinstance(value, str):
+                return value
+            self.unresolved.append(f"{what} name {identifier!r}")
+        return None
+
+    def scan(self, fn: Optional[Callable]) -> None:
+        if fn is None:
+            return
+        for func, source in _expand_callables(fn):
+            if not source:
+                self.unresolved.append(
+                    f"source unavailable for {getattr(func, '__name__', '?')}")
+                continue
+            write_spans = set()
+            for match in _VAR_WRITE_RE.finditer(source):
+                self.writes.add(match.group(1))
+                write_spans.add(match.start())
+            for match in _VAR_SUBSCRIPT_RE.finditer(source):
+                if match.start() not in write_spans:
+                    self.reads_subscript.add(match.group(1))
+            for match in _VAR_GET_RE.finditer(source):
+                self.reads_get.add(match.group(1))
+            for match in _VAR_DYNAMIC_RE.finditer(source):
+                self.unresolved.append(
+                    f"dynamic variable subscript {match.group(1)!r}")
+            for match in _TIMER_START_RE.finditer(source):
+                name = self._resolve(func, match.group(1), match.group(2),
+                                     "timer")
+                if name:
+                    self.timer_starts.add(name)
+            for match in _TIMER_CANCEL_RE.finditer(source):
+                name = self._resolve(func, match.group(1), match.group(2),
+                                     "timer")
+                if name:
+                    self.timer_cancels.add(name)
+            for match in _EMIT_RE.finditer(source):
+                channel = self._resolve(func, match.group(1), match.group(2),
+                                        "emit channel")
+                event = self._resolve(func, match.group(3), match.group(4),
+                                      "emit event")
+                if channel and event:
+                    self.emits.add((channel, event))
+
+
+def _transition_usages(machine: Efsm) -> List[_TransitionUsage]:
+    usages = []
+    for transition in machine.transitions:
+        usage = _TransitionUsage(transition)
+        usage.scan(transition.predicate)
+        usage.scan(transition.action)
+        for output in transition.outputs:
+            usage.scan(output.args_from)
+        usages.append(usage)
+    return usages
+
+
+# ---------------------------------------------------------------------------
+# Per-machine rules
+# ---------------------------------------------------------------------------
+
+def _check_reachability(machine: Efsm,
+                        reachable: Set[str]) -> List[Diagnostic]:
+    diagnostics = []
+    for state in sorted(set(machine.states) - reachable):
+        if state in machine.attack_states:
+            diagnostics.append(Diagnostic(
+                "unreachable-attack-state", Severity.ERROR,
+                f"attack state {state!r} has no structural path from "
+                f"{machine.initial_state!r}; its attack pattern can never "
+                f"match",
+                machine=machine.name, state=state,
+                hint="add the transitions that constitute the attack "
+                     "pattern, or delete the state"))
+        else:
+            diagnostics.append(Diagnostic(
+                "unreachable-state", Severity.ERROR,
+                f"state {state!r} is unreachable from "
+                f"{machine.initial_state!r}",
+                machine=machine.name, state=state,
+                hint="connect it to the transition structure or remove it"))
+    return diagnostics
+
+
+def _check_sinks(machine: Efsm, reachable: Set[str]) -> List[Diagnostic]:
+    diagnostics = []
+    outgoing: Dict[str, int] = {}
+    for transition in machine.transitions:
+        outgoing[transition.source] = outgoing.get(transition.source, 0) + 1
+    traps = set()
+    for state in sorted(reachable):
+        if state in machine.final_states or state in machine.attack_states:
+            continue
+        if not outgoing.get(state):
+            traps.add(state)
+            diagnostics.append(Diagnostic(
+                "trap-state", Severity.ERROR,
+                f"state {state!r} is reachable, not final, and has no "
+                f"outgoing transitions: every later event of the call "
+                f"becomes a deviation and the record never completes",
+                machine=machine.name, state=state,
+                hint="mark it final or give it outgoing transitions"))
+    if machine.final_states:
+        coreachable = coreachable_states(machine)
+        for state in sorted(reachable - coreachable - traps):
+            if state in machine.final_states or state in machine.attack_states:
+                continue
+            diagnostics.append(Diagnostic(
+                "dead-state", Severity.WARNING,
+                f"no final state is reachable from {state!r}; a call wedged "
+                f"there only leaves memory via the idle TTL",
+                machine=machine.name, state=state,
+                hint="add a path to a final state or mark an absorbing "
+                     "state final"))
+    return diagnostics
+
+
+def _probe_events(event_name: str, channel: Optional[str],
+                  samples: Sequence[Mapping[str, Any]]) -> List[Event]:
+    return [Event(event_name, dict(args), channel=channel)
+            for args in samples]
+
+
+def _check_determinism(machine: Efsm,
+                       samples: Sequence[Mapping[str, Any]]
+                       ) -> List[Diagnostic]:
+    diagnostics = []
+    groups: Dict[Tuple[str, str, Optional[str]], List[Transition]] = {}
+    for transition in machine.transitions:
+        key = (transition.source, transition.event_name, transition.channel)
+        groups.setdefault(key, []).append(transition)
+    for (source, event_name, channel), group in sorted(
+            groups.items(), key=lambda item: (item[0][0], item[0][1],
+                                              item[0][2] or "")):
+        if len(group) < 2:
+            continue
+        describes = [t.describe() for t in group]
+        unguarded = [t for t in group if t.predicate is None]
+        if len(unguarded) >= 2:
+            diagnostics.append(Diagnostic(
+                "nondeterministic-overlap", Severity.ERROR,
+                f"{len(unguarded)} unguarded transitions from {source!r} on "
+                f"{event_name!r} are always simultaneously enabled",
+                machine=machine.name, state=source, event=event_name,
+                transition=describes[0], data={"transitions": describes},
+                hint="give all but one of them mutually exclusive "
+                     "predicates"))
+            continue
+        witness = _probe_overlap(machine, source, group,
+                                 _probe_events(event_name, channel, samples))
+        if witness is not None:
+            enabled, event = witness
+            diagnostics.append(Diagnostic(
+                "nondeterministic-overlap", Severity.ERROR,
+                f"sampled configuration {dict(event.args)!r} enables "
+                f"{len(enabled)} transitions from {source!r} on "
+                f"{event_name!r}: {[t.describe() for t in enabled]}",
+                machine=machine.name, state=source, event=event_name,
+                transition=enabled[0].describe(),
+                data={"transitions": [t.describe() for t in enabled],
+                      "witness_args": dict(event.args)},
+                hint="make the predicates mutually disjoint (P_i ∧ P_j = ∅)"))
+        elif unguarded:
+            diagnostics.append(Diagnostic(
+                "nondeterministic-overlap", Severity.WARNING,
+                f"unguarded transition {unguarded[0].describe()!r} overlaps "
+                f"{len(group) - 1} guarded alternative(s) from {source!r} on "
+                f"{event_name!r} unless every guard excludes it",
+                machine=machine.name, state=source, event=event_name,
+                transition=unguarded[0].describe(),
+                data={"transitions": describes},
+                hint="guard it with the negation of the other predicates"))
+    return diagnostics
+
+
+def _probe_overlap(machine: Efsm, source: str, group: Sequence[Transition],
+                   events: Sequence[Event]
+                   ) -> Optional[Tuple[List[Transition], Event]]:
+    """Probe guards against sampled configurations; return a witness."""
+    for event in events:
+        probe = EfsmInstance(machine)
+        probe.state = source
+        ctx = TransitionContext(probe, event)
+        enabled = []
+        for transition in group:
+            try:
+                if transition.enabled(ctx):
+                    enabled.append(transition)
+            except Exception:
+                continue          # guard not probe-able on this sample
+        if len(enabled) > 1:
+            return enabled, event
+    return None
+
+
+def _check_event_coverage(machine: Efsm,
+                          reachable: Set[str]) -> List[Diagnostic]:
+    diagnostics = []
+    handled: Dict[str, Set[str]] = {state: set() for state in machine.states}
+    for transition in machine.transitions:
+        handled[transition.source].add(transition.event_name)
+    for state in sorted(reachable):
+        if state in machine.attack_states:
+            continue
+        missing = sorted(machine.alphabet - handled[state])
+        if missing:
+            diagnostics.append(Diagnostic(
+                "event-coverage-gap", Severity.INFO,
+                f"state {state!r} has no transition for "
+                f"{len(missing)}/{len(machine.alphabet)} alphabet events: "
+                f"{missing}",
+                machine=machine.name, state=state,
+                data={"missing": missing},
+                hint="intentional gaps are how deviations are detected; "
+                     "review that each is intentional"))
+    return diagnostics
+
+
+def _check_variables(machine: Efsm,
+                     usages: Sequence[_TransitionUsage]) -> List[Diagnostic]:
+    diagnostics = []
+    declared = set(machine.variables) | set(machine.global_variables)
+    writes: Dict[str, List[str]] = {}
+    reads_sub: Dict[str, List[str]] = {}
+    reads_get: Dict[str, List[str]] = {}
+    for usage in usages:
+        label = usage.transition.describe()
+        for name in usage.writes:
+            writes.setdefault(name, []).append(label)
+        for name in usage.reads_subscript:
+            reads_sub.setdefault(name, []).append(label)
+        for name in usage.reads_get:
+            reads_get.setdefault(name, []).append(label)
+    for name in sorted(set(writes) - declared):
+        diagnostics.append(Diagnostic(
+            "undeclared-variable", Severity.ERROR,
+            f"transition(s) {sorted(set(writes[name]))} write state variable "
+            f"{name!r} which is never declared",
+            machine=machine.name, transition=writes[name][0],
+            data={"variable": name},
+            hint="declare it (with its default/domain) via declare() or "
+                 "declare_global()"))
+    for name in sorted((set(reads_sub) - declared) - set(writes)):
+        diagnostics.append(Diagnostic(
+            "read-before-write", Severity.ERROR,
+            f"transition(s) {sorted(set(reads_sub[name]))} read "
+            f"v[{name!r}] but the variable is never declared nor written; "
+            f"the read raises KeyError at runtime",
+            machine=machine.name, transition=reads_sub[name][0],
+            data={"variable": name},
+            hint="declare the variable or fix the name"))
+    for name in sorted((set(reads_get) - declared)
+                       - set(writes) - set(reads_sub)):
+        diagnostics.append(Diagnostic(
+            "read-before-write", Severity.WARNING,
+            f"transition(s) {sorted(set(reads_get[name]))} read "
+            f"v.get({name!r}) but the variable is never declared nor "
+            f"written; the default always applies (likely a typo)",
+            machine=machine.name, transition=reads_get[name][0],
+            data={"variable": name},
+            hint="declare the variable or fix the name"))
+    referenced = set(writes) | set(reads_sub) | set(reads_get)
+    for name in sorted(set(machine.variables) - referenced):
+        diagnostics.append(Diagnostic(
+            "unused-variable", Severity.INFO,
+            f"declared local variable {name!r} is never read or written by "
+            f"any transition",
+            machine=machine.name, data={"variable": name},
+            hint="drop the declaration if the variable is vestigial"))
+    return diagnostics
+
+
+def _check_timers(machine: Efsm,
+                  usages: Sequence[_TransitionUsage]) -> List[Diagnostic]:
+    diagnostics = []
+    starts: Dict[str, str] = {}
+    cancels: Set[str] = set()
+    for usage in usages:
+        for name in usage.timer_starts:
+            starts.setdefault(name, usage.transition.describe())
+        cancels.update(usage.timer_cancels)
+    consumed = {t.event_name for t in machine.transitions
+                if t.channel == TIMER_CHANNEL}
+    for name in sorted(set(starts) - consumed):
+        if name in cancels:
+            diagnostics.append(Diagnostic(
+                "timer-never-fires", Severity.WARNING,
+                f"timer {name!r} is started and cancelled but no "
+                f"timer-channel transition consumes its expiry",
+                machine=machine.name, transition=starts[name],
+                event=name, channel=TIMER_CHANNEL,
+                hint="add a transition on the timer channel, or remove the "
+                     "timer"))
+        else:
+            diagnostics.append(Diagnostic(
+                "timer-unhandled", Severity.ERROR,
+                f"timer {name!r} is started (by {starts[name]!r}) but never "
+                f"cancelled and no transition consumes its expiry: every "
+                f"expiry becomes a spurious deviation",
+                machine=machine.name, transition=starts[name],
+                event=name, channel=TIMER_CHANNEL,
+                hint="add a transition with channel=TIMER_CHANNEL for it, "
+                     "or cancel it on every path"))
+    started = set(starts)
+    for name in sorted(consumed - started):
+        diagnostics.append(Diagnostic(
+            "timer-never-started", Severity.WARNING,
+            f"transition(s) consume timer event {name!r} but no action ever "
+            f"starts that timer",
+            machine=machine.name, event=name, channel=TIMER_CHANNEL,
+            hint="start the timer in some action, or drop the transitions"))
+    return diagnostics
+
+
+def _check_channels(machine: Efsm,
+                    usages: Sequence[_TransitionUsage]) -> List[Diagnostic]:
+    diagnostics = []
+    declared = set(machine.channels) | {TIMER_CHANNEL}
+    flagged: Set[Tuple[str, str]] = set()
+
+    def flag(channel: str, transition: Transition, direction: str) -> None:
+        key = (channel, transition.describe())
+        if key in flagged:
+            return
+        flagged.add(key)
+        diagnostics.append(Diagnostic(
+            "undeclared-channel", Severity.ERROR,
+            f"transition {transition.describe()!r} {direction} on channel "
+            f"{channel!r} which the machine never declared",
+            machine=machine.name, state=transition.source,
+            transition=transition.describe(), channel=channel,
+            hint="declare_channel() it so topology checks can see the "
+                 "machine's sync interface"))
+
+    for transition in machine.transitions:
+        if (transition.channel is not None
+                and transition.channel not in declared):
+            flag(transition.channel, transition, "receives")
+        for output in transition.outputs:
+            if output.channel not in declared:
+                flag(output.channel, transition, "sends")
+    for usage in usages:
+        for channel, _event in sorted(usage.emits):
+            if channel not in declared:
+                flag(channel, usage.transition, "dynamically emits")
+    return diagnostics
+
+
+def _check_incomplete(machine: Efsm,
+                      usages: Sequence[_TransitionUsage]) -> List[Diagnostic]:
+    notes = sorted({note for usage in usages for note in usage.unresolved})
+    if not notes:
+        return []
+    return [Diagnostic(
+        "analysis-incomplete", Severity.INFO,
+        f"{len(notes)} construct(s) could not be statically resolved: "
+        f"{notes[:5]}",
+        machine=machine.name, data={"notes": notes},
+        hint="variable/timer/channel rules may under-report for this "
+             "machine")]
+
+
+def verify_machine(machine: Efsm,
+                   samples: Optional[Sequence[Mapping[str, Any]]] = None
+                   ) -> List[Diagnostic]:
+    """Run every per-machine spec-lint rule; returns structured findings.
+
+    ``samples`` are event-argument vectors used to probe guard disjointness
+    (the empty vector is always probed).  Nothing about the machine is
+    mutated and no transition actions execute.
+    """
+    probe_samples: List[Mapping[str, Any]] = [{}]
+    if samples:
+        probe_samples.extend(samples)
+    usages = _transition_usages(machine)
+    reachable = reachable_states(machine)
+    diagnostics: List[Diagnostic] = []
+    diagnostics.extend(_check_reachability(machine, reachable))
+    diagnostics.extend(_check_sinks(machine, reachable))
+    diagnostics.extend(_check_determinism(machine, probe_samples))
+    diagnostics.extend(_check_event_coverage(machine, reachable))
+    diagnostics.extend(_check_variables(machine, usages))
+    diagnostics.extend(_check_timers(machine, usages))
+    diagnostics.extend(_check_channels(machine, usages))
+    diagnostics.extend(_check_incomplete(machine, usages))
+    return diagnostics
+
+
+# ---------------------------------------------------------------------------
+# Cross-machine rules
+# ---------------------------------------------------------------------------
+
+def _canonical_sends(machine: Efsm, usages: Sequence[_TransitionUsage],
+                     names: Set[str]
+                     ) -> List[Tuple[str, str, Transition, Optional[str]]]:
+    """All (channel, event, transition, endpoint_error) sends of a machine.
+
+    Channel shorthands (a bare machine name, as accepted by
+    ``EfsmSystem._route_output`` and ``ctx.emit``) are canonicalized to the
+    directional ``sender->receiver`` form.
+    """
+    sends = []
+    raw: List[Tuple[str, str, Transition]] = []
+    for usage in usages:
+        for channel, event in sorted(usage.emits):
+            raw.append((channel, event, usage.transition))
+    for transition in machine.transitions:
+        for output in transition.outputs:
+            raw.append((output.channel, output.event_name, transition))
+    for channel, event, transition in raw:
+        if channel == TIMER_CHANNEL:
+            continue
+        sender, receiver = parse_channel(channel)
+        if sender is None:
+            # Shorthand: the channel names the receiving machine.
+            receiver = channel
+            channel = channel_name(machine.name, receiver)
+        error = receiver if receiver not in names else None
+        sends.append((channel, event, transition, error))
+    return sends
+
+
+def _system_topology(machines: Sequence[Efsm],
+                     usages_by_machine: Mapping[str, Sequence[_TransitionUsage]]
+                     ) -> List[Diagnostic]:
+    diagnostics = []
+    names = {machine.name for machine in machines}
+    sends: Dict[Tuple[str, str], List[Tuple[Efsm, Transition]]] = {}
+    for machine in machines:
+        for channel, event, transition, endpoint_error in _canonical_sends(
+                machine, usages_by_machine[machine.name], names):
+            if endpoint_error is not None:
+                diagnostics.append(Diagnostic(
+                    "unknown-channel-endpoint", Severity.ERROR,
+                    f"{machine.name!r} sends {event!r} on {channel!r} but "
+                    f"{endpoint_error!r} is not a machine of this system",
+                    machine=machine.name, channel=channel, event=event,
+                    transition=transition.describe(),
+                    hint="fix the channel id or add the missing machine"))
+                continue
+            sends.setdefault((channel, event), []).append(
+                (machine, transition))
+    receives: Dict[Tuple[str, str], List[Tuple[Efsm, Transition]]] = {}
+    for machine in machines:
+        for transition in machine.transitions:
+            channel = transition.channel
+            if channel is None or channel == TIMER_CHANNEL:
+                continue
+            receives.setdefault((channel, transition.event_name), []).append(
+                (machine, transition))
+    for (channel, event), senders in sorted(sends.items()):
+        if (channel, event) not in receives:
+            machine, transition = senders[0]
+            _sender, receiver = parse_channel(channel)
+            diagnostics.append(Diagnostic(
+                "unmatched-send", Severity.ERROR,
+                f"{machine.name!r} sends {event!r} on {channel!r} but "
+                f"{receiver!r} has no transition consuming it in any state: "
+                f"the δ would sit in the FIFO forever",
+                machine=machine.name, channel=channel, event=event,
+                transition=transition.describe(),
+                hint=f"add a c?{event} transition to {receiver!r} or drop "
+                     f"the output"))
+    for (channel, event), receivers in sorted(receives.items()):
+        sender, _receiver = parse_channel(channel)
+        if sender is not None and sender not in names:
+            continue              # channel from outside this system
+        if (channel, event) not in sends:
+            machine, transition = receivers[0]
+            diagnostics.append(Diagnostic(
+                "unmatched-receive", Severity.WARNING,
+                f"{machine.name!r} waits for {event!r} on {channel!r} but "
+                f"nothing in the system ever sends it",
+                machine=machine.name, channel=channel, event=event,
+                transition=transition.describe(),
+                hint="dead receive arm: remove it or add the matching send"))
+    return diagnostics
+
+
+class _ProductExplorer:
+    """Bounded reachability over the product of the interacting machines.
+
+    Models the runtime's semantics: data (and timer) events are *free* moves
+    whose guards are over-approximated as satisfiable; synchronization
+    events queue on their FIFO channel and are drained to empty — with
+    priority over data events — after every move.  A queued head event the
+    receiver cannot consume is exactly the runtime's "deviation on a sync
+    event" failure mode, reported as ``sync-deadlock``.
+    """
+
+    def __init__(self, machines: Sequence[Efsm], queue_bound: int,
+                 max_configs: int):
+        self.machines = list(machines)
+        self.names = [machine.name for machine in self.machines]
+        self.index = {name: i for i, name in enumerate(self.names)}
+        self.queue_bound = queue_bound
+        self.max_configs = max_configs
+        #: Consume steps allowed in one drain cascade.  A cascade that emits
+        #: one sync per consume keeps the queue depth constant forever (a
+        #: ping-pong livelock the queue bound never catches), so cap the
+        #: steps as well.
+        self.drain_cap = 64
+        self.diagnostics: List[Diagnostic] = []
+        self._reported: Set[Tuple] = set()
+        self.truncated = False
+        # (machine index, state) -> free-move transitions.
+        self.free_moves: Dict[Tuple[int, str], List[Transition]] = {}
+        # (machine index, state, channel, event) -> receiving transitions.
+        self.receivers: Dict[Tuple[int, str, str, str], List[Transition]] = {}
+        for i, machine in enumerate(self.machines):
+            for transition in machine.transitions:
+                if transition.channel is None or \
+                        transition.channel == TIMER_CHANNEL:
+                    self.free_moves.setdefault(
+                        (i, transition.source), []).append(transition)
+                else:
+                    key = (i, transition.source, transition.channel,
+                           transition.event_name)
+                    self.receivers.setdefault(key, []).append(transition)
+
+    def _outputs(self, machine_index: int,
+                 transition: Transition) -> List[Tuple[str, str]]:
+        outputs = []
+        for output in transition.outputs:
+            channel = output.channel
+            if parse_channel(channel)[0] is None:
+                channel = channel_name(self.names[machine_index], channel)
+            outputs.append((channel, output.event_name))
+        return outputs
+
+    def _report_stuck(self, receiver_index: int, state: str, channel: str,
+                      event: str, trigger: str) -> None:
+        key = (receiver_index, state, channel, event)
+        if key in self._reported:
+            return
+        self._reported.add(key)
+        name = self.names[receiver_index]
+        self.diagnostics.append(Diagnostic(
+            "sync-deadlock", Severity.ERROR,
+            f"reachable configuration wedges the FIFO: {name!r} is in "
+            f"{state!r} when {event!r} arrives on {channel!r} (triggered by "
+            f"{trigger!r}) and no transition consumes it",
+            machine=name, state=state, channel=channel, event=event,
+            data={"trigger": trigger},
+            hint=f"handle {event!r} in state {state!r} (even a self-loop "
+                 f"documents the race) or stop sending it on this path"))
+
+    def _drain(self, states: Tuple[str, ...],
+               queues: Mapping[str, Tuple[str, ...]],
+               trigger: str, depth: int = 0) -> Set[Tuple[str, ...]]:
+        """All quiescent state vectors reachable by consuming queued syncs."""
+        live = {channel: queue for channel, queue in queues.items() if queue}
+        if not live:
+            return {states}
+        if depth > self.drain_cap:
+            self._report_livelock(sorted(live), trigger)
+            return set()
+        results: Set[Tuple[str, ...]] = set()
+        for channel in sorted(live):
+            queue = live[channel]
+            event = queue[0]
+            receiver_name = parse_channel(channel)[1]
+            receiver_index = self.index.get(receiver_name)
+            if receiver_index is None:
+                continue          # reported by the topology pass
+            matches = self.receivers.get(
+                (receiver_index, states[receiver_index], channel, event), [])
+            if not matches:
+                self._report_stuck(receiver_index, states[receiver_index],
+                                   channel, event, trigger)
+                continue
+            for transition in matches:
+                new_states = list(states)
+                new_states[receiver_index] = transition.target
+                new_queues = dict(live)
+                new_queues[channel] = queue[1:]
+                overflow = False
+                for out_channel, out_event in self._outputs(receiver_index,
+                                                            transition):
+                    extended = new_queues.get(out_channel, ()) + (out_event,)
+                    if len(extended) > self.queue_bound:
+                        self._report_overflow(out_channel, trigger)
+                        overflow = True
+                        break
+                    new_queues[out_channel] = extended
+                if overflow:
+                    continue
+                results.update(self._drain(tuple(new_states), new_queues,
+                                           trigger, depth + 1))
+        return results
+
+    def _report_livelock(self, channels: Sequence[str], trigger: str) -> None:
+        key = ("livelock", tuple(channels))
+        if key in self._reported:
+            return
+        self._reported.add(key)
+        self.diagnostics.append(Diagnostic(
+            "sync-unbounded", Severity.WARNING,
+            f"sync cascade on channel(s) {list(channels)} did not quiesce "
+            f"within {self.drain_cap} consume steps (triggered by "
+            f"{trigger!r}): machines may exchange sync events forever",
+            channel=channels[0], data={"trigger": trigger},
+            hint="break the send/receive cycle so every cascade terminates"))
+
+    def _report_overflow(self, channel: str, trigger: str) -> None:
+        key = ("overflow", channel)
+        if key in self._reported:
+            return
+        self._reported.add(key)
+        self.diagnostics.append(Diagnostic(
+            "sync-unbounded", Severity.WARNING,
+            f"FIFO {channel!r} exceeded the exploration bound "
+            f"({self.queue_bound}) while draining (triggered by "
+            f"{trigger!r}): a send cycle may grow the queue without bound",
+            channel=channel, data={"trigger": trigger},
+            hint="break the sync cycle or raise the bound if intentional"))
+
+    def explore(self) -> None:
+        initial = tuple(machine.initial_state for machine in self.machines)
+        visited: Set[Tuple[str, ...]] = {initial}
+        frontier = deque([initial])
+        while frontier:
+            if len(visited) > self.max_configs:
+                self.truncated = True
+                break
+            states = frontier.popleft()
+            for i in range(len(self.machines)):
+                for transition in self.free_moves.get((i, states[i]), ()):
+                    moved = list(states)
+                    moved[i] = transition.target
+                    queues: Dict[str, Tuple[str, ...]] = {}
+                    for channel, event in self._outputs(i, transition):
+                        queues[channel] = queues.get(channel, ()) + (event,)
+                    for result in self._drain(tuple(moved), queues,
+                                              transition.describe()):
+                        if result not in visited:
+                            visited.add(result)
+                            frontier.append(result)
+        if self.truncated:
+            self.diagnostics.append(Diagnostic(
+                "analysis-incomplete", Severity.INFO,
+                f"product exploration truncated after {self.max_configs} "
+                f"configurations; sync-deadlock coverage is partial",
+                hint="raise max_configs for exhaustive coverage"))
+
+
+def verify_system(machines: Iterable[Efsm],
+                  samples: Optional[Sequence[Mapping[str, Any]]] = None,
+                  queue_bound: int = 4,
+                  max_configs: int = 20000,
+                  per_machine: bool = True) -> List[Diagnostic]:
+    """Verify an interacting system of machines (plus each machine alone).
+
+    Runs the cross-machine channel-topology rules and the bounded
+    product-automaton pass over sync channels; with ``per_machine`` (the
+    default) every :func:`verify_machine` rule runs first, so one call
+    yields the complete report for the system.
+    """
+    machine_list = list(machines)
+    diagnostics: List[Diagnostic] = []
+    usages_by_machine = {
+        machine.name: _transition_usages(machine) for machine in machine_list}
+    if per_machine:
+        for machine in machine_list:
+            diagnostics.extend(verify_machine(machine, samples=samples))
+    diagnostics.extend(_system_topology(machine_list, usages_by_machine))
+    explorer = _ProductExplorer(machine_list, queue_bound=queue_bound,
+                                max_configs=max_configs)
+    explorer.explore()
+    diagnostics.extend(explorer.diagnostics)
+    return diagnostics

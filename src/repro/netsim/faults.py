@@ -36,7 +36,7 @@ view of what it transmitted is never altered.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Dict, Tuple
 
 from .packet import Datagram

@@ -9,7 +9,7 @@ LANs in the testbed are 100BaseT (100 Mb/s) links and the uplinks are DS1
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Optional
 
 from .packet import Datagram

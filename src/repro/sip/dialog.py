@@ -16,7 +16,7 @@ from typing import NamedTuple, Optional
 from ..netsim.address import Endpoint
 from .constants import ACK
 from .errors import SipProtocolError
-from .headers import NameAddr, new_branch, new_tag
+from .headers import NameAddr, new_branch
 from .message import SipRequest, SipResponse
 from .uri import SipUri
 

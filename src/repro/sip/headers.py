@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 from .constants import BRANCH_MAGIC_COOKIE, SIP_VERSION
 from .errors import SipParseError

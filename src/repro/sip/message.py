@@ -6,8 +6,7 @@ vids classifier sees the same byte stream a network sniffer would.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Union
+from typing import List, Optional, Tuple, Union
 
 from .constants import METHODS, SIP_VERSION, reason_phrase
 from .errors import SipParseError

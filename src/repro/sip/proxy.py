@@ -23,7 +23,6 @@ from .headers import Via
 from .message import SipRequest, SipResponse
 from .registrar import LocationService, process_register
 from .transport import SipTransport
-from .uri import SipUri
 
 __all__ = ["ProxyServer"]
 

@@ -22,7 +22,6 @@ from ..netsim.address import Endpoint
 from ..netsim.engine import Timer
 from .constants import ACK, CANCEL, INVITE
 from .errors import SipProtocolError
-from .headers import new_branch
 from .message import SipRequest, SipResponse
 from .timers import DEFAULT_TIMERS, TimerTable
 

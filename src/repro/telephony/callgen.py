@@ -13,7 +13,7 @@ paired with/without-vids runs see the identical call pattern.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from ..netsim.random import RandomStreams

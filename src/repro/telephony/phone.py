@@ -9,7 +9,7 @@ streams G.729 voice (10 ms frames, VAD on) for the call's duration.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from ..netsim.address import Endpoint
@@ -20,7 +20,7 @@ from ..rtp.session import RtpReceiver, RtpSender
 from ..sip.sdp import SessionDescription
 from ..sip.timers import DEFAULT_TIMERS, TimerTable
 from ..sip.uri import SipUri
-from ..sip.useragent import Call, CallState, UserAgent
+from ..sip.useragent import Call, UserAgent
 
 __all__ = ["SoftPhone", "CallRecordStats", "PhoneProfile"]
 

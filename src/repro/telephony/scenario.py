@@ -15,10 +15,9 @@ pattern, making the comparison paired.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional
+from typing import Any, Dict, List, Optional
 
-from ..netsim.faults import FaultPlan, FaultyLink, inject_faults
-from ..netsim.random import RandomStreams
+from ..netsim.faults import FaultyLink, inject_faults
 from ..vids.config import DEFAULT_CONFIG, VidsConfig
 from ..vids.ids import Vids
 from .callgen import CallWorkload, WorkloadParams

@@ -38,6 +38,7 @@ from .scenarios import (
     BUILTIN_SCENARIOS,
 )
 from .sip_machine import SIP_ATTACK_STATES, SIP_STATES, build_sip_machine
+from .speclint import PROBE_SAMPLES, verify_call_system, verify_vids_specs
 from .sync import (
     DELTA_BYE,
     DELTA_CANCELLED,
@@ -70,6 +71,7 @@ __all__ = [
     "EventDistributor",
     "InviteFloodTracker",
     "OrphanMediaTracker",
+    "PROBE_SAMPLES",
     "PacketClassifier",
     "PacketKind",
     "RTP_ATTACK_STATES",
@@ -91,4 +93,6 @@ __all__ = [
     "replay_trace",
     "rtp_event_from_packet",
     "sip_event_from_message",
+    "verify_call_system",
+    "verify_vids_specs",
 ]

@@ -17,7 +17,7 @@ Every tunable the paper names is here:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 __all__ = ["VidsConfig", "DEFAULT_CONFIG"]
 
@@ -104,6 +104,14 @@ class VidsConfig:
     #: CPU seconds charged for an RTP/RTCP packet while shedding
     #: (classification only; the packet is still forwarded fail-open).
     shed_processing_cost: float = 0.0001
+
+    # -- Spec verification (docs/SPECCHECK.md) --------------------------------
+    #: Statically verify the SIP/RTP machine specifications (spec-lint) when
+    #: the fact base builds them, and refuse to start on ERROR findings.  A
+    #: broken specification silently weakens detection, so failing fast at
+    #: registration time is the safe default; disable only to experiment
+    #: with deliberately partial machines.
+    verify_specs: bool = True
 
     # -- Housekeeping --------------------------------------------------------
     #: Idle seconds after which a call record is garbage-collected.

@@ -18,7 +18,6 @@ from typing import Any, Dict, Optional, Tuple, Union
 
 from ..efsm.events import Event
 from ..sip.constants import INVITE, OPTIONS, REGISTER
-from .metrics import VidsMetrics
 from ..sip.errors import SipParseError
 from ..sip.message import SipRequest, SipResponse
 from ..sip.sdp import SessionDescription

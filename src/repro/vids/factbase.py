@@ -12,7 +12,7 @@ also samples the per-call memory cost for the Section 7.3 accounting.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from ..efsm.machine import FiringResult
 from ..efsm.system import EfsmSystem
@@ -20,6 +20,7 @@ from .config import VidsConfig
 from .metrics import VidsMetrics, estimate_state_bytes
 from .rtp_machine import build_rtp_machine
 from .sip_machine import build_sip_machine
+from .speclint import verify_call_system
 from .sync import RTP_MACHINE, SIP_MACHINE
 
 __all__ = ["CallRecord", "CallStateFactBase"]
@@ -98,6 +99,11 @@ class CallStateFactBase:
         # across every call record (instances carry the per-call state).
         self._sip_definition = build_sip_machine(config)
         self._rtp_definition = build_rtp_machine(config)
+        if config.verify_specs:
+            # Fail-fast registration gate (docs/SPECCHECK.md): raises
+            # SpecVerificationError if spec-lint finds ERROR findings in
+            # the definitions every call record will instantiate.
+            verify_call_system((self._sip_definition, self._rtp_definition))
         self._touches = 0
         self.records: Dict[str, CallRecord] = {}
         self.media_index: Dict[MediaKey, str] = {}

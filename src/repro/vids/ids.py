@@ -54,7 +54,7 @@ class Vids:
     ):
         if sim is not None:
             clock_now = lambda: sim.now  # noqa: E731 - simple adapter
-            timer_scheduler = lambda delay, fn: sim.schedule(delay, fn)
+            timer_scheduler = lambda delay, fn: sim.schedule(delay, fn)  # noqa: E731 - simple adapter
         if clock_now is None or timer_scheduler is None:
             raise ValueError("Vids needs a sim, or clock_now + timer_scheduler")
         self.sim = sim

@@ -13,7 +13,7 @@ re-running the network.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Tuple
+from typing import Iterable, List, Optional
 
 from ..efsm.system import ManualClock
 from ..netsim.inline import NullProcessor, PacketProcessor

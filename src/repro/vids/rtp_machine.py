@@ -107,6 +107,7 @@ def build_rtp_machine(config: VidsConfig = DEFAULT_CONFIG) -> Efsm:
         machine.add_state(state, attack=True, final=True)
 
     machine.declare(directions={})
+    machine.declare_channel(SIP_TO_RTP)
     # The media globals are declared by the SIP machine; declare them here
     # too so a standalone RTP machine (unit tests) has defaults.
     machine.declare_global(
@@ -143,6 +144,13 @@ def build_rtp_machine(config: VidsConfig = DEFAULT_CONFIG) -> Efsm:
     machine.add_transition(RTP_ACTIVE, DELTA_BYE, RTP_AFTER_BYE,
                            channel=SIP_TO_RTP, action=arm_inflight_timer,
                            label="bye")
+    # Early media then CANCEL: the caller can push packets before any final
+    # response, and the CANCEL's δ must not wedge in the FIFO (spec-lint's
+    # product pass caught this configuration).  In-flight media gets the
+    # same Figure-5 grace timer as the BYE path.
+    machine.add_transition(RTP_ACTIVE, DELTA_CANCELLED, RTP_AFTER_BYE,
+                           channel=SIP_TO_RTP, action=arm_inflight_timer,
+                           label="cancelled-with-media")
     machine.add_transition(RTP_AFTER_BYE, "T", RTP_CLOSE,
                            channel=TIMER_CHANNEL, label="inflight-done")
     machine.add_transition(RTP_AFTER_BYE, "RTP_PACKET", RTP_AFTER_BYE,
@@ -152,6 +160,13 @@ def build_rtp_machine(config: VidsConfig = DEFAULT_CONFIG) -> Efsm:
                            channel=SIP_TO_RTP, label="bye-retransmit")
     machine.add_transition(RTP_CLOSE, DELTA_BYE, RTP_CLOSE,
                            channel=SIP_TO_RTP, label="late-bye")
+    # CANCEL/200 race: the SIP machine can still emit δ_answer after the
+    # session was cancelled (callee's 200 OK crossed the CANCEL on the
+    # wire); absorb it wherever the cancellation already moved us.
+    machine.add_transition(RTP_AFTER_BYE, DELTA_SESSION_ANSWER, RTP_AFTER_BYE,
+                           channel=SIP_TO_RTP, label="answer-after-bye")
+    machine.add_transition(RTP_CLOSE, DELTA_SESSION_ANSWER, RTP_CLOSE,
+                           channel=SIP_TO_RTP, label="answer-after-close")
 
     # ---- packet analysis predicates -----------------------------------------
 
@@ -265,6 +280,7 @@ def _build_disabled_rtp_machine() -> Efsm:
     machine = Efsm(RTP_MACHINE, INIT)
     machine.add_state(INIT, final=True)
     machine.declare(directions={})
+    machine.declare_channel(SIP_TO_RTP)
     machine.declare_global(
         g_offer_addr="", g_offer_port=0, g_offer_pts=(),
         g_answer_addr="", g_answer_port=0, g_answer_pts=(),

@@ -31,7 +31,7 @@ from its own address falls outside it.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Mapping, Tuple
+from typing import Any, Mapping, Tuple
 
 from ..efsm.machine import Efsm, Output, TransitionContext
 from .config import DEFAULT_CONFIG, VidsConfig
@@ -140,6 +140,7 @@ def build_sip_machine(config: VidsConfig = DEFAULT_CONFIG) -> Efsm:
         g_ptime_ms=20,
         g_bye_src_ip="",
     )
+    machine.declare_channel(SIP_TO_RTP)
 
     cross = config.cross_protocol
 

@@ -3,6 +3,7 @@
 from repro.efsm import (
     Efsm,
     attack_paths,
+    coreachable_states,
     event_coverage,
     reachable_states,
     summarize_machine,
@@ -55,6 +56,30 @@ def test_event_coverage():
     assert coverage["island"] == set()
 
 
+def test_coreachable_states_to_finals():
+    machine = Efsm("m", "s0")
+    machine.add_state("mid")
+    machine.add_state("limbo")
+    machine.add_state("done", final=True)
+    machine.add_transition("s0", "a", "mid")
+    machine.add_transition("mid", "b", "done")
+    machine.add_transition("s0", "c", "limbo")
+    machine.add_transition("limbo", "d", "limbo")
+    assert coreachable_states(machine) == {"s0", "mid", "done"}
+
+
+def test_coreachable_states_explicit_targets():
+    machine = diamond()
+    assert coreachable_states(machine, targets={"bad"}) == \
+        {"s0", "s1", "s2", "bad"}
+    assert coreachable_states(machine, targets={"island"}) == {"island"}
+
+
+def test_coreachable_empty_targets():
+    machine = diamond()
+    assert coreachable_states(machine, targets=set()) == set()
+
+
 def test_summary_renders():
     text = summarize_machine(diamond())
     assert "machine 'd'" in text
@@ -85,3 +110,11 @@ class TestVidsMachines:
     def test_no_state_is_structurally_dead(self):
         for machine in (build_sip_machine(), build_rtp_machine()):
             assert reachable_states(machine) == set(machine.states)
+
+    def test_every_vids_state_can_finish(self):
+        # Every non-attack state must have a path to a final state, or a
+        # wedged call could only leave memory via the TTL collector.
+        for machine in (build_sip_machine(), build_rtp_machine()):
+            stuck = (set(machine.states) - coreachable_states(machine)
+                     - set(machine.attack_states))
+            assert stuck == set()

@@ -1,6 +1,6 @@
 """Unit tests for Graphviz export."""
 
-from repro.efsm import Efsm, Output, to_dot
+from repro.efsm import Efsm, Output, to_dot, verify_machine
 from repro.vids import build_rtp_machine, build_sip_machine
 
 
@@ -18,6 +18,32 @@ def test_dot_contains_states_and_edges():
     assert "doublecircle" in dot       # final state styling
     assert "demo->peer!delta" in dot   # output annotation
     assert dot.rstrip().endswith("}")
+
+
+def test_dot_highlights_flagged_states_and_transitions():
+    machine = Efsm("demo", "s0")
+    machine.add_state("trap")                 # reachable, no way out
+    machine.add_state("island")               # unreachable
+    machine.add_transition("s0", "go", "trap")
+    machine.add_transition("s0", "go", "trap", label="dup")  # nondeterminism
+    diagnostics = verify_machine(machine)
+    dot = to_dot(machine, diagnostics=diagnostics)
+    # Flagged states are filled and carry their rule id in the label.
+    assert "style=filled" in dot
+    assert "unreachable-state" in dot
+    assert "trap-state" in dot
+    # The overlapping transitions are flagged: thickened + rule id.
+    assert "penwidth=2.2" in dot
+    assert "nondeterministic-overlap" in dot
+
+
+def test_dot_without_diagnostics_is_unannotated():
+    machine = Efsm("demo", "s0")
+    machine.add_state("end", final=True)
+    machine.add_transition("s0", "go", "end")
+    dot = to_dot(machine)
+    assert "style=filled" not in dot
+    assert "penwidth" not in dot
 
 
 def test_vids_machines_export():

@@ -118,6 +118,27 @@ def test_validate_rejects_unreachable_states():
         machine.validate()
 
 
+def test_validate_rejects_undeclared_input_channel():
+    machine = Efsm("m", "s0")
+    machine.add_state("s1")
+    machine.add_transition("s0", "sync", "s1", channel="peer->m")
+    with pytest.raises(DefinitionError):
+        machine.validate()
+    machine.declare_channel("peer->m")
+    machine.validate()
+
+
+def test_validate_rejects_undeclared_output_channel():
+    machine = Efsm("m", "s0")
+    machine.add_state("s1")
+    machine.add_transition("s0", "go", "s1",
+                           outputs=[Output("m->peer", "delta")])
+    with pytest.raises(DefinitionError):
+        machine.validate()
+    machine.declare_channel("m->peer")
+    machine.validate()
+
+
 def test_channel_events_only_match_channel_transitions():
     machine = Efsm("m", "s0")
     machine.add_state("s1")

@@ -1,0 +1,482 @@
+"""Unit tests for the static spec verifier (repro.efsm.verify).
+
+Every lint rule gets a deliberately broken fixture machine proving the rule
+fires (rule id, severity, and location), plus clean fixtures proving it
+stays quiet.
+"""
+
+
+from repro.efsm import (
+    Efsm,
+    Output,
+    Severity,
+    TIMER_CHANNEL,
+    verify_machine,
+    verify_system,
+)
+
+
+def rules_of(diagnostics, min_severity=Severity.INFO):
+    return {d.rule for d in diagnostics if d.severity >= min_severity}
+
+
+def find(diagnostics, rule):
+    matching = [d for d in diagnostics if d.rule == rule]
+    assert matching, f"expected a {rule!r} finding, got " \
+                     f"{[d.rule for d in diagnostics]}"
+    return matching
+
+
+# ---------------------------------------------------------------------------
+# reachability / sink rules
+# ---------------------------------------------------------------------------
+
+def test_unreachable_state_and_attack_state():
+    machine = Efsm("m", "s0")
+    machine.add_state("s1")
+    machine.add_state("orphan")
+    machine.add_state("lost_attack", attack=True)
+    machine.add_transition("s0", "go", "s1")
+    machine.add_transition("s1", "go", "s1")
+    diagnostics = verify_machine(machine)
+    (orphan,) = find(diagnostics, "unreachable-state")
+    assert orphan.state == "orphan" and orphan.severity is Severity.ERROR
+    (lost,) = find(diagnostics, "unreachable-attack-state")
+    assert lost.state == "lost_attack" and lost.severity is Severity.ERROR
+    assert "never" in lost.message  # the pattern can never match
+
+
+def test_trap_state_flagged():
+    machine = Efsm("m", "s0")
+    machine.add_state("stuck")
+    machine.add_transition("s0", "go", "stuck")
+    (trap,) = find(verify_machine(machine), "trap-state")
+    assert trap.state == "stuck" and trap.severity is Severity.ERROR
+
+
+def test_final_and_attack_sinks_are_not_traps():
+    machine = Efsm("m", "s0")
+    machine.add_state("done", final=True)
+    machine.add_state("bad", attack=True)
+    machine.add_transition("s0", "ok", "done")
+    machine.add_transition("s0", "evil", "bad")
+    diagnostics = verify_machine(machine)
+    assert "trap-state" not in rules_of(diagnostics)
+
+
+def test_dead_state_cannot_reach_final():
+    machine = Efsm("m", "s0")
+    machine.add_state("limbo")
+    machine.add_state("done", final=True)
+    machine.add_transition("s0", "ok", "done")
+    machine.add_transition("s0", "drift", "limbo")
+    machine.add_transition("limbo", "spin", "limbo")
+    (dead,) = find(verify_machine(machine), "dead-state")
+    assert dead.state == "limbo" and dead.severity is Severity.WARNING
+
+
+def test_dead_state_skipped_without_final_states():
+    machine = Efsm("m", "s0")
+    machine.add_state("s1")
+    machine.add_transition("s0", "go", "s1")
+    machine.add_transition("s1", "back", "s0")
+    assert "dead-state" not in rules_of(verify_machine(machine))
+
+
+# ---------------------------------------------------------------------------
+# nondeterminism
+# ---------------------------------------------------------------------------
+
+def test_two_unguarded_transitions_is_definite_overlap():
+    machine = Efsm("m", "s0")
+    machine.add_state("a")
+    machine.add_state("b")
+    machine.add_transition("s0", "e", "a")
+    machine.add_transition("s0", "e", "b")
+    (overlap,) = find(verify_machine(machine), "nondeterministic-overlap")
+    assert overlap.severity is Severity.ERROR
+    assert len(overlap.data["transitions"]) == 2
+
+
+def test_probed_overlap_witnessed_by_sample():
+    machine = Efsm("m", "s0")
+    machine.add_state("a")
+    machine.add_state("b")
+    machine.add_transition("s0", "e", "a",
+                           predicate=lambda ctx: True)
+    machine.add_transition("s0", "e", "b",
+                           predicate=lambda ctx: ctx.x.get("n", 0) >= 0)
+    (overlap,) = find(verify_machine(machine), "nondeterministic-overlap")
+    assert overlap.severity is Severity.ERROR
+    assert "witness_args" in overlap.data
+
+
+def test_unprovable_unguarded_overlap_is_warning():
+    machine = Efsm("m", "s0")
+    machine.add_state("a")
+    machine.add_state("b")
+    machine.add_transition("s0", "e", "a")
+    machine.add_transition("s0", "e", "b",
+                           predicate=lambda ctx: ctx.x.get("n", 0) > 5)
+    (overlap,) = find(verify_machine(machine), "nondeterministic-overlap")
+    assert overlap.severity is Severity.WARNING
+
+
+def test_disjoint_guards_stay_clean():
+    machine = Efsm("m", "s0")
+    machine.add_state("a")
+    machine.add_state("b")
+    machine.add_transition("s0", "e", "a",
+                           predicate=lambda ctx: ctx.x.get("n", 0) > 5)
+    machine.add_transition("s0", "e", "b",
+                           predicate=lambda ctx: ctx.x.get("n", 0) <= 5)
+    samples = [{"n": 0}, {"n": 6}, {"n": 5}]
+    diagnostics = verify_machine(machine, samples=samples)
+    assert "nondeterministic-overlap" not in rules_of(diagnostics)
+
+
+def test_same_event_on_different_channels_is_not_overlap():
+    machine = Efsm("m", "s0")
+    machine.add_state("a")
+    machine.add_state("b")
+    machine.declare_channel("x->m")
+    machine.add_transition("s0", "e", "a")
+    machine.add_transition("s0", "e", "b", channel="x->m")
+    diagnostics = verify_machine(machine)
+    assert "nondeterministic-overlap" not in rules_of(diagnostics)
+
+
+# ---------------------------------------------------------------------------
+# alphabet coverage
+# ---------------------------------------------------------------------------
+
+def test_event_coverage_gap_reported_per_state():
+    machine = Efsm("m", "s0")
+    machine.add_state("s1")
+    machine.add_transition("s0", "a", "s1")
+    machine.add_transition("s0", "b", "s0")
+    machine.add_transition("s1", "a", "s1")   # s1 misses "b"
+    gaps = find(verify_machine(machine), "event-coverage-gap")
+    by_state = {g.state: g for g in gaps}
+    assert by_state["s1"].data["missing"] == ["b"]
+    assert all(g.severity is Severity.INFO for g in gaps)
+
+
+# ---------------------------------------------------------------------------
+# variable rules (mined from predicate/action sources)
+# ---------------------------------------------------------------------------
+
+def test_undeclared_variable_write():
+    machine = Efsm("m", "s0")
+
+    def bad_action(ctx):
+        ctx.v["typo_name"] = 1
+
+    machine.add_transition("s0", "e", "s0", action=bad_action)
+    (finding,) = find(verify_machine(machine), "undeclared-variable")
+    assert finding.severity is Severity.ERROR
+    assert finding.data["variable"] == "typo_name"
+
+
+def test_read_before_write_subscript_is_error():
+    machine = Efsm("m", "s0")
+    machine.add_transition("s0", "e", "s0",
+                           predicate=lambda ctx: ctx.v["ghost"] > 0)
+    (finding,) = find(verify_machine(machine), "read-before-write")
+    assert finding.severity is Severity.ERROR
+    assert finding.data["variable"] == "ghost"
+
+
+def test_read_before_write_get_is_warning():
+    machine = Efsm("m", "s0")
+    machine.add_transition("s0", "e", "s0",
+                           predicate=lambda ctx: ctx.v.get("maybe", 0) > 0)
+    (finding,) = find(verify_machine(machine), "read-before-write")
+    assert finding.severity is Severity.WARNING
+
+
+def test_helper_function_expansion_avoids_false_positives():
+    # The write happens inside a module-level helper the action delegates
+    # to; the scanner must follow the call to see the variable usage.
+    machine = Efsm("m", "s0")
+    machine.declare(counter=0)
+
+    def bump(ctx):
+        ctx.v["counter"] = ctx.v.get("counter", 0) + 1
+
+    def action(ctx):
+        bump(ctx)
+
+    machine.add_transition("s0", "e", "s0", action=action)
+    diagnostics = verify_machine(machine)
+    assert "undeclared-variable" not in rules_of(diagnostics)
+    assert "unused-variable" not in rules_of(diagnostics)
+
+
+def test_unused_variable_is_info():
+    machine = Efsm("m", "s0")
+    machine.declare(vestigial=0)
+    machine.add_transition("s0", "e", "s0")
+    (finding,) = find(verify_machine(machine), "unused-variable")
+    assert finding.severity is Severity.INFO
+    assert finding.data["variable"] == "vestigial"
+
+
+# ---------------------------------------------------------------------------
+# timer rules
+# ---------------------------------------------------------------------------
+
+def test_timer_started_but_never_handled():
+    machine = Efsm("m", "s0")
+
+    def arm(ctx):
+        ctx.start_timer("T9", 1.0)
+
+    machine.add_transition("s0", "e", "s0", action=arm)
+    (finding,) = find(verify_machine(machine), "timer-unhandled")
+    assert finding.severity is Severity.ERROR and finding.event == "T9"
+
+
+def test_timer_started_and_cancelled_never_fires():
+    machine = Efsm("m", "s0")
+
+    def arm(ctx):
+        ctx.start_timer("T9", 1.0)
+
+    def disarm(ctx):
+        ctx.cancel_timer("T9")
+
+    machine.add_transition("s0", "e", "s0", action=arm)
+    machine.add_transition("s0", "f", "s0", action=disarm)
+    (finding,) = find(verify_machine(machine), "timer-never-fires")
+    assert finding.severity is Severity.WARNING
+
+
+def test_timer_consumed_but_never_started():
+    machine = Efsm("m", "s0")
+    machine.add_transition("s0", "T9", "s0", channel=TIMER_CHANNEL)
+    (finding,) = find(verify_machine(machine), "timer-never-started")
+    assert finding.severity is Severity.WARNING
+
+
+def test_timer_started_and_consumed_is_clean():
+    machine = Efsm("m", "s0")
+
+    def arm(ctx):
+        ctx.start_timer("T9", 1.0)
+
+    machine.add_transition("s0", "e", "s0", action=arm)
+    machine.add_transition("s0", "T9", "s0", channel=TIMER_CHANNEL)
+    diagnostics = verify_machine(machine)
+    assert not {"timer-unhandled", "timer-never-fires",
+                "timer-never-started"} & rules_of(diagnostics)
+
+
+def test_timer_name_resolved_through_module_constant():
+    # The vids invite-flood machine starts its timer via a module-level
+    # constant, not a string literal; the scanner must resolve it.
+    from repro.vids.patterns.invite_flood import build_invite_flood_machine
+    machine = build_invite_flood_machine(5, 1.0)
+    diagnostics = verify_machine(machine)
+    assert "timer-unhandled" not in rules_of(diagnostics)
+    assert "timer-never-started" not in rules_of(diagnostics)
+
+
+# ---------------------------------------------------------------------------
+# channel rules (per machine)
+# ---------------------------------------------------------------------------
+
+def test_undeclared_input_channel():
+    machine = Efsm("m", "s0")
+    machine.add_transition("s0", "delta", "s0", channel="x->m")
+    (finding,) = find(verify_machine(machine), "undeclared-channel")
+    assert finding.severity is Severity.ERROR and finding.channel == "x->m"
+
+
+def test_undeclared_output_channel():
+    machine = Efsm("m", "s0")
+    machine.add_transition("s0", "e", "s0",
+                           outputs=[Output("m->x", "delta")])
+    (finding,) = find(verify_machine(machine), "undeclared-channel")
+    assert finding.channel == "m->x"
+
+
+def test_dynamic_emit_channel_checked():
+    machine = Efsm("m", "s0")
+
+    def emit_it(ctx):
+        ctx.emit("m->nowhere", "delta", {})
+
+    machine.add_transition("s0", "e", "s0", action=emit_it)
+    (finding,) = find(verify_machine(machine), "undeclared-channel")
+    assert finding.channel == "m->nowhere"
+
+
+# ---------------------------------------------------------------------------
+# cross-machine rules
+# ---------------------------------------------------------------------------
+
+def _sender_machine(emit_event="ping", declare=True):
+    machine = Efsm("a", "a0")
+    if declare:
+        machine.declare_channel("a->b")
+    machine.add_transition("a0", "go", "a0",
+                           outputs=[Output("a->b", emit_event)])
+    return machine
+
+
+def test_unmatched_send_is_error():
+    sender = _sender_machine()
+    receiver = Efsm("b", "b0")
+    receiver.add_transition("b0", "other", "b0")
+    findings = find(verify_system([sender, receiver], per_machine=False),
+                    "unmatched-send")
+    assert findings[0].severity is Severity.ERROR
+    assert findings[0].event == "ping" and findings[0].channel == "a->b"
+
+
+def test_unmatched_receive_is_warning():
+    sender = Efsm("a", "a0")
+    sender.add_transition("a0", "go", "a0")
+    receiver = Efsm("b", "b0")
+    receiver.declare_channel("a->b")
+    receiver.add_transition("b0", "ping", "b0", channel="a->b")
+    (finding,) = find(verify_system([sender, receiver], per_machine=False),
+                      "unmatched-receive")
+    assert finding.severity is Severity.WARNING and finding.machine == "b"
+
+
+def test_receive_from_outside_the_system_is_not_flagged():
+    receiver = Efsm("b", "b0")
+    receiver.declare_channel("ext->b")
+    receiver.add_transition("b0", "ping", "b0", channel="ext->b")
+    diagnostics = verify_system([receiver], per_machine=False)
+    assert "unmatched-receive" not in rules_of(diagnostics)
+
+
+def test_unknown_channel_endpoint():
+    machine = Efsm("a", "a0")
+    machine.declare_channel("a->ghost")
+    machine.add_transition("a0", "go", "a0",
+                           outputs=[Output("a->ghost", "ping")])
+    (finding,) = find(verify_system([machine], per_machine=False),
+                      "unknown-channel-endpoint")
+    assert finding.severity is Severity.ERROR
+
+
+def test_sync_deadlock_found_by_product_pass():
+    # b consumes ping only after its own data move; a emits ping
+    # immediately, so the configuration (a0, b0) wedges the FIFO.
+    sender = _sender_machine()
+    receiver = Efsm("b", "b0")
+    receiver.add_state("b1")
+    receiver.declare_channel("a->b")
+    receiver.add_transition("b0", "warmup", "b1")
+    receiver.add_transition("b1", "ping", "b1", channel="a->b")
+    (finding,) = find(verify_system([sender, receiver], per_machine=False),
+                      "sync-deadlock")
+    assert finding.severity is Severity.ERROR
+    assert finding.machine == "b" and finding.state == "b0"
+    assert finding.event == "ping"
+
+
+def test_sync_deadlock_absent_when_receive_total():
+    sender = _sender_machine()
+    receiver = Efsm("b", "b0")
+    receiver.declare_channel("a->b")
+    receiver.add_transition("b0", "ping", "b0", channel="a->b")
+    diagnostics = verify_system([sender, receiver], per_machine=False)
+    assert rules_of(diagnostics, Severity.WARNING) == set()
+
+
+def test_sync_pingpong_livelock_reported():
+    left = Efsm("a", "a0")
+    left.declare_channel("a->b", "b->a")
+    left.add_transition("a0", "kick", "a0",
+                        outputs=[Output("a->b", "ping")])
+    left.add_transition("a0", "pong", "a0", channel="b->a",
+                        outputs=[Output("a->b", "ping")])
+    right = Efsm("b", "b0")
+    right.declare_channel("a->b", "b->a")
+    right.add_transition("b0", "ping", "b0", channel="a->b",
+                         outputs=[Output("b->a", "pong")])
+    findings = find(verify_system([left, right], per_machine=False),
+                    "sync-unbounded")
+    assert findings[0].severity is Severity.WARNING
+
+
+def test_sync_queue_overflow_reported():
+    # One consume fans out two sends back onto the same channel: the queue
+    # grows on every step and must trip the bound.
+    left = Efsm("a", "a0")
+    left.declare_channel("a->b", "b->a")
+    left.add_transition("a0", "kick", "a0",
+                        outputs=[Output("a->b", "ping")])
+    left.add_transition("a0", "pong", "a0", channel="b->a",
+                        outputs=[Output("a->b", "ping"),
+                                 Output("a->b", "ping")])
+    right = Efsm("b", "b0")
+    right.declare_channel("a->b", "b->a")
+    right.add_transition("b0", "ping", "b0", channel="a->b",
+                         outputs=[Output("b->a", "pong")])
+    findings = find(verify_system([left, right], per_machine=False),
+                    "sync-unbounded")
+    assert all(f.severity is Severity.WARNING for f in findings)
+
+
+# ---------------------------------------------------------------------------
+# structured diagnostics plumbing
+# ---------------------------------------------------------------------------
+
+def test_diagnostic_to_dict_roundtrip_fields():
+    machine = Efsm("m", "s0")
+    machine.add_state("orphan")
+    machine.add_transition("s0", "e", "s0")
+    (finding,) = find(verify_machine(machine), "unreachable-state")
+    payload = finding.to_dict()
+    assert payload["rule"] == "unreachable-state"
+    assert payload["severity"] == "ERROR"
+    assert payload["machine"] == "m"
+    assert payload["state"] == "orphan"
+    assert payload["hint"]
+
+
+def test_rule_catalog_covers_emitted_rules():
+    from repro.efsm.verify import RULES
+    # Every rule exercised above is in the published catalog.
+    for rule in ("unreachable-state", "unreachable-attack-state",
+                 "trap-state", "dead-state", "nondeterministic-overlap",
+                 "event-coverage-gap", "undeclared-variable",
+                 "read-before-write", "unused-variable", "timer-unhandled",
+                 "timer-never-fires", "timer-never-started",
+                 "undeclared-channel", "unknown-channel-endpoint",
+                 "unmatched-send", "unmatched-receive", "sync-deadlock",
+                 "sync-unbounded"):
+        assert rule in RULES
+
+
+def test_verify_machine_does_not_execute_actions():
+    fired = []
+    machine = Efsm("m", "s0")
+    machine.add_transition("s0", "e", "s0",
+                           action=lambda ctx: fired.append(1))
+    verify_machine(machine)
+    assert fired == []
+
+
+def test_verify_machine_probe_survives_raising_predicate():
+    machine = Efsm("m", "s0")
+    machine.add_state("a")
+    machine.add_state("b")
+
+    def explosive(ctx):
+        raise RuntimeError("boom")
+
+    machine.add_transition("s0", "e", "a", predicate=explosive)
+    machine.add_transition("s0", "e", "b", predicate=explosive)
+    # Both guards raise on every probe: no witness, no crash.
+    diagnostics = verify_machine(machine)
+    errors = [d for d in diagnostics
+              if d.rule == "nondeterministic-overlap"
+              and d.severity is Severity.ERROR]
+    assert errors == []

@@ -1,5 +1,7 @@
 """CLI tests for the vids-repro entry point."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -30,6 +32,22 @@ class TestParser:
         args = build_parser().parse_args(["machines", "--dot"])
         assert args.command == "machines" and args.dot
 
+    def test_speclint_defaults(self):
+        args = build_parser().parse_args(["speclint"])
+        assert args.command == "speclint"
+        assert args.min_severity == "info"
+        assert not args.json and not args.strict
+        assert not args.no_cross_protocol and args.dot is None
+
+    def test_speclint_options(self):
+        args = build_parser().parse_args(
+            ["speclint", "--json", "--strict", "--min-severity", "warning",
+             "--no-cross-protocol", "--dot", "/tmp/dots"])
+        assert args.json and args.strict
+        assert args.min_severity == "warning"
+        assert args.no_cross_protocol
+        assert args.dot == "/tmp/dots"
+
 
 class TestCommands:
     def test_machines_summary(self, capsys):
@@ -44,6 +62,23 @@ class TestCommands:
         assert main(["machines", "--dot"]) == 0
         out = capsys.readouterr().out
         assert out.count("digraph") == 4
+
+    def test_speclint_shipped_specs_pass(self, capsys):
+        assert main(["speclint", "--min-severity", "warning"]) == 0
+        out = capsys.readouterr().out
+        assert "no findings" in out
+
+    def test_speclint_json_output(self, capsys):
+        assert main(["speclint", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "findings" in payload and "counts" in payload
+        assert payload["counts"].get("error", 0) == 0
+
+    def test_speclint_writes_annotated_dot(self, capsys, tmp_path):
+        assert main(["speclint", "--min-severity", "error",
+                     "--dot", str(tmp_path)]) == 0
+        written = {p.name for p in tmp_path.glob("*.dot")}
+        assert {"sip.dot", "rtp.dot"} <= written
 
     def test_scenario_runs_and_exports(self, capsys, tmp_path):
         code = main(["scenario", "--horizon", "240", "--phones", "3",

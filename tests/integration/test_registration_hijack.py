@@ -7,7 +7,6 @@ demonstrate the paper's point that missing authentication enables the
 threat model, and the IDS's value even when auth is absent.
 """
 
-import pytest
 
 from repro.attacks import RegistrationHijackAttack
 from repro.telephony import TestbedParams, build_testbed

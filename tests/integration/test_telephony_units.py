@@ -1,6 +1,5 @@
 """Unit-level tests for the telephony layer (workload, phones, scenario)."""
 
-import pytest
 
 from repro.netsim import RandomStreams
 from repro.telephony import (

@@ -1,6 +1,5 @@
 """Drop-tail link buffer tests."""
 
-import pytest
 
 from repro.netsim import Endpoint, Host, Network
 

@@ -2,7 +2,7 @@
 
 from hypothesis import given, settings, strategies as st
 
-from repro.efsm import Efsm, EfsmInstance, EfsmSystem, Event
+from repro.efsm import Efsm, EfsmSystem, Event
 from repro.vids import DEFAULT_CONFIG, build_rtp_machine, build_sip_machine
 from repro.vids.sync import RTP_MACHINE, SIP_MACHINE
 

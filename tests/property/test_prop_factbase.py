@@ -6,7 +6,7 @@ from repro.efsm import ManualClock
 from repro.vids import CallStateFactBase, DEFAULT_CONFIG, VidsMetrics
 from repro.vids.sync import SIP_MACHINE
 
-from tests.vids.helpers import answer_event, bye_event, invite_event
+from tests.vids.helpers import answer_event, invite_event
 
 
 def make_factbase():

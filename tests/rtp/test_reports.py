@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.netsim import Endpoint, Host, Network
 from repro.rtp import (

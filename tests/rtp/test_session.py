@@ -5,13 +5,7 @@ import random
 import pytest
 
 from repro.netsim import Endpoint, Host, Network
-from repro.rtp import (
-    G729,
-    RtpPacket,
-    RtpReceiver,
-    RtpSender,
-    TalkSpurtModel,
-)
+from repro.rtp import G729, RtpReceiver, RtpSender, TalkSpurtModel
 
 
 def build_pair(loss=0.0, seed=0):

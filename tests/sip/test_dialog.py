@@ -1,6 +1,5 @@
 """Unit tests for the dialog layer."""
 
-import pytest
 
 from repro.netsim import Endpoint
 from repro.sip import Dialog, DialogState, SipRequest, parse_message

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.netsim import Endpoint
-from repro.sip import DEFAULT_TIMERS, DomainDirectory, TimerTable
+from repro.sip import DEFAULT_TIMERS, DomainDirectory
 
 
 class TestDomainDirectory:

@@ -1,7 +1,7 @@
 """OPTIONS method support (RFC 3261 §11): capability query / keepalive."""
 
 from repro.netsim import Endpoint
-from repro.sip import SipRequest, SipResponse
+from repro.sip import SipRequest
 
 
 def test_ua_answers_options_with_capabilities(mini_voip):

@@ -1,6 +1,5 @@
 """Unit tests for the stateless proxy + registrar element."""
 
-import pytest
 
 from repro.netsim import Endpoint, Host, Network, Router
 from repro.sip import (

@@ -1,6 +1,5 @@
 """User agent tests: full signaling flows over the mini network."""
 
-import pytest
 
 from repro.sip import CallState
 

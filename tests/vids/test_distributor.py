@@ -1,13 +1,10 @@
 """Unit tests for the Event Distributor and its event builders."""
 
-import pytest
 
-from repro.efsm import ManualClock
 from repro.netsim import Datagram, Endpoint
 from repro.sip import SipRequest, parse_message
 from repro.vids import (
     DEFAULT_CONFIG,
-    Vids,
     rtp_event_from_packet,
     sip_event_from_message,
 )

@@ -1,6 +1,6 @@
 """Unit tests for the Analysis Engine's alert logic."""
 
-from repro.efsm import Efsm, Event, FiringResult, ManualClock, Transition
+from repro.efsm import Event, FiringResult, ManualClock, Transition
 from repro.vids import (
     AlertManager,
     AnalysisEngine,

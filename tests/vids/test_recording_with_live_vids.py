@@ -1,16 +1,8 @@
 """Recording alongside live detection: the tee must be transparent."""
 
-from repro.vids import RecordingProcessor, Vids, replay_trace
+from repro.vids import RecordingProcessor, replay_trace
 
-from .test_ids import (
-    CALLEE,
-    CALLER,
-    bye_bytes,
-    dgram,
-    establish_call,
-    make_vids,
-    response_bytes,
-)
+from .test_ids import CALLEE, CALLER, bye_bytes, dgram, make_vids
 
 
 def test_recorder_wrapping_live_vids_charges_inner_cost():

@@ -1,7 +1,6 @@
 """A legitimate re-INVITE moves the media; vids must follow the new port."""
 
 from repro.sip import SipRequest
-from repro.vids import AttackType
 
 from .test_ids import (
     CALLEE,

@@ -1,6 +1,5 @@
 """The vids situation report must render traffic, calls, and alerts."""
 
-from repro.vids import AttackType
 
 from .test_ids import (
     ATTACKER,

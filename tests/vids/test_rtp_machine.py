@@ -1,6 +1,5 @@
 """Behavioural tests for the per-call RTP protocol state machine."""
 
-import pytest
 
 from repro.efsm import EfsmSystem, Event, ManualClock
 from repro.vids import DEFAULT_CONFIG, build_rtp_machine, build_sip_machine

@@ -15,7 +15,6 @@ from repro.vids.sync import (
     DELTA_SESSION_OFFER,
     RTP_MACHINE,
     SIP_MACHINE,
-    SIP_TO_RTP,
 )
 
 from .helpers import (

@@ -1,0 +1,118 @@
+"""Tests for the vids spec-lint integration (repro.vids.speclint).
+
+Proves (a) the shipped SIP/RTP specifications verify clean, (b) the
+fact-base registration gate fails fast on a broken specification, and
+(c) the gate can be disabled by configuration.
+"""
+
+import pytest
+
+from repro.efsm import Severity, SpecVerificationError
+from repro.efsm.verify import verify_system
+from repro.vids import (
+    DEFAULT_CONFIG,
+    PROBE_SAMPLES,
+    Vids,
+    build_rtp_machine,
+    build_sip_machine,
+    verify_vids_specs,
+)
+from repro.vids.factbase import CallStateFactBase
+
+
+def worst(diagnostics, min_severity):
+    return [d for d in diagnostics if d.severity >= min_severity]
+
+
+class TestShippedSpecsClean:
+    def test_default_config_has_no_error_or_warning_findings(self):
+        diagnostics = verify_vids_specs(DEFAULT_CONFIG)
+        assert worst(diagnostics, Severity.WARNING) == []
+
+    def test_ablation_config_has_no_error_findings(self):
+        config = DEFAULT_CONFIG.with_overrides(cross_protocol=False)
+        diagnostics = verify_vids_specs(config)
+        assert worst(diagnostics, Severity.ERROR) == []
+
+    def test_report_is_not_empty(self):
+        # INFO findings (alphabet coverage) are expected and informative.
+        assert verify_vids_specs(DEFAULT_CONFIG)
+
+    def test_product_pass_covers_the_call_system(self):
+        # The interacting machines have no wedgeable configuration: the
+        # CANCEL/200 and early-media races are absorbed by dedicated
+        # transitions (labels below), which this test pins down.
+        rtp = build_rtp_machine(DEFAULT_CONFIG)
+        labels = {t.label for t in rtp.transitions}
+        assert "cancelled-with-media" in labels
+        assert "answer-after-bye" in labels
+        assert "answer-after-close" in labels
+
+
+class TestRegressionDetection:
+    """Removing the race-fix transitions must resurface the deadlocks."""
+
+    def test_dropping_cancel_handling_resurfaces_deadlock(self):
+        sip = build_sip_machine(DEFAULT_CONFIG)
+        rtp = build_rtp_machine(DEFAULT_CONFIG)
+        rtp.transitions[:] = [
+            t for t in rtp.transitions
+            if t.label not in ("cancelled-with-media", "answer-after-bye",
+                               "answer-after-close")]
+        diagnostics = verify_system([sip, rtp], samples=PROBE_SAMPLES,
+                                    per_machine=False)
+        deadlocks = [d for d in diagnostics if d.rule == "sync-deadlock"]
+        wedged = {(d.state, d.event) for d in deadlocks}
+        assert ("RTP_Rcvd", "delta_cancelled") in wedged
+        assert ("RTP_Close", "delta_session_answer") in wedged
+
+
+class TestRegistrationGate:
+    def test_factbase_verifies_on_construction(self, monkeypatch):
+        def broken_sip(config):
+            machine = build_sip_machine(config)
+            # Sever every CANCEL path: the cancel-related δ send keeps
+            # flowing but the states behind it become unreachable.
+            machine.transitions[:] = [
+                t for t in machine.transitions
+                if t.target not in ("Cancelling",)]
+            return machine
+
+        monkeypatch.setattr("repro.vids.factbase.build_sip_machine",
+                            broken_sip)
+        with pytest.raises(SpecVerificationError) as excinfo:
+            CallStateFactBase(DEFAULT_CONFIG, lambda: 0.0,
+                              lambda *args, **kwargs: None)
+        assert excinfo.value.diagnostics
+        assert all(d.severity is Severity.ERROR
+                   for d in excinfo.value.diagnostics)
+
+    def test_gate_disabled_by_config(self, monkeypatch):
+        def broken_sip(config):
+            machine = build_sip_machine(config)
+            machine.transitions[:] = [
+                t for t in machine.transitions
+                if t.target not in ("Cancelling",)]
+            return machine
+
+        monkeypatch.setattr("repro.vids.factbase.build_sip_machine",
+                            broken_sip)
+        config = DEFAULT_CONFIG.with_overrides(verify_specs=False)
+        factbase = CallStateFactBase(config, lambda: 0.0,
+                                     lambda *args, **kwargs: None)
+        assert factbase.active_calls == 0
+
+    def test_vids_constructs_with_gate_on(self):
+        vids = Vids(config=DEFAULT_CONFIG, clock_now=lambda: 0.0,
+                    timer_scheduler=lambda *args, **kwargs: None)
+        assert vids.factbase.config.verify_specs
+
+    def test_clean_system_verification_is_cached(self):
+        from repro.vids import speclint
+        CallStateFactBase(DEFAULT_CONFIG, lambda: 0.0,
+                          lambda *args, **kwargs: None)
+        assert speclint._VERIFIED_CLEAN
+        # Second construction hits the fingerprint cache (returns []).
+        machines = (build_sip_machine(DEFAULT_CONFIG),
+                    build_rtp_machine(DEFAULT_CONFIG))
+        assert speclint.verify_call_system(machines) == []
