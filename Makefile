@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install lint speclint test chaos bench bench-full figures examples clean
+.PHONY: install lint speclint test chaos bench bench-all bench-full figures examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -27,7 +27,13 @@ test-out:
 chaos:
 	$(PYTHON) -m pytest tests/ -m chaos
 
+# Pipeline perf harness: runs the throughput + micro benchmarks and
+# records BENCH_pipeline.json at the repo root (docs/PERFORMANCE.md).
 bench:
+	$(PYTHON) benchmarks/harness.py
+
+# Every benchmark in benchmarks/ (paper tables, figures, capacity tests).
+bench-all:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 bench-out:

@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""Perf harness: run the pipeline benchmarks, record BENCH_pipeline.json.
+
+Runs the throughput benchmarks of ``test_scale_throughput.py`` plus the
+``test_micro_pipeline.py`` micro-benchmarks under pytest-benchmark and
+distills the raw report into ``BENCH_pipeline.json`` at the repo root::
+
+    {
+      "test_rtp_analysis_throughput": {"rate": 93000.0,
+                                       "mean_s": 0.0215,
+                                       "rounds": 3},
+      ...
+    }
+
+``rate`` is operations per second of real time (each benchmark publishes
+its per-round operation count in ``extra_info["ops"]``; benchmarks without
+it fall back to rounds per second), ``mean_s`` the mean seconds per round,
+``rounds`` the measurement rounds taken.  The file is the repo's recorded
+perf trajectory — commit it when a PR moves the needle, and compare runs
+only from the same machine.
+
+By default only the *rate* benchmarks run (they carry the keep-up
+thresholds).  ``--full`` adds the capacity test
+(``test_thousand_concurrent_calls``), which is wall-clock sensitive and
+can shed load on a slow or noisy box.
+
+Usage::
+
+    python benchmarks/harness.py                # 3 rounds, write the JSON
+    python benchmarks/harness.py --rounds 1     # CI smoke
+    python benchmarks/harness.py --full         # include capacity test
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Default selection: every benchmark that measures a steady-state rate.
+RATE_BENCHMARKS = [
+    "benchmarks/test_scale_throughput.py::test_rtp_analysis_throughput",
+    "benchmarks/test_scale_throughput.py::test_sip_analysis_throughput",
+    "benchmarks/test_micro_pipeline.py",
+]
+
+#: Added by --full: capacity/limits tests (environment sensitive).
+FULL_BENCHMARKS = [
+    "benchmarks/test_scale_throughput.py::test_thousand_concurrent_calls",
+]
+
+OUTPUT_NAME = "BENCH_pipeline.json"
+
+
+def run_benchmarks(selection: List[str], rounds: Optional[int],
+                   raw_path: Path) -> int:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src)
+    if rounds is not None:
+        env["REPRO_BENCH_ROUNDS"] = str(rounds)
+    command = [
+        sys.executable, "-m", "pytest", *selection,
+        "--benchmark-only", f"--benchmark-json={raw_path}", "-q",
+    ]
+    return subprocess.call(command, cwd=REPO_ROOT, env=env)
+
+
+def distill(raw_path: Path) -> Dict[str, Dict[str, float]]:
+    """Collapse the pytest-benchmark report to {name: rate/mean_s/rounds}."""
+    report = json.loads(raw_path.read_text())
+    results: Dict[str, Dict[str, float]] = {}
+    for bench in report.get("benchmarks", []):
+        name = bench["name"]
+        mean = bench["stats"]["mean"]
+        ops = bench.get("extra_info", {}).get("ops")
+        rate = (ops / mean) if ops else (1.0 / mean)
+        results[name] = {
+            "rate": round(rate, 1),
+            "mean_s": round(mean, 6),
+            "rounds": bench["stats"]["rounds"],
+        }
+    return dict(sorted(results.items()))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rounds", type=int, default=None,
+                        help="measurement rounds per benchmark "
+                             "(default: the suite's own, currently 3)")
+    parser.add_argument("--full", action="store_true",
+                        help="also run the capacity tests")
+    parser.add_argument("--output", type=Path,
+                        default=REPO_ROOT / OUTPUT_NAME,
+                        help=f"result path (default: <repo>/{OUTPUT_NAME})")
+    args = parser.parse_args(argv)
+
+    selection = list(RATE_BENCHMARKS)
+    if args.full:
+        selection += FULL_BENCHMARKS
+
+    with tempfile.TemporaryDirectory() as tmp:
+        raw_path = Path(tmp) / "benchmark_raw.json"
+        status = run_benchmarks(selection, args.rounds, raw_path)
+        if not raw_path.exists():
+            print("harness: pytest produced no benchmark report",
+                  file=sys.stderr)
+            return status or 1
+        results = distill(raw_path)
+
+    args.output.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+    width = max((len(name) for name in results), default=4)
+    for name, stats in results.items():
+        print(f"  {name:<{width}}  {stats['rate']:>12,.0f} ops/s  "
+              f"(mean {stats['mean_s'] * 1e3:8.2f} ms, "
+              f"{stats['rounds']} rounds)")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,7 +10,10 @@ Subcommands:
   protocol state machines;
 - ``speclint`` — statically verify the machine specifications (per-machine
   rules plus cross-machine channel/deadlock analysis; docs/SPECCHECK.md)
-  and exit non-zero on ERROR findings.
+  and exit non-zero on ERROR findings;
+- ``perf`` — cProfile a synthetic N-call SIP+RTP workload through the full
+  vids pipeline and print the top-K cumulative hotspots
+  (docs/PERFORMANCE.md).
 """
 
 from __future__ import annotations
@@ -65,6 +68,18 @@ def build_parser() -> argparse.ArgumentParser:
     speclint.add_argument("--dot", metavar="DIR", default=None,
                           help="write per-machine Graphviz dot annotated "
                                "with the findings to DIR")
+
+    perf = sub.add_parser(
+        "perf", help="profile a synthetic workload; print the hotspots")
+    perf.add_argument("--calls", type=int, default=200,
+                      help="calls to set up and analyze (default 200)")
+    perf.add_argument("--rtp-per-call", type=int, default=50,
+                      help="RTP packets injected per call (default 50)")
+    perf.add_argument("--top", type=int, default=25,
+                      help="hotspot rows to print (default 25)")
+    perf.add_argument("--sort", choices=("cumulative", "tottime"),
+                      default="cumulative",
+                      help="pstats sort order (default cumulative)")
 
     return parser
 
@@ -228,6 +243,70 @@ def _cmd_speclint(args) -> int:
     return 1 if any(d.severity >= threshold for d in diagnostics) else 0
 
 
+def _cmd_perf(args) -> int:
+    """cProfile the packet pipeline on a synthetic SIP+RTP workload.
+
+    The workload mirrors the throughput benchmarks: each synthetic call is
+    one INVITE-with-SDP through the classifier/distributor/SIP machine,
+    followed by a burst of in-session RTP packets through the media fast
+    path — so the printed hotspots are the ones that matter for the
+    steady-state analysis rate.
+    """
+    import cProfile
+    import pstats
+
+    from .efsm import ManualClock
+    from .netsim import Datagram, Endpoint
+    from .rtp import RtpPacket
+    from .sip import SipRequest
+    from .vids import DEFAULT_CONFIG, Vids
+
+    sdp = ("v=0\r\no=- 1 1 IN IP4 10.1.0.11\r\ns=c\r\n"
+           "c=IN IP4 10.1.0.11\r\nt=0 0\r\nm=audio {port} RTP/AVP 18\r\n"
+           "a=rtpmap:18 G729/8000\r\n")
+    clock = ManualClock()
+    vids = Vids(config=DEFAULT_CONFIG, clock_now=clock.now,
+                timer_scheduler=clock.schedule)
+
+    def workload() -> None:
+        for index in range(args.calls):
+            port = 20_000 + 2 * (index % 1000)
+            invite = SipRequest("INVITE", "sip:bob@b.example.com",
+                                body=sdp.format(port=port))
+            invite.set("Via",
+                       "SIP/2.0/UDP 10.1.0.1:5060;branch=z9hG4bKp%d" % index)
+            invite.set("From", "<sip:alice@a.example.com>;tag=pf%d" % index)
+            invite.set("To", "<sip:u%d@b.example.com>" % index)
+            invite.set("Call-ID", f"perf-{index}@cli")
+            invite.set("CSeq", "1 INVITE")
+            invite.set("Contact", "<sip:alice@10.1.0.11:5060>")
+            invite.set("Content-Type", "application/sdp")
+            clock.advance(0.01)
+            vids.process(Datagram(Endpoint("10.1.0.1", 5060),
+                                  Endpoint("10.2.0.1", 5060),
+                                  invite.serialize()), clock.now())
+            for seq in range(args.rtp_per_call):
+                packet = RtpPacket(18, seq + 1, (seq + 1) * 160,
+                                   0xAA00 + index, payload=bytes(20))
+                clock.advance(0.02)
+                vids.process(Datagram(Endpoint("10.2.0.11", 30_000),
+                                      Endpoint("10.1.0.11", port),
+                                      packet.serialize()), clock.now())
+
+    profile = cProfile.Profile()
+    profile.enable()
+    workload()
+    profile.disable()
+
+    packets = args.calls * (1 + args.rtp_per_call)
+    print(f"profiled {args.calls} calls / {packets} packets "
+          f"({vids.metrics.sip_messages} SIP, {vids.metrics.rtp_packets} RTP "
+          f"analyzed, {len(vids.alerts)} alerts)\n")
+    stats = pstats.Stats(profile, stream=sys.stdout)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "scenario":
@@ -238,6 +317,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_machines(args)
     if args.command == "speclint":
         return _cmd_speclint(args)
+    if args.command == "perf":
+        return _cmd_perf(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -20,9 +20,13 @@ __all__ = ["Event", "TIMER_CHANNEL"]
 TIMER_CHANNEL = "timer"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Event:
-    """An event instance: name, argument vector x, and originating channel."""
+    """An event instance: name, argument vector x, and originating channel.
+
+    ``slots=True``: one Event is allocated per packet on the vids hot path,
+    so the per-instance ``__dict__`` is worth eliminating.
+    """
 
     name: str
     args: Mapping[str, Any] = field(default_factory=dict)

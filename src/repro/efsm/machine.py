@@ -45,6 +45,10 @@ Predicate = Callable[["TransitionContext"], bool]
 Action = Callable[["TransitionContext"], None]
 
 
+#: Sentinel distinguishing "absent" from a stored None in Variables.get.
+_MISSING = object()
+
+
 class Variables:
     """The state-variable vector ``v``: per-machine locals + shared globals.
 
@@ -52,6 +56,8 @@ class Variables:
     ``v.g_*`` (shared with co-operating machines).  Locals live in this
     object; globals live in a dict shared across all machines of one call.
     """
+
+    __slots__ = ("local", "globals")
 
     def __init__(self, declarations: Mapping[str, Any],
                  shared_globals: Optional[Dict[str, Any]] = None):
@@ -75,8 +81,9 @@ class Variables:
         return name in self.local or name in self.globals
 
     def get(self, name: str, default: Any = None) -> Any:
-        if name in self.local:
-            return self.local[name]
+        value = self.local.get(name, _MISSING)
+        if value is not _MISSING:
+            return value
         return self.globals.get(name, default)
 
     def snapshot(self) -> Dict[str, Any]:
@@ -85,7 +92,7 @@ class Variables:
         return merged
 
 
-@dataclass
+@dataclass(slots=True)
 class Output:
     """An output event spec ``c!event(x)`` attached to a transition.
 
@@ -98,12 +105,14 @@ class Output:
     args_from: Optional[Callable[["TransitionContext"], Mapping[str, Any]]] = None
 
     def build(self, ctx: "TransitionContext") -> Event:
-        args = self.args_from(ctx) if self.args_from else dict(ctx.event.args)
+        # Events are immutable, so the default forwarding case shares the
+        # triggering event's args mapping instead of copying it per output.
+        args = self.args_from(ctx) if self.args_from else ctx.event.args
         return Event(self.event_name, args, channel=self.channel,
                      time=ctx.now)
 
 
-@dataclass
+@dataclass(slots=True)
 class Transition:
     """One element of the transition relation T: <s, event, P, A, q>."""
 
@@ -118,12 +127,10 @@ class Transition:
     label: str = ""
 
     def enabled(self, ctx: "TransitionContext") -> bool:
-        if self.channel != ctx.event.channel and not (
-                self.channel is None and ctx.event.channel is None):
+        if self.channel != ctx.event.channel:
             return False
-        if self.predicate is None:
-            return True
-        return bool(self.predicate(ctx))
+        predicate = self.predicate
+        return True if predicate is None else bool(predicate(ctx))
 
     def describe(self) -> str:
         name = self.label or f"{self.source}--{self.event_name}-->{self.target}"
@@ -133,22 +140,27 @@ class Transition:
 class TransitionContext:
     """What a predicate/action can see and do while a transition fires."""
 
+    __slots__ = ("instance", "event", "v", "x", "scratch")
+
     def __init__(self, instance: "EfsmInstance", event: Event):
         self.instance = instance
         self.event = event
-
-    @property
-    def v(self) -> Variables:
-        """The state-variable vector (locals + shared globals)."""
-        return self.instance.variables
-
-    @property
-    def x(self) -> Mapping[str, Any]:
-        """The event's input vector."""
-        return self.event.args
+        #: The state-variable vector (locals + shared globals).
+        self.v: Variables = instance.variables
+        #: The event's input vector.
+        self.x: Mapping[str, Any] = event.args
+        #: Per-delivery scratch space.  All candidate predicates of one
+        #: delivery see the same context, so guards can memoize shared
+        #: sub-computations here (created lazily; dies with the delivery).
+        self.scratch: Optional[Dict[str, Any]] = None
 
     @property
     def now(self) -> float:
+        # Events are stamped with the clock when built, at the instant they
+        # are delivered — reuse that instead of another clock call.
+        time = self.event.time
+        if time is not None:
+            return time
         return self.instance.clock_now()
 
     def start_timer(self, name: str, delay: float,
@@ -166,7 +178,7 @@ class TransitionContext:
             Event(event_name, dict(args or {}), channel=channel, time=self.now))
 
 
-@dataclass
+@dataclass(slots=True)
 class FiringResult:
     """Outcome of delivering one event to a machine instance."""
 
@@ -421,25 +433,42 @@ class EfsmInstance:
         """
         ctx = TransitionContext(self, event)
         candidates = self.definition.transitions_from(self.state, event.name)
-        enabled = [t for t in candidates if t.enabled(ctx)]
-        if len(enabled) > 1:
-            raise NondeterminismError(
-                f"{self.name}: state {self.state!r} event {event.name!r} "
-                f"enables {len(enabled)} transitions")
+        transition: Optional[Transition] = None
+        channel = event.channel
+        for candidate in candidates:
+            # Inlined Transition.enabled — this probe loop runs for every
+            # candidate of every delivered event.
+            if candidate.channel != channel:
+                continue
+            predicate = candidate.predicate
+            if predicate is None or predicate(ctx):
+                if transition is None:
+                    transition = candidate
+                else:
+                    # Error path only: re-evaluate to report the exact count.
+                    enabled = [t for t in candidates if t.enabled(ctx)]
+                    raise NondeterminismError(
+                        f"{self.name}: state {self.state!r} event "
+                        f"{event.name!r} enables {len(enabled)} transitions")
 
         from_state = self.state
         outputs: List[Event] = []
-        transition: Optional[Transition] = None
-        if enabled:
-            transition = enabled[0]
+        if transition is not None:
             if transition.action is not None:
                 transition.action(ctx)
             for output in transition.outputs:
                 outputs.append(output.build(ctx))
-            outputs.extend(self.pending_outputs)
-            self.pending_outputs = []
+            if self.pending_outputs:
+                outputs.extend(self.pending_outputs)
+                self.pending_outputs = []
             self.state = transition.target
 
+        # Packet and timer events are stamped with the clock when built, at
+        # the same instant they are delivered — reuse that instead of paying
+        # another clock call per firing.
+        time = event.time
+        if time is None:
+            time = self.clock_now()
         result = FiringResult(
             machine=self.name,
             event=event,
@@ -447,7 +476,7 @@ class EfsmInstance:
             from_state=from_state,
             to_state=self.state,
             outputs=outputs,
-            time=self.clock_now(),
+            time=time,
         )
         self.history.append(result)
         return result

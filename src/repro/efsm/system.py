@@ -10,6 +10,7 @@ honouring the paper's priority rule.
 
 from __future__ import annotations
 
+import heapq
 from typing import Any, Callable, Dict, List, Optional
 
 from .channels import Channel, channel_name
@@ -23,7 +24,10 @@ __all__ = ["EfsmSystem", "ManualClock"]
 class ManualClock:
     """A trivially settable clock + scheduler for unit-testing machines.
 
-    ``advance`` moves time forward and fires due timers in order.
+    ``advance`` moves time forward and fires due timers in (time, seq)
+    order.  Timers live in a binary heap with lazy cancellation, so the
+    common no-timer-due ``advance`` is O(1) and each firing is O(log n) —
+    the benchmarks drive thousands of monitored calls through one clock.
     """
 
     def __init__(self) -> None:
@@ -37,7 +41,7 @@ class ManualClock:
     def schedule(self, delay: float, callback: Callable[[], None]):
         entry = [self.time + delay, self._seq, callback, False]
         self._seq += 1
-        self._timers.append(entry)
+        heapq.heappush(self._timers, entry)
 
         class _Handle:
             def cancel(_self) -> None:
@@ -47,13 +51,11 @@ class ManualClock:
 
     def advance(self, delta: float) -> None:
         target = self.time + delta
-        while True:
-            due = [t for t in self._timers if not t[3] and t[0] <= target]
-            if not due:
-                break
-            due.sort(key=lambda t: (t[0], t[1]))
-            fire_time, _, callback, _cancelled = due[0]
-            self._timers.remove(due[0])
+        timers = self._timers
+        while timers and timers[0][0] <= target:
+            fire_time, _, callback, cancelled = heapq.heappop(timers)
+            if cancelled:
+                continue
             self.time = fire_time
             callback()
         self.time = target
@@ -71,6 +73,9 @@ class EfsmSystem:
         self.timer_scheduler = timer_scheduler
         self.machines: Dict[str, EfsmInstance] = {}
         self.channels: Dict[str, Channel] = {}
+        #: Flat view of ``channels.values()`` kept in sync by :meth:`connect`;
+        #: lets the per-packet empty-channel check skip dict-view creation.
+        self._channel_list: List[Channel] = []
         self.globals: Dict[str, Any] = {}
         self.results: List[FiringResult] = []
         self.deviations: List[FiringResult] = []
@@ -105,7 +110,9 @@ class EfsmSystem:
             for machine in (sender, receiver):
                 if machine not in self.machines:
                     raise DefinitionError(f"unknown machine: {machine}")
-            self.channels[name] = Channel(sender, receiver)
+            channel = Channel(sender, receiver)
+            self.channels[name] = channel
+            self._channel_list.append(channel)
         return self.channels[name]
 
     # -- execution -----------------------------------------------------------
@@ -165,10 +172,19 @@ class EfsmSystem:
 
     def _drain_channels(self, accumulator: List[FiringResult]) -> None:
         """Consume queued sync events until every channel is empty."""
+        # Fast path for the steady state (nothing queued): a plain loop over
+        # the flat channel list with C-level deque truthiness, run twice per
+        # injected data packet.
+        for channel in self._channel_list:
+            if channel._queue:
+                break
+        else:
+            return
+        channels = self.channels
         progress = True
         while progress:
             progress = False
-            for channel in list(self.channels.values()):
+            for channel in list(channels.values()):
                 while channel:
                     event = channel.get()
                     assert event is not None

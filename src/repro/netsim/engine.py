@@ -9,6 +9,12 @@ testbed shares one notion of time and one deterministic ordering of events.
 Events scheduled for the same instant fire in scheduling order (a per-event
 monotonically increasing sequence number breaks ties), which makes runs fully
 reproducible for a given seed.
+
+Cancellation is lazy (entries are flagged and skipped at pop time), but the
+engine keeps an exact live-event counter so :attr:`Simulator.pending_events`
+is O(1), and it compacts the heap whenever cancelled entries outnumber live
+ones — SIP transaction timers cancel constantly, and without compaction a
+long run drags a heap full of dead entries through every push and pop.
 """
 
 from __future__ import annotations
@@ -20,12 +26,15 @@ from typing import Any, Callable, Optional
 
 __all__ = ["Simulator", "Timer", "SimulationError"]
 
+#: Queue size below which cancelled entries are never compacted away.
+_COMPACT_MIN_QUEUE = 64
+
 
 class SimulationError(Exception):
     """Raised for invalid interactions with the simulation engine."""
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class _ScheduledEvent:
     """Internal heap entry: ordered by (time, seq)."""
 
@@ -34,6 +43,7 @@ class _ScheduledEvent:
     callback: Callable[..., None] = field(compare=False)
     args: tuple = field(compare=False, default=())
     cancelled: bool = field(compare=False, default=False)
+    fired: bool = field(compare=False, default=False)
     label: str = field(compare=False, default="")
 
 
@@ -43,6 +53,8 @@ class Timer:
     Timers are how protocol state machines (SIP transaction timers, the
     vids attack-pattern timers T and T1) interact with simulated time.
     """
+
+    __slots__ = ("_sim", "_event")
 
     def __init__(self, sim: "Simulator", event: _ScheduledEvent):
         self._sim = sim
@@ -56,11 +68,44 @@ class Timer:
     @property
     def active(self) -> bool:
         """True while the timer is pending (not fired, not cancelled)."""
-        return not self._event.cancelled and self._event.time >= self._sim.now
+        return not self._event.cancelled and not self._event.fired
+
+    @property
+    def callback(self) -> Callable[..., None]:
+        """The callback this timer will invoke."""
+        return self._event.callback
 
     def cancel(self) -> None:
         """Cancel the timer; a no-op if it already fired or was cancelled."""
-        self._event.cancelled = True
+        self._sim._cancel(self._event)
+
+    def reschedule(self, delay: float) -> "Timer":
+        """Re-arm this timer ``delay`` seconds from now, reusing the handle.
+
+        The retransmission pattern (SIP timers A/E/G reset with a doubled
+        interval on every firing) would otherwise allocate a fresh heap
+        entry and a fresh :class:`Timer` per reset; an already-fired entry
+        is recycled in place and an unfired one is cancelled lazily.
+        Returns ``self`` so call sites can treat it like ``schedule``.
+        """
+        sim = self._sim
+        if delay < 0:
+            raise SimulationError(
+                f"cannot schedule into the past: delay={delay}")
+        event = self._event
+        if event.fired and not event.cancelled:
+            # The entry already left the heap: recycle it.
+            event.time = sim._now + delay
+            event.seq = sim._seq
+            sim._seq += 1
+            event.fired = False
+            heapq.heappush(sim._queue, event)
+            sim._pending += 1
+        else:
+            self.cancel()
+            self._event = sim._push(sim._now + delay, event.callback,
+                                    event.args, event.label)
+        return self
 
 
 class Simulator:
@@ -79,6 +124,10 @@ class Simulator:
         self._seq = 0
         self._running = False
         self._events_processed = 0
+        #: Exact number of queued, not-cancelled, not-fired events.
+        self._pending = 0
+        #: Cancelled entries still sitting in the heap (lazy deletion debt).
+        self._cancelled_in_queue = 0
 
     @property
     def now(self) -> float:
@@ -92,8 +141,8 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still queued (including cancelled ones)."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of live (not cancelled) events still queued.  O(1)."""
+        return self._pending
 
     def schedule(
         self,
@@ -119,12 +168,52 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time} (now={self._now})"
             )
+        return Timer(self, self._push(time, callback, args, label))
+
+    def _push(self, time: float, callback: Callable[..., None],
+              args: tuple, label: str) -> _ScheduledEvent:
         event = _ScheduledEvent(
             time=time, seq=self._seq, callback=callback, args=args, label=label
         )
         self._seq += 1
         heapq.heappush(self._queue, event)
-        return Timer(self, event)
+        self._pending += 1
+        return event
+
+    # -- cancellation ---------------------------------------------------------
+
+    def _cancel(self, event: _ScheduledEvent) -> None:
+        """Lazily cancel a queued event; compact the heap when it is mostly
+        dead weight."""
+        if event.cancelled or event.fired:
+            return
+        event.cancelled = True
+        self._pending -= 1
+        self._cancelled_in_queue += 1
+        if (len(self._queue) >= _COMPACT_MIN_QUEUE
+                and self._cancelled_in_queue * 2 > len(self._queue)):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify (O(live) amortized).
+
+        In-place (slice assignment) so the run loop's local alias of the
+        queue stays valid when a callback's cancel triggers compaction.
+        """
+        self._queue[:] = [e for e in self._queue if not e.cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled_in_queue = 0
+
+    def _pop_live(self) -> Optional[_ScheduledEvent]:
+        """Pop the next non-cancelled event, shedding dead entries."""
+        queue = self._queue
+        while queue:
+            event = heapq.heappop(queue)
+            if event.cancelled:
+                self._cancelled_in_queue -= 1
+                continue
+            return event
+        return None
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         """Run the event loop.
@@ -137,18 +226,22 @@ class Simulator:
             raise SimulationError("simulator is already running (re-entrant run)")
         self._running = True
         dispatched = 0
+        queue = self._queue
         try:
-            while self._queue:
-                event = self._queue[0]
+            while queue:
+                event = queue[0]
                 if event.cancelled:
-                    heapq.heappop(self._queue)
+                    heapq.heappop(queue)
+                    self._cancelled_in_queue -= 1
                     continue
                 if until is not None and event.time > until:
                     self._now = until
                     return
-                heapq.heappop(self._queue)
+                heapq.heappop(queue)
                 self._now = event.time
                 self._events_processed += 1
+                self._pending -= 1
+                event.fired = True
                 dispatched += 1
                 event.callback(*event.args)
                 if max_events is not None and dispatched >= max_events:
@@ -160,18 +253,20 @@ class Simulator:
 
     def step(self) -> bool:
         """Dispatch exactly one event.  Returns False if the queue is empty."""
-        while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
-        if not self._queue:
+        event = self._pop_live()
+        if event is None:
             return False
-        event = heapq.heappop(self._queue)
         self._now = event.time
         self._events_processed += 1
+        self._pending -= 1
+        event.fired = True
         event.callback(*event.args)
         return True
 
     def peek_time(self) -> Optional[float]:
         """Time of the next pending event, or None if the queue is empty."""
-        while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
-        return self._queue[0].time if self._queue else None
+        queue = self._queue
+        while queue and queue[0].cancelled:
+            heapq.heappop(queue)
+            self._cancelled_in_queue -= 1
+        return queue[0].time if queue else None

@@ -17,6 +17,7 @@ __all__ = ["RtpPacket", "RtpParseError", "RTP_VERSION", "RTP_HEADER_SIZE",
 RTP_VERSION = 2
 RTP_HEADER_SIZE = 12
 _HEADER_FORMAT = "!BBHII"
+_HEADER_STRUCT = struct.Struct(_HEADER_FORMAT)
 
 _SEQ_MOD = 1 << 16
 _TS_MOD = 1 << 32
@@ -26,7 +27,7 @@ class RtpParseError(ValueError):
     """Raised when bytes do not form a valid RTP packet."""
 
 
-@dataclass
+@dataclass(slots=True)
 class RtpPacket:
     """A parsed (or to-be-sent) RTP packet."""
 
@@ -59,8 +60,9 @@ class RtpPacket:
             byte0 |= 0x10
         byte0 |= len(self.csrc_list) & 0x0F
         byte1 = (0x80 if self.marker else 0) | (self.payload_type & 0x7F)
-        header = struct.pack(_HEADER_FORMAT, byte0, byte1,
-                             self.sequence_number, self.timestamp, self.ssrc)
+        header = _HEADER_STRUCT.pack(byte0, byte1,
+                                     self.sequence_number, self.timestamp,
+                                     self.ssrc)
         csrc = b"".join(struct.pack("!I", csrc) for csrc in self.csrc_list)
         return header + csrc + self.payload
 
@@ -68,20 +70,19 @@ class RtpPacket:
     def parse(cls, data: bytes) -> "RtpPacket":
         if len(data) < RTP_HEADER_SIZE:
             raise RtpParseError(f"packet too short: {len(data)} bytes")
-        byte0, byte1, seq, timestamp, ssrc = struct.unpack(
-            _HEADER_FORMAT, data[:RTP_HEADER_SIZE])
+        byte0, byte1, seq, timestamp, ssrc = _HEADER_STRUCT.unpack_from(data)
         version = byte0 >> 6
         if version != RTP_VERSION:
             raise RtpParseError(f"bad RTP version: {version}")
         csrc_count = byte0 & 0x0F
         offset = RTP_HEADER_SIZE + 4 * csrc_count
-        if len(data) < offset:
-            raise RtpParseError("truncated CSRC list")
-        csrc_list = tuple(
-            struct.unpack("!I", data[RTP_HEADER_SIZE + 4 * i:
-                                     RTP_HEADER_SIZE + 4 * (i + 1)])[0]
-            for i in range(csrc_count)
-        )
+        if csrc_count:
+            if len(data) < offset:
+                raise RtpParseError("truncated CSRC list")
+            csrc_list = struct.unpack(
+                f"!{csrc_count}I", data[RTP_HEADER_SIZE:offset])
+        else:
+            csrc_list = ()
         return cls(
             payload_type=byte1 & 0x7F,
             sequence_number=seq,

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, Optional
 
 from .constants import BRANCH_MAGIC_COOKIE, SIP_VERSION
@@ -61,8 +62,13 @@ _CANONICAL = {
 }
 
 
+@lru_cache(maxsize=512)
 def canonical_header_name(name: str) -> str:
-    """Normalize a header name: expand compact forms, fix case."""
+    """Normalize a header name: expand compact forms, fix case.
+
+    Cached: the hot packet path canonicalizes the same handful of names
+    (Via, From, To, Call-ID, CSeq, ...) for every message on the wire.
+    """
     name = name.strip()
     lowered = name.lower()
     if lowered in _COMPACT_FORMS:
@@ -108,31 +114,10 @@ class Via:
 
     @classmethod
     def parse(cls, text: str) -> "Via":
-        text = text.strip()
-        try:
-            proto, sent_by = text.split(None, 1)
-        except ValueError as exc:
-            raise SipParseError(f"bad Via: {text!r}") from exc
-        parts = proto.split("/")
-        if len(parts) != 3 or f"{parts[0]}/{parts[1]}" != SIP_VERSION:
-            raise SipParseError(f"bad Via protocol: {text!r}")
-        transport = parts[2]
-        params: Dict[str, Optional[str]] = {}
-        if ";" in sent_by:
-            sent_by, _, param_text = sent_by.partition(";")
-            params = _parse_params(param_text)
-        sent_by = sent_by.strip()
-        if ":" in sent_by:
-            host, _, port_text = sent_by.partition(":")
-            try:
-                port = int(port_text)
-            except ValueError as exc:
-                raise SipParseError(f"bad Via port: {text!r}") from exc
-        else:
-            host, port = sent_by, 5060
-        if not host:
-            raise SipParseError(f"empty Via host: {text!r}")
-        return cls(host, port, transport, params)
+        host, port, transport, params = _via_fields(text)
+        # Fresh instance and params dict per call: Via is mutable, only the
+        # string-splitting work is shared through the cache.
+        return cls(host, port, transport, dict(params))
 
     def __str__(self) -> str:
         return (
@@ -160,24 +145,10 @@ class NameAddr:
 
     @classmethod
     def parse(cls, text: str) -> "NameAddr":
-        text = text.strip()
-        display: Optional[str] = None
-        params: Dict[str, Optional[str]] = {}
-        if "<" in text:
-            before, _, rest = text.partition("<")
-            uri_text, _, after = rest.partition(">")
-            display = before.strip().strip('"') or None
-            params = _parse_params(after)
-            uri = SipUri.parse(uri_text)
-        else:
-            # addr-spec form: params after ; belong to the header.
-            if ";" in text:
-                uri_text, _, param_text = text.partition(";")
-                params = _parse_params(param_text)
-            else:
-                uri_text = text
-            uri = SipUri.parse(uri_text)
-        return cls(uri, display, params)
+        uri, display, params = _name_addr_fields(text)
+        # The SipUri is immutable and safely shared; the instance and its
+        # params dict are rebuilt per call because NameAddr is mutable.
+        return cls(uri, display, dict(params))
 
     def __str__(self) -> str:
         if self.display_name:
@@ -185,6 +156,59 @@ class NameAddr:
         else:
             out = f"<{self.uri}>"
         return out + _format_params(self.params)
+
+
+@lru_cache(maxsize=2048)
+def _via_fields(text: str):
+    """Parse a Via value into hashable fields (cached by header text)."""
+    text = text.strip()
+    try:
+        proto, sent_by = text.split(None, 1)
+    except ValueError as exc:
+        raise SipParseError(f"bad Via: {text!r}") from exc
+    parts = proto.split("/")
+    if len(parts) != 3 or f"{parts[0]}/{parts[1]}" != SIP_VERSION:
+        raise SipParseError(f"bad Via protocol: {text!r}")
+    transport = parts[2]
+    params: Dict[str, Optional[str]] = {}
+    if ";" in sent_by:
+        sent_by, _, param_text = sent_by.partition(";")
+        params = _parse_params(param_text)
+    sent_by = sent_by.strip()
+    if ":" in sent_by:
+        host, _, port_text = sent_by.partition(":")
+        try:
+            port = int(port_text)
+        except ValueError as exc:
+            raise SipParseError(f"bad Via port: {text!r}") from exc
+    else:
+        host, port = sent_by, 5060
+    if not host:
+        raise SipParseError(f"empty Via host: {text!r}")
+    return host, port, transport, tuple(params.items())
+
+
+@lru_cache(maxsize=2048)
+def _name_addr_fields(text: str):
+    """Parse a name-addr value into hashable fields (cached by text)."""
+    text = text.strip()
+    display: Optional[str] = None
+    params: Dict[str, Optional[str]] = {}
+    if "<" in text:
+        before, _, rest = text.partition("<")
+        uri_text, _, after = rest.partition(">")
+        display = before.strip().strip('"') or None
+        params = _parse_params(after)
+        uri = SipUri.parse(uri_text)
+    else:
+        # addr-spec form: params after ; belong to the header.
+        if ";" in text:
+            uri_text, _, param_text = text.partition(";")
+            params = _parse_params(param_text)
+        else:
+            uri_text = text
+        uri = SipUri.parse(uri_text)
+    return uri, display, tuple(params.items())
 
 
 @dataclass(frozen=True)

@@ -6,7 +6,8 @@ vids classifier sees the same byte stream a network sniffer would.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple, Union
+import re
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from .constants import METHODS, SIP_VERSION, reason_phrase
 from .errors import SipParseError
@@ -18,57 +19,159 @@ __all__ = ["SipMessage", "SipRequest", "SipResponse", "parse_message", "is_sip_p
 CRLF = "\r\n"
 
 
+#: Sentinel distinguishing "never computed" from a computed ``None``.
+_UNSET = object()
+
+
 class SipMessage:
     """Common behaviour of requests and responses.
 
     Headers are stored as an ordered list of (canonical-name, value-text)
     pairs; repeated headers (e.g. Via) keep their order, which matters for
     response routing.
+
+    Header access is O(1) amortized: a name -> positions index is built
+    lazily and the typed accessors (``from_``, ``cseq``, ``vias``, ...)
+    memoize their parse.  Both caches are invalidated by every mutator
+    (``set``/``add``/``prepend``/``remove_first`` and assignment to
+    ``headers``), so reads always observe the latest mutation.
     """
 
     def __init__(self, headers: Optional[List[Tuple[str, str]]] = None,
                  body: str = ""):
-        self.headers: List[Tuple[str, str]] = list(headers or [])
+        self._headers: List[Tuple[str, str]] = list(headers or [])
         self.body = body
+        self._positions: Optional[Dict[str, List[int]]] = None
+        self._typed: Dict[str, Any] = {}
+
+    @property
+    def headers(self) -> List[Tuple[str, str]]:
+        """The ordered (canonical-name, value) list.
+
+        Reassigning the attribute invalidates the header caches; mutate
+        through ``set``/``add``/``prepend``/``remove_first`` otherwise.
+        """
+        return self._headers
+
+    @headers.setter
+    def headers(self, value: List[Tuple[str, str]]) -> None:
+        self._headers = list(value)
+        self._invalidate()
+
+    #: Which typed-accessor memo keys a mutation of each header invalidates.
+    _TYPED_KEYS = {
+        "From": ("from",),
+        "To": ("to",),
+        "CSeq": ("cseq",),
+        "Contact": ("contact",),
+        "Via": ("vias", "top_via"),
+    }
+
+    def _invalidate(self) -> None:
+        self._positions = None
+        if self._typed:
+            self._typed.clear()
+
+    def _invalidate_typed(self, name: str) -> None:
+        """Drop only the memoized values derived from header ``name``."""
+        typed = self._typed
+        if typed:
+            for key in self._TYPED_KEYS.get(name, ()):
+                typed.pop(key, None)
+
+    def _position_index(self) -> Dict[str, List[int]]:
+        """name -> list of indices into ``self._headers`` (lazily built)."""
+        index = self._positions
+        if index is None:
+            index = {}
+            for position, (key, _) in enumerate(self._headers):
+                index.setdefault(key, []).append(position)
+            self._positions = index
+        return index
 
     # -- generic header access ---------------------------------------------
 
     def get(self, name: str) -> Optional[str]:
         """First value of header ``name`` (canonicalized), or None."""
-        name = canonical_header_name(name)
-        for key, value in self.headers:
-            if key == name:
-                return value
-        return None
+        index = self._positions
+        if index is None:
+            index = self._position_index()
+        positions = index.get(canonical_header_name(name))
+        return self._headers[positions[0]][1] if positions else None
 
     def get_all(self, name: str) -> List[str]:
-        name = canonical_header_name(name)
-        return [value for key, value in self.headers if key == name]
+        index = self._positions
+        if index is None:
+            index = self._position_index()
+        positions = index.get(canonical_header_name(name))
+        if not positions:
+            return []
+        headers = self._headers
+        return [headers[i][1] for i in positions]
 
     def set(self, name: str, value: object) -> None:
-        """Replace all values of ``name`` with a single ``value``."""
+        """Replace all values of ``name`` with a single ``value``.
+
+        A single existing occurrence is replaced in place (header position
+        preserved) and the position index stays valid; only the memoized
+        typed value of this header is dropped.
+        """
         name = canonical_header_name(name)
-        self.headers = [(k, v) for k, v in self.headers if k != name]
-        self.headers.append((name, str(value)))
+        value = str(value)
+        headers = self._headers
+        positions = self._positions
+        if positions is not None:
+            existing = positions.get(name)
+            if existing is None:
+                headers.append((name, value))
+                positions[name] = [len(headers) - 1]
+            elif len(existing) == 1:
+                headers[existing[0]] = (name, value)
+            else:
+                self._headers = [(k, v) for k, v in headers if k != name]
+                self._headers.append((name, value))
+                self._positions = None
+        else:
+            self._headers = [(k, v) for k, v in headers if k != name]
+            self._headers.append((name, value))
+        self._invalidate_typed(name)
 
     def add(self, name: str, value: object) -> None:
         """Append a value for ``name`` (after existing ones)."""
-        self.headers.append((canonical_header_name(name), str(value)))
+        name = canonical_header_name(name)
+        self._headers.append((name, str(value)))
+        positions = self._positions
+        if positions is not None:
+            positions.setdefault(name, []).append(len(self._headers) - 1)
+        self._invalidate_typed(name)
 
     def prepend(self, name: str, value: object) -> None:
         """Insert a value for ``name`` before existing ones (Via stacking)."""
-        self.headers.insert(0, (canonical_header_name(name), str(value)))
+        self._headers.insert(0, (canonical_header_name(name), str(value)))
+        self._invalidate()
 
     def remove_first(self, name: str) -> Optional[str]:
         """Remove and return the first value of ``name``."""
         name = canonical_header_name(name)
-        for index, (key, value) in enumerate(self.headers):
+        for index, (key, value) in enumerate(self._headers):
             if key == name:
-                del self.headers[index]
+                del self._headers[index]
+                self._invalidate()
                 return value
         return None
 
     # -- typed accessors -----------------------------------------------------
+    #
+    # Each memoizes its parsed value in ``self._typed`` until the next
+    # mutation; ``sip_event_from_message`` and the transaction layer hit
+    # the same accessors repeatedly for every packet on the wire.
+
+    def _cached(self, key: str, compute) -> Any:
+        value = self._typed.get(key, _UNSET)
+        if value is _UNSET:
+            value = compute()
+            self._typed[key] = value
+        return value
 
     @property
     def call_id(self) -> Optional[str]:
@@ -76,30 +179,50 @@ class SipMessage:
 
     @property
     def cseq(self) -> Optional[CSeq]:
+        return self._cached("cseq", self._parse_cseq)
+
+    def _parse_cseq(self) -> Optional[CSeq]:
         value = self.get("CSeq")
         return CSeq.parse(value) if value else None
 
     @property
     def from_(self) -> Optional[NameAddr]:
+        return self._cached("from", self._parse_from)
+
+    def _parse_from(self) -> Optional[NameAddr]:
         value = self.get("From")
         return NameAddr.parse(value) if value else None
 
     @property
     def to(self) -> Optional[NameAddr]:
+        return self._cached("to", self._parse_to)
+
+    def _parse_to(self) -> Optional[NameAddr]:
         value = self.get("To")
         return NameAddr.parse(value) if value else None
 
     @property
     def contact(self) -> Optional[NameAddr]:
+        return self._cached("contact", self._parse_contact)
+
+    def _parse_contact(self) -> Optional[NameAddr]:
         value = self.get("Contact")
         return NameAddr.parse(value) if value else None
 
     @property
     def vias(self) -> List[Via]:
-        return [Via.parse(value) for value in self.get_all("Via")]
+        # The tuple is cached; a fresh list protects the cache from callers
+        # that mutate the returned sequence.
+        return list(self._cached("vias", self._parse_vias))
+
+    def _parse_vias(self) -> Tuple[Via, ...]:
+        return tuple(Via.parse(value) for value in self.get_all("Via"))
 
     @property
     def top_via(self) -> Optional[Via]:
+        return self._cached("top_via", self._parse_top_via)
+
+    def _parse_top_via(self) -> Optional[Via]:
         value = self.get("Via")
         return Via.parse(value) if value else None
 
@@ -116,9 +239,11 @@ class SipMessage:
     def serialize(self) -> bytes:
         """Render the full message to wire bytes, fixing Content-Length."""
         body_bytes = self.body.encode("utf-8")
-        self.set("Content-Length", len(body_bytes))
+        length = str(len(body_bytes))
+        if self.get("Content-Length") != length:
+            self.set("Content-Length", length)
         lines = [self.start_line()]
-        lines.extend(f"{name}: {value}" for name, value in self.headers)
+        lines.extend(f"{name}: {value}" for name, value in self._headers)
         text = CRLF.join(lines) + CRLF + CRLF
         return text.encode("utf-8") + body_bytes
 
@@ -207,6 +332,10 @@ def is_sip_payload(payload: bytes) -> bool:
 
     Used by the vids packet classifier before committing to a full parse.
     """
+    if not payload or payload[0] >= 0x80:
+        # SIP starts with an ASCII method or version token; RTP/RTCP start
+        # with 0x80/0x81 — reject without paying for a UnicodeDecodeError.
+        return False
     try:
         head = payload[:64].decode("utf-8", errors="strict")
     except UnicodeDecodeError:
@@ -217,11 +346,18 @@ def is_sip_payload(payload: bytes) -> bool:
     return first_word in METHODS
 
 
+#: Head/body separator: a blank line in CRLF, bare-LF, or mixed endings.
+_BLANK_LINE = re.compile(r"\r?\n\r?\n")
+
+
 def parse_message(data: Union[bytes, str]) -> Union[SipRequest, SipResponse]:
     """Parse wire bytes/text into a :class:`SipRequest` or :class:`SipResponse`.
 
     Raises :class:`SipParseError` on malformed input.  Header line folding
-    (continuation lines starting with whitespace) is supported.
+    (continuation lines starting with whitespace) is supported.  Single-pass:
+    line endings are handled per line (CRLF or bare LF accepted) without
+    first copying the whole text through ``replace``, and the body is kept
+    byte-for-byte as it appeared on the wire.
     """
     if isinstance(data, bytes):
         try:
@@ -230,12 +366,15 @@ def parse_message(data: Union[bytes, str]) -> Union[SipRequest, SipResponse]:
             raise SipParseError("message is not valid UTF-8") from exc
     else:
         text = data
-    # Accept bare-LF input for robustness, but standard messages use CRLF.
-    normalized = text.replace("\r\n", "\n")
-    if "\n\n" in normalized:
-        head, _, body = normalized.partition("\n\n")
+    separator = _BLANK_LINE.search(text)
+    if separator is not None:
+        head, body = text[:separator.start()], text[separator.end():]
     else:
-        head, body = normalized.rstrip("\n"), ""
+        head, body = text.rstrip("\r\n"), ""
+    # One C-level pass strips the CRs from the head (the body is left
+    # untouched) instead of an endswith check per header line.
+    if "\r" in head:
+        head = head.replace("\r\n", "\n")
     lines = head.split("\n")
     if not lines or not lines[0].strip():
         raise SipParseError("empty message")
@@ -243,6 +382,8 @@ def parse_message(data: Union[bytes, str]) -> Union[SipRequest, SipResponse]:
     start = lines[0].rstrip()
     header_lines: List[str] = []
     for line in lines[1:]:
+        if line.endswith("\r"):
+            line = line[:-1]
         if not line:
             continue
         if line[0] in " \t" and header_lines:

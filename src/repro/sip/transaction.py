@@ -76,6 +76,12 @@ class _TransactionBase:
 
     def _start_timer(self, name: str, delay: float,
                      callback: Callable[[], None]) -> None:
+        handle = self._timer_handles.get(name)
+        if handle is not None and handle.callback == callback:
+            # Retransmission reset (timers A/E/G/G2xx): re-arm the existing
+            # handle instead of allocating a fresh Timer per backoff step.
+            handle.reschedule(delay)
+            return
         self._cancel_timer(name)
         self._timer_handles[name] = self.sim.schedule(delay, callback,
                                                       label=f"sip-{name}")

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, Optional
 
 from .constants import DEFAULT_SIP_PORT
@@ -43,39 +44,9 @@ class SipUri:
 
     @classmethod
     def parse(cls, text: str) -> "SipUri":
-        text = text.strip()
-        if text.startswith("<") and text.endswith(">"):
-            text = text[1:-1]
-        if not text.lower().startswith("sip:"):
-            raise SipParseError(f"not a sip: URI: {text!r}")
-        rest = text[4:]
-        params: Dict[str, Optional[str]] = {}
-        if ";" in rest:
-            rest, _, param_text = rest.partition(";")
-            for chunk in param_text.split(";"):
-                if not chunk:
-                    continue
-                if "=" in chunk:
-                    key, _, value = chunk.partition("=")
-                    params[key] = value
-                else:
-                    params[chunk] = None
-        user: Optional[str] = None
-        if "@" in rest:
-            user, _, rest = rest.rpartition("@")
-            if not user:
-                raise SipParseError(f"empty user part in URI: {text!r}")
-        port: Optional[int] = None
-        host = rest
-        if ":" in rest:
-            host, _, port_text = rest.partition(":")
-            try:
-                port = int(port_text)
-            except ValueError as exc:
-                raise SipParseError(f"bad port in URI: {text!r}") from exc
-        if not host:
-            raise SipParseError(f"empty host in URI: {text!r}")
-        return cls(user, host, port, tuple(params.items()))
+        """Parse a ``sip:`` URI.  Cached: instances are immutable and the
+        same From/To/Contact URIs recur on every message of a dialog."""
+        return _parse_uri(text)
 
     def __str__(self) -> str:
         out = "sip:"
@@ -87,3 +58,40 @@ class SipUri:
         for key, value in self.params:
             out += f";{key}" if value is None else f";{key}={value}"
         return out
+
+
+@lru_cache(maxsize=2048)
+def _parse_uri(text: str) -> SipUri:
+    text = text.strip()
+    if text.startswith("<") and text.endswith(">"):
+        text = text[1:-1]
+    if not text.lower().startswith("sip:"):
+        raise SipParseError(f"not a sip: URI: {text!r}")
+    rest = text[4:]
+    params: Dict[str, Optional[str]] = {}
+    if ";" in rest:
+        rest, _, param_text = rest.partition(";")
+        for chunk in param_text.split(";"):
+            if not chunk:
+                continue
+            if "=" in chunk:
+                key, _, value = chunk.partition("=")
+                params[key] = value
+            else:
+                params[chunk] = None
+    user: Optional[str] = None
+    if "@" in rest:
+        user, _, rest = rest.rpartition("@")
+        if not user:
+            raise SipParseError(f"empty user part in URI: {text!r}")
+    port: Optional[int] = None
+    host = rest
+    if ":" in rest:
+        host, _, port_text = rest.partition(":")
+        try:
+            port = int(port_text)
+        except ValueError as exc:
+            raise SipParseError(f"bad port in URI: {text!r}") from exc
+    if not host:
+        raise SipParseError(f"empty host in URI: {text!r}")
+    return SipUri(user, host, port, tuple(params.items()))

@@ -142,18 +142,26 @@ class EventDistributor:
         self.orphan_tracker = orphan_tracker
         self.clock_now = clock_now
 
-    def distribute(self, classified: ClassifiedPacket):
-        """Route one packet; returns the touched CallRecord, if any."""
+    def distribute(self, classified: ClassifiedPacket,
+                   now: Optional[float] = None):
+        """Route one packet; returns the touched CallRecord, if any.
+
+        ``now`` lets the facade pass the clock reading it already took for
+        this packet instead of paying another clock call per packet.
+        """
+        if now is None:
+            now = self.clock_now()
         if classified.kind is PacketKind.SIP:
-            return self._distribute_sip(classified)
+            return self._distribute_sip(classified, now)
         if classified.kind is PacketKind.RTP:
-            return self._distribute_rtp(classified)
+            return self._distribute_rtp(classified, now)
         # RTCP / OTHER / MALFORMED_SIP are counted by the facade.
         return None
 
     # -- SIP ----------------------------------------------------------------
 
-    def _distribute_sip(self, classified: ClassifiedPacket) -> None:
+    def _distribute_sip(self, classified: ClassifiedPacket,
+                        now: float) -> None:
         message = classified.sip
         assert message is not None
         datagram = classified.datagram
@@ -161,7 +169,6 @@ class EventDistributor:
         if call_id and self.factbase.is_quarantined(call_id):
             self.factbase.metrics.quarantined_drops += 1
             return None
-        now = self.clock_now()
         event = sip_event_from_message(
             message, (datagram.src.ip, datagram.src.port),
             (datagram.dst.ip, datagram.dst.port), now,
@@ -207,7 +214,7 @@ class EventDistributor:
                 return None  # stray response: nothing to correlate
         record.system.inject(SIP_MACHINE, event)
         self.factbase.refresh_media_index(record)
-        self.factbase.touch(record)
+        self.factbase.touch(record, now)
         return record
 
     def _flood_target(self, event: Event) -> str:
@@ -223,7 +230,8 @@ class EventDistributor:
 
     # -- RTP ----------------------------------------------------------------
 
-    def _distribute_rtp(self, classified: ClassifiedPacket) -> None:
+    def _distribute_rtp(self, classified: ClassifiedPacket,
+                        now: float) -> None:
         datagram = classified.datagram
         destination = (datagram.dst.ip, datagram.dst.port)
         if destination in self.factbase.quarantined_media:
@@ -232,7 +240,6 @@ class EventDistributor:
             # tracker with a stream we know the history of.
             self.factbase.metrics.quarantined_drops += 1
             return None
-        now = self.clock_now()
         match = self.factbase.lookup_media(destination)
         if match is None:
             event = rtp_event_from_packet(classified, "orphan", now)
@@ -241,5 +248,5 @@ class EventDistributor:
         record, direction = match
         event = rtp_event_from_packet(classified, direction, now)
         record.system.inject(RTP_MACHINE, event)
-        self.factbase.touch(record)
+        self.factbase.touch(record, now)
         return record

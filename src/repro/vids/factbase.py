@@ -40,7 +40,13 @@ class CallRecord:
         self.created_at = created_at
         self.last_activity = created_at
         self.media_keys: set = set()
+        #: Negotiated media map as of the last index refresh (key -> dir).
+        self.media_map: Dict[MediaKey, str] = {}
         self.deletion_scheduled = False
+        #: (firing-count, sip_bytes, rtp_bytes) memo for state accounting.
+        self._size_cache: Optional[Tuple[int, int, int]] = None
+        #: Bytes this record last contributed to the fact-base running total.
+        self._contribution = 0
 
     @property
     def sip(self):
@@ -68,17 +74,38 @@ class CallRecord:
             endpoints[(str(answer_addr), int(answer_port))] = "to_callee"
         return endpoints
 
+    def _sizes(self) -> Tuple[int, int, int]:
+        """Memoized (version, sip_bytes, rtp_bytes).
+
+        The state-variable vectors only change when a transition fires, and
+        every firing appends to ``system.results`` — so the results length
+        is an exact version counter.  Without the memo the periodic
+        ``total_state_bytes`` walk re-measures every *idle* call too, which
+        made fact-base sampling quadratic in concurrent calls.
+        """
+        version = len(self.system.results)
+        cache = self._size_cache
+        if cache is None or cache[0] != version:
+            cache = (
+                version,
+                (estimate_state_bytes(self.sip.variables.local)
+                 + estimate_state_bytes(self.system.globals)),
+                estimate_state_bytes(self.rtp.variables.local),
+            )
+            self._size_cache = cache
+        return cache
+
     def sip_state_bytes(self) -> int:
         """Section 7.3 accounting: SIP control state incl. media info."""
-        return (estimate_state_bytes(self.sip.variables.local)
-                + estimate_state_bytes(self.system.globals))
+        return self._sizes()[1]
 
     def rtp_state_bytes(self) -> int:
         """Section 7.3 accounting: RTP tracking state."""
-        return estimate_state_bytes(self.rtp.variables.local)
+        return self._sizes()[2]
 
     def state_bytes(self) -> int:
-        return self.sip_state_bytes() + self.rtp_state_bytes()
+        sizes = self._sizes()
+        return sizes[1] + sizes[2]
 
 
 class CallStateFactBase:
@@ -105,8 +132,18 @@ class CallStateFactBase:
             # the definitions every call record will instantiate.
             verify_call_system((self._sip_definition, self._rtp_definition))
         self._touches = 0
+        #: Incremental state-byte accounting: running total plus the set of
+        #: records whose contribution is stale (they fired since the last
+        #: total).  Keeps :meth:`total_state_bytes` O(recently-active calls)
+        #: instead of O(all calls) per sample.
+        self._total_bytes = 0
+        self._dirty: set = set()
         self.records: Dict[str, CallRecord] = {}
         self.media_index: Dict[MediaKey, str] = {}
+        #: Hot-path cache resolving a media key straight to its
+        #: (record, direction) pair; invalidated whenever the media index
+        #: for that record actually changes, and on record deletion.
+        self._media_match: Dict[MediaKey, Tuple[CallRecord, str]] = {}
         #: Calls torn down after an internal error: call-id -> quarantine
         #: time.  Their traffic is dropped from inspection (not from the
         #: wire) until the entry expires.
@@ -125,7 +162,22 @@ class CallStateFactBase:
         return len(self.records)
 
     def total_state_bytes(self) -> int:
-        return sum(record.state_bytes() for record in self.records.values())
+        """Exact total monitoring-state bytes across all live records.
+
+        Maintained incrementally: only records that fired since the last
+        call (the dirty set) are re-measured, and their per-record memo
+        (:meth:`CallRecord._sizes`) short-circuits unchanged ones.
+        """
+        dirty = self._dirty
+        if dirty:
+            total = self._total_bytes
+            for record in dirty:
+                size = record.state_bytes()
+                total += size - record._contribution
+                record._contribution = size
+            dirty.clear()
+            self._total_bytes = total
+        return self._total_bytes
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -145,9 +197,17 @@ class CallStateFactBase:
         system.add_machine(self._rtp_definition)
         system.connect(SIP_MACHINE, RTP_MACHINE)
         record = CallRecord(call_id, system, self.clock_now())
-        if self.on_result is not None:
+
+        def dispatch(result, _record=record, _dirty=self._dirty):
+            # Every variable mutation happens inside a firing, so marking
+            # the record dirty here keeps the incremental byte total exact.
+            _dirty.add(_record)
             hook = self.on_result
-            system.on_result = lambda result: hook(record, result)
+            if hook is not None:
+                hook(_record, result)
+
+        system.on_result = dispatch
+        self._dirty.add(record)
         self.records[call_id] = record
         self.metrics.calls_created += 1
         self.metrics.peak_concurrent_calls = max(
@@ -155,17 +215,32 @@ class CallStateFactBase:
         return record
 
     def refresh_media_index(self, record: CallRecord) -> None:
-        """Re-sync the (ip, port) -> call-id index from the media globals."""
+        """Re-sync the (ip, port) -> call-id index from the media globals.
+
+        No-op when the negotiated media map is unchanged (the common case:
+        every SIP message of an established call triggers a refresh, but
+        the endpoints only move on offer/answer/re-INVITE).
+        """
         endpoints = record.media_endpoints()
+        if endpoints == record.media_map:
+            return
         for key in record.media_keys - set(endpoints):
             if self.media_index.get(key) == record.call_id:
                 del self.media_index[key]
-        for key in endpoints:
+            self._media_match.pop(key, None)
+        for key, direction in endpoints.items():
             self.media_index[key] = record.call_id
+            self._media_match[key] = (record, direction)
         record.media_keys = set(endpoints)
+        record.media_map = endpoints
 
     def lookup_media(self, dst: MediaKey) -> Optional[Tuple[CallRecord, str]]:
         """Resolve an RTP packet's destination to (record, direction)."""
+        match = self._media_match.get(dst)
+        if match is not None:
+            return match
+        # Slow path: the index was touched outside refresh_media_index
+        # (tests, manual surgery) — fall back to the authoritative walk.
         call_id = self.media_index.get(dst)
         if call_id is None:
             return None
@@ -174,6 +249,7 @@ class CallStateFactBase:
             del self.media_index[dst]
             return None
         direction = record.media_endpoints().get(dst, "unknown")
+        self._media_match[dst] = (record, direction)
         return record, direction
 
     def delete(self, call_id: str) -> Optional[CallRecord]:
@@ -186,6 +262,8 @@ class CallStateFactBase:
         record = self.records.pop(call_id, None)
         if record is None:
             return None
+        self._total_bytes -= record._contribution
+        self._dirty.discard(record)
         self.metrics.call_memory_samples.append(
             (record.sip_state_bytes(), record.rtp_state_bytes()))
         self.metrics.calls_deleted += 1
@@ -193,6 +271,9 @@ class CallStateFactBase:
         for key in record.media_keys:
             if self.media_index.get(key) == call_id:
                 del self.media_index[key]
+            match = self._media_match.get(key)
+            if match is not None and match[0] is record:
+                del self._media_match[key]
         return record
 
     def is_quarantined(self, call_id: str) -> bool:
@@ -215,12 +296,13 @@ class CallStateFactBase:
         self.metrics.calls_quarantined += 1
         return self.delete(call_id)
 
-    def touch(self, record: CallRecord) -> None:
-        record.last_activity = self.clock_now()
-        # Peak concurrency is exact; the total-state-bytes walk is O(active
-        # calls), so it is sampled periodically rather than on every packet.
-        self.metrics.peak_concurrent_calls = max(
-            self.metrics.peak_concurrent_calls, len(self.records))
+    def touch(self, record: CallRecord,
+              now: Optional[float] = None) -> None:
+        record.last_activity = self.clock_now() if now is None else now
+        # Peak concurrency is maintained in _create (the only place the
+        # record count grows); the state-bytes total is cheap to sample now
+        # that it is incremental, but stays periodic to keep the per-packet
+        # cost at a couple of attribute updates.
         self._touches += 1
         if self._touches % _STATE_SAMPLE_EVERY == 0:
             self.metrics.note_concurrency(len(self.records),

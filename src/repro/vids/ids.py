@@ -146,7 +146,7 @@ class Vids:
             cost = self.config.shed_processing_cost
         else:
             try:
-                self.distributor.distribute(classified)
+                self.distributor.distribute(classified, now)
             except (SipError, RtpParseError, RtcpParseError):
                 # Wire-parseable but semantically corrupted (e.g. a mangled
                 # URI or Via discovered during event extraction): malformed
@@ -247,7 +247,12 @@ class Vids:
         timer T fires, which may happen long after the last packet.
         """
         self.engine.handle_result(record, result)
-        self._maybe_reap(record)
+        # all_final can only flip when a machine *changes* state (deviations
+        # and self-loops leave every state where it was), so the O(machines)
+        # finality walk is skipped for the steady-state media stream.
+        transition = result.transition
+        if transition is not None and result.to_state != result.from_state:
+            self._maybe_reap(record)
 
     def _maybe_reap(self, record) -> None:
         """Schedule deletion once a call's machines all reach final states."""

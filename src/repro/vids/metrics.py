@@ -21,8 +21,24 @@ __all__ = ["estimate_value_bytes", "estimate_state_bytes", "VidsMetrics"]
 
 def estimate_value_bytes(value: Any) -> int:
     """Wire-width of one state-variable value."""
-    if value is None:
+    # Exact-type fast path first: state vectors are overwhelmingly made of
+    # plain str/int/float values, and the generic isinstance chain (the
+    # ``Mapping`` ABC check in particular) is an order of magnitude slower.
+    kind = type(value)
+    if kind is str:
+        return len(value.encode("utf-8"))
+    if kind is int:
+        return 4 if -(2 ** 31) <= value < 2 ** 31 else 8
+    if kind is float:
+        return 8
+    if kind is bool or value is None:
         return 1
+    if kind is dict:
+        return sum(estimate_value_bytes(k) + estimate_value_bytes(v)
+                   for k, v in value.items())
+    if kind in (list, tuple, set, frozenset):
+        return sum(estimate_value_bytes(item) for item in value)
+    # Subclasses and exotic containers take the original general path.
     if isinstance(value, bool):
         return 1
     if isinstance(value, int):

@@ -62,22 +62,37 @@ _SEQ_MOD = 1 << 16
 _TS_MOD = 1 << 32
 
 
+def _memo(ctx: TransitionContext) -> Dict[str, Any]:
+    """Per-delivery memo shared by all candidate guards of one event.
+
+    ``deliver`` evaluates every candidate predicate (and ``is_clean``
+    re-evaluates the attack predicates) against the same context before a
+    single action runs, so read-only sub-computations can be shared safely.
+    """
+    cache = ctx.scratch
+    if cache is None:
+        cache = ctx.scratch = {}
+    return cache
+
+
 def _allowed_pts(ctx: TransitionContext) -> tuple:
-    return tuple(ctx.v.get("g_offer_pts", ())) + tuple(
-        ctx.v.get("g_answer_pts", ()))
+    memo = _memo(ctx)
+    allowed = memo.get("allowed_pts")
+    if allowed is None:
+        allowed = memo["allowed_pts"] = tuple(
+            ctx.v.get("g_offer_pts", ())) + tuple(ctx.v.get("g_answer_pts", ()))
+    return allowed
 
 
 def _dir_state(ctx: TransitionContext) -> Dict[str, Any]:
     """Per-direction tracking record for the packet's direction."""
-    directions: Dict[str, Dict[str, Any]] = ctx.v.get("directions", {})
-    key = str(ctx.x.get("direction", "unknown"))
-    return directions.get(key, {})
-
-
-def _store_dir_state(ctx: TransitionContext, record: Dict[str, Any]) -> None:
-    directions = dict(ctx.v.get("directions", {}))
-    directions[str(ctx.x.get("direction", "unknown"))] = record
-    ctx.v["directions"] = directions
+    memo = _memo(ctx)
+    record = memo.get("dir_state")
+    if record is None:
+        directions: Dict[str, Dict[str, Any]] = ctx.v.get("directions", {})
+        key = str(ctx.x.get("direction", "unknown"))
+        record = memo["dir_state"] = directions.get(key, {})
+    return record
 
 
 def _seq_gap(last_seq: int, seq: int) -> int:
@@ -170,43 +185,78 @@ def build_rtp_machine(config: VidsConfig = DEFAULT_CONFIG) -> Efsm:
 
     # ---- packet analysis predicates -----------------------------------------
 
+    # Each analysis predicate memoizes its verdict in the per-delivery
+    # scratch space: ``deliver`` probes every candidate transition, and
+    # ``is_clean`` is the conjunction of the attack predicates, so without
+    # the memo each check would run twice per packet.
+
     def is_codec_violation(ctx: TransitionContext) -> bool:
-        if not config.detect_codec_change:
-            return False
-        allowed = _allowed_pts(ctx)
-        return bool(allowed) and int(ctx.x.get("pt", -1)) not in allowed
+        memo = _memo(ctx)
+        verdict = memo.get("codec")
+        if verdict is None:
+            if not config.detect_codec_change:
+                verdict = False
+            else:
+                allowed = _allowed_pts(ctx)
+                verdict = bool(allowed) and int(ctx.x.get("pt", -1)) not in allowed
+            memo["codec"] = verdict
+        return verdict
 
     def is_spam(ctx: TransitionContext) -> bool:
+        memo = _memo(ctx)
+        verdict = memo.get("spam")
+        if verdict is not None:
+            return verdict
         record = _dir_state(ctx)
         if not record:
-            return False
-        if int(ctx.x.get("ssrc", 0)) != record.get("ssrc"):
-            return True
-        seq_jump = _seq_gap(record["seq"], int(ctx.x.get("seq", 0)))
-        ts_jump = _ts_gap(record["ts"], int(ctx.x.get("ts", 0)))
-        return (seq_jump > config.media_spam_seq_gap
-                or ts_jump > config.media_spam_ts_gap)
+            verdict = False
+        elif int(ctx.x.get("ssrc", 0)) != record.get("ssrc"):
+            verdict = True
+        else:
+            seq_jump = _seq_gap(record["seq"], int(ctx.x.get("seq", 0)))
+            ts_jump = _ts_gap(record["ts"], int(ctx.x.get("ts", 0)))
+            verdict = (seq_jump > config.media_spam_seq_gap
+                       or ts_jump > config.media_spam_ts_gap)
+        memo["spam"] = verdict
+        return verdict
 
     def is_flood(ctx: TransitionContext) -> bool:
+        memo = _memo(ctx)
+        verdict = memo.get("flood")
+        if verdict is not None:
+            return verdict
         record = _dir_state(ctx)
         if not record:
-            return False
-        window_start = record.get("window_start", 0.0)
-        count = record.get("window_count", 0)
-        if ctx.now - window_start >= config.rtp_flood_window:
-            return False
-        ptime_ms = int(ctx.v.get("g_ptime_ms", 20) or 20)
-        expected = (1000.0 / ptime_ms) * config.rtp_flood_window
-        return count + 1 > config.rtp_flood_factor * expected
+            verdict = False
+        else:
+            window_start = record.get("window_start", 0.0)
+            count = record.get("window_count", 0)
+            if ctx.now - window_start >= config.rtp_flood_window:
+                verdict = False
+            else:
+                ptime_ms = int(ctx.v.get("g_ptime_ms", 20) or 20)
+                expected = (1000.0 / ptime_ms) * config.rtp_flood_window
+                verdict = count + 1 > config.rtp_flood_factor * expected
+        memo["flood"] = verdict
+        return verdict
 
     def is_clean(ctx: TransitionContext) -> bool:
         return not (is_codec_violation(ctx) or is_spam(ctx) or is_flood(ctx))
 
     def track_packet(ctx: TransitionContext) -> None:
-        record = _dir_state(ctx)
+        # The ``directions`` declaration default is a dict shared by every
+        # instance built from this definition, so it must never be mutated.
+        # Any *non-empty* map was created right here for this one call, and
+        # updating it in place saves two dict copies per packet.
+        directions = ctx.v.get("directions")
+        if not directions:
+            directions = {}
+            ctx.v["directions"] = directions
+        key = str(ctx.x.get("direction", "unknown"))
+        record = directions.get(key)
         now = ctx.now
         if not record:
-            record = {
+            directions[key] = {
                 "ssrc": int(ctx.x.get("ssrc", 0)),
                 "seq": int(ctx.x.get("seq", 0)),
                 "ts": int(ctx.x.get("ts", 0)),
@@ -214,7 +264,6 @@ def build_rtp_machine(config: VidsConfig = DEFAULT_CONFIG) -> Efsm:
                 "window_count": 1,
             }
         else:
-            record = dict(record)
             record["seq"] = int(ctx.x.get("seq", 0))
             record["ts"] = int(ctx.x.get("ts", 0))
             if now - record.get("window_start", 0.0) >= config.rtp_flood_window:
@@ -222,7 +271,6 @@ def build_rtp_machine(config: VidsConfig = DEFAULT_CONFIG) -> Efsm:
                 record["window_count"] = 1
             else:
                 record["window_count"] = record.get("window_count", 0) + 1
-        _store_dir_state(ctx, record)
 
     # First media packet of the session.
     machine.add_transition(

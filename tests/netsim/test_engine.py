@@ -176,3 +176,98 @@ def test_property_cancelled_events_never_fire(entries):
             timer.cancel()
     sim.run()
     assert len(fired) == sum(keep for _, keep in entries)
+
+
+def test_timer_inactive_after_firing_at_now():
+    """A timer whose event fired at time == sim.now must report inactive.
+
+    Regression test: ``active`` used to be derived from ``time >= now``,
+    so a timer that had just fired (clock still equal to its fire time)
+    looked pending.
+    """
+    sim = Simulator()
+    timer = sim.schedule(1.0, lambda: None)
+    assert timer.active
+    sim.run()
+    assert sim.now == 1.0 == timer.time
+    assert not timer.active
+
+
+def test_timer_active_observed_inside_callback():
+    sim = Simulator()
+    observed = []
+    timer = sim.schedule(1.0, lambda: observed.append(timer.active))
+    sim.run()
+    assert observed == [False]
+
+
+def test_pending_events_is_exact_and_cheap():
+    sim = Simulator()
+    timers = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+    assert sim.pending_events == 10
+    timers[0].cancel()
+    timers[1].cancel()
+    timers[1].cancel()  # double-cancel must not double-count
+    assert sim.pending_events == 8
+    sim.run(until=5.0)
+    assert sim.pending_events == 5
+    sim.run()
+    assert sim.pending_events == 0
+
+
+def test_heap_compaction_under_mass_cancellation():
+    sim = Simulator()
+    timers = [sim.schedule(float(i + 1), lambda: None) for i in range(500)]
+    for timer in timers[:400]:
+        timer.cancel()
+    # Compaction kicked in: the internal queue is mostly live again.
+    assert sim.pending_events == 100
+    assert len(sim._queue) <= 2 * sim.pending_events + 1
+    sim.run()
+    assert sim.events_processed == 100
+
+
+def test_reschedule_after_firing_reuses_handle():
+    sim = Simulator()
+    fired = []
+    timer = sim.schedule(1.0, fired.append, "x")
+    sim.run()
+    assert fired == ["x"]
+    assert not timer.active
+    timer.reschedule(2.0)
+    assert timer.active
+    assert timer.time == 3.0
+    sim.run()
+    assert fired == ["x", "x"]
+    assert not timer.active
+
+
+def test_reschedule_pending_timer_moves_fire_time():
+    sim = Simulator()
+    fired = []
+    timer = sim.schedule(1.0, fired.append, "x")
+    timer.reschedule(5.0)
+    assert timer.active
+    assert sim.pending_events == 1
+    sim.run()
+    assert fired == ["x"]
+    assert sim.now == 5.0
+
+
+def test_reschedule_negative_delay_rejected():
+    sim = Simulator()
+    timer = sim.schedule(1.0, lambda: None)
+    with pytest.raises(SimulationError):
+        timer.reschedule(-0.5)
+
+
+def test_reschedule_cancelled_timer_rearms():
+    sim = Simulator()
+    fired = []
+    timer = sim.schedule(1.0, fired.append, "x")
+    timer.cancel()
+    timer.reschedule(2.0)
+    assert timer.active
+    sim.run()
+    assert fired == ["x"]
+    assert sim.now == 2.0

@@ -1,0 +1,113 @@
+"""Randomized parse/serialize round-trip regression net.
+
+The single-pass ``parse_message`` rewrite and the lazily built header
+index must never change what survives a wire round-trip: header order,
+repeated headers (Via stacks), folded continuation lines, and the body
+byte-for-byte.  A seeded generator builds messages far messier than the
+hand-written fixtures — same sequence every run, so failures reproduce.
+"""
+
+import random
+
+from repro.sip import SipRequest, parse_message
+
+SEED = 0xC0FFEE
+
+_HEADER_POOL = [
+    "Max-Forwards", "User-Agent", "Subject", "Supported", "Allow",
+    "X-Custom-Tag", "P-Asserted-Identity", "Accept", "Organization",
+]
+
+
+def _random_token(rng, length=8):
+    alphabet = "abcdefghijklmnopqrstuvwxyz0123456789"
+    return "".join(rng.choice(alphabet) for _ in range(length))
+
+
+def _random_message(rng: random.Random) -> SipRequest:
+    message = SipRequest("INVITE", f"sip:{_random_token(rng)}@example.com")
+    # A Via stack of random depth: repeated headers must keep their order.
+    for hop in range(rng.randint(1, 4)):
+        message.add("Via", f"SIP/2.0/UDP 10.0.{hop}.1:5060"
+                           f";branch=z9hG4bK{_random_token(rng)}")
+    message.set("From", f"<sip:{_random_token(rng)}@a.example.com>"
+                        f";tag={_random_token(rng, 5)}")
+    message.set("To", f"<sip:{_random_token(rng)}@b.example.com>")
+    message.set("Call-ID", f"{_random_token(rng)}@{_random_token(rng, 4)}")
+    message.set("CSeq", f"{rng.randint(1, 9999)} INVITE")
+    for _ in range(rng.randint(0, 5)):
+        name = rng.choice(_HEADER_POOL)
+        message.add(name, _random_token(rng, rng.randint(1, 30)))
+    if rng.random() < 0.7:
+        body_lines = [_random_token(rng, rng.randint(0, 40))
+                      for _ in range(rng.randint(1, 6))]
+        message.body = "\n".join(body_lines)
+    return message
+
+
+def test_seeded_round_trip_preserves_everything():
+    rng = random.Random(SEED)
+    for _ in range(200):
+        original = _random_message(rng)
+        wire = original.serialize()
+        parsed = parse_message(wire)
+        again = parse_message(parsed.serialize())
+
+        # serialize() stamps Content-Length; beyond that, the full ordered
+        # header list (including every repeated Via, in order) survives.
+        expected = [(k, v) for k, v in original.headers
+                    if k != "Content-Length"]
+        observed = [(k, v) for k, v in parsed.headers
+                    if k != "Content-Length"]
+        assert observed == expected
+        assert parsed.method == original.method
+        assert str(parsed.uri) == str(original.uri)
+        assert parsed.body == original.body
+        assert [v.host for v in parsed.vias] == \
+            [v.host for v in original.vias]
+        # Second round trip is a fixed point.
+        assert again.headers == parsed.headers
+        assert again.body == parsed.body
+        assert again.serialize() == parsed.serialize()
+
+
+def test_round_trip_folded_headers_and_crlf_mix():
+    """Folded continuation lines unfold once and then stay stable."""
+    rng = random.Random(SEED + 1)
+    for _ in range(50):
+        subject_parts = [_random_token(rng, rng.randint(1, 12))
+                         for _ in range(rng.randint(2, 4))]
+        newline = rng.choice(["\r\n", "\n"])
+        wire = (
+            "OPTIONS sip:pbx@example.com SIP/2.0" + newline
+            + "Via: SIP/2.0/UDP 10.0.0.1:5060;branch=z9hG4bKf" + newline
+            + "Subject: " + subject_parts[0] + newline
+            + "".join(" " + part + newline for part in subject_parts[1:])
+            + "From: <sip:a@example.com>;tag=f" + newline
+            + "To: <sip:b@example.com>" + newline
+            + "Call-ID: fold@x" + newline
+            + "CSeq: 1 OPTIONS" + newline
+            + newline
+        )
+        parsed = parse_message(wire)
+        assert parsed.get("Subject") == " ".join(subject_parts)
+        assert parse_message(parsed.serialize()).headers == parsed.headers
+
+
+def test_round_trip_body_bytes_exact():
+    """The body is kept byte-for-byte, including CR/LF it arrived with."""
+    body = "v=0\r\no=- 1 2 IN IP4 1.2.3.4\r\ns= \ntrailing\r\n"
+    wire = (
+        "MESSAGE sip:bob@example.com SIP/2.0\r\n"
+        "Via: SIP/2.0/UDP 10.0.0.1:5060;branch=z9hG4bKb\r\n"
+        "From: <sip:a@example.com>;tag=b\r\n"
+        "To: <sip:b@example.com>\r\n"
+        "Call-ID: body@x\r\n"
+        "CSeq: 2 MESSAGE\r\n"
+        f"Content-Length: {len(body.encode())}\r\n"
+        "\r\n"
+        f"{body}"
+    )
+    parsed = parse_message(wire)
+    assert parsed.body == body
+    assert parse_message(parsed.serialize()).body == body

@@ -23,9 +23,9 @@ def test_forwarded_request_body_untouched():
     invite.set("Content-Type", "application/sdp")
     harness.send(invite)
     forwarded = parse_message(harness.phone_got[0].payload)
-    # The parser normalizes body line endings to LF; content is intact and
+    # The parser preserves body bytes verbatim (CRLF line endings included);
     # Content-Length is recomputed on every serialize.
-    assert forwarded.body.replace("\n", "\r\n") == invite.body
+    assert forwarded.body == invite.body
     assert forwarded.get("Content-Type") == "application/sdp"
 
 
