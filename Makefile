@@ -27,10 +27,16 @@ test-out:
 chaos:
 	$(PYTHON) -m pytest tests/ -m chaos
 
-# Pipeline perf harness: runs the throughput + micro benchmarks and
-# records BENCH_pipeline.json at the repo root (docs/PERFORMANCE.md).
+# Pipeline perf harness: runs the throughput + micro benchmarks,
+# records BENCH_pipeline.json at the repo root (docs/PERFORMANCE.md), and
+# asserts throughput stays within noise of the previously recorded
+# baseline — the standing disabled-observability overhead gate
+# (docs/OBSERVABILITY.md).  The tolerance is sized to the measured
+# run-to-run variance of a shared box (±12-25 % on identical code); the
+# sharp <5 % contract is checked with paired A/B runs, and the structural
+# "no clock syscalls when disabled" guarantee by tests/obs/test_profiler.py.
 bench:
-	$(PYTHON) benchmarks/harness.py
+	$(PYTHON) benchmarks/harness.py --baseline BENCH_pipeline.json --tolerance 0.25
 
 # Every benchmark in benchmarks/ (paper tables, figures, capacity tests).
 bench-all:

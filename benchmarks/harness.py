@@ -91,6 +91,30 @@ def distill(raw_path: Path) -> Dict[str, Dict[str, float]]:
     return dict(sorted(results.items()))
 
 
+def compare_to_baseline(results: Dict[str, Dict[str, float]],
+                        baseline: Dict[str, Dict[str, float]],
+                        tolerance: float) -> List[str]:
+    """Rate regressions beyond ``tolerance``, as human-readable lines.
+
+    Guards the observability layer's disabled-cost contract: with no
+    Observability bundle attached, the pipeline's recorded throughput must
+    stay within noise of the baseline (docs/OBSERVABILITY.md).
+    """
+    regressions: List[str] = []
+    for name, old in sorted(baseline.items()):
+        new = results.get(name)
+        if new is None:
+            continue
+        old_rate, new_rate = old["rate"], new["rate"]
+        if old_rate > 0 and new_rate < old_rate * (1.0 - tolerance):
+            loss = 1.0 - new_rate / old_rate
+            regressions.append(
+                f"  {name}: {new_rate:,.0f} ops/s vs baseline "
+                f"{old_rate:,.0f} ops/s ({loss:.1%} slower, "
+                f"tolerance {tolerance:.0%})")
+    return regressions
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--rounds", type=int, default=None,
@@ -101,7 +125,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--output", type=Path,
                         default=REPO_ROOT / OUTPUT_NAME,
                         help=f"result path (default: <repo>/{OUTPUT_NAME})")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="compare rates against this recorded JSON and "
+                             "fail on regressions beyond --tolerance "
+                             "(read before --output is overwritten, so both "
+                             "may name the same file)")
+    parser.add_argument("--tolerance", type=float, default=0.05,
+                        help="allowed fractional rate regression vs the "
+                             "baseline (default: 0.05)")
     args = parser.parse_args(argv)
+
+    baseline: Optional[Dict[str, Dict[str, float]]] = None
+    if args.baseline is not None:
+        if not args.baseline.exists():
+            print(f"harness: baseline {args.baseline} not found; "
+                  f"skipping the regression check", file=sys.stderr)
+        else:
+            baseline = json.loads(args.baseline.read_text())
 
     selection = list(RATE_BENCHMARKS)
     if args.full:
@@ -123,6 +163,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"  {name:<{width}}  {stats['rate']:>12,.0f} ops/s  "
               f"(mean {stats['mean_s'] * 1e3:8.2f} ms, "
               f"{stats['rounds']} rounds)")
+
+    if baseline is not None:
+        regressions = compare_to_baseline(results, baseline, args.tolerance)
+        if regressions:
+            print(f"\nharness: rate regressions vs {args.baseline}:",
+                  file=sys.stderr)
+            for line in regressions:
+                print(line, file=sys.stderr)
+            return 1
+        print(f"\nall rates within {args.tolerance:.0%} of {args.baseline}")
     return status
 
 

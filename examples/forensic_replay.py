@@ -3,13 +3,15 @@
 
 A recording tap runs at the perimeter while an attack unfolds; afterwards
 the capture is replayed through fresh vids instances — first with the
-production configuration, then with an analyst-tuned one — demonstrating
+production configuration (under full observability, so the alerted call's
+timeline can be rendered), then with an analyst-tuned one — demonstrating
 threshold tuning on recorded evidence without re-running the network.
 
 Run:  python examples/forensic_replay.py
 """
 
 from repro.attacks import MediaSpamAttack
+from repro.obs import Observability
 from repro.telephony import TestbedParams, build_testbed
 from repro.vids import (
     DEFAULT_CONFIG,
@@ -37,8 +39,10 @@ def main() -> None:
     for alert in live_vids.alerts:
         print(f"  live  {alert}")
 
-    # Offline side 1: replay with the production config — same verdict.
-    offline = replay_trace(recorder.capture)
+    # Offline side 1: replay with the production config — same verdict —
+    # under full observability, so the evidence chain is renderable.
+    obs = Observability()
+    offline = replay_trace(recorder.capture, obs=obs)
     print(f"\nreplay (production config): {len(offline.alerts)} alerts")
     for alert in offline.alerts:
         print(f"  replay {alert}")
@@ -46,6 +50,12 @@ def main() -> None:
     replay_kinds = sorted(a.attack_type.value for a in offline.alerts)
     assert live_kinds == replay_kinds, (live_kinds, replay_kinds)
     print("replay verdict matches the live verdict")
+
+    # The forensic timeline for the alerted call (or the orphan stream's
+    # packet-scoped events when no call was involved).
+    call_id = next((a.call_id for a in offline.alerts if a.call_id), None)
+    print()
+    print(obs.timeline(call_id=call_id, limit=30))
 
     # Offline side 2: what would a stricter spam threshold have found?
     strict = replay_trace(recorder.capture, DEFAULT_CONFIG.with_overrides(

@@ -13,7 +13,11 @@ Subcommands:
   and exit non-zero on ERROR findings;
 - ``perf`` — cProfile a synthetic N-call SIP+RTP workload through the full
   vids pipeline and print the top-K cumulative hotspots
-  (docs/PERFORMANCE.md).
+  (docs/PERFORMANCE.md);
+- ``trace`` — run a short scenario with a seeded attack under full
+  observability and print the victim call's forensic timeline (classifier
+  verdict → EFSM firings and δ channel messages → alert), with optional
+  JSONL trace and Prometheus metrics export (docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
@@ -80,6 +84,36 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--sort", choices=("cumulative", "tottime"),
                       default="cumulative",
                       help="pstats sort order (default cumulative)")
+
+    trace = sub.add_parser(
+        "trace",
+        help="run a seeded attack scenario; print the forensic timeline")
+    trace.add_argument("--attack", default="bye",
+                       choices=("bye", "bye-spoof", "cancel", "hijack",
+                                "toll-fraud", "media-spam", "rtp-flood",
+                                "invite-flood", "none"),
+                       help="attack to seed into the workload (default bye)")
+    trace.add_argument("--seed", type=int, default=11)
+    trace.add_argument("--horizon", type=float, default=150.0,
+                       help="simulated workload seconds (default 150)")
+    trace.add_argument("--call-id", default=None,
+                       help="call to render (default: the attack's victim, "
+                            "else the first alerted call)")
+    trace.add_argument("--all-calls", action="store_true",
+                       help="render the full timeline, not one call")
+    trace.add_argument("--limit", type=int, default=None,
+                       help="print at most the last N timeline lines")
+    trace.add_argument("--capacity", type=int, default=262_144,
+                       help="trace ring-buffer capacity in events "
+                            "(default 262144 — wide enough to keep the "
+                            "whole default scenario)")
+    trace.add_argument("--jsonl", metavar="PATH", default=None,
+                       help="export the raw trace events as JSON Lines")
+    trace.add_argument("--metrics", metavar="PATH", default=None,
+                       help="export the metrics registry as Prometheus text"
+                            " ('-' for stdout)")
+    trace.add_argument("--profile", action="store_true",
+                       help="enable per-stage profiling and print the report")
 
     return parser
 
@@ -307,6 +341,71 @@ def _cmd_perf(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    """Run one observed scenario and render the forensic timeline."""
+    from .attacks import (ByeTeardownAttack, CallHijackAttack,
+                          CancelDosAttack, InviteFloodAttack,
+                          MediaSpamAttack, RtpFloodAttack, TollFraudAttack)
+    from .obs import Observability
+    from .telephony import (ScenarioParams, TestbedParams, WorkloadParams,
+                            run_scenario)
+
+    factories = {
+        "bye": lambda: ByeTeardownAttack(40.0, spoof="none"),
+        "bye-spoof": lambda: ByeTeardownAttack(40.0, spoof="peer"),
+        "cancel": lambda: CancelDosAttack(40.0),
+        "hijack": lambda: CallHijackAttack(40.0),
+        "toll-fraud": lambda: TollFraudAttack(40.0),
+        "media-spam": lambda: MediaSpamAttack(40.0),
+        "rtp-flood": lambda: RtpFloodAttack(40.0, mode="flood"),
+        "invite-flood": lambda: InviteFloodAttack(40.0, count=20),
+        "none": None,
+    }
+    obs = Observability(profile=args.profile,
+                        trace_capacity=args.capacity)
+    factory = factories[args.attack]
+    attacks = (factory(),) if factory is not None else ()
+    print(f"running observed scenario (attack={args.attack}, "
+          f"seed {args.seed})...", file=sys.stderr)
+    result = run_scenario(ScenarioParams(
+        testbed=TestbedParams(seed=args.seed, phones_per_network=4),
+        workload=WorkloadParams(mean_interarrival=25.0, mean_duration=400.0,
+                                horizon=args.horizon),
+        with_vids=True, attacks=attacks, drain_time=90.0, obs=obs))
+    vids = result.vids
+
+    call_id = args.call_id
+    if call_id is None and not args.all_calls:
+        if attacks and getattr(attacks[0], "victim_call_id", None):
+            call_id = attacks[0].victim_call_id
+        else:
+            call_id = next(
+                (a.call_id for a in vids.alerts if a.call_id), None)
+    print(obs.timeline(call_id=call_id, limit=args.limit))
+
+    trace = obs.trace
+    print(f"\n{trace.emitted} events emitted ({trace.dropped} evicted from "
+          f"the ring), {len(trace.call_ids())} calls traced, "
+          f"{len(vids.alerts)} alerts", file=sys.stderr)
+
+    if args.jsonl:
+        with open(args.jsonl, "w", encoding="utf-8") as handle:
+            handle.write(trace.to_jsonl())
+        print(f"wrote trace: {args.jsonl}", file=sys.stderr)
+    if args.metrics:
+        text = obs.registry.to_prometheus()
+        if args.metrics == "-":
+            print(text, end="")
+        else:
+            with open(args.metrics, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            print(f"wrote metrics: {args.metrics}", file=sys.stderr)
+    if args.profile and obs.profiler is not None:
+        print()
+        print(obs.profiler.report())
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "scenario":
@@ -319,6 +418,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_speclint(args)
     if args.command == "perf":
         return _cmd_perf(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

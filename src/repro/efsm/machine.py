@@ -199,6 +199,15 @@ class FiringResult:
     def attack(self) -> bool:
         return self.transition is not None and self.transition.attack
 
+    def describe(self) -> str:
+        """One-line human summary used by the forensic timeline."""
+        if self.transition is None:
+            return (f"{self.machine}: {self.event.name} deviated in "
+                    f"{self.from_state}")
+        arrow = f"{self.from_state} -> {self.to_state}"
+        tag = " [ATTACK]" if self.attack else ""
+        return f"{self.machine}: {self.event.name} fired {arrow}{tag}"
+
 
 class Efsm:
     """An EFSM definition: the quintuple (Σ, S, v, D, T)."""

@@ -85,6 +85,11 @@ class EfsmSystem:
         self.undeliverable: List[Event] = []
         #: Hook invoked for every firing result (the vids analysis engine).
         self.on_result: Optional[Callable[[FiringResult], None]] = None
+        #: Hook invoked for every routed output event ``c!event(x)`` —
+        #: the δ-messages between machines — with the sending machine's
+        #: name.  Also fires for outputs addressed to the environment
+        #: (undeliverable here).  Used by call-scoped tracing.
+        self.on_output: Optional[Callable[[str, Event], None]] = None
 
     # -- construction -------------------------------------------------------
 
@@ -151,6 +156,7 @@ class EfsmSystem:
         """Queue an output event onto its channel (created on demand)."""
         if event.channel is None:
             return
+        hook = self.on_output
         if "->" in event.channel:
             channel = self.channels.get(event.channel)
             if channel is None:
@@ -158,16 +164,22 @@ class EfsmSystem:
                 if receiver not in self.machines:
                     # Output to the environment (no such machine here):
                     # record it rather than failing the transition.
+                    if hook is not None:
+                        hook(sender, event)
                     self.undeliverable.append(event)
                     return
                 channel = self.connect(sender_name, receiver)
         else:
             if event.channel not in self.machines:
+                if hook is not None:
+                    hook(sender, event)
                 self.undeliverable.append(event)
                 return
             channel = self.connect(sender, event.channel)
             event = Event(event.name, event.args, channel=channel.name,
                           time=event.time)
+        if hook is not None:
+            hook(sender, event)
         channel.put(event)
 
     def _drain_channels(self, accumulator: List[FiringResult]) -> None:

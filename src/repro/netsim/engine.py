@@ -263,6 +263,14 @@ class Simulator:
         event.callback(*event.args)
         return True
 
+    def stats(self) -> dict:
+        """Point-in-time engine counters (metrics exposition)."""
+        return {
+            "now": self._now,
+            "events_processed": self._events_processed,
+            "pending_events": self._pending,
+        }
+
     def peek_time(self) -> Optional[float]:
         """Time of the next pending event, or None if the queue is empty."""
         queue = self._queue

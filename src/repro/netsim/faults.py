@@ -37,11 +37,12 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, replace
-from typing import TYPE_CHECKING, Dict, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 from .packet import Datagram
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..obs import TraceBus
     from .link import Link
 
 __all__ = ["FaultPlan", "FaultStats", "FaultyLink", "inject_faults"]
@@ -154,7 +155,8 @@ class FaultyLink:
     pristine link.
     """
 
-    def __init__(self, link: "Link", plan: FaultPlan):
+    def __init__(self, link: "Link", plan: FaultPlan,
+                 trace: Optional["TraceBus"] = None):
         self.link = link
         self.plan = plan
         self.rng = random.Random(plan.seed)
@@ -162,6 +164,14 @@ class FaultyLink:
         self._ge = _GilbertElliott(plan, self.rng)
         self._original_transmit = link.transmit
         self._installed = False
+        #: Observability trace bus; every injected fault lands on it so a
+        #: forensic timeline can correlate perturbations with verdicts.
+        self.trace = trace
+
+    def _note(self, fault: str, datagram: Datagram, now: float) -> None:
+        """Emit one fault event (only called when tracing)."""
+        self.trace.emit("fault", now, packet_id=datagram.packet_id,
+                        fault=fault, link=self.link.name)
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -190,13 +200,18 @@ class FaultyLink:
         plan = self.plan
         rng = self.rng
         sim = self.link.network.sim
+        trace = self.trace
         self.stats.offered += 1
 
         if self.is_down(sim.now):
             self.stats.dropped_flap += 1
+            if trace is not None:
+                self._note("flap-drop", datagram, sim.now)
             return
         if self._ge.drops():
             self.stats.dropped_burst += 1
+            if trace is not None:
+                self._note("burst-drop", datagram, sim.now)
             return
 
         payload = datagram.payload
@@ -205,22 +220,33 @@ class FaultyLink:
             payload = self._flip_bits(payload)
             self.stats.corrupted += 1
             mutated = True
+            if trace is not None:
+                self._note("corrupt", datagram, sim.now)
         if plan.truncate_rate and payload and rng.random() < plan.truncate_rate:
             payload = payload[:rng.randrange(len(payload))]
             self.stats.truncated += 1
             mutated = True
+            if trace is not None:
+                self._note("truncate", datagram, sim.now)
         if mutated:
+            # Keep the original packet_id: the mutated copy is still the
+            # same wire packet, and downstream trace points must correlate.
             datagram = Datagram(src=datagram.src, dst=datagram.dst,
                                 payload=payload,
                                 created_at=datagram.created_at,
+                                packet_id=datagram.packet_id,
                                 hops=datagram.hops)
 
         if plan.duplicate_rate and rng.random() < plan.duplicate_rate:
             self.stats.duplicated += 1
+            if trace is not None:
+                self._note("duplicate", datagram, sim.now)
             self._original_transmit(datagram.copy(), sender)
 
         if plan.reorder_rate and rng.random() < plan.reorder_rate:
             self.stats.reordered += 1
+            if trace is not None:
+                self._note("reorder", datagram, sim.now)
             delay = rng.uniform(0.0, plan.reorder_delay)
             sim.schedule(delay, self._original_transmit, datagram, sender,
                          label=f"reorder@{self.link.name}")
@@ -236,6 +262,7 @@ class FaultyLink:
         return bytes(data)
 
 
-def inject_faults(link: "Link", plan: FaultPlan) -> FaultyLink:
+def inject_faults(link: "Link", plan: FaultPlan,
+                  trace: Optional["TraceBus"] = None) -> FaultyLink:
     """Wrap ``link`` with ``plan`` and activate it; returns the wrapper."""
-    return FaultyLink(link, plan).install()
+    return FaultyLink(link, plan, trace=trace).install()

@@ -119,6 +119,32 @@ class InlineDevice(Node):
             return 0.0
         return self.busy_time / elapsed
 
+    def register_metrics(self, registry, prefix: str = "netsim") -> None:
+        """Expose this device's queue/CPU state through an obs registry."""
+        labelnames = ("device",)
+        registry.gauge(
+            f"{prefix}_device_queue_seconds",
+            "Seconds of processing backlog on the device CPU",
+            labelnames=labelnames,
+        ).labels(device=self.name).set_function(self.queue_depth)
+        registry.gauge(
+            f"{prefix}_device_cpu_utilization",
+            "Fraction of elapsed time the device CPU spent processing",
+            labelnames=labelnames,
+        ).labels(device=self.name).set_function(self.cpu_utilization)
+        registry.counter(
+            f"{prefix}_device_packets_forwarded",
+            "Packets forwarded through the device",
+            labelnames=labelnames,
+        ).labels(device=self.name).set_function(
+            lambda: self.packets_forwarded)
+        registry.counter(
+            f"{prefix}_device_processor_failures",
+            "Processor exceptions absorbed by the fail-open policy",
+            labelnames=labelnames,
+        ).labels(device=self.name).set_function(
+            lambda: self.processor_failures)
+
     def queue_depth(self, now: Optional[float] = None) -> float:
         """Seconds of processing backlog queued on the device CPU.
 

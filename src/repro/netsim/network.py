@@ -9,6 +9,7 @@ shortest paths over the (unit-weight) topology graph, using networkx.
 from __future__ import annotations
 
 from collections import Counter
+from functools import partial
 from typing import Dict, List, Optional
 
 import networkx as nx
@@ -92,3 +93,47 @@ class Network:
         if not self._routes_valid:
             self.compute_routes()
         self.sim.run(until=until)
+
+    # -- observability -----------------------------------------------------
+
+    def register_metrics(self, registry, prefix: str = "netsim") -> None:
+        """Expose engine and per-link counters through an obs registry.
+
+        All samples are callback-backed reads of the live simulation state,
+        so registration costs nothing on the packet path.  Call after the
+        topology is wired (links registered later won't be exported).
+        """
+        sim = self.sim
+        registry.gauge(
+            f"{prefix}_time_seconds", "Current simulation time",
+        ).set_function(lambda: sim.now)
+        registry.gauge(
+            f"{prefix}_pending_events", "Live events queued in the engine",
+        ).set_function(lambda: sim.pending_events)
+        registry.counter(
+            f"{prefix}_events_processed", "Events dispatched by the engine",
+        ).set_function(lambda: sim.events_processed)
+
+        labelnames = ("link", "sender")
+        families = [
+            (registry.counter(f"{prefix}_link_packets_sent",
+                              "Packets delivered per link direction",
+                              labelnames=labelnames), "packets_sent"),
+            (registry.counter(f"{prefix}_link_packets_dropped",
+                              "Packets lost to Bernoulli loss",
+                              labelnames=labelnames), "packets_dropped"),
+            (registry.counter(f"{prefix}_link_packets_overflowed",
+                              "Packets dropped by the drop-tail queue",
+                              labelnames=labelnames), "packets_overflowed"),
+            (registry.counter(f"{prefix}_link_bytes_sent",
+                              "Bytes delivered per link direction",
+                              labelnames=labelnames), "bytes_sent"),
+            (registry.counter(f"{prefix}_link_queueing_delay_seconds",
+                              "Cumulative serialization queueing delay",
+                              labelnames=labelnames), "queueing_delay_total"),
+        ]
+        for link in self.links:
+            for sender, stats in link.stats.items():
+                for family, attr in families:
+                    family.labels(link=link.name, sender=sender).set_function(
+                        partial(getattr, stats, attr))

@@ -1,0 +1,118 @@
+"""Forensic timeline rendering for traced events.
+
+Turns the flat :class:`~repro.obs.trace.TraceBus` stream into the per-call
+diagnostic artifact the related monitoring literature (Nassar et al.'s
+event-correlation IDS, SecSip) treats as primary: one sim-time-ordered
+timeline interleaving classifier verdicts, distributor routing, EFSM
+firings, δ channel messages, and alerts for a single call.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from .trace import TraceEvent
+
+__all__ = ["render_timeline", "format_event"]
+
+
+def _fmt_classify(data: dict) -> str:
+    verdict = data.get("verdict", "?")
+    out = f"classifier verdict: {verdict}"
+    if data.get("malformed"):
+        out += f" (malformed {data['malformed']})"
+    src, dst = data.get("src"), data.get("dst")
+    if src or dst:
+        out += f"  {src} -> {dst}"
+    return out
+
+
+def _fmt_route(data: dict) -> str:
+    out = f"distributor: {data.get('protocol', '?')} -> {data.get('outcome', '?')}"
+    if data.get("direction"):
+        out += f" ({data['direction']})"
+    return out
+
+
+def _fmt_fire(data: dict) -> str:
+    arrow = f"{data.get('from_state')} --{data.get('event')}--> {data.get('to_state')}"
+    flags = []
+    if data.get("channel"):
+        flags.append(f"via {data['channel']}")
+    if data.get("deviation"):
+        flags.append("DEVIATION")
+    if data.get("attack"):
+        flags.append("ATTACK")
+    suffix = f"  [{', '.join(flags)}]" if flags else ""
+    return f"{data.get('machine')}: {arrow}{suffix}"
+
+
+def _fmt_delta(data: dict) -> str:
+    return (f"δ {data.get('sender')} ! {data.get('event')} "
+            f"on {data.get('channel')}")
+
+
+def _fmt_alert(data: dict) -> str:
+    out = f"ALERT {data.get('attack_type')}"
+    if data.get("machine"):
+        out += f" (machine={data['machine']}, state={data.get('state')})"
+    if data.get("source"):
+        out += f" src={data['source']}"
+    return out
+
+
+def _fmt_fault(data: dict) -> str:
+    return f"fault injected: {data.get('fault')} on {data.get('link')}"
+
+
+_FORMATTERS = {
+    "classify": _fmt_classify,
+    "route": _fmt_route,
+    "fire": _fmt_fire,
+    "delta": _fmt_delta,
+    "alert": _fmt_alert,
+    "fault": _fmt_fault,
+}
+
+
+def format_event(event: TraceEvent) -> str:
+    """One timeline line for one event (without the time column)."""
+    formatter = _FORMATTERS.get(event.kind)
+    if formatter is not None:
+        body = formatter(event.data)
+    else:
+        fields = ", ".join(f"{k}={v}" for k, v in event.data.items())
+        body = f"{event.kind}" + (f": {fields}" if fields else "")
+    if event.packet_id is not None:
+        body += f"  [pkt #{event.packet_id}]"
+    return body
+
+
+def render_timeline(events: Iterable[TraceEvent],
+                    call_id: Optional[str] = None,
+                    limit: Optional[int] = None) -> str:
+    """A sim-time-ordered text timeline, optionally scoped to one call.
+
+    Events are sorted by ``(time, seq)`` so simultaneous events keep their
+    causal emission order.  With ``limit``, only the *last* ``limit`` lines
+    are kept (the interesting end of a long capture).
+    """
+    selected: List[TraceEvent] = [
+        e for e in events if call_id is None or e.call_id == call_id
+    ]
+    selected.sort(key=lambda e: (e.time, e.seq))
+    truncated = 0
+    if limit is not None and len(selected) > limit:
+        truncated = len(selected) - limit
+        selected = selected[-limit:]
+
+    title = (f"timeline for call {call_id}" if call_id is not None
+             else "timeline (all events)")
+    lines = [f"=== {title}: {len(selected)} events ==="]
+    if truncated:
+        lines.append(f"... {truncated} earlier events omitted ...")
+    for event in selected:
+        lines.append(f"t={event.time:12.6f}  {format_event(event)}")
+    if len(lines) == 1 + (1 if truncated else 0):
+        lines.append("(no events)")
+    return "\n".join(lines)

@@ -1,0 +1,151 @@
+"""Call-scoped structured tracing: the event bus behind the forensic timeline.
+
+The paper's evaluation treats vids as a black box; explaining *why* a call
+tripped (or failed to trip) an alert needs the chain the architecture hides:
+which classifier verdict a packet got, where the distributor routed it,
+which EFSM transition fired, what δ-message crossed the SIP→RTP channel,
+and which alert resulted.  A :class:`TraceBus` records exactly that chain as
+:class:`TraceEvent` records — sim-time-stamped, correlated by ``call_id``
+and ``packet_id``, ring-buffered so a long run keeps the recent past at a
+bounded memory cost.
+
+The bus is *passive and optional*: every producer in the pipeline holds an
+``Optional[TraceBus]`` and guards each emission with an ``is not None``
+check, so a vids instance built without observability pays one pointer
+comparison per potential event and allocates nothing.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Iterator, List, Optional
+
+__all__ = ["TraceEvent", "TraceBus", "DEFAULT_TRACE_CAPACITY"]
+
+#: Default ring-buffer capacity (events, not bytes).
+DEFAULT_TRACE_CAPACITY = 65_536
+
+
+@dataclass(slots=True)
+class TraceEvent:
+    """One structured observation on the bus.
+
+    Attributes:
+        seq: monotonically increasing emission number (total order even
+            when simulation timestamps collide).
+        time: simulation time of the observation, in seconds.
+        kind: event type (``classify``, ``route``, ``fire``, ``delta``,
+            ``alert``, ``call-created``, ``fault``, ... — see
+            docs/OBSERVABILITY.md for the catalog).
+        call_id: the SIP Call-ID the event is correlated to, when known.
+        packet_id: the :class:`~repro.netsim.packet.Datagram` id, when the
+            event was caused by one specific packet.
+        data: kind-specific payload fields.
+    """
+
+    seq: int
+    time: float
+    kind: str
+    call_id: Optional[str]
+    packet_id: Optional[int]
+    data: Dict[str, Any]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A flat, JSON-serializable rendering (stable field order)."""
+        record: Dict[str, Any] = {
+            "seq": self.seq,
+            "time": self.time,
+            "kind": self.kind,
+        }
+        if self.call_id is not None:
+            record["call_id"] = self.call_id
+        if self.packet_id is not None:
+            record["packet_id"] = self.packet_id
+        record.update(self.data)
+        return record
+
+
+class TraceBus:
+    """A bounded, append-only event bus with call/packet correlation.
+
+    The buffer is a ring: once ``capacity`` events are held, each new
+    emission evicts the oldest.  :attr:`emitted` counts every emission ever
+    made, so ``emitted - len(bus)`` is the number of evicted (lost) events —
+    a forensic session can tell whether its window was wide enough.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_TRACE_CAPACITY):
+        if capacity <= 0:
+            raise ValueError(f"trace capacity must be positive: {capacity}")
+        self.capacity = capacity
+        self._events: deque = deque(maxlen=capacity)
+        self._seq = 0
+        #: Total emissions, including events since evicted from the ring.
+        self.emitted = 0
+        #: Master switch: emissions while False are discarded unrecorded.
+        self.enabled = True
+
+    # -- emission -------------------------------------------------------------
+
+    def emit(self, kind: str, time: float, call_id: Optional[str] = None,
+             packet_id: Optional[int] = None, **data: Any) -> None:
+        """Record one event.  Extra keyword arguments become ``data``."""
+        if not self.enabled:
+            return
+        self._seq += 1
+        self.emitted += 1
+        self._events.append(
+            TraceEvent(self._seq, time, kind, call_id, packet_id, data))
+
+    # -- inspection -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted from the ring since the last :meth:`clear`."""
+        return self.emitted - len(self._events)
+
+    def events(self, kind: Optional[str] = None,
+               call_id: Optional[str] = None,
+               packet_id: Optional[int] = None) -> List[TraceEvent]:
+        """Buffered events, optionally filtered; emission (causal) order."""
+        selected: Iterable[TraceEvent] = self._events
+        if kind is not None:
+            selected = (e for e in selected if e.kind == kind)
+        if call_id is not None:
+            selected = (e for e in selected if e.call_id == call_id)
+        if packet_id is not None:
+            selected = (e for e in selected if e.packet_id == packet_id)
+        return list(selected)
+
+    def for_call(self, call_id: str) -> List[TraceEvent]:
+        """Every buffered event correlated to one call."""
+        return self.events(call_id=call_id)
+
+    def call_ids(self) -> List[str]:
+        """Distinct call ids seen in the buffer, in first-seen order."""
+        seen: Dict[str, None] = {}
+        for event in self._events:
+            if event.call_id is not None and event.call_id not in seen:
+                seen[event.call_id] = None
+        return list(seen)
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.emitted = 0
+
+    # -- export ---------------------------------------------------------------
+
+    def to_jsonl(self, events: Optional[Iterable[TraceEvent]] = None) -> str:
+        """One JSON object per line (``default=str`` for exotic values)."""
+        selected = self._events if events is None else events
+        return "\n".join(
+            json.dumps(event.to_dict(), sort_keys=False, default=str)
+            for event in selected)

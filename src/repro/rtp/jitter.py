@@ -15,6 +15,10 @@ from typing import List, Optional
 __all__ = ["JitterEstimator", "DelayStats"]
 
 
+#: RTP timestamps are an unsigned 32-bit field (RFC 3550 §5.1).
+_TS_MODULUS = 2 ** 32
+
+
 class JitterEstimator:
     """The RFC 3550 inter-arrival jitter filter for one RTP stream."""
 
@@ -28,8 +32,14 @@ class JitterEstimator:
         """Feed one packet; returns the current jitter estimate in seconds."""
         transit = arrival_time * self.clock_rate - rtp_timestamp
         if self._last_transit is not None:
-            d = abs(transit - self._last_transit)
-            self.jitter_units += (d - self.jitter_units) / 16.0
+            # The timestamp field wraps at 2^32; when a stream crosses the
+            # wrap, successive transits jump by ~2^32 units.  Unwrap the
+            # delta into [-2^31, 2^31) so |D| stays the true inter-arrival
+            # difference instead of one enormous spike that poisons the
+            # 1/16 filter for ~16 samples.
+            d = transit - self._last_transit
+            d = (d + _TS_MODULUS / 2) % _TS_MODULUS - _TS_MODULUS / 2
+            self.jitter_units += (abs(d) - self.jitter_units) / 16.0
         self._last_transit = transit
         self.samples += 1
         return self.jitter_seconds
@@ -79,8 +89,14 @@ class DelayStats:
         return sum(diffs) / (len(self.delays) - 1)
 
     def percentile(self, fraction: float) -> float:
+        """Nearest-rank percentile: the smallest value with at least
+        ``fraction`` of the samples at or below it."""
         if not self.delays:
             return 0.0
         ordered = sorted(self.delays)
-        index = min(len(ordered) - 1, max(0, int(fraction * len(ordered))))
+        # Nearest-rank index is ceil(fraction * n) - 1; the old floor
+        # formula over-shot by one rank (percentile(0.5) of two samples
+        # returned the max, and percentile(1.0) only worked via clamping).
+        rank = math.ceil(fraction * len(ordered)) - 1
+        index = min(len(ordered) - 1, max(0, rank))
         return ordered[index]

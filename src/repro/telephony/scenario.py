@@ -15,9 +15,12 @@ pattern, making the comparison paired.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
 from ..netsim.faults import FaultyLink, inject_faults
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..obs import Observability
 from ..vids.config import DEFAULT_CONFIG, VidsConfig
 from ..vids.ids import Vids
 from .callgen import CallWorkload, WorkloadParams
@@ -51,6 +54,9 @@ class ScenarioParams:
     #: attacks are installed but before the run — for scheduling scenario
     #: events (e.g. poisoning a call mid-run in chaos tests).
     hooks: tuple = ()
+    #: Observability bundle (trace bus + metrics registry + profiler)
+    #: threaded through vids, the fault layer, and the netsim gauges.
+    obs: Optional["Observability"] = None
 
 
 @dataclass
@@ -167,10 +173,15 @@ def run_scenario(params: ScenarioParams) -> ScenarioResult:
     testbed = build_testbed(params.testbed)
     sim = testbed.sim
 
+    obs = params.obs
     vids: Optional[Vids] = None
     if params.with_vids:
-        vids = Vids(sim=sim, config=params.vids_config)
+        vids = Vids(sim=sim, config=params.vids_config, obs=obs)
         testbed.attach_processor(vids)
+
+    if obs is not None and obs.registry is not None:
+        testbed.network.register_metrics(obs.registry)
+        testbed.vids_device.register_metrics(obs.registry)
 
     testbed.register_all()
     sim.run(until=REGISTRATION_LEAD)
@@ -196,8 +207,9 @@ def run_scenario(params: ScenarioParams) -> ScenarioResult:
     if params.fault_plan is not None:
         # links[0] is the router-B (perimeter) side: everything the inline
         # device inspects crosses it in both directions.
-        faulty_link = inject_faults(testbed.vids_device.links[0],
-                                    params.fault_plan)
+        faulty_link = inject_faults(
+            testbed.vids_device.links[0], params.fault_plan,
+            trace=obs.trace if obs is not None else None)
 
     for hook in params.hooks:
         hook(testbed, vids, sim)

@@ -11,7 +11,7 @@ from __future__ import annotations
 import enum
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 __all__ = ["AttackType", "Alert", "AlertManager"]
 
@@ -64,10 +64,14 @@ class AlertManager:
     def __init__(self) -> None:
         self.alerts: List[Alert] = []
         self.counts: Counter = Counter()
+        #: Hook invoked for every raised alert (call-scoped tracing).
+        self.on_alert: Optional[Callable[[Alert], None]] = None
 
     def raise_alert(self, alert: Alert) -> Alert:
         self.alerts.append(alert)
         self.counts[alert.attack_type] += 1
+        if self.on_alert is not None:
+            self.on_alert(alert)
         return alert
 
     def by_type(self, attack_type: AttackType) -> List[Alert]:

@@ -14,7 +14,7 @@ Figure-6 machines.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple, Union
 
 from ..efsm.events import Event
 from ..sip.constants import INVITE, OPTIONS, REGISTER
@@ -28,6 +28,9 @@ from .factbase import CallStateFactBase
 from .patterns.invite_flood import InviteFloodTracker
 from .patterns.media_spam import OrphanMediaTracker
 from .sync import RTP_MACHINE, SIP_MACHINE
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..obs import StageProfiler, TraceBus
 
 __all__ = ["EventDistributor", "sip_event_from_message", "rtp_event_from_packet"]
 
@@ -131,6 +134,8 @@ class EventDistributor:
         orphan_tracker: OrphanMediaTracker,
         clock_now,
         source_flood_tracker: Optional[InviteFloodTracker] = None,
+        trace: Optional["TraceBus"] = None,
+        profiler: Optional["StageProfiler"] = None,
     ):
         self.config = config
         self.factbase = factbase
@@ -141,6 +146,29 @@ class EventDistributor:
         self.source_flood_tracker = source_flood_tracker
         self.orphan_tracker = orphan_tracker
         self.clock_now = clock_now
+        #: Routing trace + per-stage profiler (None keeps the path bare).
+        self.trace = trace
+        self.profiler = profiler
+
+    def _route(self, classified: ClassifiedPacket, now: float,
+               outcome: str, call_id: Optional[str] = None,
+               **extra: Any) -> None:
+        """Emit one routing-decision event (only called when tracing)."""
+        self.trace.emit("route", now, call_id=call_id,
+                        packet_id=classified.datagram.packet_id,
+                        protocol=classified.kind.value, outcome=outcome,
+                        **extra)
+
+    def _inject(self, record, machine: str, event: Event):
+        """``system.inject`` wrapped in the 'fire' profiling stage."""
+        profiler = self.profiler
+        if profiler is None:
+            return record.system.inject(machine, event)
+        token = profiler.begin()
+        try:
+            return record.system.inject(machine, event)
+        finally:
+            profiler.commit("fire", token)
 
     def distribute(self, classified: ClassifiedPacket,
                    now: Optional[float] = None):
@@ -165,9 +193,12 @@ class EventDistributor:
         message = classified.sip
         assert message is not None
         datagram = classified.datagram
+        trace = self.trace
         call_id = message.call_id or ""
         if call_id and self.factbase.is_quarantined(call_id):
             self.factbase.metrics.quarantined_drops += 1
+            if trace is not None:
+                self._route(classified, now, "quarantined-drop", call_id)
             return None
         event = sip_event_from_message(
             message, (datagram.src.ip, datagram.src.port),
@@ -184,8 +215,12 @@ class EventDistributor:
                     to_addr.uri.address_of_record if to_addr else "?",
                     contact.uri.host if contact else None,
                     datagram.src.ip, datagram.dst.ip)
+            if trace is not None:
+                self._route(classified, now, "register-perimeter", call_id)
             return None
         if isinstance(message, SipRequest) and message.method == OPTIONS:
+            if trace is not None:
+                self._route(classified, now, "options-ignored", call_id)
             return None  # not call-scoped; outside the per-call machines
 
         call_id = str(event.get("call_id", ""))
@@ -209,10 +244,18 @@ class EventDistributor:
                     self.engine.note_stray_request(
                         message.method, call_id or None,
                         datagram.src.ip, datagram.dst.ip)
+                if trace is not None:
+                    self._route(classified, now, "stray-request", call_id,
+                                method=message.method)
                 return None
             else:
+                if trace is not None:
+                    self._route(classified, now, "stray-response", call_id)
                 return None  # stray response: nothing to correlate
-        record.system.inject(SIP_MACHINE, event)
+        if trace is not None:
+            self._route(classified, now, "inject", call_id,
+                        machine=SIP_MACHINE, event=event.name)
+        self._inject(record, SIP_MACHINE, event)
         self.factbase.refresh_media_index(record)
         self.factbase.touch(record, now)
         return record
@@ -233,20 +276,30 @@ class EventDistributor:
     def _distribute_rtp(self, classified: ClassifiedPacket,
                         now: float) -> None:
         datagram = classified.datagram
+        trace = self.trace
         destination = (datagram.dst.ip, datagram.dst.port)
         if destination in self.factbase.quarantined_media:
             # Lingering media of a quarantined call: drop from inspection
             # (still forwarded on the wire) rather than feeding the orphan
             # tracker with a stream we know the history of.
             self.factbase.metrics.quarantined_drops += 1
+            if trace is not None:
+                self._route(classified, now, "quarantined-media",
+                            self.factbase.quarantined_media.get(destination))
             return None
         match = self.factbase.lookup_media(destination)
         if match is None:
             event = rtp_event_from_packet(classified, "orphan", now)
             self.orphan_tracker.observe(destination, event)
+            if trace is not None:
+                self._route(classified, now, "orphan-media",
+                            dst=f"{destination[0]}:{destination[1]}")
             return None
         record, direction = match
         event = rtp_event_from_packet(classified, direction, now)
-        record.system.inject(RTP_MACHINE, event)
+        if trace is not None:
+            self._route(classified, now, "inject", record.call_id,
+                        machine=RTP_MACHINE, direction=direction)
+        self._inject(record, RTP_MACHINE, event)
         self.factbase.touch(record, now)
         return record

@@ -15,7 +15,10 @@ state, event) so retransmission storms don't multiply alerts.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..obs import TraceBus
 
 from ..efsm.machine import FiringResult
 from .alerts import Alert, AlertManager, AttackType
@@ -49,7 +52,8 @@ class AnalysisEngine:
 
     def __init__(self, config: VidsConfig, alerts: AlertManager,
                  clock_now,
-                 scenarios: Optional[AttackScenarioDatabase] = None) -> None:
+                 scenarios: Optional[AttackScenarioDatabase] = None,
+                 trace: Optional["TraceBus"] = None) -> None:
         self.config = config
         self.alerts = alerts
         self.clock_now = clock_now
@@ -57,6 +61,8 @@ class AnalysisEngine:
         self.deviations: List[FiringResult] = []
         self._deviation_keys: Set[Tuple] = set()
         self._stray_keys: Set[Tuple] = set()
+        #: Call-scoped trace bus (None keeps the hot path untouched).
+        self.trace = trace
 
     # -- state machine results ------------------------------------------------
 
@@ -107,6 +113,14 @@ class AnalysisEngine:
         key = (record.call_id, result.machine, result.from_state,
                result.event.name)
         if key in self._deviation_keys:
+            # Deduplicated repeat (retransmission storm): no alert, but the
+            # forensic timeline still records that the deviation happened.
+            if self.trace is not None:
+                self.trace.emit("deviation-suppressed", self.clock_now(),
+                                call_id=record.call_id,
+                                machine=result.machine,
+                                state=result.from_state,
+                                event=result.event.name)
             return
         self._deviation_keys.add(key)
         self.alerts.raise_alert(Alert(

@@ -12,10 +12,13 @@ also samples the per-call memory cost for the Section 7.3 accounting.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple
 
 from ..efsm.machine import FiringResult
 from ..efsm.system import EfsmSystem
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..obs import TraceBus
 from .config import VidsConfig
 from .metrics import VidsMetrics, estimate_state_bytes
 from .rtp_machine import build_rtp_machine
@@ -117,11 +120,14 @@ class CallStateFactBase:
         clock_now: Callable[[], float],
         timer_scheduler: Callable,
         metrics: Optional[VidsMetrics] = None,
+        trace: Optional["TraceBus"] = None,
     ):
         self.config = config
         self.clock_now = clock_now
         self.timer_scheduler = timer_scheduler
         self.metrics = metrics or VidsMetrics()
+        #: Call-scoped trace bus (None keeps the hot path untouched).
+        self.trace = trace
         # EFSM *definitions* are immutable; build them once and share them
         # across every call record (instances carry the per-call state).
         self._sip_definition = build_sip_machine(config)
@@ -207,6 +213,16 @@ class CallStateFactBase:
                 hook(_record, result)
 
         system.on_result = dispatch
+        trace = self.trace
+        if trace is not None:
+            # δ-messages: every output event a machine sends down a FIFO
+            # channel (or to the environment) lands on the call's timeline.
+            system.on_output = (
+                lambda sender, event, _cid=call_id, _trace=trace:
+                _trace.emit("delta", event.time, call_id=_cid,
+                            sender=sender, channel=event.channel,
+                            event=event.name))
+            trace.emit("call-created", record.created_at, call_id=call_id)
         self._dirty.add(record)
         self.records[call_id] = record
         self.metrics.calls_created += 1
@@ -267,6 +283,9 @@ class CallStateFactBase:
         self.metrics.call_memory_samples.append(
             (record.sip_state_bytes(), record.rtp_state_bytes()))
         self.metrics.calls_deleted += 1
+        if self.trace is not None:
+            self.trace.emit("call-deleted", self.clock_now(), call_id=call_id,
+                            states=record.system.states())
         record.system.cancel_all_timers()
         for key in record.media_keys:
             if self.media_index.get(key) == call_id:
@@ -294,6 +313,8 @@ class CallStateFactBase:
                 self.quarantined_media[key] = call_id
         self.quarantined[call_id] = self.clock_now()
         self.metrics.calls_quarantined += 1
+        if self.trace is not None:
+            self.trace.emit("quarantine", self.clock_now(), call_id=call_id)
         return self.delete(call_id)
 
     def touch(self, record: CallRecord,

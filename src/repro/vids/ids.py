@@ -14,7 +14,8 @@ datagrams directly — handy for unit tests and trace replay.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from functools import partial
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from ..netsim.engine import Simulator
 from ..netsim.packet import Datagram
@@ -30,6 +31,9 @@ from .factbase import CallStateFactBase
 from .metrics import VidsMetrics
 from .patterns.invite_flood import InviteFloodTracker
 from .patterns.media_spam import OrphanMediaTracker
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..obs import Observability
 
 __all__ = ["Vids"]
 
@@ -51,6 +55,7 @@ class Vids:
         config: VidsConfig = DEFAULT_CONFIG,
         clock_now: Optional[Callable[[], float]] = None,
         timer_scheduler: Optional[Callable] = None,
+        obs: Optional["Observability"] = None,
     ):
         if sim is not None:
             clock_now = lambda: sim.now  # noqa: E731 - simple adapter
@@ -62,13 +67,23 @@ class Vids:
         self.clock_now = clock_now
         self.timer_scheduler = timer_scheduler
 
+        #: Observability bundle (trace bus + metrics registry + profiler).
+        #: Every hot-path hook below is an ``is not None`` guard, so running
+        #: without one costs nothing beyond the checks.
+        self.obs = obs
+        self._trace = obs.trace if obs is not None else None
+        self._profiler = obs.profiler if obs is not None else None
+
         self.metrics = VidsMetrics()
         self.alert_manager = AlertManager()
         self.classifier = PacketClassifier()
         self.factbase = CallStateFactBase(config, clock_now, timer_scheduler,
-                                          self.metrics)
-        self.engine = AnalysisEngine(config, self.alert_manager, clock_now)
+                                          self.metrics, trace=self._trace)
+        self.engine = AnalysisEngine(config, self.alert_manager, clock_now,
+                                     trace=self._trace)
         self.factbase.on_result = self._on_result
+        if self._trace is not None:
+            self.alert_manager.on_alert = self._trace_alert
         self.flood_tracker = InviteFloodTracker(
             config.invite_flood_threshold, config.invite_flood_window,
             clock_now, timer_scheduler, on_attack=self.engine.note_flood)
@@ -84,7 +99,10 @@ class Vids:
         self.distributor = EventDistributor(
             config, self.factbase, self.engine, self.flood_tracker,
             self.orphan_tracker, clock_now,
-            source_flood_tracker=self.source_flood_tracker)
+            source_flood_tracker=self.source_flood_tracker,
+            trace=self._trace, profiler=self._profiler)
+        if obs is not None and obs.registry is not None:
+            self._register_metrics(obs.registry)
 
         # -- robustness state (docs/ROBUSTNESS.md) ---------------------------
         #: Mirror of the inline device's single-server queue: the absolute
@@ -108,6 +126,9 @@ class Vids:
         inline device (fail-open).
         """
         self.metrics.packets_processed += 1
+        profiler = self._profiler
+        if profiler is not None:
+            token = profiler.begin()
         try:
             classified = self.classifier.classify(datagram)
         except Exception as exc:  # crash containment, layer 1
@@ -118,6 +139,9 @@ class Vids:
                 None, exc, src_ip=datagram.src.ip, dst_ip=datagram.dst.ip)
             self.metrics.other_packets += 1
             return self._finish(self.config.other_processing_cost, now)
+        finally:
+            if profiler is not None:
+                profiler.commit("classify", token)
 
         if classified.kind is PacketKind.SIP:
             self.metrics.sip_messages += 1
@@ -138,6 +162,18 @@ class Vids:
         if classified.malformed is not None:
             self._note_malformed(classified.malformed, datagram.src.ip)
 
+        trace = self._trace
+        if trace is not None:
+            sip = classified.sip
+            trace.emit(
+                "classify", now,
+                call_id=sip.call_id if sip is not None else None,
+                packet_id=datagram.packet_id,
+                verdict=classified.kind.value,
+                malformed=classified.malformed,
+                src=f"{datagram.src.ip}:{datagram.src.port}",
+                dst=f"{datagram.dst.ip}:{datagram.dst.port}")
+
         if (self._shedding
                 and classified.kind in (PacketKind.RTP, PacketKind.RTCP)):
             # Signaling-only mode: media skips deep inspection and is
@@ -146,7 +182,7 @@ class Vids:
             cost = self.config.shed_processing_cost
         else:
             try:
-                self.distributor.distribute(classified, now)
+                self._distribute(classified, now)
             except (SipError, RtpParseError, RtcpParseError):
                 # Wire-parseable but semantically corrupted (e.g. a mangled
                 # URI or Via discovered during event extraction): malformed
@@ -162,6 +198,18 @@ class Vids:
         if self.metrics.packets_processed % _GC_EVERY == 0:
             self.factbase.collect_garbage()
         return self._finish(cost, now)
+
+    def _distribute(self, classified, now: float) -> None:
+        """Route one packet, timing the stage when profiling is on."""
+        profiler = self._profiler
+        if profiler is None:
+            self.distributor.distribute(classified, now)
+            return
+        token = profiler.begin()
+        try:
+            self.distributor.distribute(classified, now)
+        finally:
+            profiler.commit("distribute", token)
 
     # -- crash containment ----------------------------------------------------
 
@@ -222,9 +270,15 @@ class Vids:
             self._shed_started = now
             self.metrics.shed_events += 1
             self.engine.note_overload(backlog, config.shed_high_watermark)
+            if self._trace is not None:
+                self._trace.emit("shed-start", now, backlog=backlog,
+                                 watermark=config.shed_high_watermark)
         elif self._shedding and backlog <= config.shed_low_watermark:
             self._shedding = False
             self.metrics.shed_intervals.append((self._shed_started, now))
+            if self._trace is not None:
+                self._trace.emit("shed-stop", now, backlog=backlog,
+                                 since=self._shed_started)
         return cost
 
     @property
@@ -246,6 +300,12 @@ class Vids:
         a call only becomes fully final when the RTP machine's in-flight
         timer T fires, which may happen long after the last packet.
         """
+        if self._trace is not None:
+            self._trace.emit("fire", result.time, call_id=record.call_id,
+                             machine=result.machine, event=result.event.name,
+                             from_state=result.from_state,
+                             to_state=result.to_state,
+                             deviation=result.deviation, attack=result.attack)
         self.engine.handle_result(record, result)
         # all_final can only flip when a machine *changes* state (deviations
         # and self-loops leave every state where it was), so the O(machines)
@@ -263,6 +323,42 @@ class Vids:
         self.timer_scheduler(
             self.config.closed_record_linger,
             lambda: self.factbase.delete(call_id))
+
+    # -- observability ---------------------------------------------------------
+
+    def _trace_alert(self, alert: Alert) -> None:
+        """AlertManager hook: put every raised alert on the call timeline."""
+        self._trace.emit("alert", alert.time, call_id=alert.call_id,
+                         attack_type=alert.attack_type.value,
+                         machine=alert.machine, state=alert.state,
+                         source=alert.source, destination=alert.destination,
+                         detail=dict(alert.detail))
+
+    def _register_metrics(self, registry) -> None:
+        """Expose IDS counters/gauges through the obs metrics registry.
+
+        Everything is callback-backed: the hot path keeps its bare ``+=``
+        increments and the registry reads live values at collect time.
+        """
+        self.metrics.register_with(registry)
+        registry.gauge(
+            "vids_active_calls",
+            "Calls currently monitored in the fact base",
+        ).set_function(lambda: self.factbase.active_calls)
+        registry.gauge(
+            "vids_backlog_seconds",
+            "Unworked analysis CPU time (the shedding signal)",
+        ).set_function(self.backlog)
+        registry.gauge(
+            "vids_shedding",
+            "1 while RTP deep inspection is shed (signaling-only mode)",
+        ).set_function(lambda: 1 if self._shedding else 0)
+        alerts = registry.counter(
+            "vids_alerts_total", "Alerts raised, by attack type",
+            labelnames=("attack_type",))
+        for attack_type in AttackType:
+            alerts.labels(attack_type=attack_type.value).set_function(
+                partial(self.alert_manager.counts.__getitem__, attack_type))
 
     # -- inspection ----------------------------------------------------------
 

@@ -14,6 +14,7 @@ with the paper's C-struct-style accounting.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Any, Dict, List, Mapping
 
 __all__ = ["estimate_value_bytes", "estimate_state_bytes", "VidsMetrics"]
@@ -120,6 +121,51 @@ class VidsMetrics:
         if not self.call_memory_samples:
             return 0.0
         return sum(r for _, r in self.call_memory_samples) / len(self.call_memory_samples)
+
+    # Registry exposition tables: (field name, help text).  Counters are the
+    # monotonically increasing tallies; gauges are point-in-time or derived
+    # values.  All are exported via callbacks so the hot path keeps bare
+    # attribute increments and pays nothing for exposition.
+    _COUNTER_FIELDS = (
+        ("packets_processed", "Total packets handed to the IDS"),
+        ("sip_messages", "Well-formed SIP messages classified"),
+        ("rtp_packets", "RTP packets classified"),
+        ("rtcp_packets", "RTCP packets classified"),
+        ("other_packets", "Packets of no monitored protocol"),
+        ("malformed_packets", "Packets that failed protocol parsing"),
+        ("cpu_time", "Modelled IDS CPU seconds consumed"),
+        ("calls_created", "Call fact-base entries created"),
+        ("calls_deleted", "Call fact-base entries deleted"),
+        ("malformed_sip", "SIP parse failures"),
+        ("malformed_rtp", "RTP parse failures"),
+        ("malformed_rtcp", "RTCP parse failures"),
+        ("sdp_parse_failures", "SDP bodies that failed to parse"),
+        ("internal_errors", "Exceptions contained by crash containment"),
+        ("calls_quarantined", "Calls torn down by quarantine"),
+        ("quarantined_drops", "Packets dropped for quarantined calls"),
+        ("packets_shed", "Media packets shed during overload"),
+        ("shed_events", "Times overload shedding engaged"),
+    )
+    _GAUGE_FIELDS = (
+        ("peak_concurrent_calls", "High-water mark of concurrent calls"),
+        ("peak_state_bytes", "High-water mark of total per-call state bytes"),
+        ("mean_sip_state_bytes", "Mean SIP-side state bytes per deleted call"),
+        ("mean_rtp_state_bytes", "Mean RTP-side state bytes per deleted call"),
+        ("shed_time", "Seconds spent in completed shedding intervals"),
+    )
+
+    def register_with(self, registry: Any, prefix: str = "vids") -> None:
+        """Expose every counter/gauge through an obs ``MetricsRegistry``.
+
+        Samples are read live via callbacks at collect time, so the IDS hot
+        path keeps plain ``+=`` increments on this dataclass.
+        """
+        for name, help_text in self._COUNTER_FIELDS:
+            registry.counter(f"{prefix}_{name}", help_text).set_function(
+                partial(getattr, self, name))
+        for name, help_text in self._GAUGE_FIELDS:
+            registry.gauge(f"{prefix}_{name}", help_text).set_function(
+                partial(getattr, self, name))
 
     def summary(self) -> Dict[str, Any]:
         return {

@@ -13,9 +13,12 @@ re-running the network.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional
+from typing import TYPE_CHECKING, Iterable, List, Optional
 
 from ..efsm.system import ManualClock
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..obs import Observability
 from ..netsim.inline import NullProcessor, PacketProcessor
 from ..netsim.packet import Datagram
 from .config import DEFAULT_CONFIG, VidsConfig
@@ -56,17 +59,20 @@ class RecordingProcessor:
 
 
 def replay_trace(capture: Iterable[CapturedPacket],
-                 config: VidsConfig = DEFAULT_CONFIG) -> Vids:
+                 config: VidsConfig = DEFAULT_CONFIG,
+                 obs: Optional["Observability"] = None) -> Vids:
     """Re-run detection over a capture; returns the analysed Vids.
 
     The manual clock advances to each packet's original timestamp, so
     pattern timers (T, T1) and record lifetimes behave exactly as they
     would have online; after the last packet the clock runs one extra
-    linger period so pending timers resolve.
+    linger period so pending timers resolve.  Pass ``obs`` to trace the
+    replay — the natural place to build a forensic timeline, since the
+    capture is already scoped to the evidence window.
     """
     clock = ManualClock()
     vids = Vids(config=config, clock_now=clock.now,
-                timer_scheduler=clock.schedule)
+                timer_scheduler=clock.schedule, obs=obs)
     last_time = 0.0
     for packet in capture:
         if packet.time < clock.now():

@@ -33,6 +33,20 @@ def test_keep_payloads_false_strips_bytes():
     assert trace.records[0].datagram.src.ip == "1.1.1.1"
 
 
+def test_keep_payloads_false_preserves_packet_identity():
+    # Regression: the stripped copy used to mint a fresh packet_id from the
+    # global counter and reset hops, breaking correlation of the same
+    # packet across trace points.
+    trace = PacketTrace(keep_payloads=False)
+    original = make_datagram()
+    original.hops = 3
+    trace.observe(original, now=0.0)
+    stripped = trace.records[0].datagram
+    assert stripped.packet_id == original.packet_id
+    assert stripped.hops == 3
+    assert stripped.created_at == original.created_at
+
+
 def test_processor_interface_costs_nothing():
     trace = PacketTrace()
     assert trace.process(make_datagram(), 0.0) == 0.0

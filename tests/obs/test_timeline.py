@@ -1,0 +1,73 @@
+"""Unit tests for the forensic timeline renderer."""
+
+from repro.obs import TraceBus, format_event, render_timeline
+
+
+def _bus():
+    bus = TraceBus()
+    bus.emit("classify", 0.10, call_id="c1", packet_id=1, verdict="sip",
+             malformed=None, src="10.0.0.1:5060", dst="10.0.0.2:5060")
+    bus.emit("route", 0.10, call_id="c1", packet_id=1, protocol="sip",
+             outcome="inject", machine="sip", event="INVITE")
+    bus.emit("fire", 0.10, call_id="c1", machine="sip", event="INVITE",
+             from_state="Init", to_state="Call_Initiated",
+             deviation=False, attack=False)
+    bus.emit("delta", 0.10, call_id="c1", sender="sip",
+             channel="sip->rtp", event="delta_session_offer")
+    bus.emit("classify", 0.20, call_id="c2", packet_id=2, verdict="sip",
+             malformed=None, src="10.9.9.9:5060", dst="10.0.0.2:5060")
+    bus.emit("alert", 0.30, call_id="c1", attack_type="bye-dos",
+             machine="sip", state="ATTACK_Bye_DoS", source="10.9.9.9")
+    return bus
+
+
+class TestFormatEvent:
+    def test_known_kinds(self):
+        bus = _bus()
+        lines = [format_event(event) for event in bus.events()]
+        assert lines[0].startswith("classifier verdict: sip")
+        assert "[pkt #1]" in lines[0]
+        assert lines[1].startswith("distributor: sip -> inject")
+        assert "Init --INVITE--> Call_Initiated" in lines[2]
+        assert "δ sip ! delta_session_offer on sip->rtp" in lines[3]
+        assert "ALERT bye-dos" in lines[5]
+        assert "state=ATTACK_Bye_DoS" in lines[5]
+
+    def test_fire_flags(self):
+        bus = TraceBus()
+        bus.emit("fire", 0.0, machine="sip", event="BYE",
+                 from_state="Call_Established", to_state="ATTACK_Bye_DoS",
+                 deviation=True, attack=True)
+        assert "[DEVIATION, ATTACK]" in format_event(bus.events()[0])
+
+    def test_unknown_kind_falls_back_to_fields(self):
+        bus = TraceBus()
+        bus.emit("quarantine", 1.0, call_id="c1", reason="crash")
+        assert "quarantine" in format_event(bus.events()[0])
+        assert "reason=crash" in format_event(bus.events()[0])
+
+
+class TestRenderTimeline:
+    def test_scoped_to_call_and_time_ordered(self):
+        text = render_timeline(_bus().events(), call_id="c1")
+        assert "timeline for call c1: 5 events" in text
+        assert "10.9.9.9:5060" not in text  # c2's classify excluded
+        times = [line.split()[0] for line in text.splitlines()[1:]]
+        assert times == sorted(times)
+
+    def test_limit_keeps_tail_and_notes_truncation(self):
+        text = render_timeline(_bus().events(), call_id="c1", limit=2)
+        assert "... 3 earlier events omitted ..." in text
+        assert "ALERT bye-dos" in text
+        assert "classifier verdict" not in text
+
+    def test_empty_timeline(self):
+        assert "(no events)" in render_timeline([], call_id="nope")
+
+    def test_simultaneous_events_keep_emission_order(self):
+        text = render_timeline(_bus().events(), call_id="c1")
+        lines = text.splitlines()
+        classify_at = next(i for i, l in enumerate(lines)
+                           if "classifier verdict" in l)
+        fire_at = next(i for i, l in enumerate(lines) if "--INVITE-->" in l)
+        assert classify_at < fire_at

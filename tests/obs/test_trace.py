@@ -1,0 +1,136 @@
+"""Unit tests for the ring-buffered trace bus."""
+
+import json
+
+import pytest
+
+from repro.obs import DEFAULT_TRACE_CAPACITY, TraceBus
+
+
+class TestEmission:
+    def test_events_record_fields_and_data(self):
+        bus = TraceBus()
+        bus.emit("classify", 1.5, call_id="c1", packet_id=7, verdict="sip")
+        (event,) = bus.events()
+        assert event.kind == "classify"
+        assert event.time == 1.5
+        assert event.call_id == "c1"
+        assert event.packet_id == 7
+        assert event.data == {"verdict": "sip"}
+
+    def test_seq_is_monotonic(self):
+        bus = TraceBus()
+        for time in (3.0, 1.0, 2.0):  # out-of-order times, in-order seqs
+            bus.emit("x", time)
+        seqs = [event.seq for event in bus.events()]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == 3
+
+    def test_disabled_bus_records_nothing(self):
+        bus = TraceBus()
+        bus.enabled = False
+        bus.emit("classify", 0.0)
+        assert len(bus) == 0
+        assert bus.emitted == 0
+
+    def test_default_capacity(self):
+        assert TraceBus().capacity == DEFAULT_TRACE_CAPACITY
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            TraceBus(capacity=0)
+
+
+class TestRingEviction:
+    def test_oldest_events_evicted_at_capacity(self):
+        bus = TraceBus(capacity=4)
+        for index in range(10):
+            bus.emit("tick", float(index), n=index)
+        assert len(bus) == 4
+        assert [event.data["n"] for event in bus.events()] == [6, 7, 8, 9]
+
+    def test_dropped_counts_evictions(self):
+        bus = TraceBus(capacity=4)
+        for index in range(10):
+            bus.emit("tick", float(index))
+        assert bus.emitted == 10
+        assert bus.dropped == 6
+
+    def test_no_drops_below_capacity(self):
+        bus = TraceBus(capacity=8)
+        for index in range(5):
+            bus.emit("tick", float(index))
+        assert bus.dropped == 0
+
+    def test_clear_resets_buffer_and_counters(self):
+        bus = TraceBus(capacity=4)
+        for index in range(10):
+            bus.emit("tick", float(index))
+        bus.clear()
+        assert len(bus) == 0
+        assert bus.emitted == 0
+        assert bus.dropped == 0
+
+
+class TestFilters:
+    def _seed(self):
+        bus = TraceBus()
+        bus.emit("classify", 0.0, call_id="c1", packet_id=1)
+        bus.emit("route", 0.0, call_id="c1", packet_id=1)
+        bus.emit("classify", 0.1, call_id="c2", packet_id=2)
+        bus.emit("alert", 0.2, call_id="c1")
+        return bus
+
+    def test_filter_by_kind(self):
+        bus = self._seed()
+        assert len(bus.events(kind="classify")) == 2
+
+    def test_filter_by_call(self):
+        bus = self._seed()
+        kinds = [event.kind for event in bus.for_call("c1")]
+        assert kinds == ["classify", "route", "alert"]
+
+    def test_filter_by_packet(self):
+        bus = self._seed()
+        assert len(bus.events(packet_id=2)) == 1
+
+    def test_combined_filters(self):
+        bus = self._seed()
+        events = bus.events(kind="classify", call_id="c1")
+        assert len(events) == 1
+        assert events[0].packet_id == 1
+
+    def test_call_ids_first_seen_order(self):
+        bus = self._seed()
+        assert bus.call_ids() == ["c1", "c2"]
+
+
+class TestJsonl:
+    def test_round_trips_through_json(self):
+        bus = TraceBus()
+        bus.emit("classify", 0.5, call_id="c1", packet_id=3, verdict="sip",
+                 malformed=False)
+        bus.emit("alert", 1.0, call_id="c1", attack_type="bye-dos")
+        lines = bus.to_jsonl().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["kind"] == "classify"
+        assert first["call_id"] == "c1"
+        assert first["packet_id"] == 3
+        assert first["verdict"] == "sip"
+        second = json.loads(lines[1])
+        assert second["attack_type"] == "bye-dos"
+        assert "packet_id" not in second  # omitted when uncorrelated
+
+    def test_exotic_values_stringified(self):
+        bus = TraceBus()
+        bus.emit("fault", 0.0, detail={"states": ("a", "b")}, obj=object())
+        for line in bus.to_jsonl().splitlines():
+            json.loads(line)  # must not raise
+
+    def test_explicit_event_subset(self):
+        bus = TraceBus()
+        bus.emit("a", 0.0)
+        bus.emit("b", 1.0)
+        text = bus.to_jsonl(bus.events(kind="b"))
+        assert json.loads(text)["kind"] == "b"

@@ -26,6 +26,30 @@ def test_jitter_filter_converges_toward_variation():
     assert 0.003 < estimator.jitter_seconds < 0.006
 
 
+def test_timestamp_wraparound_keeps_filter_continuous():
+    # Regression: a perfectly paced stream crossing the 2^32 timestamp wrap
+    # used to produce one |D| ~= 2^32 spike that poisoned the RFC 3550
+    # filter for ~16 samples.  With mod-2^32 unwrapping the estimate stays
+    # exactly zero through the wrap.
+    estimator = JitterEstimator(clock_rate=8000)
+    start = 2 ** 32 - 5 * 160  # five packets before the wrap
+    for index in range(20):
+        estimator.update(arrival_time=index * 0.02,
+                         rtp_timestamp=(start + index * 160) % 2 ** 32)
+    assert estimator.jitter_seconds == pytest.approx(0.0, abs=1e-9)
+
+
+def test_timestamp_wraparound_preserves_real_jitter():
+    # Genuine 5 ms wobble must still register across the wrap boundary.
+    estimator = JitterEstimator(clock_rate=8000)
+    start = 2 ** 32 - 250 * 160
+    for index in range(500):
+        wobble = 0.005 if index % 2 else 0.0
+        estimator.update(index * 0.02 + wobble,
+                         (start + index * 160) % 2 ** 32)
+    assert 0.003 < estimator.jitter_seconds < 0.006
+
+
 def test_single_packet_has_no_jitter():
     estimator = JitterEstimator(clock_rate=8000)
     estimator.update(1.0, 160)
@@ -62,8 +86,26 @@ class TestDelayStats:
         stats = DelayStats()
         for value in range(100):
             stats.add(value / 100)
-        assert stats.percentile(0.5) == pytest.approx(0.5)
-        assert stats.percentile(0.95) == pytest.approx(0.95)
+        # Nearest rank: the k-th percentile of 100 samples is the
+        # ceil(k)-th smallest value.
+        assert stats.percentile(0.5) == pytest.approx(0.49)
+        assert stats.percentile(0.95) == pytest.approx(0.94)
+        assert stats.percentile(1.0) == pytest.approx(0.99)
+
+    def test_percentile_nearest_rank_edges(self):
+        # Regression: int(fraction * n) floored to the wrong rank —
+        # percentile(0.5) of two samples returned the max, and
+        # percentile(1.0) only landed in range via clamping.
+        stats = DelayStats()
+        stats.add(0.2)
+        stats.add(0.8)
+        assert stats.percentile(0.5) == pytest.approx(0.2)
+        assert stats.percentile(0.0) == pytest.approx(0.2)
+        assert stats.percentile(1.0) == pytest.approx(0.8)
+        single = DelayStats()
+        single.add(0.3)
+        for fraction in (0.0, 0.5, 1.0):
+            assert single.percentile(fraction) == pytest.approx(0.3)
 
     @given(st.lists(st.floats(min_value=0, max_value=1, allow_nan=False),
                     min_size=2, max_size=50))
