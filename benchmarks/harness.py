@@ -46,6 +46,10 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: Default selection: every benchmark that measures a steady-state rate.
 RATE_BENCHMARKS = [
+    # The sharded and single-pipeline RTP runs are measured back-to-back:
+    # the two are compared against each other (docs/SCALING.md) and box
+    # throttling drifts minute to minute.
+    "benchmarks/test_scale_throughput.py::test_sharded_batch_throughput",
     "benchmarks/test_scale_throughput.py::test_rtp_analysis_throughput",
     "benchmarks/test_scale_throughput.py::test_sip_analysis_throughput",
     "benchmarks/test_micro_pipeline.py",

@@ -26,6 +26,7 @@ SDP = ("v=0\r\no=- 1 1 IN IP4 10.1.0.11\r\ns=c\r\nc=IN IP4 10.1.0.11\r\n"
 KEEP_UP_THRESHOLDS = {
     "test_rtp_analysis_throughput": 20_000,   # RTP packets/s
     "test_sip_analysis_throughput": 1_000,    # INVITE messages/s
+    "test_sharded_batch_throughput": 20_000,  # RTP packets/s, 4 shards
 }
 
 #: Measurement rounds per benchmark; ``benchmarks/harness.py --rounds`` and
@@ -119,3 +120,59 @@ def test_thousand_concurrent_calls(benchmark):
           f"{total_bytes / 1e3:.0f} kB monitoring state")
     assert active == 1000
     assert vids.alerts == []  # distinct callees: no flood tripped
+
+
+def test_sharded_batch_throughput(benchmark):
+    """Sharded analysis rate through the batched ingestion path.
+
+    Four concurrent calls, one per shard (Call-IDs chosen so the CRC-32
+    assignment covers all four shards), media interleaved round-robin in
+    one time-ordered batch.  The serial backend on one core measures the
+    facade's routing overhead against ``test_rtp_analysis_throughput``;
+    docs/SCALING.md covers the multi-core process-pool backend.
+    """
+    from repro.vids import ShardedVids, shard_for_call
+
+    call_ids = ("shard0@bench", "shard2@bench", "shard6@bench",
+                "shard4@bench")
+    assert sorted(shard_for_call(c, 4) for c in call_ids) == [0, 1, 2, 3]
+
+    clock = ManualClock()
+    sharded = ShardedVids(shards=4, config=DEFAULT_CONFIG,
+                          clock_now=clock.now, timer_scheduler=clock.schedule)
+    for index, call_id in enumerate(call_ids):
+        setup_call(sharded, clock, call_id=call_id,
+                   media_port=20_000 + 2 * index)
+    assert len(sharded.media_routes) == 4
+
+    state = {"base": 0.0, "seq": 0}
+
+    def build_batch():
+        base = state["base"]
+        items = []
+        for index in range(2000):
+            state["seq"] += 1
+            packet = RtpPacket(18, state["seq"] & 0xFFFF,
+                               state["seq"] * 160, 0xAA, payload=bytes(20))
+            items.append((
+                Datagram(Endpoint("10.2.0.11", 20_002),
+                         Endpoint("10.1.0.11", 20_000 + 2 * (index % 4)),
+                         packet.serialize()),
+                base + 0.02 * (index + 1),
+            ))
+        state["base"] = base + 0.02 * 2000 + 1.0
+        return (items,), {}
+
+    def burst(items):
+        sharded.process_batch(items, clock=clock)
+
+    benchmark.extra_info["ops"] = 2000
+    benchmark.pedantic(burst, setup=build_batch, rounds=ROUNDS, iterations=1)
+    rate = 2000 / benchmark.stats["mean"]
+    print(f"\nSharded RTP batch rate: {rate:,.0f} packets/s of real time "
+          f"(4 shards, serial backend)")
+    assert sharded.metrics.rtp_packets >= 2000 * ROUNDS
+    # Every packet matched a media route: none fell to the orphan path.
+    per_shard = [s.metrics.rtp_packets for s in sharded.shards]
+    assert all(count > 0 for count in per_shard)
+    assert rate > KEEP_UP_THRESHOLDS["test_sharded_batch_throughput"]

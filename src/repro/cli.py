@@ -84,6 +84,10 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--sort", choices=("cumulative", "tottime"),
                       default="cumulative",
                       help="pstats sort order (default cumulative)")
+    perf.add_argument("--shards", type=int, default=1,
+                      help="profile through a ShardedVids facade with N "
+                           "analysis shards (default 1: plain Vids; "
+                           "docs/SCALING.md)")
 
     trace = sub.add_parser(
         "trace",
@@ -114,6 +118,10 @@ def build_parser() -> argparse.ArgumentParser:
                             " ('-' for stdout)")
     trace.add_argument("--profile", action="store_true",
                        help="enable per-stage profiling and print the report")
+    trace.add_argument("--shards", type=int, default=1,
+                       help="run the scenario's IDS as a ShardedVids facade "
+                            "with N analysis shards (default 1; "
+                            "docs/SCALING.md)")
 
     return parser
 
@@ -293,16 +301,24 @@ def _cmd_perf(args) -> int:
     from .netsim import Datagram, Endpoint
     from .rtp import RtpPacket
     from .sip import SipRequest
-    from .vids import DEFAULT_CONFIG, Vids
+    from .vids import DEFAULT_CONFIG, ShardedVids, Vids
 
     sdp = ("v=0\r\no=- 1 1 IN IP4 10.1.0.11\r\ns=c\r\n"
            "c=IN IP4 10.1.0.11\r\nt=0 0\r\nm=audio {port} RTP/AVP 18\r\n"
            "a=rtpmap:18 G729/8000\r\n")
     clock = ManualClock()
-    vids = Vids(config=DEFAULT_CONFIG, clock_now=clock.now,
-                timer_scheduler=clock.schedule)
+    if args.shards > 1:
+        vids = ShardedVids(shards=args.shards, config=DEFAULT_CONFIG,
+                           clock_now=clock.now,
+                           timer_scheduler=clock.schedule)
+    else:
+        vids = Vids(config=DEFAULT_CONFIG, clock_now=clock.now,
+                    timer_scheduler=clock.schedule)
 
     def workload() -> None:
+        # Each call: one INVITE-with-SDP, then the RTP burst through the
+        # batched ingestion path (the sharded facade's bulk entry point;
+        # for plain Vids it is the same per-packet loop).
         for index in range(args.calls):
             port = 20_000 + 2 * (index % 1000)
             invite = SipRequest("INVITE", "sip:bob@b.example.com",
@@ -319,13 +335,16 @@ def _cmd_perf(args) -> int:
             vids.process(Datagram(Endpoint("10.1.0.1", 5060),
                                   Endpoint("10.2.0.1", 5060),
                                   invite.serialize()), clock.now())
+            base = clock.now()
+            burst = []
             for seq in range(args.rtp_per_call):
                 packet = RtpPacket(18, seq + 1, (seq + 1) * 160,
                                    0xAA00 + index, payload=bytes(20))
-                clock.advance(0.02)
-                vids.process(Datagram(Endpoint("10.2.0.11", 30_000),
-                                      Endpoint("10.1.0.11", port),
-                                      packet.serialize()), clock.now())
+                burst.append((Datagram(Endpoint("10.2.0.11", 30_000),
+                                       Endpoint("10.1.0.11", port),
+                                       packet.serialize()),
+                              base + 0.02 * (seq + 1)))
+            vids.process_batch(burst, clock=clock)
 
     profile = cProfile.Profile()
     profile.enable()
@@ -333,7 +352,8 @@ def _cmd_perf(args) -> int:
     profile.disable()
 
     packets = args.calls * (1 + args.rtp_per_call)
-    print(f"profiled {args.calls} calls / {packets} packets "
+    shard_note = f", {args.shards} shards" if args.shards > 1 else ""
+    print(f"profiled {args.calls} calls / {packets} packets{shard_note} "
           f"({vids.metrics.sip_messages} SIP, {vids.metrics.rtp_packets} RTP "
           f"analyzed, {len(vids.alerts)} alerts)\n")
     stats = pstats.Stats(profile, stream=sys.stdout)
@@ -371,7 +391,8 @@ def _cmd_trace(args) -> int:
         testbed=TestbedParams(seed=args.seed, phones_per_network=4),
         workload=WorkloadParams(mean_interarrival=25.0, mean_duration=400.0,
                                 horizon=args.horizon),
-        with_vids=True, attacks=attacks, drain_time=90.0, obs=obs))
+        with_vids=True, attacks=attacks, drain_time=90.0, obs=obs,
+        shards=args.shards))
     vids = result.vids
 
     call_id = args.call_id

@@ -12,11 +12,21 @@ import struct
 from dataclasses import dataclass
 from typing import Optional, Union
 
-__all__ = ["SenderReport", "ReceiverReport", "ReportBlock", "parse_rtcp",
-           "RtcpParseError", "RTCP_SR", "RTCP_RR"]
+__all__ = ["SenderReport", "ReceiverReport", "ReportBlock", "ControlPacket",
+           "parse_rtcp", "RtcpParseError", "RTCP_SR", "RTCP_RR", "RTCP_SDES",
+           "RTCP_BYE", "RTCP_APP", "RTCP_PACKET_TYPES"]
 
 RTCP_SR = 200
 RTCP_RR = 201
+RTCP_SDES = 202
+RTCP_BYE = 203
+RTCP_APP = 204
+
+#: Every packet-type octet RFC 3550 assigns to control packets.  These alias
+#: into RTP payload types 72–76 with the marker bit set — values §5.1 keeps
+#: out of RTP exactly so a classifier can tell the two apart from one octet.
+RTCP_PACKET_TYPES = frozenset(
+    (RTCP_SR, RTCP_RR, RTCP_SDES, RTCP_BYE, RTCP_APP))
 
 _RTCP_VERSION = 2
 
@@ -106,14 +116,44 @@ class ReceiverReport:
         return header + body
 
 
-def parse_rtcp(data: bytes) -> Union[SenderReport, ReceiverReport]:
-    """Parse an SR or RR packet; raises :class:`RtcpParseError` otherwise."""
-    if len(data) < 8:
+@dataclass
+class ControlPacket:
+    """A structurally validated SDES, BYE, or APP packet (§6.5–§6.7).
+
+    The body is kept opaque: the IDS only needs the packet *classified* as
+    control traffic (a standalone BYE misread as RTP would feed the media
+    machine), not its item list decoded.
+    """
+
+    packet_type: int          # RTCP_SDES | RTCP_BYE | RTCP_APP
+    count: int                # SC (SDES/BYE) or subtype (APP), 0..31
+    body: bytes = b""
+
+    def serialize(self) -> bytes:
+        padded = self.body + bytes(-len(self.body) % 4)
+        length_words = len(padded) // 4  # header itself excluded per RFC
+        header = struct.pack("!BBH",
+                             (_RTCP_VERSION << 6) | (self.count & 0x1F),
+                             self.packet_type, length_words)
+        return header + padded
+
+
+def parse_rtcp(
+        data: bytes) -> Union[SenderReport, ReceiverReport, ControlPacket]:
+    """Parse one RTCP packet; raises :class:`RtcpParseError` otherwise.
+
+    SR/RR are decoded into their report fields; SDES/BYE/APP are validated
+    structurally (version, declared length vs. actual bytes) and returned
+    as opaque :class:`ControlPacket` instances.
+    """
+    if len(data) < 4:
         raise RtcpParseError("RTCP packet too short")
-    byte0, packet_type, _length = struct.unpack("!BBH", data[:4])
+    byte0, packet_type, length_words = struct.unpack("!BBH", data[:4])
     if byte0 >> 6 != _RTCP_VERSION:
         raise RtcpParseError(f"bad RTCP version: {byte0 >> 6}")
     count = byte0 & 0x1F
+    if packet_type in (RTCP_SR, RTCP_RR) and len(data) < 8:
+        raise RtcpParseError("RTCP packet too short")
     if packet_type == RTCP_SR:
         if len(data) < 28:
             raise RtcpParseError("SR too short")
@@ -124,4 +164,14 @@ def parse_rtcp(data: bytes) -> Union[SenderReport, ReceiverReport]:
         ssrc = struct.unpack("!I", data[4:8])[0]
         report = ReportBlock.parse(data[8:]) if count else None
         return ReceiverReport(ssrc, report)
+    if packet_type in (RTCP_SDES, RTCP_BYE, RTCP_APP):
+        declared = 4 * (length_words + 1)
+        if len(data) < declared:
+            raise RtcpParseError(
+                f"truncated RTCP packet type {packet_type}: "
+                f"declares {declared} bytes, got {len(data)}")
+        if packet_type == RTCP_APP and declared < 12:
+            # APP carries a mandatory SSRC + 4-byte name after the header.
+            raise RtcpParseError("APP too short")
+        return ControlPacket(packet_type, count, data[4:declared])
     raise RtcpParseError(f"unsupported RTCP packet type: {packet_type}")

@@ -15,7 +15,7 @@ pattern, making the comparison paired.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Union
 
 from ..netsim.faults import FaultyLink, inject_faults
 
@@ -23,6 +23,7 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from ..obs import Observability
 from ..vids.config import DEFAULT_CONFIG, VidsConfig
 from ..vids.ids import Vids
+from ..vids.sharding import ShardedVids
 from .callgen import CallWorkload, WorkloadParams
 from .enterprise import EnterpriseTestbed, TestbedParams, build_testbed
 from .phone import CallRecordStats
@@ -57,6 +58,10 @@ class ScenarioParams:
     #: Observability bundle (trace bus + metrics registry + profiler)
     #: threaded through vids, the fault layer, and the netsim gauges.
     obs: Optional["Observability"] = None
+    #: Analysis shards: 1 runs the classic single pipeline; N > 1 installs
+    #: a :class:`~repro.vids.sharding.ShardedVids` facade on the inline
+    #: device instead (docs/SCALING.md).
+    shards: int = 1
 
 
 @dataclass
@@ -65,7 +70,7 @@ class ScenarioResult:
 
     params: ScenarioParams
     calls: List[CallRecordStats]
-    vids: Optional[Vids]
+    vids: Optional[Union[Vids, ShardedVids]]
     cpu_utilization: float
     elapsed: float
     workload: CallWorkload
@@ -174,9 +179,13 @@ def run_scenario(params: ScenarioParams) -> ScenarioResult:
     sim = testbed.sim
 
     obs = params.obs
-    vids: Optional[Vids] = None
+    vids: Optional[Union[Vids, ShardedVids]] = None
     if params.with_vids:
-        vids = Vids(sim=sim, config=params.vids_config, obs=obs)
+        if params.shards > 1:
+            vids = ShardedVids(shards=params.shards, sim=sim,
+                               config=params.vids_config, obs=obs)
+        else:
+            vids = Vids(sim=sim, config=params.vids_config, obs=obs)
         testbed.attach_processor(vids)
 
     if obs is not None and obs.registry is not None:
@@ -216,6 +225,11 @@ def run_scenario(params: ScenarioParams) -> ScenarioResult:
 
     end_time = base + params.workload.horizon + params.drain_time
     testbed.network.run(until=end_time)
+
+    if vids is not None:
+        # Close the books on a shedding interval still open at the end of
+        # the run, so shed_time reflects it (docs/ROBUSTNESS.md).
+        vids.flush_shed_interval()
 
     calls: List[CallRecordStats] = []
     for phone in testbed.phones_a + testbed.phones_b:

@@ -31,6 +31,7 @@ from .patterns import (
     build_media_spam_machine,
 )
 from .replay import CapturedPacket, RecordingProcessor, replay_trace
+from .sharding import ShardedVids, shard_for_call
 from .rtp_machine import RTP_ATTACK_STATES, RTP_STATES, build_rtp_machine
 from .scenarios import (
     AttackScenario,
@@ -78,6 +79,8 @@ __all__ = [
     "RTP_MACHINE",
     "RTP_STATES",
     "SIP_ATTACK_STATES",
+    "ShardedVids",
+    "shard_for_call",
     "SIP_MACHINE",
     "SIP_STATES",
     "SIP_TO_RTP",

@@ -14,8 +14,8 @@ from dataclasses import dataclass
 from typing import Optional, Union
 
 from ..netsim.packet import Datagram
-from ..rtp.packet import RtpPacket, RtpParseError, looks_like_rtp
-from ..rtp.rtcp import RtcpParseError, parse_rtcp
+from ..rtp.packet import RTP_VERSION, RtpPacket, RtpParseError, looks_like_rtp
+from ..rtp.rtcp import RTCP_PACKET_TYPES, RtcpParseError, parse_rtcp
 from ..sip.constants import DEFAULT_SIP_PORT
 from ..sip.errors import SipParseError
 from ..sip.message import SipRequest, SipResponse, is_sip_payload, parse_message
@@ -84,16 +84,21 @@ class PacketClassifier:
                                             malformed=malformed)
                 # fall through: maybe binary media on a non-SIP port
 
+        # RTCP shares the version bits; its packet-type octet (200–204:
+        # SR/RR/SDES/BYE/APP) would alias to RTP payload types 72–76 with
+        # the marker bit set, values excluded from RTP by RFC 3550 §5.1 —
+        # check the whole RTCP range first.  The RTCP floor is its own
+        # 4-byte header, not the 12-byte RTP header: a minimal BYE or SDES
+        # is shorter than any RTP packet.
+        if (len(payload) >= 4 and (payload[0] >> 6) == RTP_VERSION
+                and payload[1] in RTCP_PACKET_TYPES):
+            try:
+                parse_rtcp(payload)
+                return ClassifiedPacket(datagram, PacketKind.RTCP)
+            except RtcpParseError:
+                malformed = "rtcp"
+
         if looks_like_rtp(payload):
-            # RTCP shares the version bits; its packet-type octet (200/201)
-            # would alias to RTP payload types 72/73 with the marker bit set,
-            # values excluded from RTP by RFC 3550 §5.1 — check RTCP first.
-            if len(payload) >= 2 and payload[1] in (200, 201):
-                try:
-                    parse_rtcp(payload)
-                    return ClassifiedPacket(datagram, PacketKind.RTCP)
-                except RtcpParseError:
-                    malformed = "rtcp"
             try:
                 packet = RtpPacket.parse(payload)
                 return ClassifiedPacket(datagram, PacketKind.RTP, rtp=packet)

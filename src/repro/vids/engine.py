@@ -81,15 +81,17 @@ class AnalysisEngine:
             "event": result.event.name,
         }
         if state == ATTACK_AFTER_CLOSE:
-            bye_src = str(record.system.globals.get("g_bye_src_ip", ""))
-            packet_src = str(result.event.get("src_ip", ""))
-            if bye_src and packet_src == bye_src:
+            variables = record.system.globals
+            bye_src = str(variables.get("g_bye_src_ip", ""))
+            bye_port = int(variables.get("g_bye_src_port", 0) or 0)
+            if self._media_from_bye_sender(variables, result.event):
                 attack_type = AttackType.TOLL_FRAUD
                 detail["reason"] = "BYE sender continued sending media"
             else:
                 attack_type = AttackType.BYE_DOS
                 detail["reason"] = "media arriving after session teardown"
             detail["bye_src_ip"] = bye_src
+            detail["bye_src_port"] = bye_port
         if attack_type is None:
             attack_type = AttackType.SPEC_DEVIATION
             detail["reason"] = f"unmapped attack state {state}"
@@ -107,6 +109,36 @@ class AnalysisEngine:
             state=state,
             detail=detail,
         ))
+
+    @staticmethod
+    def _media_from_bye_sender(variables, event) -> bool:
+        """Does the after-close media come from the UA that sent the BYE?
+
+        The Figure-5 attribution: toll fraud only when the BYE *sender*
+        keeps transmitting.  Comparing the source IP alone conflates
+        distinct UAs behind one NAT address, so the full ``(ip, port)``
+        pair is matched — the media must come from the BYE sender's
+        signaling port or from a media endpoint that sender negotiated at
+        the same address (a UA's RTP leaves its RTP port, not its SIP
+        port).  When no BYE port was recorded (pre-upgrade state, unit
+        fixtures) the IP-only comparison decides, as before.
+        """
+        bye_ip = str(variables.get("g_bye_src_ip", "") or "")
+        if not bye_ip or str(event.get("src_ip", "") or "") != bye_ip:
+            return False
+        bye_port = int(variables.get("g_bye_src_port", 0) or 0)
+        if not bye_port:
+            return True
+        src_port = int(event.get("src_port", 0) or 0)
+        if src_port == bye_port:
+            return True
+        for addr_key, port_key in (("g_offer_addr", "g_offer_port"),
+                                   ("g_answer_addr", "g_answer_port")):
+            if (str(variables.get(addr_key, "") or "") == bye_ip
+                    and src_port == int(variables.get(port_key, 0) or 0)
+                    and src_port):
+                return True
+        return False
 
     def _note_deviation(self, record: CallRecord, result: FiringResult) -> None:
         self.deviations.append(result)

@@ -159,6 +159,16 @@ class CallStateFactBase:
         self.quarantined_media: Dict[MediaKey, str] = {}
         #: Hook: called for every firing result of every call system.
         self.on_result: Optional[Callable[[CallRecord, FiringResult], None]] = None
+        #: Hook: media-index change notifications, ``hook(key, call_id)``
+        #: when a negotiated (addr, port) endpoint is indexed to a call and
+        #: ``hook(key, None)`` when it is retired.  A sharding facade uses
+        #: this to keep its media routing table in sync
+        #: (:class:`~repro.vids.sharding.ShardedVids`); retirement is *not*
+        #: signalled while the key is quarantined, so lingering media of a
+        #: quarantined call still reaches the shard that owns the
+        #: deny-list entry.
+        self.on_media_route: Optional[
+            Callable[[MediaKey, Optional[str]], None]] = None
 
     def __len__(self) -> int:
         return len(self.records)
@@ -240,11 +250,16 @@ class CallStateFactBase:
         endpoints = record.media_endpoints()
         if endpoints == record.media_map:
             return
+        hook = self.on_media_route
         for key in record.media_keys - set(endpoints):
             if self.media_index.get(key) == record.call_id:
                 del self.media_index[key]
+                if hook is not None:
+                    hook(key, None)
             self._media_match.pop(key, None)
         for key, direction in endpoints.items():
+            if hook is not None and self.media_index.get(key) != record.call_id:
+                hook(key, record.call_id)
             self.media_index[key] = record.call_id
             self._media_match[key] = (record, direction)
         record.media_keys = set(endpoints)
@@ -287,9 +302,12 @@ class CallStateFactBase:
             self.trace.emit("call-deleted", self.clock_now(), call_id=call_id,
                             states=record.system.states())
         record.system.cancel_all_timers()
+        hook = self.on_media_route
         for key in record.media_keys:
             if self.media_index.get(key) == call_id:
                 del self.media_index[key]
+                if hook is not None and key not in self.quarantined_media:
+                    hook(key, None)
             match = self._media_match.get(key)
             if match is not None and match[0] is record:
                 del self._media_match[key]
@@ -340,9 +358,14 @@ class CallStateFactBase:
             self.delete(call_id)
         expired = [call_id for call_id, since in self.quarantined.items()
                    if now - since > self.config.call_record_ttl]
+        hook = self.on_media_route
         for call_id in expired:
             del self.quarantined[call_id]
             for key in [k for k, cid in self.quarantined_media.items()
                         if cid == call_id]:
                 del self.quarantined_media[key]
+                # Retire the route only if no live call re-negotiated the
+                # endpoint while the quarantine entry was pinning it.
+                if hook is not None and key not in self.media_index:
+                    hook(key, None)
         return len(stale)

@@ -56,7 +56,21 @@ class Vids:
         clock_now: Optional[Callable[[], float]] = None,
         timer_scheduler: Optional[Callable] = None,
         obs: Optional["Observability"] = None,
+        flood_tracker: Optional[InviteFloodTracker] = None,
+        source_flood_tracker: Optional[InviteFloodTracker] = None,
+        orphan_tracker: Optional[OrphanMediaTracker] = None,
+        register_metrics: bool = True,
     ):
+        """Build the pipeline.
+
+        The cross-call trackers (INVITE flood per target, per claimed
+        source, orphan media) default to fresh instances; a sharded
+        deployment passes shared ones so rate patterns that span calls
+        keep seeing the aggregate stream
+        (:class:`~repro.vids.sharding.ShardedVids`).  ``register_metrics``
+        lets that facade suppress the per-instance registry registration
+        and export per-shard labelled families instead.
+        """
         if sim is not None:
             clock_now = lambda: sim.now  # noqa: E731 - simple adapter
             timer_scheduler = lambda delay, fn: sim.schedule(delay, fn)  # noqa: E731 - simple adapter
@@ -84,24 +98,27 @@ class Vids:
         self.factbase.on_result = self._on_result
         if self._trace is not None:
             self.alert_manager.on_alert = self._trace_alert
-        self.flood_tracker = InviteFloodTracker(
-            config.invite_flood_threshold, config.invite_flood_window,
-            clock_now, timer_scheduler, on_attack=self.engine.note_flood)
-        self.source_flood_tracker = InviteFloodTracker(
-            config.invite_source_threshold, config.invite_flood_window,
-            clock_now, timer_scheduler,
-            on_attack=self.engine.note_reflection)
-        self.orphan_tracker = OrphanMediaTracker(
-            config.media_spam_seq_gap, config.media_spam_ts_gap,
-            config.unsolicited_media_threshold, clock_now,
-            on_spam=self.engine.note_orphan_spam,
-            on_unsolicited=self.engine.note_unsolicited)
+        self.flood_tracker = flood_tracker if flood_tracker is not None \
+            else InviteFloodTracker(
+                config.invite_flood_threshold, config.invite_flood_window,
+                clock_now, timer_scheduler, on_attack=self.engine.note_flood)
+        self.source_flood_tracker = source_flood_tracker \
+            if source_flood_tracker is not None else InviteFloodTracker(
+                config.invite_source_threshold, config.invite_flood_window,
+                clock_now, timer_scheduler,
+                on_attack=self.engine.note_reflection)
+        self.orphan_tracker = orphan_tracker if orphan_tracker is not None \
+            else OrphanMediaTracker(
+                config.media_spam_seq_gap, config.media_spam_ts_gap,
+                config.unsolicited_media_threshold, clock_now,
+                on_spam=self.engine.note_orphan_spam,
+                on_unsolicited=self.engine.note_unsolicited)
         self.distributor = EventDistributor(
             config, self.factbase, self.engine, self.flood_tracker,
             self.orphan_tracker, clock_now,
             source_flood_tracker=self.source_flood_tracker,
             trace=self._trace, profiler=self._profiler)
-        if obs is not None and obs.registry is not None:
+        if register_metrics and obs is not None and obs.registry is not None:
             self._register_metrics(obs.registry)
 
         # -- robustness state (docs/ROBUSTNESS.md) ---------------------------
@@ -125,7 +142,6 @@ class Vids:
         ``ids-internal`` alert; the packet is still forwarded by the
         inline device (fail-open).
         """
-        self.metrics.packets_processed += 1
         profiler = self._profiler
         if profiler is not None:
             token = profiler.begin()
@@ -134,15 +150,36 @@ class Vids:
         except Exception as exc:  # crash containment, layer 1
             if not self.config.crash_containment:
                 raise
-            self.metrics.internal_errors += 1
-            self.engine.note_internal_error(
-                None, exc, src_ip=datagram.src.ip, dst_ip=datagram.dst.ip)
-            self.metrics.other_packets += 1
-            return self._finish(self.config.other_processing_cost, now)
+            return self.contain_classifier_error(datagram, exc, now)
         finally:
             if profiler is not None:
                 profiler.commit("classify", token)
+        return self.process_classified(classified, now)
 
+    def contain_classifier_error(self, datagram: Datagram, exc: Exception,
+                                 now: float) -> float:
+        """Crash containment, layer 1: account a classifier exception.
+
+        Split out of :meth:`process` so a sharding facade that classifies
+        centrally can delegate containment to its default shard.
+        """
+        self.metrics.packets_processed += 1
+        self.metrics.internal_errors += 1
+        self.engine.note_internal_error(
+            None, exc, src_ip=datagram.src.ip, dst_ip=datagram.dst.ip)
+        self.metrics.other_packets += 1
+        return self._finish(self.config.other_processing_cost, now)
+
+    def process_classified(self, classified, now: float) -> float:
+        """Analyse an already-classified packet; returns its CPU cost.
+
+        This is the post-classifier tail of :meth:`process` — the entry
+        point used by :class:`~repro.vids.sharding.ShardedVids`, which
+        classifies once in the facade and routes the classified packet to
+        the owning shard.
+        """
+        datagram = classified.datagram
+        self.metrics.packets_processed += 1
         if classified.kind is PacketKind.SIP:
             self.metrics.sip_messages += 1
             cost = self.config.sip_processing_cost
@@ -198,6 +235,35 @@ class Vids:
         if self.metrics.packets_processed % _GC_EVERY == 0:
             self.factbase.collect_garbage()
         return self._finish(cost, now)
+
+    def process_batch(self, items, clock=None) -> float:
+        """Analyse a time-ordered batch of ``(datagram, time)`` pairs.
+
+        The batched ingestion path used by trace replay and the offline
+        CLI workloads: one call amortizes the per-packet dispatch over a
+        whole capture slice.  When ``clock`` (a
+        :class:`~repro.efsm.system.ManualClock`-compatible object) is
+        given, it is advanced to each packet's timestamp first, so pattern
+        timers (T, T1, linger) fire exactly as they would have online;
+        out-of-order input raises ``ValueError`` as in replay.  Returns
+        the total CPU service time charged.
+        """
+        total = 0.0
+        process = self.process
+        if clock is None:
+            for datagram, when in items:
+                total += process(datagram, when)
+            return total
+        now = clock.now
+        advance = clock.advance
+        for datagram, when in items:
+            current = now()
+            if when < current:
+                raise ValueError(f"capture not time-ordered at t={when}")
+            if when > current:
+                advance(when - current)
+            total += process(datagram, now())
+        return total
 
     def _distribute(self, classified, now: float) -> None:
         """Route one packet, timing the stage when profiling is on."""
@@ -280,6 +346,23 @@ class Vids:
                 self._trace.emit("shed-stop", now, backlog=backlog,
                                  since=self._shed_started)
         return cost
+
+    def flush_shed_interval(self, now: Optional[float] = None) -> None:
+        """Close the books on a still-open shedding interval.
+
+        ``shed_intervals`` is appended on shed-*stop*; a run that ends (or
+        a snapshot taken) while still shedding would silently lose the
+        final interval.  This appends ``(start, now)`` for the open
+        interval and restarts it at ``now``, so repeated flushes stay
+        idempotent, intervals stay contiguous, and the eventual real
+        shed-stop doesn't double-count.
+        """
+        if not self._shedding:
+            return
+        current = self.clock_now() if now is None else now
+        if current > self._shed_started:
+            self.metrics.shed_intervals.append((self._shed_started, current))
+            self._shed_started = current
 
     @property
     def shedding(self) -> bool:
@@ -374,6 +457,7 @@ class Vids:
         return self.factbase.active_calls
 
     def summary(self) -> dict:
+        self.flush_shed_interval()
         summary = self.metrics.summary()
         summary["alerts"] = {
             attack_type.value: count
@@ -386,6 +470,7 @@ class Vids:
         """A human-readable situation report (traffic, state, alerts)."""
         from ..analysis.report import format_table
 
+        self.flush_shed_interval()
         metrics = self.metrics
         traffic = format_table(("traffic", "count"), [
             ("packets processed", metrics.packets_processed),

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import partial
-from typing import Any, Dict, List, Mapping
+from typing import Any, Dict, Iterable, List, Mapping, Optional
 
 __all__ = ["estimate_value_bytes", "estimate_state_bytes", "VidsMetrics"]
 
@@ -154,18 +154,49 @@ class VidsMetrics:
         ("shed_time", "Seconds spent in completed shedding intervals"),
     )
 
-    def register_with(self, registry: Any, prefix: str = "vids") -> None:
+    def register_with(self, registry: Any, prefix: str = "vids",
+                      labels: Optional[Dict[str, str]] = None) -> None:
         """Expose every counter/gauge through an obs ``MetricsRegistry``.
 
         Samples are read live via callbacks at collect time, so the IDS hot
-        path keeps plain ``+=`` increments on this dataclass.
+        path keeps plain ``+=`` increments on this dataclass.  With
+        ``labels`` (e.g. ``{"shard": "3"}``) each family is created with
+        those labelnames and this instance backs one labelled child —
+        how a sharded deployment exports per-shard series under the same
+        metric names (docs/SCALING.md).
         """
+        labelnames = tuple(labels) if labels else ()
         for name, help_text in self._COUNTER_FIELDS:
-            registry.counter(f"{prefix}_{name}", help_text).set_function(
-                partial(getattr, self, name))
+            family = registry.counter(f"{prefix}_{name}", help_text,
+                                      labelnames=labelnames)
+            child = family.labels(**labels) if labels else family
+            child.set_function(partial(getattr, self, name))
         for name, help_text in self._GAUGE_FIELDS:
-            registry.gauge(f"{prefix}_{name}", help_text).set_function(
-                partial(getattr, self, name))
+            family = registry.gauge(f"{prefix}_{name}", help_text,
+                                    labelnames=labelnames)
+            child = family.labels(**labels) if labels else family
+            child.set_function(partial(getattr, self, name))
+
+    @classmethod
+    def merged(cls, parts: Iterable["VidsMetrics"]) -> "VidsMetrics":
+        """Aggregate several instances (e.g. per-shard) into one view.
+
+        Counters and cpu_time sum; memory samples and shed intervals
+        concatenate.  The peaks are summed too: per-shard peaks need not
+        coincide in time, so the result is an *upper bound* on the true
+        aggregate high-water mark (each shard's peak is a lower bound on
+        its own contribution at some instant).
+        """
+        total = cls()
+        for part in parts:
+            for name, _ in cls._COUNTER_FIELDS:
+                setattr(total, name, getattr(total, name) + getattr(part, name))
+            total.peak_concurrent_calls += part.peak_concurrent_calls
+            total.peak_state_bytes += part.peak_state_bytes
+            total.call_memory_samples.extend(part.call_memory_samples)
+            total.shed_intervals.extend(part.shed_intervals)
+        total.shed_intervals.sort()
+        return total
 
     def summary(self) -> Dict[str, Any]:
         return {

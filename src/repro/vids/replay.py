@@ -15,6 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, List, Optional
 
+from typing import Union
+
 from ..efsm.system import ManualClock
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
@@ -23,6 +25,7 @@ from ..netsim.inline import NullProcessor, PacketProcessor
 from ..netsim.packet import Datagram
 from .config import DEFAULT_CONFIG, VidsConfig
 from .ids import Vids
+from .sharding import ShardedVids
 
 __all__ = ["CapturedPacket", "RecordingProcessor", "replay_trace"]
 
@@ -60,8 +63,10 @@ class RecordingProcessor:
 
 def replay_trace(capture: Iterable[CapturedPacket],
                  config: VidsConfig = DEFAULT_CONFIG,
-                 obs: Optional["Observability"] = None) -> Vids:
-    """Re-run detection over a capture; returns the analysed Vids.
+                 obs: Optional["Observability"] = None,
+                 shards: int = 1,
+                 backend: str = "serial") -> Union[Vids, ShardedVids]:
+    """Re-run detection over a capture; returns the analysed pipeline.
 
     The manual clock advances to each packet's original timestamp, so
     pattern timers (T, T1) and record lifetimes behave exactly as they
@@ -69,19 +74,33 @@ def replay_trace(capture: Iterable[CapturedPacket],
     linger period so pending timers resolve.  Pass ``obs`` to trace the
     replay — the natural place to build a forensic timeline, since the
     capture is already scoped to the evidence window.
+
+    ``shards > 1`` replays through a :class:`ShardedVids` facade via the
+    batched ingestion path (docs/SCALING.md); ``backend="process-pool"``
+    additionally analyses the shard partitions in parallel worker
+    processes (each worker drains its own timers, so no shared clock is
+    advanced here).
     """
+    items = [(packet.datagram, packet.time) for packet in capture]
     clock = ManualClock()
+    if shards > 1 or backend != "serial":
+        sharded = ShardedVids(shards=shards, config=config,
+                              clock_now=clock.now,
+                              timer_scheduler=clock.schedule,
+                              obs=obs, backend=backend)
+        if backend == "process-pool":
+            sharded.process_batch(items)
+            return sharded
+        sharded.process_batch(items, clock=clock)
+        clock.advance(config.bye_inflight_timer
+                      + config.closed_record_linger + 1.0)
+        sharded.flush_shed_interval()
+        return sharded
     vids = Vids(config=config, clock_now=clock.now,
                 timer_scheduler=clock.schedule, obs=obs)
-    last_time = 0.0
-    for packet in capture:
-        if packet.time < clock.now():
-            raise ValueError(
-                f"capture not time-ordered at t={packet.time}")
-        clock.advance(packet.time - clock.now())
-        vids.process(packet.datagram, clock.now())
-        last_time = packet.time
+    vids.process_batch(items, clock=clock)
     # Let in-flight timers (T, T1, record linger) fire.
     clock.advance(config.bye_inflight_timer
                   + config.closed_record_linger + 1.0)
+    vids.flush_shed_interval()
     return vids

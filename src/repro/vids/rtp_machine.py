@@ -134,6 +134,7 @@ def build_rtp_machine(config: VidsConfig = DEFAULT_CONFIG) -> Efsm:
         g_answer_pts=(),
         g_ptime_ms=20,
         g_bye_src_ip="",
+        g_bye_src_port=0,
     )
 
     # ---- session lifecycle driven by δ sync events ----------------------
@@ -332,7 +333,7 @@ def _build_disabled_rtp_machine() -> Efsm:
     machine.declare_global(
         g_offer_addr="", g_offer_port=0, g_offer_pts=(),
         g_answer_addr="", g_answer_port=0, g_answer_pts=(),
-        g_ptime_ms=20, g_bye_src_ip="",
+        g_ptime_ms=20, g_bye_src_ip="", g_bye_src_port=0,
     )
     machine.add_transition(INIT, "RTP_PACKET", INIT, label="ignored")
     for delta in (DELTA_SESSION_OFFER, DELTA_SESSION_ANSWER, DELTA_BYE,

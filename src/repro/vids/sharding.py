@@ -1,0 +1,508 @@
+"""Shard the vids pipeline across independent per-call analysis shards.
+
+The paper deploys vids inline on the enterprise perimeter, one pipeline
+for every call.  Per-call EFSM systems share no state across calls, so the
+pipeline shards cleanly by Call-ID: :class:`ShardedVids` consistent-hashes
+SIP traffic onto N independent :class:`~repro.vids.ids.Vids` shards and
+exposes the same ``process``/alert/metrics surface as one of them
+(docs/SCALING.md).
+
+The one wrinkle is media: RTP/RTCP is correlated by negotiated
+``(addr, port)`` media endpoint, not by Call-ID.  The facade therefore
+keeps a **media routing table** mapping media keys to the owning shard,
+maintained through the narrow ``CallStateFactBase.on_media_route``
+callback each shard fires when its distributor indexes or retires an SDP
+endpoint.  Media that matches no route ("orphan" media — the input of the
+paper's Figure-6 standalone machines) falls to a deterministic default
+shard so the spam/unsolicited detectors still see the whole stream.
+
+Cross-call rate detectors (INVITE flood per target, DRDoS per claimed
+source, orphan-media tracking) are shared singletons across shards, which
+is what makes the correctness bar hold: a seeded attack scenario produces
+the identical alert multiset sharded and unsharded (the serial backend
+processes packets in global arrival order).  The opt-in
+``backend="process-pool"`` runs whole-capture batches on a
+``ProcessPoolExecutor`` for true multi-core scale-out, with the caveats
+documented in docs/SCALING.md (static media routing per batch, per-worker
+cross-call detectors).
+"""
+
+from __future__ import annotations
+
+import os
+from functools import partial
+from typing import (TYPE_CHECKING, Callable, Dict, Iterable, List, Optional,
+                    Tuple)
+from zlib import crc32
+
+from ..netsim.engine import Simulator
+from ..netsim.packet import Datagram
+from .alerts import Alert, AlertManager, AttackType
+from .classifier import PacketClassifier, PacketKind
+from .config import DEFAULT_CONFIG, VidsConfig
+from .distributor import _sdp_fields
+from .factbase import MediaKey
+from .ids import Vids
+from .metrics import VidsMetrics
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..obs import Observability
+
+__all__ = ["ShardedVids", "shard_for_call"]
+
+#: Supported execution backends for :meth:`ShardedVids.process_batch`.
+BACKENDS = ("serial", "process-pool")
+
+
+def shard_for_call(call_id: str, n_shards: int) -> int:
+    """Consistent shard assignment for a Call-ID.
+
+    Uses CRC-32, not Python's ``hash()``: the builtin is salted per
+    process (PYTHONHASHSEED), and the assignment must agree between the
+    facade and pool workers — and across replays — to be a routing key.
+    """
+    return crc32(call_id.encode("utf-8", "surrogateescape")) % n_shards
+
+
+def _partition_drain_time(config: VidsConfig) -> float:
+    """Sim-time to run after a partition so pending pattern timers fire."""
+    return config.bye_inflight_timer + config.closed_record_linger + 1.0
+
+
+def _analyze_partition(config: VidsConfig,
+                       items: List[Tuple[float, Datagram]],
+                       drain: float) -> Tuple[List[Alert], VidsMetrics]:
+    """Pool-worker entry: replay one shard's packets on a fresh pipeline.
+
+    Module-level so it pickles under both fork and spawn start methods.
+    Each worker owns a complete Vids with its own manual clock, replays
+    its time-ordered partition, drains pending timers, and returns only
+    picklable results (alerts + metrics) to the parent.
+    """
+    from ..efsm.system import ManualClock
+
+    clock = ManualClock()
+    vids = Vids(config=config, clock_now=clock.now,
+                timer_scheduler=clock.schedule)
+    vids.process_batch(((datagram, when) for when, datagram in items),
+                       clock=clock)
+    clock.advance(drain)
+    vids.flush_shed_interval()
+    return vids.alert_manager.alerts, vids.metrics
+
+
+class ShardedVids:
+    """N independent Vids shards behind the single-pipeline interface.
+
+    Satisfies the same ``PacketProcessor`` protocol as :class:`Vids`, so
+    it plugs into an :class:`~repro.netsim.inline.InlineDevice`, the
+    scenario runner (``ScenarioParams(shards=N)``), and trace replay
+    unchanged.  Aggregate ``alerts``/``metrics``/``summary`` views merge
+    the per-shard state; the obs registry (when attached) carries one
+    labelled series per shard under the usual ``vids_*`` metric names,
+    and all shards publish to the one shared ``TraceBus``.
+    """
+
+    def __init__(
+        self,
+        shards: int = 4,
+        sim: Optional[Simulator] = None,
+        config: VidsConfig = DEFAULT_CONFIG,
+        clock_now: Optional[Callable[[], float]] = None,
+        timer_scheduler: Optional[Callable] = None,
+        obs: Optional["Observability"] = None,
+        backend: str = "serial",
+        default_shard: int = 0,
+    ):
+        if shards < 1:
+            raise ValueError(f"need at least one shard, got {shards}")
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; "
+                             f"expected one of {BACKENDS}")
+        if not 0 <= default_shard < shards:
+            raise ValueError(f"default_shard {default_shard} outside "
+                             f"0..{shards - 1}")
+        if sim is not None:
+            clock_now = lambda: sim.now  # noqa: E731 - simple adapter
+            timer_scheduler = lambda delay, fn: sim.schedule(delay, fn)  # noqa: E731 - simple adapter
+        if clock_now is None or timer_scheduler is None:
+            raise ValueError(
+                "ShardedVids needs a sim, or clock_now + timer_scheduler")
+        self.sim = sim
+        self.config = config
+        self.clock_now = clock_now
+        self.timer_scheduler = timer_scheduler
+        self.n_shards = shards
+        self.backend = backend
+        self.default_shard = default_shard
+        self.obs = obs
+        self._trace = obs.trace if obs is not None else None
+        self._profiler = obs.profiler if obs is not None else None
+
+        #: One classifier in the facade: packets are classified exactly
+        #: once, then routed to the owning shard's post-classifier tail.
+        self.classifier = PacketClassifier()
+        #: Media routing table: negotiated (addr, port) -> owning shard.
+        self._media_routes: Dict[MediaKey, int] = {}
+
+        first = Vids(config=config, clock_now=clock_now,
+                     timer_scheduler=timer_scheduler, obs=obs,
+                     register_metrics=False)
+        shard_list = [first]
+        for _ in range(1, shards):
+            shard_list.append(Vids(
+                config=config, clock_now=clock_now,
+                timer_scheduler=timer_scheduler, obs=obs,
+                register_metrics=False,
+                # Cross-call rate patterns watch the aggregate stream: all
+                # shards feed the first shard's trackers (whose alerts go
+                # through that shard's engine).
+                flood_tracker=first.flood_tracker,
+                source_flood_tracker=first.source_flood_tracker,
+                orphan_tracker=first.orphan_tracker))
+        self.shards: List[Vids] = shard_list
+        for shard in shard_list[1:]:
+            # Stray-request / foreign-REGISTER dedup must span shards too
+            # (the dedup key contains no Call-ID, so per-shard sets would
+            # alert once per shard instead of once).
+            shard.engine._stray_keys = first.engine._stray_keys
+        for index, shard in enumerate(shard_list):
+            shard.factbase.on_media_route = partial(
+                self._media_route_changed, index)
+
+        #: Results returned by pool workers (merged into the aggregate
+        #: views alongside the live per-shard state).
+        self._pool_alerts: List[Alert] = []
+        self._pool_metrics: List[VidsMetrics] = []
+
+        if obs is not None and obs.registry is not None:
+            self._register_metrics(obs.registry)
+
+    # -- routing --------------------------------------------------------------
+
+    def _media_route_changed(self, shard: int, key: MediaKey,
+                             call_id: Optional[str]) -> None:
+        """Fact-base callback: keep the media routing table in sync."""
+        if call_id is not None:
+            self._media_routes[key] = shard
+        elif self._media_routes.get(key) == shard:
+            del self._media_routes[key]
+
+    def shard_index(self, classified) -> int:
+        """Which shard owns a classified packet."""
+        kind = classified.kind
+        if kind is PacketKind.SIP:
+            call_id = classified.sip.call_id
+            if call_id:
+                return shard_for_call(call_id, self.n_shards)
+            # Call-ID-less SIP: route by source so the stray-request
+            # handling stays deterministic.
+            return shard_for_call(classified.datagram.src.ip, self.n_shards)
+        if kind is PacketKind.RTP or kind is PacketKind.RTCP:
+            datagram = classified.datagram
+            return self._media_routes.get(
+                (datagram.dst.ip, datagram.dst.port), self.default_shard)
+        # MALFORMED_SIP / OTHER: hash on the source address so each
+        # source's malformed-rate (fuzzing) window accumulates on one
+        # shard, exactly as in the single pipeline.
+        return shard_for_call(classified.datagram.src.ip, self.n_shards)
+
+    # -- PacketProcessor interface --------------------------------------------
+
+    def process(self, datagram: Datagram, now: float) -> float:
+        """Classify once, route to the owning shard; returns the CPU cost."""
+        profiler = self._profiler
+        if profiler is not None:
+            token = profiler.begin()
+        try:
+            classified = self.classifier.classify(datagram)
+        except Exception as exc:  # crash containment, layer 1
+            if not self.config.crash_containment:
+                raise
+            return self.shards[self.default_shard].contain_classifier_error(
+                datagram, exc, now)
+        finally:
+            if profiler is not None:
+                profiler.commit("classify", token)
+        shard = self.shards[self.shard_index(classified)]
+        return shard.process_classified(classified, now)
+
+    def process_batch(self, items: Iterable[Tuple[Datagram, float]],
+                      clock=None) -> float:
+        """Analyse a time-ordered batch of ``(datagram, time)`` pairs.
+
+        The serial backend preserves global arrival order across shards
+        (required for alert-multiset equivalence with one Vids); the
+        process-pool backend partitions the batch up front and analyses
+        the partitions in parallel worker processes — see
+        :meth:`_process_batch_pool` for its routing model.
+        """
+        if self.backend == "process-pool":
+            return self._process_batch_pool(items)
+        total = 0.0
+        if self._profiler is not None:
+            # Profiled path: per-packet process() so the classify stage is
+            # attributed, exactly as the single-packet entry point does.
+            process = self.process
+            if clock is None:
+                for datagram, when in items:
+                    total += process(datagram, when)
+                return total
+            now = clock.now
+            advance = clock.advance
+            for datagram, when in items:
+                current = now()
+                if when < current:
+                    raise ValueError(f"capture not time-ordered at t={when}")
+                if when > current:
+                    advance(when - current)
+                total += process(datagram, now())
+            return total
+        # Fast path (no profiler attached): classify and route inline, one
+        # packet per loop iteration with no intermediate call layers — this
+        # is what keeps the serial facade at parity with a bare Vids
+        # (benchmarks/test_scale_throughput.py::test_sharded_batch_throughput).
+        classify = self.classifier.classify
+        shards = self.shards
+        dispatch = [shard.process_classified for shard in shards]
+        routes_get = self._media_routes.get
+        n_shards = self.n_shards
+        default = self.default_shard
+        contain = self.config.crash_containment
+        sip_kind, rtp_kind = PacketKind.SIP, PacketKind.RTP
+        rtcp_kind = PacketKind.RTCP
+        if clock is not None:
+            now = clock.now
+            advance = clock.advance
+            current = now()
+        else:
+            advance = None
+            current = None
+        for datagram, when in items:
+            if advance is not None:
+                if when < current:
+                    raise ValueError(f"capture not time-ordered at t={when}")
+                if when > current:
+                    advance(when - current)
+                    current = now()
+                when = current
+            try:
+                classified = classify(datagram)
+            except Exception as exc:  # crash containment, layer 1
+                if not contain:
+                    raise
+                total += shards[default].contain_classifier_error(
+                    datagram, exc, when)
+                continue
+            kind = classified.kind
+            if kind is rtp_kind or kind is rtcp_kind:
+                dst = datagram.dst
+                index = routes_get((dst.ip, dst.port), default)
+            elif kind is sip_kind and classified.sip.call_id:
+                index = shard_for_call(classified.sip.call_id, n_shards)
+            else:
+                index = shard_for_call(datagram.src.ip, n_shards)
+            total += dispatch[index](classified, when)
+        return total
+
+    # -- process-pool backend -------------------------------------------------
+
+    def _partition(self, items: Iterable[Tuple[Datagram, float]],
+                   ) -> List[List[Tuple[float, Datagram]]]:
+        """Statically partition a batch by shard for parallel analysis.
+
+        Media routing cannot use live fact-base callbacks across process
+        boundaries, so the scan pre-builds the routing table from the SDP
+        offers/answers it sees in the SIP stream, in arrival order —
+        media that precedes its negotiation falls to the default shard,
+        just as it would have been orphaned online.
+        """
+        partitions: List[List[Tuple[float, Datagram]]] = [
+            [] for _ in range(self.n_shards)]
+        routes = dict(self._media_routes)
+        classify = self.classifier.classify
+        for datagram, when in items:
+            classified = classify(datagram)
+            kind = classified.kind
+            if kind is PacketKind.SIP:
+                call_id = classified.sip.call_id
+                index = shard_for_call(call_id or datagram.src.ip,
+                                       self.n_shards)
+                fields = _sdp_fields(classified.sip)
+                addr, port = fields.get("sdp_addr"), fields.get("sdp_port")
+                if addr and port:
+                    routes[(str(addr), int(port))] = index
+            elif kind is PacketKind.RTP or kind is PacketKind.RTCP:
+                index = routes.get((datagram.dst.ip, datagram.dst.port),
+                                   self.default_shard)
+            else:
+                index = shard_for_call(datagram.src.ip, self.n_shards)
+            partitions[index].append((when, datagram))
+        return partitions
+
+    def _process_batch_pool(self,
+                            items: Iterable[Tuple[Datagram, float]]) -> float:
+        """Fan a batch out to one worker process per non-empty shard."""
+        from concurrent.futures import ProcessPoolExecutor
+
+        partitions = self._partition(items)
+        jobs = [(index, part) for index, part in enumerate(partitions) if part]
+        if not jobs:
+            return 0.0
+        drain = _partition_drain_time(self.config)
+        workers = min(len(jobs), os.cpu_count() or 1)
+        total = 0.0
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(_analyze_partition, self.config, part,
+                                   drain) for _, part in jobs]
+            for future in futures:
+                alerts, metrics = future.result()
+                self._pool_alerts.extend(alerts)
+                self._pool_metrics.append(metrics)
+                total += metrics.cpu_time
+        return total
+
+    # -- aggregation ----------------------------------------------------------
+
+    @property
+    def metrics(self) -> VidsMetrics:
+        """Merged counters across shards (and any pool-batch results).
+
+        Counters sum exactly; the two peaks are summed per-shard peaks,
+        an upper bound on the true aggregate high-water mark
+        (:meth:`VidsMetrics.merged`).
+        """
+        return VidsMetrics.merged(
+            [shard.metrics for shard in self.shards] + self._pool_metrics)
+
+    @property
+    def alerts(self) -> List[Alert]:
+        merged = [alert for shard in self.shards for alert in shard.alerts]
+        merged.extend(self._pool_alerts)
+        merged.sort(key=lambda alert: alert.time)
+        return merged
+
+    @property
+    def alert_manager(self) -> AlertManager:
+        """A merged, read-only AlertManager view (rebuilt on access)."""
+        view = AlertManager()
+        view.alerts = self.alerts
+        for shard in self.shards:
+            view.counts.update(shard.alert_manager.counts)
+        for alert in self._pool_alerts:
+            view.counts[alert.attack_type] += 1
+        return view
+
+    def alert_count(self, attack_type: Optional[AttackType] = None) -> int:
+        return self.alert_manager.count(attack_type)
+
+    @property
+    def active_calls(self) -> int:
+        return sum(shard.active_calls for shard in self.shards)
+
+    @property
+    def media_routes(self) -> Dict[MediaKey, int]:
+        """Read-only snapshot of the media routing table."""
+        return dict(self._media_routes)
+
+    @property
+    def shedding(self) -> bool:
+        """True while any shard is in signaling-only (shedding) mode."""
+        return any(shard.shedding for shard in self.shards)
+
+    def backlog(self, now: Optional[float] = None) -> float:
+        """Worst per-shard analysis backlog (the shedding signal)."""
+        return max(shard.backlog(now) for shard in self.shards)
+
+    def flush_shed_interval(self, now: Optional[float] = None) -> None:
+        for shard in self.shards:
+            shard.flush_shed_interval(now)
+
+    def collect_garbage(self) -> int:
+        return sum(shard.factbase.collect_garbage() for shard in self.shards)
+
+    def summary(self) -> dict:
+        self.flush_shed_interval()
+        summary = self.metrics.summary()
+        summary["alerts"] = {
+            attack_type.value: count
+            for attack_type, count in self.alert_manager.counts.items()
+        }
+        summary["active_calls"] = self.active_calls
+        summary["shards"] = self.n_shards
+        summary["backend"] = self.backend
+        summary["media_routes"] = len(self._media_routes)
+        summary["per_shard_packets"] = [
+            shard.metrics.packets_processed for shard in self.shards]
+        return summary
+
+    def report(self) -> str:
+        """Per-shard traffic table plus the merged alert list."""
+        from ..analysis.report import format_table
+
+        self.flush_shed_interval()
+        rows = []
+        for index, shard in enumerate(self.shards):
+            metrics = shard.metrics
+            rows.append((str(index), metrics.packets_processed,
+                         metrics.sip_messages, metrics.rtp_packets,
+                         shard.active_calls, len(shard.alerts),
+                         "yes" if shard.shedding else "no"))
+        table = format_table(
+            ("shard", "packets", "SIP", "RTP", "active", "alerts", "shedding"),
+            rows)
+        alerts = self.alerts
+        if alerts:
+            alert_rows = [
+                (f"{alert.time:.3f}", alert.attack_type.value,
+                 alert.call_id or "-", alert.source or "-")
+                for alert in alerts
+            ]
+            alert_table = format_table(("time", "type", "call", "source"),
+                                       alert_rows)
+        else:
+            alert_table = "no alerts"
+        return (f"=== sharded vids report (t={self.clock_now():.3f}s, "
+                f"{self.n_shards} shards, backend={self.backend}) ===\n"
+                f"{table}\n\nmedia routes: {len(self._media_routes)}\n\n"
+                f"alerts:\n{alert_table}")
+
+    # -- observability --------------------------------------------------------
+
+    def _register_metrics(self, registry) -> None:
+        """Per-shard labelled ``vids_*`` series plus facade-level gauges."""
+        registry.gauge(
+            "vids_shards", "Analysis shards behind the sharded facade",
+        ).set_function(lambda: self.n_shards)
+        registry.gauge(
+            "vids_media_routes",
+            "Negotiated media keys in the shard routing table",
+        ).set_function(lambda: len(self._media_routes))
+        alerts = registry.counter(
+            "vids_alerts_total", "Alerts raised, by attack type",
+            labelnames=("attack_type", "shard"))
+        for index, shard in enumerate(self.shards):
+            label = str(index)
+            shard.metrics.register_with(registry, labels={"shard": label})
+            registry.gauge(
+                "vids_active_calls",
+                "Calls currently monitored in the fact base",
+                labelnames=("shard",),
+            ).labels(shard=label).set_function(
+                lambda s=shard: s.factbase.active_calls)
+            registry.gauge(
+                "vids_backlog_seconds",
+                "Unworked analysis CPU time (the shedding signal)",
+                labelnames=("shard",),
+            ).labels(shard=label).set_function(shard.backlog)
+            registry.gauge(
+                "vids_shedding",
+                "1 while RTP deep inspection is shed (signaling-only mode)",
+                labelnames=("shard",),
+            ).labels(shard=label).set_function(
+                lambda s=shard: 1 if s.shedding else 0)
+            for attack_type in AttackType:
+                alerts.labels(
+                    attack_type=attack_type.value, shard=label,
+                ).set_function(partial(
+                    shard.alert_manager.counts.__getitem__, attack_type))

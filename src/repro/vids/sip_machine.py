@@ -139,6 +139,7 @@ def build_sip_machine(config: VidsConfig = DEFAULT_CONFIG) -> Efsm:
         g_answer_pts=(),
         g_ptime_ms=20,
         g_bye_src_ip="",
+        g_bye_src_port=0,
     )
     machine.declare_channel(SIP_TO_RTP)
 
@@ -305,7 +306,11 @@ def build_sip_machine(config: VidsConfig = DEFAULT_CONFIG) -> Efsm:
 
     def on_bye(ctx: TransitionContext) -> None:
         ctx.v["bye_branch"] = str(ctx.x.get("branch", ""))
+        # Record the full (ip, port) source of the BYE: after-close media is
+        # attributed to toll fraud only when it comes from the BYE *sender*,
+        # and two UAs behind one NAT address differ only in port.
         ctx.v["g_bye_src_ip"] = str(ctx.x.get("src_ip", ""))
+        ctx.v["g_bye_src_port"] = int(ctx.x.get("src_port", 0) or 0)
 
     bye_outputs = ([Output(SIP_TO_RTP, DELTA_BYE, _delta_args)]
                    if cross else [])

@@ -1,7 +1,16 @@
 """Unit tests for the packet classifier."""
 
 from repro.netsim import Datagram, Endpoint
-from repro.rtp import RtpPacket, SenderReport
+import struct
+
+from repro.rtp import (
+    ControlPacket,
+    RTCP_APP,
+    RTCP_BYE,
+    RTCP_SDES,
+    RtpPacket,
+    SenderReport,
+)
 from repro.sip import SipRequest
 from repro.vids import PacketClassifier, PacketKind
 
@@ -85,3 +94,40 @@ def test_short_binary_on_media_port_is_other():
         datagram(b"\x80\x12", src=("1.1.1.1", 20_000),
                  dst=("2.2.2.2", 20_002)))
     assert result.kind is PacketKind.OTHER
+
+
+class TestRtcpControlPacketTypes:
+    """RFC 3550 gives RTCP the PT range 200-204; the classifier must not
+    mistake SDES/BYE/APP (202-204) for RTP with PT 74-76 + marker."""
+
+    def _classify(self, payload):
+        classifier = PacketClassifier()
+        return classifier.classify(
+            datagram(payload, src=("10.0.0.1", 20_001),
+                     dst=("10.0.0.2", 20_003)))
+
+    def test_sdes_is_rtcp(self):
+        packet = ControlPacket(RTCP_SDES, count=1,
+                               body=struct.pack("!I", 9) + b"\x01\x03abc")
+        assert self._classify(packet.serialize()).kind is PacketKind.RTCP
+
+    def test_bye_is_rtcp(self):
+        packet = ControlPacket(RTCP_BYE, count=1, body=struct.pack("!I", 9))
+        assert self._classify(packet.serialize()).kind is PacketKind.RTCP
+
+    def test_app_is_rtcp(self):
+        packet = ControlPacket(RTCP_APP, count=0,
+                               body=struct.pack("!I", 9) + b"name")
+        assert self._classify(packet.serialize()).kind is PacketKind.RTCP
+
+    def test_sender_report_still_rtcp(self):
+        report = SenderReport(ssrc=9, ntp_timestamp=1, rtp_timestamp=2,
+                              packet_count=3, octet_count=4)
+        assert self._classify(report.serialize()).kind is PacketKind.RTCP
+
+    def test_truncated_sdes_not_silently_rtp(self):
+        packet = ControlPacket(RTCP_SDES, count=1,
+                               body=struct.pack("!I", 9) + b"\x01\x03abc")
+        result = self._classify(packet.serialize()[:6])
+        assert result.kind is not PacketKind.RTCP
+        assert result.kind is not PacketKind.RTP

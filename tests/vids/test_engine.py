@@ -149,3 +149,69 @@ class TestAlertManager:
         assert len(manager.by_type(AttackType.MEDIA_SPAM)) == 1
         manager.clear()
         assert manager.count() == 0
+
+
+class TestAfterCloseAttribution:
+    """TOLL_FRAUD requires the post-BYE media to come from the BYE *sender*
+    — same IP is not enough once the BYE's source port is recorded."""
+
+    @staticmethod
+    def _after_close(record, src_ip, src_port):
+        return attack_result(record, "rtp", ATTACK_AFTER_CLOSE,
+                             event_args={"src_ip": src_ip,
+                                         "src_port": src_port,
+                                         "dst_ip": "10.2.0.11"})
+
+    def test_same_ip_different_port_is_bye_dos(self):
+        engine, alerts, record, clock = make_engine()
+        record.system.globals["g_bye_src_ip"] = "10.1.0.11"
+        record.system.globals["g_bye_src_port"] = 5060
+        engine.handle_result(record, self._after_close(
+            record, "10.1.0.11", 40_002))
+        assert alerts.count(AttackType.BYE_DOS) == 1
+        assert alerts.count(AttackType.TOLL_FRAUD) == 0
+        assert alerts.alerts[0].detail["bye_src_port"] == 5060
+
+    def test_media_from_bye_signaling_port_is_toll_fraud(self):
+        engine, alerts, record, clock = make_engine()
+        record.system.globals["g_bye_src_ip"] = "10.1.0.11"
+        record.system.globals["g_bye_src_port"] = 5060
+        engine.handle_result(record, self._after_close(
+            record, "10.1.0.11", 5060))
+        assert alerts.count(AttackType.TOLL_FRAUD) == 1
+
+    def test_media_from_byers_negotiated_media_port_is_toll_fraud(self):
+        # The realistic fraud shape: BYE from the signaling port (5061),
+        # continued media from the port the same host negotiated in SDP.
+        engine, alerts, record, clock = make_engine()
+        record.system.globals["g_bye_src_ip"] = "10.1.0.11"
+        record.system.globals["g_bye_src_port"] = 5061
+        record.system.globals["g_offer_addr"] = "10.1.0.11"
+        record.system.globals["g_offer_port"] = 20_000
+        engine.handle_result(record, self._after_close(
+            record, "10.1.0.11", 20_000))
+        assert alerts.count(AttackType.TOLL_FRAUD) == 1
+        assert alerts.count(AttackType.BYE_DOS) == 0
+
+    def test_other_hosts_media_port_does_not_attribute(self):
+        # The negotiated-port clause only applies when the negotiated
+        # address is the BYE sender's; a victim's port number reused by
+        # the attacker's IP must not flip BYE_DOS to TOLL_FRAUD... and
+        # vice versa the victim itself stays BYE_DOS.
+        engine, alerts, record, clock = make_engine()
+        record.system.globals["g_bye_src_ip"] = "10.1.0.11"
+        record.system.globals["g_bye_src_port"] = 5061
+        record.system.globals["g_answer_addr"] = "10.2.0.11"
+        record.system.globals["g_answer_port"] = 30_000
+        engine.handle_result(record, self._after_close(
+            record, "10.1.0.11", 30_000))
+        assert alerts.count(AttackType.BYE_DOS) == 1
+
+    def test_missing_port_falls_back_to_ip_only(self):
+        # Pre-upgrade records (or BYEs seen before the port was tracked)
+        # keep the legacy IP-only attribution.
+        engine, alerts, record, clock = make_engine()
+        record.system.globals["g_bye_src_ip"] = "10.1.0.11"
+        engine.handle_result(record, self._after_close(
+            record, "10.1.0.11", 40_002))
+        assert alerts.count(AttackType.TOLL_FRAUD) == 1

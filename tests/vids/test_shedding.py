@@ -129,3 +129,47 @@ def test_rtcp_also_shed():
                           Endpoint("10.2.0.11", 30_001), payload),
                  clock.now())
     assert vids.metrics.packets_shed == 1
+
+
+def test_open_shed_interval_flushed_at_snapshot():
+    """A run that ends while still shedding must not report shed_time 0:
+    summary()/flush_shed_interval() close the books on the open interval."""
+    vids, clock = make_vids()
+    flood(vids, clock, 5)
+    assert vids.shedding
+    assert vids.metrics.shed_intervals == []  # still open
+
+    clock.advance(0.1)
+    summary = vids.summary()
+    assert len(vids.metrics.shed_intervals) == 1
+    start, end = vids.metrics.shed_intervals[0]
+    assert (start, end) == (0.0, clock.now())
+    assert summary["shed_time"] == end - start
+
+    # Idempotent: snapshotting again at the same instant adds nothing.
+    vids.summary()
+    assert len(vids.metrics.shed_intervals) == 1
+
+
+def test_flushed_interval_not_double_counted_on_recovery():
+    vids, clock = make_vids()
+    flood(vids, clock, 5)
+    clock.advance(0.1)
+    vids.flush_shed_interval()  # mid-run snapshot while still shedding
+
+    # Recover normally afterwards: the recovery interval must start where
+    # the flush left off, so total shed_time equals the true span.
+    clock.advance(5.0)
+    vids.process(rtp_datagram(seq=9), clock.now())
+    assert not vids.shedding
+    assert len(vids.metrics.shed_intervals) == 2
+    spans = vids.metrics.shed_intervals
+    assert spans[0][1] == spans[1][0]  # contiguous, no overlap
+    assert abs(vids.metrics.shed_time - (spans[-1][1] - spans[0][0])) < 1e-9
+
+
+def test_flush_is_noop_when_not_shedding():
+    vids, clock = make_vids()
+    vids.process(invite_datagram("calm-flush"), clock.now())
+    vids.flush_shed_interval()
+    assert vids.metrics.shed_intervals == []
