@@ -50,6 +50,9 @@ RATE_BENCHMARKS = [
     # the two are compared against each other (docs/SCALING.md) and box
     # throttling drifts minute to minute.
     "benchmarks/test_scale_throughput.py::test_sharded_batch_throughput",
+    # The supervised run interleaves its own bare-sharded control slices
+    # and asserts the <=10% checkpoint-overhead budget internally.
+    "benchmarks/test_scale_throughput.py::test_supervised_batch_throughput",
     "benchmarks/test_scale_throughput.py::test_rtp_analysis_throughput",
     "benchmarks/test_scale_throughput.py::test_sip_analysis_throughput",
     "benchmarks/test_micro_pipeline.py",

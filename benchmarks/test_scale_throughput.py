@@ -27,7 +27,13 @@ KEEP_UP_THRESHOLDS = {
     "test_rtp_analysis_throughput": 20_000,   # RTP packets/s
     "test_sip_analysis_throughput": 1_000,    # INVITE messages/s
     "test_sharded_batch_throughput": 20_000,  # RTP packets/s, 4 shards
+    "test_supervised_batch_throughput": 18_000,  # RTP packets/s, supervised
 }
+
+#: Ceiling on the supervision tier's cost: the supervised cluster
+#: (checkpointing on, heartbeats running) must keep at least this
+#: fraction of the bare sharded rate measured back-to-back in-process.
+SUPERVISED_OVERHEAD_FLOOR = 0.9
 
 #: Measurement rounds per benchmark; ``benchmarks/harness.py --rounds`` and
 #: the CI bench-smoke job override this through the environment.
@@ -176,3 +182,128 @@ def test_sharded_batch_throughput(benchmark):
     per_shard = [s.metrics.rtp_packets for s in sharded.shards]
     assert all(count > 0 for count in per_shard)
     assert rate > KEEP_UP_THRESHOLDS["test_sharded_batch_throughput"]
+
+
+def test_supervised_batch_throughput(benchmark):
+    """Supervised-cluster analysis rate with checkpointing on.
+
+    The same four-call round-robin batch as ``test_sharded_batch_
+    throughput``, but dispatched through the ShardSupervisor (default
+    cadence 64, heartbeats every 0.5s of simulated time).  A bare
+    ShardedVids processes identical traffic in thin slices interleaved
+    with the supervised ones, and the supervision tier must keep >=90%
+    of the bare rate over the accumulated totals — the
+    docs/ROBUSTNESS.md checkpoint-overhead budget.
+    """
+    import time
+
+    from repro.vids import (ClusterConfig, ShardedVids, SupervisedCluster,
+                            shard_for_call)
+
+    call_ids = ("shard0@bench", "shard2@bench", "shard6@bench",
+                "shard4@bench")
+    assert sorted(shard_for_call(c, 4) for c in call_ids) == [0, 1, 2, 3]
+
+    def build_pipeline(supervised):
+        clock = ManualClock()
+        if supervised:
+            pipeline = SupervisedCluster(
+                shards=4, config=DEFAULT_CONFIG, clock_now=clock.now,
+                timer_scheduler=clock.schedule,
+                cluster=ClusterConfig(checkpoint_cadence=64))
+        else:
+            pipeline = ShardedVids(shards=4, config=DEFAULT_CONFIG,
+                                   clock_now=clock.now,
+                                   timer_scheduler=clock.schedule)
+        for index, call_id in enumerate(call_ids):
+            setup_call(pipeline, clock, call_id=call_id,
+                       media_port=20_000 + 2 * index)
+        assert len(pipeline.media_routes) == 4
+        return pipeline, clock, {"base": clock.now(), "seq": 0}
+
+    def build_batch(state):
+        base = state["base"]
+        items = []
+        for index in range(2000):
+            state["seq"] += 1
+            packet = RtpPacket(18, state["seq"] & 0xFFFF,
+                               state["seq"] * 160, 0xAA, payload=bytes(20))
+            items.append((
+                Datagram(Endpoint("10.2.0.11", 20_002),
+                         Endpoint("10.1.0.11", 20_000 + 2 * (index % 4)),
+                         packet.serialize()),
+                base + 0.02 * (index + 1),
+            ))
+        state["base"] = base + 0.02 * 2000 + 1.0
+        return items
+
+    # Overhead gate: interleave *thin slices* of bare and supervised work
+    # and compare the accumulated totals.  Absolute rates on a shared box
+    # swing by 2x between runs and even adjacent full rounds do not track
+    # each other, but ~hundred-packet slices alternated back-to-back see
+    # the same scheduler weather, so the ratio of the two running totals
+    # is stable to about a percent.
+    slice_size = 125
+    bare, bare_clock, bare_state = build_pipeline(supervised=False)
+    supervised, clock, state = build_pipeline(supervised=True)
+    bare.process_batch(build_batch(bare_state), clock=bare_clock)  # warmup
+    supervised.process_batch(build_batch(state), clock=clock)
+    compare_rounds = max(ROUNDS, 6)
+    bare_total = supervised_total = 0.0
+    bare_best = float("inf")
+
+    def timed_slice(pipeline, pipeline_clock, items, offset):
+        chunk = items[offset:offset + slice_size]
+        started = time.perf_counter()
+        pipeline.process_batch(chunk, clock=pipeline_clock)
+        return time.perf_counter() - started
+
+    for round_index in range(compare_rounds):
+        bare_items = build_batch(bare_state)
+        supervised_items = build_batch(state)
+        round_bare = 0.0
+        # Alternate which side leads: whoever runs right after the
+        # allocation-heavy build_batch absorbs its GC sweeps.
+        bare_leads = round_index % 2 == 0
+        for offset in range(0, len(bare_items), slice_size):
+            if bare_leads:
+                round_bare += timed_slice(bare, bare_clock,
+                                          bare_items, offset)
+                supervised_total += timed_slice(supervised, clock,
+                                                supervised_items, offset)
+            else:
+                supervised_total += timed_slice(supervised, clock,
+                                                supervised_items, offset)
+                round_bare += timed_slice(bare, bare_clock,
+                                          bare_items, offset)
+        bare_total += round_bare
+        bare_best = min(bare_best, round_bare)
+
+    def burst(items):
+        supervised.process_batch(items, clock=clock)
+
+    benchmark.extra_info["ops"] = 2000
+    benchmark.pedantic(burst, setup=lambda: ((build_batch(state),), {}),
+                       rounds=ROUNDS, iterations=1)
+    rate = 2000 / benchmark.stats["mean"]
+    kept = bare_total / supervised_total
+    bare_rate = 2000 / bare_best
+    overhead = 1.0 - kept
+    print(f"\nSupervised RTP batch rate: {rate:,.0f} packets/s of real time "
+          f"(4 members, cadence 64; checkpoint overhead {overhead:.1%} vs "
+          f"bare sharded {bare_rate:,.0f} packets/s)")
+
+    # Supervision actually did its job during the measurement.
+    cluster = supervised.cluster_metrics
+    assert cluster.checkpoints_taken > 4
+    assert cluster.members_down == 0
+    assert supervised.metrics.rtp_packets >= 2000 * ROUNDS
+    per_shard = [s.metrics.rtp_packets for s in supervised.shards]
+    assert all(count > 0 for count in per_shard)
+
+    assert rate > KEEP_UP_THRESHOLDS["test_supervised_batch_throughput"]
+    # The checkpoint-overhead budget (docs/ROBUSTNESS.md): the supervised
+    # totals keep >=90% of the interleaved bare sharded totals.
+    assert kept > SUPERVISED_OVERHEAD_FLOOR, \
+        f"supervision overhead {overhead:.1%} exceeds " \
+        f"{1 - SUPERVISED_OVERHEAD_FLOOR:.0%}"

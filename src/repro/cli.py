@@ -88,6 +88,14 @@ def build_parser() -> argparse.ArgumentParser:
                       help="profile through a ShardedVids facade with N "
                            "analysis shards (default 1: plain Vids; "
                            "docs/SCALING.md)")
+    perf.add_argument("--supervise", action="store_true",
+                      help="put the shards under a ShardSupervisor with "
+                           "checkpointing on (docs/ROBUSTNESS.md "
+                           "'Supervision & failover')")
+    perf.add_argument("--checkpoint-cadence", type=int, default=None,
+                      metavar="N",
+                      help="with --supervise: checkpoint every N packets "
+                           "per member (default from ClusterConfig)")
 
     trace = sub.add_parser(
         "trace",
@@ -122,6 +130,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run the scenario's IDS as a ShardedVids facade "
                             "with N analysis shards (default 1; "
                             "docs/SCALING.md)")
+    trace.add_argument("--supervise", action="store_true",
+                       help="supervise the shards (checkpoint/restore, "
+                            "health-checked failover, backpressure; "
+                            "docs/ROBUSTNESS.md 'Supervision & failover')")
+    trace.add_argument("--kill-shard", type=int, default=None, metavar="I",
+                       help="with --supervise: kill shard I mid-scenario "
+                            "(at half the horizon) and let the supervisor "
+                            "restore it from checkpoint")
 
     return parser
 
@@ -301,13 +317,24 @@ def _cmd_perf(args) -> int:
     from .netsim import Datagram, Endpoint
     from .rtp import RtpPacket
     from .sip import SipRequest
-    from .vids import DEFAULT_CONFIG, ShardedVids, Vids
+    from .vids import (DEFAULT_CLUSTER_CONFIG, DEFAULT_CONFIG, ShardedVids,
+                       SupervisedCluster, Vids)
 
     sdp = ("v=0\r\no=- 1 1 IN IP4 10.1.0.11\r\ns=c\r\n"
            "c=IN IP4 10.1.0.11\r\nt=0 0\r\nm=audio {port} RTP/AVP 18\r\n"
            "a=rtpmap:18 G729/8000\r\n")
     clock = ManualClock()
-    if args.shards > 1:
+    if args.supervise:
+        cluster = DEFAULT_CLUSTER_CONFIG
+        if args.checkpoint_cadence is not None:
+            cluster = cluster.with_overrides(
+                checkpoint_cadence=args.checkpoint_cadence)
+        vids = SupervisedCluster(shards=max(args.shards, 1),
+                                 config=DEFAULT_CONFIG,
+                                 clock_now=clock.now,
+                                 timer_scheduler=clock.schedule,
+                                 cluster=cluster)
+    elif args.shards > 1:
         vids = ShardedVids(shards=args.shards, config=DEFAULT_CONFIG,
                            clock_now=clock.now,
                            timer_scheduler=clock.schedule)
@@ -353,6 +380,11 @@ def _cmd_perf(args) -> int:
 
     packets = args.calls * (1 + args.rtp_per_call)
     shard_note = f", {args.shards} shards" if args.shards > 1 else ""
+    if args.supervise:
+        cadence = (args.checkpoint_cadence
+                   if args.checkpoint_cadence is not None
+                   else DEFAULT_CLUSTER_CONFIG.checkpoint_cadence)
+        shard_note += f", supervised (checkpoint every {cadence})"
     print(f"profiled {args.calls} calls / {packets} packets{shard_note} "
           f"({vids.metrics.sip_messages} SIP, {vids.metrics.rtp_packets} RTP "
           f"analyzed, {len(vids.alerts)} alerts)\n")
@@ -385,6 +417,14 @@ def _cmd_trace(args) -> int:
                         trace_capacity=args.capacity)
     factory = factories[args.attack]
     attacks = (factory(),) if factory is not None else ()
+    shard_fault_plan = None
+    if args.kill_shard is not None:
+        if not args.supervise:
+            print("--kill-shard requires --supervise", file=sys.stderr)
+            return 2
+        from .netsim.faults import ShardFaultPlan
+        shard_fault_plan = ShardFaultPlan(
+            kills=((args.horizon / 2.0, args.kill_shard),))
     print(f"running observed scenario (attack={args.attack}, "
           f"seed {args.seed})...", file=sys.stderr)
     result = run_scenario(ScenarioParams(
@@ -392,7 +432,8 @@ def _cmd_trace(args) -> int:
         workload=WorkloadParams(mean_interarrival=25.0, mean_duration=400.0,
                                 horizon=args.horizon),
         with_vids=True, attacks=attacks, drain_time=90.0, obs=obs,
-        shards=args.shards))
+        shards=args.shards, supervise=args.supervise,
+        shard_fault_plan=shard_fault_plan))
     vids = result.vids
 
     call_id = args.call_id

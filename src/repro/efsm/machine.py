@@ -16,6 +16,7 @@ scenario match — and an event with *no* enabled transition is recorded as a
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 from typing import (
     Any,
@@ -47,6 +48,32 @@ Action = Callable[["TransitionContext"], None]
 
 #: Sentinel distinguishing "absent" from a stored None in Variables.get.
 _MISSING = object()
+
+#: Types a variable value may hold without needing any copy at all.
+_ATOMIC = (str, int, float, bool, bytes, type(None), frozenset)
+
+
+def copy_state(value: Any) -> Any:
+    """Deep copy of a plain-data variable value.
+
+    State-variable vectors hold protocol facts — strings, numbers,
+    tuples, dicts of the same — so a direct recursive copy beats
+    ``copy.deepcopy``'s generic dispatch by an order of magnitude on the
+    checkpoint path.  Exotic values (class instances, subclasses of the
+    builtin containers) still fall back to ``copy.deepcopy``.
+    """
+    cls = value.__class__
+    if cls in _ATOMIC:
+        return value
+    if cls is dict:
+        return {key: copy_state(item) for key, item in value.items()}
+    if cls is tuple:
+        return tuple(copy_state(item) for item in value)
+    if cls is list:
+        return [copy_state(item) for item in value]
+    if cls is set:
+        return {copy_state(item) for item in value}
+    return copy.deepcopy(value)
 
 
 class Variables:
@@ -90,6 +117,20 @@ class Variables:
         merged = dict(self.globals)
         merged.update(self.local)
         return merged
+
+    def restore(self, merged: Mapping[str, Any]) -> None:
+        """Inverse of :meth:`snapshot`: write a merged vector back.
+
+        Keys currently declared local land in this machine's locals;
+        everything else lands in the shared globals dict — which is
+        mutated *in place*, so co-operating machines holding the same
+        dict observe the restored values immediately.
+        """
+        for name, value in merged.items():
+            if name in self.local:
+                self.local[name] = value
+            else:
+                self.globals[name] = value
 
 
 @dataclass(slots=True)
@@ -378,6 +419,10 @@ class EfsmInstance:
         self.clock_now = clock_now
         self._timer_scheduler = timer_scheduler
         self._timers: Dict[str, Any] = {}
+        #: name -> (absolute deadline, event args): the serializable view
+        #: of the opaque scheduler handles, kept so :meth:`snapshot` can
+        #: record live timers and :meth:`restore` can re-arm them.
+        self._timer_meta: Dict[str, Tuple[float, Dict[str, Any]]] = {}
         self.pending_outputs: List[Event] = []
         self.history: List[FiringResult] = []
         #: Delivery hook for timer events when no system owns the instance.
@@ -408,6 +453,7 @@ class EfsmInstance:
 
         def fire() -> None:
             self._timers.pop(name, None)
+            self._timer_meta.pop(name, None)
             event = Event(name, event_args, channel=TIMER_CHANNEL,
                           time=self.clock_now())
             if self.on_timer_event is not None:
@@ -416,9 +462,11 @@ class EfsmInstance:
                 self.deliver(event)
 
         self._timers[name] = self._timer_scheduler(delay, fire)
+        self._timer_meta[name] = (self.clock_now() + delay, event_args)
 
     def cancel_timer(self, name: str) -> None:
         handle = self._timers.pop(name, None)
+        self._timer_meta.pop(name, None)
         if handle is not None and hasattr(handle, "cancel"):
             handle.cancel()
 
@@ -429,6 +477,52 @@ class EfsmInstance:
     @property
     def active_timers(self) -> List[str]:
         return sorted(self._timers)
+
+    # -- checkpoint / restore -------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Serializable copy of the running state.
+
+        Captures the control state, the local variable vector, and the
+        live timers (absolute deadlines + event args) — everything needed
+        to rebuild this instance with :meth:`restore`.  Shared globals are
+        deliberately *not* included: they belong to the owning
+        :class:`~repro.efsm.system.EfsmSystem`, which snapshots them once
+        for all machines of a call.
+        """
+        return {
+            "machine": self.name,
+            "state": self.state,
+            "locals": copy_state(self.variables.local),
+            "timers": {
+                name: {"at": deadline, "args": copy_state(args)}
+                for name, (deadline, args) in self._timer_meta.items()
+            },
+        }
+
+    def restore(self, snapshot: Mapping[str, Any]) -> None:
+        """Rebuild the running state from a :meth:`snapshot`.
+
+        Timers are re-armed against the current scheduler with their
+        original absolute deadlines; a deadline already in the past fires
+        on the next clock advance (the call was down when it expired).
+        """
+        machine = snapshot.get("machine")
+        if machine is not None and machine != self.name:
+            raise DefinitionError(
+                f"cannot restore snapshot of {machine!r} into {self.name!r}")
+        self.cancel_all_timers()
+        self.state = snapshot["state"]
+        self.variables.local.clear()
+        self.variables.local.update(copy_state(snapshot["locals"]))
+        now = self.clock_now()
+        for name, timer in snapshot.get("timers", {}).items():
+            deadline = timer["at"]
+            self.start_timer(name, max(0.0, deadline - now), timer["args"])
+            # Keep the recorded deadline exact (now + (at - now) need not
+            # round-trip in floating point): re-snapshots must be
+            # byte-identical.
+            self._timer_meta[name] = (deadline, dict(timer["args"]))
 
     # -- execution -----------------------------------------------------------
 

@@ -11,14 +11,26 @@ honouring the paper's priority rule.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Mapping, Optional
 
 from .channels import Channel, channel_name
 from .errors import DefinitionError
 from .events import Event
-from .machine import Efsm, EfsmInstance, FiringResult
+from .machine import Efsm, EfsmInstance, FiringResult, copy_state
 
 __all__ = ["EfsmSystem", "ManualClock"]
+
+
+class _TimerHandle:
+    """Cancellation handle for one :class:`ManualClock` timer entry."""
+
+    __slots__ = ("_entry",)
+
+    def __init__(self, entry: list) -> None:
+        self._entry = entry
+
+    def cancel(self) -> None:
+        self._entry[3] = True
 
 
 class ManualClock:
@@ -42,12 +54,7 @@ class ManualClock:
         entry = [self.time + delay, self._seq, callback, False]
         self._seq += 1
         heapq.heappush(self._timers, entry)
-
-        class _Handle:
-            def cancel(_self) -> None:
-                entry[3] = True
-
-        return _Handle()
+        return _TimerHandle(entry)
 
     def advance(self, delta: float) -> None:
         target = self.time + delta
@@ -211,6 +218,56 @@ class EfsmSystem:
             self.attack_matches.append(result)
         if self.on_result is not None:
             self.on_result(result)
+
+    # -- checkpoint / restore --------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Serializable copy of the whole call's state.
+
+        Captures the shared globals once, every machine's
+        :meth:`~repro.efsm.machine.EfsmInstance.snapshot`, and any sync
+        events still queued on channels (normally empty at packet
+        boundaries, but checkpoints must not assume it).
+        """
+        channels: Dict[str, List[Dict[str, Any]]] = {}
+        for name, channel in self.channels.items():
+            if channel._queue:
+                channels[name] = [
+                    {"name": event.name, "args": copy_state(dict(event.args)),
+                     "time": event.time}
+                    for event in channel._queue
+                ]
+        return {
+            "globals": copy_state(self.globals),
+            "machines": {name: instance.snapshot()
+                         for name, instance in self.machines.items()},
+            "channels": channels,
+        }
+
+    def restore(self, snapshot: Mapping[str, Any]) -> None:
+        """Rebuild machine states, globals, and channels from a snapshot.
+
+        The shared globals dict is mutated *in place* — every machine's
+        :class:`~repro.efsm.machine.Variables` holds a reference to it, so
+        identity must survive the restore.
+        """
+        self.globals.clear()
+        self.globals.update(copy_state(snapshot["globals"]))
+        for name, machine_snapshot in snapshot["machines"].items():
+            instance = self.machines.get(name)
+            if instance is None:
+                raise DefinitionError(f"unknown machine: {name}")
+            instance.restore(machine_snapshot)
+        for channel in self._channel_list:
+            channel._queue.clear()
+        for name, events in snapshot.get("channels", {}).items():
+            channel = self.channels.get(name)
+            if channel is None:
+                sender, _, receiver = name.partition("->")
+                channel = self.connect(sender, receiver)
+            for spec in events:
+                channel.put(Event(spec["name"], copy_state(spec["args"]),
+                                  channel=name, time=spec["time"]))
 
     # -- teardown / inspection -------------------------------------------------
 

@@ -45,7 +45,8 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..obs import TraceBus
     from .link import Link
 
-__all__ = ["FaultPlan", "FaultStats", "FaultyLink", "inject_faults"]
+__all__ = ["FaultPlan", "FaultStats", "FaultyLink", "ShardFaultPlan",
+           "inject_faults"]
 
 
 @dataclass(frozen=True)
@@ -95,6 +96,45 @@ class FaultPlan:
         return bool(self.corrupt_rate or self.truncate_rate
                     or self.duplicate_rate or self.reorder_rate
                     or self.burst_enter or self.loss_good or self.flaps)
+
+
+@dataclass(frozen=True)
+class ShardFaultPlan:
+    """Deterministic faults against *IDS shards* rather than links.
+
+    Consumed by :class:`repro.vids.cluster.ShardSupervisor`: every entry
+    names an absolute simulation time and a shard index, so two runs with
+    the same plan kill/hang/slow the same members at the same instants —
+    the chaos suite's reproducibility contract, same as :class:`FaultPlan`.
+    """
+
+    #: ``(at, shard)``: the member's process dies at time ``at`` (it stops
+    #: answering heartbeats and accepting packets until restarted).
+    kills: Tuple[Tuple[float, int], ...] = ()
+    #: ``(at, until, shard)``: the member wedges — alive but unresponsive —
+    #: for the interval; restarts attempted while wedged fail too.
+    hangs: Tuple[Tuple[float, float, int], ...] = ()
+    #: ``(at, until, shard, factor)``: the member's per-packet service time
+    #: is multiplied by ``factor`` during the interval (a hot/degraded
+    #: member that backpressure and rebalancing must absorb).
+    slowdowns: Tuple[Tuple[float, float, int, float], ...] = ()
+
+    def with_overrides(self, **overrides) -> "ShardFaultPlan":
+        """A copy of this plan with the given fields replaced."""
+        return replace(self, **overrides)
+
+    @property
+    def active(self) -> bool:
+        """True if the plan can actually perturb the cluster."""
+        return bool(self.kills or self.hangs or self.slowdowns)
+
+    def slow_factor(self, shard: int, now: float) -> float:
+        """Service-time multiplier for ``shard`` at time ``now`` (>= 1.0)."""
+        factor = 1.0
+        for at, until, index, scale in self.slowdowns:
+            if index == shard and at <= now < until:
+                factor = max(factor, scale)
+        return factor
 
 
 @dataclass

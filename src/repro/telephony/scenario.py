@@ -17,10 +17,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Union
 
-from ..netsim.faults import FaultyLink, inject_faults
+from ..netsim.faults import FaultyLink, ShardFaultPlan, inject_faults
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from ..obs import Observability
+from ..vids.cluster import (DEFAULT_CLUSTER_CONFIG, ClusterConfig,
+                            SupervisedCluster)
 from ..vids.config import DEFAULT_CONFIG, VidsConfig
 from ..vids.ids import Vids
 from ..vids.sharding import ShardedVids
@@ -62,6 +64,15 @@ class ScenarioParams:
     #: a :class:`~repro.vids.sharding.ShardedVids` facade on the inline
     #: device instead (docs/SCALING.md).
     shards: int = 1
+    #: Put the shards under a :class:`~repro.vids.cluster.ShardSupervisor`
+    #: (checkpointing, health-checked failover, backpressure) — the
+    #: robustness tier of docs/ROBUSTNESS.md "Supervision & failover".
+    supervise: bool = False
+    #: Supervision tunables (cadence, heartbeats, backoff, credits).
+    cluster_config: ClusterConfig = DEFAULT_CLUSTER_CONFIG
+    #: Deterministic shard-kill/hang/slowdown injections against the
+    #: supervised cluster (chaos scenarios).
+    shard_fault_plan: Optional[ShardFaultPlan] = None
 
 
 @dataclass
@@ -70,7 +81,7 @@ class ScenarioResult:
 
     params: ScenarioParams
     calls: List[CallRecordStats]
-    vids: Optional[Union[Vids, ShardedVids]]
+    vids: Optional[Union[Vids, ShardedVids, SupervisedCluster]]
     cpu_utilization: float
     elapsed: float
     workload: CallWorkload
@@ -179,9 +190,15 @@ def run_scenario(params: ScenarioParams) -> ScenarioResult:
     sim = testbed.sim
 
     obs = params.obs
-    vids: Optional[Union[Vids, ShardedVids]] = None
+    vids: Optional[Union[Vids, ShardedVids, SupervisedCluster]] = None
     if params.with_vids:
-        if params.shards > 1:
+        if params.supervise:
+            vids = SupervisedCluster(
+                shards=max(params.shards, 1), sim=sim,
+                config=params.vids_config, obs=obs,
+                cluster=params.cluster_config,
+                fault_plan=params.shard_fault_plan)
+        elif params.shards > 1:
             vids = ShardedVids(shards=params.shards, sim=sim,
                                config=params.vids_config, obs=obs)
         else:

@@ -14,6 +14,15 @@ The paper's primary contribution.  Architecture (Figure 3):
 
 from .alerts import Alert, AlertManager, AttackType
 from .classifier import ClassifiedPacket, PacketClassifier, PacketKind
+from .cluster import (
+    ClusterConfig,
+    ClusterMetrics,
+    DEFAULT_CLUSTER_CONFIG,
+    MemberState,
+    ShardCheckpoint,
+    ShardSupervisor,
+    SupervisedCluster,
+)
 from .config import DEFAULT_CONFIG, VidsConfig
 from .distributor import (
     EventDistributor,
@@ -64,6 +73,9 @@ __all__ = [
     "RecordingProcessor",
     "CallStateFactBase",
     "ClassifiedPacket",
+    "ClusterConfig",
+    "ClusterMetrics",
+    "DEFAULT_CLUSTER_CONFIG",
     "DEFAULT_CONFIG",
     "DELTA_BYE",
     "DELTA_CANCELLED",
@@ -71,6 +83,7 @@ __all__ = [
     "DELTA_SESSION_OFFER",
     "EventDistributor",
     "InviteFloodTracker",
+    "MemberState",
     "OrphanMediaTracker",
     "PROBE_SAMPLES",
     "PacketClassifier",
@@ -79,7 +92,10 @@ __all__ = [
     "RTP_MACHINE",
     "RTP_STATES",
     "SIP_ATTACK_STATES",
+    "ShardCheckpoint",
+    "ShardSupervisor",
     "ShardedVids",
+    "SupervisedCluster",
     "shard_for_call",
     "SIP_MACHINE",
     "SIP_STATES",

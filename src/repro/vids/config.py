@@ -18,6 +18,7 @@ Every tunable the paper names is here:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Optional
 
 __all__ = ["VidsConfig", "DEFAULT_CONFIG"]
 
@@ -104,6 +105,14 @@ class VidsConfig:
     #: CPU seconds charged for an RTP/RTCP packet while shedding
     #: (classification only; the packet is still forwarded fail-open).
     shed_processing_cost: float = 0.0001
+
+    #: Seconds a quarantined call stays blinded before it is *paroled* —
+    #: quarantine lifts and inspection resumes for that call.  ``None``
+    #: (the default) keeps the original behaviour: quarantine is permanent
+    #: for the call's lifetime and only the record TTL reaps it.  A finite
+    #: TTL keeps one transient fault from blinding the IDS to a call
+    #: forever (docs/ROBUSTNESS.md "Quarantine parole").
+    quarantine_ttl: Optional[float] = None
 
     # -- Spec verification (docs/SPECCHECK.md) --------------------------------
     #: Statically verify the SIP/RTP machine specifications (spec-lint) when

@@ -278,15 +278,17 @@ class EventDistributor:
         datagram = classified.datagram
         trace = self.trace
         destination = (datagram.dst.ip, datagram.dst.port)
-        if destination in self.factbase.quarantined_media:
-            # Lingering media of a quarantined call: drop from inspection
-            # (still forwarded on the wire) rather than feeding the orphan
-            # tracker with a stream we know the history of.
-            self.factbase.metrics.quarantined_drops += 1
-            if trace is not None:
-                self._route(classified, now, "quarantined-media",
-                            self.factbase.quarantined_media.get(destination))
-            return None
+        if self.factbase.quarantined_media:
+            quarantined_call = self.factbase.quarantined_media_call(destination)
+            if quarantined_call is not None:
+                # Lingering media of a quarantined call: drop from inspection
+                # (still forwarded on the wire) rather than feeding the orphan
+                # tracker with a stream we know the history of.
+                self.factbase.metrics.quarantined_drops += 1
+                if trace is not None:
+                    self._route(classified, now, "quarantined-media",
+                                quarantined_call)
+                return None
         match = self.factbase.lookup_media(destination)
         if match is None:
             event = rtp_event_from_packet(classified, "orphan", now)

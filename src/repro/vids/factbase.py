@@ -12,7 +12,7 @@ also samples the per-call memory cost for the Section 7.3 accounting.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, Mapping, Optional, Tuple
 
 from ..efsm.machine import FiringResult
 from ..efsm.system import EfsmSystem
@@ -46,6 +46,10 @@ class CallRecord:
         #: Negotiated media map as of the last index refresh (key -> dir).
         self.media_map: Dict[MediaKey, str] = {}
         self.deletion_scheduled = False
+        #: Absolute time the scheduled linger-delete fires (None until the
+        #: machines reach final states); checkpointed so a restored call's
+        #: deletion timer re-arms at the original deadline.
+        self.delete_at: Optional[float] = None
         #: (firing-count, sip_bytes, rtp_bytes) memo for state accounting.
         self._size_cache: Optional[Tuple[int, int, int]] = None
         #: Bytes this record last contributed to the fact-base running total.
@@ -206,13 +210,17 @@ class CallStateFactBase:
             record = self._create(call_id)
         return record
 
-    def _create(self, call_id: str) -> CallRecord:
+    def _create(self, call_id: str, *, created_at: Optional[float] = None,
+                count: bool = True,
+                trace_kind: str = "call-created") -> CallRecord:
         system = EfsmSystem(clock_now=self.clock_now,
                             timer_scheduler=self.timer_scheduler)
         system.add_machine(self._sip_definition)
         system.add_machine(self._rtp_definition)
         system.connect(SIP_MACHINE, RTP_MACHINE)
-        record = CallRecord(call_id, system, self.clock_now())
+        if created_at is None:
+            created_at = self.clock_now()
+        record = CallRecord(call_id, system, created_at)
 
         def dispatch(result, _record=record, _dirty=self._dirty):
             # Every variable mutation happens inside a firing, so marking
@@ -232,10 +240,11 @@ class CallStateFactBase:
                 _trace.emit("delta", event.time, call_id=_cid,
                             sender=sender, channel=event.channel,
                             event=event.name))
-            trace.emit("call-created", record.created_at, call_id=call_id)
+            trace.emit(trace_kind, self.clock_now(), call_id=call_id)
         self._dirty.add(record)
         self.records[call_id] = record
-        self.metrics.calls_created += 1
+        if count:
+            self.metrics.calls_created += 1
         self.metrics.peak_concurrent_calls = max(
             self.metrics.peak_concurrent_calls, len(self.records))
         return record
@@ -313,8 +322,119 @@ class CallStateFactBase:
                 del self._media_match[key]
         return record
 
+    # -- checkpoint / restore (repro.vids.cluster) -----------------------------
+
+    def checkpoint_call(self, record: CallRecord) -> Dict[str, Any]:
+        """Serializable snapshot of one call record.
+
+        Media keys are *not* stored: they are re-derived from the restored
+        globals by :meth:`refresh_media_index`, which also re-fires the
+        ``on_media_route`` hooks so a sharding facade's routing table
+        re-homes with the call.
+        """
+        return {
+            "call_id": record.call_id,
+            "created_at": record.created_at,
+            "last_activity": record.last_activity,
+            "deletion_scheduled": record.deletion_scheduled,
+            "delete_at": record.delete_at,
+            "system": record.system.snapshot(),
+        }
+
+    def restore_call(self, snapshot: Mapping[str, Any]) -> CallRecord:
+        """Rebuild a call record from a :meth:`checkpoint_call` snapshot."""
+        call_id = snapshot["call_id"]
+        if call_id in self.records:
+            raise ValueError(f"call already present: {call_id}")
+        record = self._create(call_id, created_at=snapshot["created_at"],
+                              count=False, trace_kind="call-restored")
+        record.system.restore(snapshot["system"])
+        record.last_activity = snapshot["last_activity"]
+        self.refresh_media_index(record)
+        if snapshot.get("deletion_scheduled"):
+            record.deletion_scheduled = True
+            record.delete_at = snapshot.get("delete_at")
+            delay = 0.0
+            if record.delete_at is not None:
+                delay = max(0.0, record.delete_at - self.clock_now())
+            self.timer_scheduler(delay, lambda: self.delete(call_id))
+        return record
+
+    def evict(self, call_id: str) -> Optional[CallRecord]:
+        """Drop a record without the deletion bookkeeping.
+
+        Used when a call *migrates* to a sibling shard: the call is not
+        over, so ``calls_deleted`` and the memory sampling must not fire
+        (they would double-count against the equivalence counters).  Media
+        routes are retired with the same quarantine guard as
+        :meth:`delete` — the restoring side re-indexes first, so its
+        routes win and this retirement no-ops in the facade.
+        """
+        record = self.records.pop(call_id, None)
+        if record is None:
+            return None
+        self._total_bytes -= record._contribution
+        self._dirty.discard(record)
+        record.system.cancel_all_timers()
+        if self.trace is not None:
+            self.trace.emit("call-evicted", self.clock_now(), call_id=call_id)
+        hook = self.on_media_route
+        for key in record.media_keys:
+            if self.media_index.get(key) == call_id:
+                del self.media_index[key]
+                if hook is not None and key not in self.quarantined_media:
+                    hook(key, None)
+            match = self._media_match.get(key)
+            if match is not None and match[0] is record:
+                del self._media_match[key]
+        return record
+
+    # -- quarantine ------------------------------------------------------------
+
     def is_quarantined(self, call_id: str) -> bool:
-        return call_id in self.quarantined
+        since = self.quarantined.get(call_id)
+        if since is None:
+            return False
+        ttl = self.config.quarantine_ttl
+        if ttl is not None and self.clock_now() - since > ttl:
+            # Lazy parole on first touch after expiry (collect_garbage
+            # paroles the idle ones).
+            self.parole(call_id)
+            return False
+        return True
+
+    def quarantined_media_call(self, key: MediaKey) -> Optional[str]:
+        """The quarantined call pinning a media key, if still quarantined.
+
+        Checks parole lazily, so lingering RTP to a paroled call's old
+        endpoint stops being dropped the moment the TTL passes.
+        """
+        call_id = self.quarantined_media.get(key)
+        if call_id is None:
+            return None
+        if not self.is_quarantined(call_id):
+            return None
+        return call_id
+
+    def parole(self, call_id: str) -> None:
+        """Lift a call's quarantine: resume inspecting its traffic."""
+        if self.quarantined.pop(call_id, None) is None:
+            return
+        self.metrics.quarantine_paroles += 1
+        if self.trace is not None:
+            self.trace.emit("quarantine-parole", self.clock_now(),
+                            call_id=call_id)
+        self._release_quarantined_media(call_id)
+
+    def _release_quarantined_media(self, call_id: str) -> None:
+        hook = self.on_media_route
+        for key in [k for k, cid in self.quarantined_media.items()
+                    if cid == call_id]:
+            del self.quarantined_media[key]
+            # Retire the route only if no live call re-negotiated the
+            # endpoint while the quarantine entry was pinning it.
+            if hook is not None and key not in self.media_index:
+                hook(key, None)
 
     def quarantine(self, call_id: str) -> Optional[CallRecord]:
         """Tear down one call's machines after an internal error.
@@ -356,16 +476,16 @@ class CallStateFactBase:
         ]
         for call_id in stale:
             self.delete(call_id)
+        ttl = self.config.quarantine_ttl
+        expiry = self.config.call_record_ttl if ttl is None else ttl
         expired = [call_id for call_id, since in self.quarantined.items()
-                   if now - since > self.config.call_record_ttl]
-        hook = self.on_media_route
+                   if now - since > expiry]
         for call_id in expired:
-            del self.quarantined[call_id]
-            for key in [k for k, cid in self.quarantined_media.items()
-                        if cid == call_id]:
-                del self.quarantined_media[key]
-                # Retire the route only if no live call re-negotiated the
-                # endpoint while the quarantine entry was pinning it.
-                if hook is not None and key not in self.media_index:
-                    hook(key, None)
+            if ttl is not None:
+                # Parole (counted + traced): the call becomes inspectable
+                # again rather than silently aging out.
+                self.parole(call_id)
+            else:
+                del self.quarantined[call_id]
+                self._release_quarantined_media(call_id)
         return len(stale)

@@ -402,6 +402,7 @@ class Vids:
         if record.deletion_scheduled or not record.system.all_final:
             return
         record.deletion_scheduled = True
+        record.delete_at = self.clock_now() + self.config.closed_record_linger
         call_id = record.call_id
         self.timer_scheduler(
             self.config.closed_record_linger,

@@ -94,6 +94,10 @@ class VidsMetrics:
     calls_quarantined: int = 0
     #: Packets addressed to quarantined calls, dropped from inspection.
     quarantined_drops: int = 0
+    #: Quarantined calls released by TTL parole (quarantine_ttl config).
+    quarantine_paroles: int = 0
+    #: Pool-backend worker failures contained by the serial in-process retry.
+    pool_worker_failures: int = 0
     #: RTP/RTCP packets that skipped deep inspection during overload.
     packets_shed: int = 0
     #: Completed overload-shedding intervals as (start, end) times.
@@ -143,6 +147,8 @@ class VidsMetrics:
         ("internal_errors", "Exceptions contained by crash containment"),
         ("calls_quarantined", "Calls torn down by quarantine"),
         ("quarantined_drops", "Packets dropped for quarantined calls"),
+        ("quarantine_paroles", "Quarantined calls released by TTL parole"),
+        ("pool_worker_failures", "Pool worker failures retried serially"),
         ("packets_shed", "Media packets shed during overload"),
         ("shed_events", "Times overload shedding engaged"),
     )
@@ -220,6 +226,8 @@ class VidsMetrics:
             "internal_errors": self.internal_errors,
             "calls_quarantined": self.calls_quarantined,
             "quarantined_drops": self.quarantined_drops,
+            "quarantine_paroles": self.quarantine_paroles,
+            "pool_worker_failures": self.pool_worker_failures,
             "packets_shed": self.packets_shed,
             "shed_events": self.shed_events,
             "shed_time": self.shed_time,

@@ -21,8 +21,10 @@ from ..efsm.system import ManualClock
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from ..obs import Observability
+from ..netsim.faults import ShardFaultPlan
 from ..netsim.inline import NullProcessor, PacketProcessor
 from ..netsim.packet import Datagram
+from .cluster import DEFAULT_CLUSTER_CONFIG, ClusterConfig, SupervisedCluster
 from .config import DEFAULT_CONFIG, VidsConfig
 from .ids import Vids
 from .sharding import ShardedVids
@@ -65,7 +67,11 @@ def replay_trace(capture: Iterable[CapturedPacket],
                  config: VidsConfig = DEFAULT_CONFIG,
                  obs: Optional["Observability"] = None,
                  shards: int = 1,
-                 backend: str = "serial") -> Union[Vids, ShardedVids]:
+                 backend: str = "serial",
+                 supervise: bool = False,
+                 cluster: ClusterConfig = DEFAULT_CLUSTER_CONFIG,
+                 fault_plan: Optional[ShardFaultPlan] = None,
+                 ) -> Union[Vids, ShardedVids, SupervisedCluster]:
     """Re-run detection over a capture; returns the analysed pipeline.
 
     The manual clock advances to each packet's original timestamp, so
@@ -83,6 +89,19 @@ def replay_trace(capture: Iterable[CapturedPacket],
     """
     items = [(packet.datagram, packet.time) for packet in capture]
     clock = ManualClock()
+    if supervise:
+        # Supervised cluster replay: advancing the manual clock between
+        # packets fires the supervisor's heartbeats, checkpoints, and the
+        # fault plan's kill/hang injections at their scheduled times.
+        supervised = SupervisedCluster(
+            shards=max(shards, 1), config=config, clock_now=clock.now,
+            timer_scheduler=clock.schedule, obs=obs, cluster=cluster,
+            fault_plan=fault_plan)
+        supervised.process_batch(items, clock=clock)
+        clock.advance(config.bye_inflight_timer
+                      + config.closed_record_linger + 1.0)
+        supervised.flush_shed_interval()
+        return supervised
     if shards > 1 or backend != "serial":
         sharded = ShardedVids(shards=shards, config=config,
                               clock_now=clock.now,

@@ -353,10 +353,18 @@ class ShardedVids:
         workers = min(len(jobs), os.cpu_count() or 1)
         total = 0.0
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(_analyze_partition, self.config, part,
-                                   drain) for _, part in jobs]
-            for future in futures:
-                alerts, metrics = future.result()
+            futures = [(part, pool.submit(_analyze_partition, self.config,
+                                          part, drain)) for _, part in jobs]
+            for part, future in futures:
+                try:
+                    alerts, metrics = future.result()
+                except Exception:
+                    # A dead worker (e.g. BrokenProcessPool) must not
+                    # discard its siblings' results or crash the batch:
+                    # re-analyze the failed partition serially in-process.
+                    alerts, metrics = _analyze_partition(self.config, part,
+                                                         drain)
+                    metrics.pool_worker_failures += 1
                 self._pool_alerts.extend(alerts)
                 self._pool_metrics.append(metrics)
                 total += metrics.cpu_time
@@ -478,31 +486,42 @@ class ShardedVids:
             "vids_media_routes",
             "Negotiated media keys in the shard routing table",
         ).set_function(lambda: len(self._media_routes))
+        for index, shard in enumerate(self.shards):
+            self._register_shard_metrics(registry, index, shard)
+
+    def _register_shard_metrics(self, registry, index: int,
+                                shard: Vids) -> None:
+        """(Re-)bind one shard's labelled series to a Vids instance.
+
+        The registry's get-or-create semantics make this idempotent per
+        (family, label): ``set_function`` replaces the callback, which is
+        how a supervisor re-points the series at a member restarted from
+        checkpoint (repro.vids.cluster).
+        """
+        label = str(index)
+        shard.metrics.register_with(registry, labels={"shard": label})
+        registry.gauge(
+            "vids_active_calls",
+            "Calls currently monitored in the fact base",
+            labelnames=("shard",),
+        ).labels(shard=label).set_function(
+            lambda s=shard: s.factbase.active_calls)
+        registry.gauge(
+            "vids_backlog_seconds",
+            "Unworked analysis CPU time (the shedding signal)",
+            labelnames=("shard",),
+        ).labels(shard=label).set_function(shard.backlog)
+        registry.gauge(
+            "vids_shedding",
+            "1 while RTP deep inspection is shed (signaling-only mode)",
+            labelnames=("shard",),
+        ).labels(shard=label).set_function(
+            lambda s=shard: 1 if s.shedding else 0)
         alerts = registry.counter(
             "vids_alerts_total", "Alerts raised, by attack type",
             labelnames=("attack_type", "shard"))
-        for index, shard in enumerate(self.shards):
-            label = str(index)
-            shard.metrics.register_with(registry, labels={"shard": label})
-            registry.gauge(
-                "vids_active_calls",
-                "Calls currently monitored in the fact base",
-                labelnames=("shard",),
-            ).labels(shard=label).set_function(
-                lambda s=shard: s.factbase.active_calls)
-            registry.gauge(
-                "vids_backlog_seconds",
-                "Unworked analysis CPU time (the shedding signal)",
-                labelnames=("shard",),
-            ).labels(shard=label).set_function(shard.backlog)
-            registry.gauge(
-                "vids_shedding",
-                "1 while RTP deep inspection is shed (signaling-only mode)",
-                labelnames=("shard",),
-            ).labels(shard=label).set_function(
-                lambda s=shard: 1 if s.shedding else 0)
-            for attack_type in AttackType:
-                alerts.labels(
-                    attack_type=attack_type.value, shard=label,
-                ).set_function(partial(
-                    shard.alert_manager.counts.__getitem__, attack_type))
+        for attack_type in AttackType:
+            alerts.labels(
+                attack_type=attack_type.value, shard=label,
+            ).set_function(partial(
+                shard.alert_manager.counts.__getitem__, attack_type))

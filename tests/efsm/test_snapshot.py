@@ -1,0 +1,204 @@
+"""Snapshot/restore round-trips for EFSM instances and systems.
+
+The checkpointing tier (docs/ROBUSTNESS.md "Supervision & failover")
+rests on one invariant: ``restore(snapshot())`` rebuilds the identical
+running state — control state, variable vectors, live timers with their
+original absolute deadlines, queued channel events, and the shared
+globals dict — and a re-snapshot of the restored state is equal to the
+original snapshot (so incremental checkpoints can reuse it verbatim).
+"""
+
+import pytest
+
+from repro.efsm import (
+    DefinitionError,
+    Efsm,
+    EfsmInstance,
+    EfsmSystem,
+    Event,
+    ManualClock,
+    TIMER_CHANNEL,
+)
+
+
+def counting_machine(name="counter"):
+    machine = Efsm(name, "idle")
+    machine.add_state("busy")
+    machine.declare(ticks=0, payloads=())
+
+    def on_go(ctx):
+        ctx.v["ticks"] = ctx.v["ticks"] + 1
+        ctx.v["payloads"] = ctx.v["payloads"] + (ctx.event.args.get("tag"),)
+        ctx.start_timer("expire", 5.0, {"tag": ctx.event.args.get("tag")})
+
+    machine.add_transition("idle", "go", "busy", action=on_go)
+    machine.add_transition("busy", "expire", "idle", channel=TIMER_CHANNEL)
+    machine.validate()
+    return machine
+
+
+def test_instance_snapshot_restore_round_trip():
+    clock = ManualClock()
+    instance = EfsmInstance(counting_machine(), clock_now=clock.now,
+                            timer_scheduler=clock.schedule)
+    clock.advance(2.0)
+    instance.deliver(Event("go", {"tag": "a"}, time=clock.now()))
+    assert instance.active_timers == ["expire"]
+
+    snapshot = instance.snapshot()
+
+    # Mutate past the snapshot point, then restore.
+    clock.advance(5.0)            # fires the timer -> back to idle
+    assert instance.state == "idle"
+    instance.deliver(Event("go", {"tag": "b"}, time=clock.now()))
+
+    restored = EfsmInstance(counting_machine(), clock_now=clock.now,
+                            timer_scheduler=clock.schedule)
+    restored.restore(snapshot)
+    assert restored.state == "busy"
+    assert restored.variables["ticks"] == 1
+    assert restored.variables["payloads"] == ("a",)
+    assert restored.active_timers == ["expire"]
+    # A re-snapshot is byte-identical — including the original absolute
+    # deadline, even though the restore re-armed relative to a later now.
+    assert restored.snapshot() == snapshot
+
+
+def test_restored_timer_fires_with_original_args():
+    clock = ManualClock()
+    instance = EfsmInstance(counting_machine(), clock_now=clock.now,
+                            timer_scheduler=clock.schedule)
+    instance.deliver(Event("go", {"tag": "x"}))
+    snapshot = instance.snapshot()
+
+    clock.advance(1.0)
+    restored = EfsmInstance(counting_machine(), clock_now=clock.now,
+                            timer_scheduler=clock.schedule)
+    restored.restore(snapshot)
+    # Original deadline was t=5.0; we are at t=1.0, so 4 more seconds.
+    clock.advance(3.9)
+    assert restored.state == "busy"
+    clock.advance(0.2)
+    assert restored.state == "idle"
+    assert restored.history[-1].event.name == "expire"
+    assert restored.history[-1].event.args["tag"] == "x"
+
+
+def test_expired_deadline_fires_on_next_advance():
+    """A timer that expired while the shard was down fires immediately."""
+    clock = ManualClock()
+    instance = EfsmInstance(counting_machine(), clock_now=clock.now,
+                            timer_scheduler=clock.schedule)
+    instance.deliver(Event("go", {"tag": "late"}))
+    snapshot = instance.snapshot()
+
+    clock.advance(60.0)           # well past the t=5 deadline
+    restored = EfsmInstance(counting_machine(), clock_now=clock.now,
+                            timer_scheduler=clock.schedule)
+    restored.restore(snapshot)
+    assert restored.state == "busy"
+    clock.advance(0.0)
+    assert restored.state == "idle"
+
+
+def test_restore_rejects_wrong_machine():
+    clock = ManualClock()
+    instance = EfsmInstance(counting_machine("a"), clock_now=clock.now,
+                            timer_scheduler=clock.schedule)
+    other = EfsmInstance(counting_machine("b"), clock_now=clock.now,
+                         timer_scheduler=clock.schedule)
+    with pytest.raises(DefinitionError):
+        other.restore(instance.snapshot())
+
+
+def test_restore_cancels_preexisting_timers():
+    clock = ManualClock()
+    source = EfsmInstance(counting_machine(), clock_now=clock.now,
+                          timer_scheduler=clock.schedule)
+    snapshot = source.snapshot()   # idle, no timers
+
+    target = EfsmInstance(counting_machine(), clock_now=clock.now,
+                          timer_scheduler=clock.schedule)
+    target.deliver(Event("go", {"tag": "stale"}))
+    assert target.active_timers
+    target.restore(snapshot)
+    assert target.active_timers == []
+    assert target.state == "idle"
+    clock.advance(10.0)            # the stale timer must not fire
+    assert target.state == "idle"
+
+
+def relay_system(clock):
+    """Two machines: ``ping`` emits to ``pong`` over a sync channel."""
+    ping = Efsm("ping", "start")
+    ping.add_state("sent")
+    ping.declare(sent=0)
+    ping.declare_channel("ping->pong")
+
+    def do_send(ctx):
+        ctx.v["sent"] = ctx.v["sent"] + 1
+        ctx.emit("ping->pong", "relay", {"n": ctx.v["sent"]})
+
+    ping.add_transition("start", "kick", "sent", action=do_send)
+    ping.validate()
+
+    pong = Efsm("pong", "waiting")
+    pong.add_state("got")
+    pong.declare(seen=0)
+    pong.declare_channel("ping->pong")
+    def on_relay(ctx):
+        ctx.v["seen"] = ctx.event.args["n"]
+
+    pong.add_transition("waiting", "relay", "got", channel="ping->pong",
+                        action=on_relay)
+    pong.add_transition("got", "relay", "got", channel="ping->pong",
+                        action=on_relay)
+    pong.validate()
+
+    system = EfsmSystem(clock_now=clock.now, timer_scheduler=clock.schedule)
+    system.add_machine(ping)
+    system.add_machine(pong)
+    system.connect("ping", "pong")
+    return system
+
+
+def test_system_snapshot_restores_machines_channels_and_globals():
+    clock = ManualClock()
+    system = relay_system(clock)
+    system.globals["shared"] = {"score": 7}
+    system.inject("ping", Event("kick"))
+    assert system.machines["ping"].state == "sent"
+    assert system.machines["pong"].state == "got"
+    # Park a sync event in-channel: checkpoints must not assume packet
+    # boundaries left every queue empty.
+    system.channels["ping->pong"].put(
+        Event("relay", {"n": 5}, channel="ping->pong", time=1.0))
+
+    snapshot = system.snapshot()
+
+    fresh = relay_system(clock)
+    original_globals = fresh.globals     # identity must be preserved
+    fresh.restore(snapshot)
+    assert fresh.globals is original_globals
+    assert fresh.globals["shared"] == {"score": 7}
+    assert fresh.globals["shared"] is not snapshot["globals"]["shared"]
+    assert fresh.machines["ping"].state == "sent"
+    assert fresh.machines["pong"].state == "got"
+    assert fresh.machines["pong"].variables["seen"] == 1
+    # The parked event survived the round trip, and the priority rule
+    # still delivers it before the next data packet.
+    fired = fresh.inject("ping", Event("kick"))
+    assert fired[0].machine == "pong"
+    assert fired[0].event.name == "relay"
+    assert fresh.machines["pong"].variables["seen"] == 5
+
+
+def test_system_restore_rejects_unknown_machine():
+    clock = ManualClock()
+    system = relay_system(clock)
+    snapshot = system.snapshot()
+    snapshot["machines"]["ghost"] = {"machine": "ghost", "state": "x",
+                                     "locals": {}, "timers": {}}
+    fresh = relay_system(clock)
+    with pytest.raises(DefinitionError):
+        fresh.restore(snapshot)

@@ -1,0 +1,313 @@
+"""Unit tests for the shard supervision tier (repro.vids.cluster).
+
+Heartbeat-driven failure detection, checkpoint/restore failover,
+exponential restart backoff, credit-based backpressure, and live call
+migration — each exercised against a ManualClock so every heartbeat and
+fault fires at a deterministic simulated time.
+"""
+
+from repro.efsm import ManualClock
+from repro.netsim import Datagram, Endpoint
+from repro.netsim.faults import ShardFaultPlan
+from repro.rtp.packet import RtpPacket
+from repro.sip.message import SipRequest
+from repro.sip.sdp import SDP_CONTENT_TYPE, SessionDescription
+from repro.vids import (
+    ClusterConfig,
+    DEFAULT_CONFIG,
+    MemberState,
+    SupervisedCluster,
+    shard_for_call,
+)
+
+PROXY_B = Endpoint("10.2.0.1", 5060)
+
+#: Fast supervision cycle for unit tests: heartbeat every 0.1s, one miss
+#: declares DOWN, first restart attempt 0.1s later.
+FAST = ClusterConfig(checkpoint_cadence=4, heartbeat_interval=0.1,
+                     heartbeat_misses=1, restart_backoff=0.1,
+                     backoff_factor=2.0, backoff_max=1.0)
+
+
+def invite_datagram(call_id, to_user="b1", from_user="alice",
+                    src_ip="10.1.0.11", seq=1, media_port=20_000):
+    sdp = SessionDescription.for_audio(src_ip, media_port, 18, "G729")
+    request = SipRequest("INVITE", f"sip:{to_user}@b.example.com",
+                         body=sdp.serialize())
+    request.set("Via",
+                f"SIP/2.0/UDP {src_ip}:5060;branch=z9hG4bK{call_id}{seq}")
+    request.set("From", f"<sip:{from_user}@a.example.com>;tag=tag-{call_id}")
+    request.set("To", f"<sip:{to_user}@b.example.com>")
+    request.set("Call-ID", call_id)
+    request.set("CSeq", f"{seq} INVITE")
+    request.set("Contact", f"<sip:{from_user}@{src_ip}:5060>")
+    request.set("Content-Type", SDP_CONTENT_TYPE)
+    return Datagram(Endpoint(src_ip, 5060), PROXY_B, request.serialize())
+
+
+def bye_datagram(call_id, src_ip="10.1.0.11", seq=2):
+    request = SipRequest("BYE", "sip:b1@b.example.com")
+    request.set("Via",
+                f"SIP/2.0/UDP {src_ip}:5060;branch=z9hG4bKb{call_id}{seq}")
+    request.set("From", f"<sip:alice@a.example.com>;tag=tag-{call_id}")
+    request.set("To", "<sip:b1@b.example.com>;tag=remote")
+    request.set("Call-ID", call_id)
+    request.set("CSeq", f"{seq} BYE")
+    return Datagram(Endpoint(src_ip, 5060), PROXY_B, request.serialize())
+
+
+def rtp_datagram(dst_ip, dst_port, seq=1):
+    payload = RtpPacket(payload_type=18, sequence_number=seq,
+                        timestamp=160 * seq, ssrc=7,
+                        payload=b"\x00" * 10).serialize()
+    return Datagram(Endpoint("172.16.9.9", 40_000),
+                    Endpoint(dst_ip, dst_port), payload)
+
+
+def make_cluster(shards=2, cluster=FAST, fault_plan=None,
+                 config=DEFAULT_CONFIG):
+    clock = ManualClock()
+    supervised = SupervisedCluster(
+        shards=shards, config=config, clock_now=clock.now,
+        timer_scheduler=clock.schedule, cluster=cluster,
+        fault_plan=fault_plan)
+    return supervised, clock
+
+
+def calls_on_shard(index, count, shards=2, limit=5000):
+    """Call-ids whose consistent hash lands on the given shard."""
+    found = []
+    for n in range(limit):
+        call_id = f"call-{n}@unit"
+        if shard_for_call(call_id, shards) == index:
+            found.append(call_id)
+            if len(found) == count:
+                return found
+    raise AssertionError("not enough call ids found")
+
+
+def call_on_shard(index, shards=2, limit=5000):
+    return calls_on_shard(index, 1, shards, limit)[0]
+
+
+def test_baseline_checkpoints_and_cadence():
+    supervised, clock = make_cluster(cluster=FAST.with_overrides(
+        checkpoint_cadence=4))
+    supervisor = supervised.supervisor
+    baseline = supervisor.metrics.checkpoints_taken
+    assert baseline == 2          # one per member at start()
+    for n in range(8):
+        supervised.process(invite_datagram(f"c{n}@x", from_user=f"u{n}"),
+                           clock.now())
+    # Every member checkpoints after its own 4th packet.
+    assert supervisor.metrics.checkpoints_taken > baseline
+    for member in supervisor.members:
+        assert member.packets_since_checkpoint < 4
+        assert member.checkpoint is not None
+
+
+def test_kill_is_detected_restored_and_queue_replayed():
+    victim = 1
+    plan = ShardFaultPlan(kills=((1.0, victim),))
+    supervised, clock = make_cluster(fault_plan=plan)
+    supervisor = supervised.supervisor
+    call_id = call_on_shard(victim)
+    supervised.process(invite_datagram(call_id), clock.now())
+    assert supervised.shards[victim].active_calls == 1
+
+    clock.advance(1.05)           # kill fires at t=1.0
+    member = supervisor.members[victim]
+    assert not member.alive
+    assert supervisor.metrics.fault_kills == 1
+
+    clock.advance(0.1)            # heartbeat: one miss -> DOWN
+    assert member.state is MemberState.DOWN
+    assert supervisor.metrics.members_down == 1
+    assert len(supervised.incidents) == 1
+
+    # Traffic for the dead member parks on its admission queue.
+    supervised.process(bye_datagram(call_id), clock.now())
+    assert len(member.queue) == 1
+
+    clock.advance(0.3)            # backoff elapses -> restart from checkpoint
+    assert member.state is MemberState.UP
+    assert member.alive
+    assert supervisor.metrics.members_restarted == 1
+    assert supervised.incidents[0]["restored_at"] is not None
+    # The queued BYE replayed into the restored member.
+    assert len(member.queue) == 0
+    assert supervisor.metrics.packets_requeued == 1
+    restored = supervised.shards[victim]
+    record = restored.factbase.get(call_id)
+    # INVITE was checkpointed, BYE replayed after restore: the call is in
+    # teardown, not lost.
+    assert record is None or record.deletion_scheduled \
+        or restored.factbase.get(call_id).system.states()["sip"] != "init"
+
+
+def test_loss_window_is_bounded_by_cadence():
+    victim = 0
+    plan = ShardFaultPlan(kills=((1.0, victim),))
+    cluster = FAST.with_overrides(checkpoint_cadence=100)
+    supervised, clock = make_cluster(fault_plan=plan, cluster=cluster)
+    # 5 packets since the baseline checkpoint, all uncheckpointed.
+    for seq, call_id in enumerate(calls_on_shard(victim, 5)):
+        supervised.process(invite_datagram(call_id, from_user=f"u{seq}"),
+                           clock.now())
+    since = supervised.supervisor.members[victim].packets_since_checkpoint
+    assert since == 5
+    clock.advance(1.2)            # kill + heartbeat -> DOWN
+    incident = supervised.incidents[0]
+    assert incident["lost_packets"] == since <= 100
+    assert supervised.cluster_metrics.lost_packets == since
+
+
+def test_hung_member_restart_fails_with_growing_backoff():
+    plan = ShardFaultPlan(hangs=((0.5, 10.0, 0),))
+    supervised, clock = make_cluster(fault_plan=plan)
+    supervisor = supervised.supervisor
+    member = supervisor.members[0]
+
+    clock.advance(1.0)            # hang at 0.5; heartbeat declares DOWN
+    assert member.state is MemberState.DOWN
+    assert supervisor.metrics.fault_hangs == 1
+
+    clock.advance(5.0)            # several restart attempts, all wedged
+    assert supervisor.metrics.restart_failures >= 2
+    assert member.state is MemberState.DOWN
+    assert supervised.incidents[0]["restart_failures"] >= 2
+    # Backoff grew exponentially but stayed under the cap.
+    assert member.restart_attempts >= 2
+    delay = (supervisor.config.restart_backoff
+             * supervisor.config.backoff_factor ** member.restart_attempts)
+    assert supervisor._backoff(member) == min(
+        delay, supervisor.config.backoff_max)
+
+    clock.advance(10.0)           # hang window passes -> restart succeeds
+    assert member.state is MemberState.UP
+    assert supervisor.metrics.members_restarted == 1
+
+
+def test_credit_backpressure_queues_then_drains():
+    cluster = FAST.with_overrides(credit_limit=2, heartbeat_interval=0.5)
+    supervised, clock = make_cluster(cluster=cluster)
+    supervisor = supervised.supervisor
+    target = 0
+    member = supervisor.members[target]
+    assert member.credits == 2
+
+    for seq, call_id in enumerate(calls_on_shard(target, 5)):
+        supervised.process(
+            invite_datagram(call_id, from_user=f"u{seq}",
+                            media_port=21_000 + 2 * seq),
+            clock.now())
+    # Two packets consumed the credits; three parked.
+    assert member.credits == 0
+    assert len(member.queue) == 3
+    assert supervised.shards[target].metrics.packets_processed == 2
+
+    clock.advance(0.55)           # heartbeat replenishes (backlog is zero)
+    assert len(member.queue) <= 1
+    assert supervisor.metrics.packets_requeued >= 2
+
+
+def test_queue_overflow_degrades_into_shedding():
+    plan = ShardFaultPlan(kills=((0.0, 0),))
+    cluster = FAST.with_overrides(admission_queue_limit=2,
+                                  restart_backoff=1000.0)
+    supervised, clock = make_cluster(fault_plan=plan, cluster=cluster)
+    clock.advance(0.2)            # kill + heartbeat -> DOWN, no restart soon
+    member = supervised.supervisor.members[0]
+    assert member.state is MemberState.DOWN
+
+    for call_id in calls_on_shard(0, 4):
+        supervised.process(invite_datagram(call_id), clock.now())
+    assert len(member.queue) == 2
+    assert supervised.cluster_metrics.backpressure_drops == 2
+    assert member.vids.metrics.packets_shed == 2
+
+
+def test_migrate_call_rehomes_sip_and_media_atomically():
+    supervised, clock = make_cluster()
+    supervisor = supervised.supervisor
+    source = shard_for_call("mig-call@unit", 2)
+    target = 1 - source
+    supervised.process(invite_datagram("mig-call@unit"), clock.now())
+    media_key = ("10.1.0.11", 20_000)
+    assert supervised.sharded._media_routes.get(media_key) == source
+
+    assert supervisor.migrate_call(source, target, "mig-call@unit")
+    # Record moved; facade routing re-homed atomically with it.
+    assert supervised.shards[source].factbase.get("mig-call@unit") is None
+    assert supervised.shards[target].factbase.get("mig-call@unit") is not None
+    assert supervised.sharded._media_routes.get(media_key) == target
+    assert supervisor.call_routes["mig-call@unit"] == target
+    assert supervised.cluster_metrics.calls_migrated == 1
+
+    # Follow-up SIP and RTP both land on the target member (per-member
+    # metrics are not part of the transferred call state: the source keeps
+    # the INVITE it processed, the target counts from the BYE on).
+    assert supervised.shards[target].metrics.sip_messages == 0
+    supervised.process(bye_datagram("mig-call@unit"), clock.now())
+    assert supervised.shards[target].metrics.sip_messages == 1
+    assert supervised.shards[source].metrics.sip_messages == 1
+    supervised.process(rtp_datagram(*media_key), clock.now())
+    assert supervised.shards[target].metrics.rtp_packets == 1
+
+    # Equivalence counters saw exactly one creation and no deletion.
+    assert supervised.metrics.calls_created == 1
+    assert supervised.metrics.calls_deleted == 0
+
+
+def test_migrate_unknown_call_is_a_noop():
+    supervised, clock = make_cluster()
+    assert not supervised.supervisor.migrate_call(0, 1, "ghost@unit")
+    assert supervised.cluster_metrics.calls_migrated == 0
+
+
+def test_rebalance_moves_calls_to_least_loaded():
+    supervised, clock = make_cluster(shards=3)
+    supervisor = supervised.supervisor
+    hot = 0
+    # Pile 4 calls onto member 0 regardless of their hash.
+    for n in range(4):
+        call_id = call_on_shard(hot, shards=3, limit=2000) \
+            if n == 0 else f"hot-{n}@unit"
+        classified = supervised.sharded.classifier.classify(
+            invite_datagram(call_id, from_user=f"h{n}",
+                            media_port=22_000 + 2 * n))
+        supervisor.dispatch(hot, classified, clock.now())
+    assert supervised.shards[hot].active_calls == 4
+
+    moved = supervisor.rebalance(hot)
+    assert moved == 2             # rebalance_fraction = 0.5
+    assert supervised.shards[hot].active_calls == 2
+    assert (supervised.shards[1].active_calls
+            + supervised.shards[2].active_calls) == 2
+    assert supervised.cluster_metrics.migrations == 1
+
+
+def test_call_routes_pruned_after_call_ends():
+    supervised, clock = make_cluster()
+    source = shard_for_call("prune@unit", 2)
+    supervised.process(invite_datagram("prune@unit"), clock.now())
+    supervised.supervisor.migrate_call(source, 1 - source, "prune@unit")
+    assert "prune@unit" in supervised.supervisor.call_routes
+    supervised.shards[1 - source].factbase.delete("prune@unit")
+    clock.advance(0.15)           # next heartbeat prunes the stale route
+    assert "prune@unit" not in supervised.supervisor.call_routes
+
+
+def test_summary_and_report_include_supervision():
+    plan = ShardFaultPlan(kills=((0.5, 1),))
+    supervised, clock = make_cluster(fault_plan=plan)
+    supervised.process(invite_datagram("rep@unit"), clock.now())
+    clock.advance(2.0)
+    summary = supervised.summary()
+    assert summary["supervised"] is True
+    assert summary["members_up"] == 2      # killed, then restored
+    assert summary["cluster"]["members_restarted"] == 1
+    assert summary["incidents"] == 1
+    report = supervised.report()
+    assert "supervision" in report
+    assert "restarts: 1" in report

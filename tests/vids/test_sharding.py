@@ -7,6 +7,7 @@ state.  The full alert-multiset equivalence bar lives in
 tests/integration/test_sharded_equivalence.py.
 """
 
+import os
 from zlib import crc32
 
 import pytest
@@ -14,6 +15,7 @@ import pytest
 from repro.efsm import ManualClock
 from repro.vids import DEFAULT_CONFIG, ShardedVids, Vids, shard_for_call
 from repro.vids.sharding import BACKENDS
+from repro.vids import sharding as sharding_module
 
 from .test_ids import (
     CALL_ID,
@@ -295,3 +297,119 @@ class TestProcessPoolBackend:
         sizes = [len(part) for part in partitions]
         assert sum(sizes) == 3
         assert len(partitions[sharded.default_shard]) >= 1
+
+
+_PARENT_PID = os.getpid()
+_REAL_ANALYZE = sharding_module._analyze_partition
+
+
+def _suicidal_analyze(config, part, drain):
+    """Pool-worker stand-in that dies hard in the child process only.
+
+    The pool uses the fork start method, so workers inherit the
+    monkeypatched module attribute; the parent-side serial retry runs the
+    real analysis.
+    """
+    if os.getpid() != _PARENT_PID:
+        os._exit(3)
+    return _REAL_ANALYZE(config, part, drain)
+
+
+class TestPoolWorkerFailure:
+    def test_dead_worker_is_retried_serially(self, monkeypatch):
+        """A worker that dies mid-batch (BrokenProcessPool poisons every
+        sibling future) must not discard results or crash the batch: each
+        failed partition is re-analyzed serially in-process and counted."""
+        monkeypatch.setattr(sharding_module, "_analyze_partition",
+                            _suicidal_analyze)
+        items = [
+            (dgram(invite_bytes(), PROXY_A, PROXY_B), 0.0),
+            (dgram(response_bytes(180), PROXY_B, PROXY_A), 0.05),
+            (dgram(response_bytes(200, with_sdp=True), PROXY_B, PROXY_A),
+             0.10),
+            (dgram(bye_bytes(call_id=CALL_ID), "172.16.66.6", CALLER), 0.20),
+            (dgram(invite_bytes(call_id="other@far.side",
+                                branch="z9hG4bKo1", from_tag="of"),
+                   PROXY_A, PROXY_B), 0.30),
+        ]
+        sharded, _clock = make_sharded(shards=2, backend="process-pool")
+        sharded.process_batch(items)
+        # Detection survived the dead workers...
+        assert sharded.metrics.sip_messages == 5
+        assert sharded.alert_count() == 1
+        # ...and every fallback was accounted.
+        assert sharded.metrics.pool_worker_failures >= 1
+
+
+class TestQuarantineMediaRetirement:
+    """Quarantine pins a poisoned call's media route on its owner shard;
+    parole retires it, after which the endpoint's RTP is orphan traffic
+    for the default shard's Figure-6 machines."""
+
+    MEDIA_KEY = (CALLER, 20_000)
+
+    def _poisoned_sharded(self, quarantine_ttl=30.0):
+        config = DEFAULT_CONFIG.with_overrides(quarantine_ttl=quarantine_ttl)
+        default = (OWNER + 1) % 4
+        sharded, clock = make_sharded(config=config, default_shard=default)
+        establish_call(sharded, clock)
+        owner = sharded.shards[OWNER]
+        record = owner.factbase.get(CALL_ID)
+        assert record is not None
+
+        def boom(machine, event):
+            raise RuntimeError("poisoned transition")
+
+        record.system.inject = boom
+        clock.advance(0.05)
+        sharded.process(dgram(bye_bytes(), CALLEE, CALLER), clock.now())
+        assert owner.metrics.calls_quarantined == 1
+        return sharded, clock, owner
+
+    def test_quarantine_pins_route_on_owner(self):
+        sharded, clock, owner = self._poisoned_sharded()
+        # The route survives the record's deletion: quarantined media must
+        # keep flowing to the shard that holds the deny-list entry.
+        assert sharded.media_routes.get(self.MEDIA_KEY) == OWNER
+        sharded.process(dgram(rtp_bytes(), "172.16.6.6", CALLER,
+                              40_000, 20_000), clock.now())
+        assert owner.metrics.quarantined_drops == 1
+        default = sharded.shards[sharded.default_shard]
+        assert default.metrics.rtp_packets == 0
+
+    def test_parole_retires_route_and_orphans_the_media(self):
+        sharded, clock, owner = self._poisoned_sharded()
+        clock.advance(31.0)
+        sharded.collect_garbage()
+        assert owner.metrics.quarantine_paroles == 1
+        # Retirement reached the facade: the key routes nowhere now.
+        assert self.MEDIA_KEY not in sharded.media_routes
+
+        # The endpoint's RTP is now orphan traffic: it falls to the
+        # default shard and feeds the shared unsolicited-media machine.
+        sharded.process(dgram(rtp_bytes(), "172.16.6.6", CALLER,
+                              40_000, 20_000), clock.now())
+        default = sharded.shards[sharded.default_shard]
+        assert default.metrics.rtp_packets == 1
+        assert owner.metrics.quarantined_drops == 0
+        tracker = sharded.shards[0].orphan_tracker
+        assert self.MEDIA_KEY in tracker.machines
+
+    def test_without_ttl_gc_still_retires_route(self):
+        config = DEFAULT_CONFIG.with_overrides(call_record_ttl=10.0)
+        default = (OWNER + 1) % 4
+        sharded, clock = make_sharded(config=config, default_shard=default)
+        establish_call(sharded, clock)
+        record = sharded.shards[OWNER].factbase.get(CALL_ID)
+
+        def boom(machine, event):
+            raise RuntimeError("poisoned transition")
+
+        record.system.inject = boom
+        clock.advance(0.05)
+        sharded.process(dgram(bye_bytes(), CALLEE, CALLER), clock.now())
+        assert sharded.media_routes.get(self.MEDIA_KEY) == OWNER
+        clock.advance(11.0)
+        sharded.collect_garbage()
+        assert self.MEDIA_KEY not in sharded.media_routes
+        assert sharded.metrics.quarantine_paroles == 0
