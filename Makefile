@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install lint speclint test chaos bench bench-all bench-full figures examples clean
+.PHONY: install lint speclint codelint test chaos bench bench-all bench-full figures examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -15,6 +15,13 @@ lint:
 # Static verification of the EFSM specifications (docs/SPECCHECK.md).
 speclint:
 	PYTHONPATH=src $(PYTHON) -m repro.cli speclint --min-severity warning
+
+# Static verification of implementation invariants — checkpoint coverage,
+# guard purity, plain-data state, shard isolation (docs/CODECHECK.md).
+# Fails only on findings not in the committed tools/codelint_baseline.json;
+# also run as part of `make lint`.
+codelint:
+	PYTHONPATH=src $(PYTHON) -m repro.cli codelint
 
 test:
 	$(PYTHON) -m pytest tests/

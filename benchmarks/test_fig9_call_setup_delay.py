@@ -52,7 +52,6 @@ def test_fig9_delay_added_per_call_is_consistent(benchmark):
     off = paired_scenario(with_vids=False)
 
     def paired_deltas():
-        off_by_id = {c.call_id: c for c in off.calls if c.is_caller_side}
         deltas = []
         for record in on.calls:
             if not record.is_caller_side or record.setup_delay is None:

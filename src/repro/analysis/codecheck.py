@@ -1,0 +1,1223 @@
+"""Static invariant analysis over the *implementation* (``codelint``).
+
+``speclint`` (:mod:`repro.efsm.verify`) verifies the EFSM *specifications*;
+this module verifies the implementation invariants those specifications
+rely on, by walking the abstract syntax trees of the source files — no
+analyzed module is ever imported or executed.  Findings reuse the
+:class:`~repro.efsm.diagnostics.Diagnostic` vocabulary, so the CLI, the
+baseline gate, and the tests all share one format with speclint.
+
+Rule catalog (``docs/CODECHECK.md``):
+
+``CC001 checkpoint-coverage``
+    Every ``__init__``-assigned mutable attribute of a checkpoint-
+    participating class must be captured by its snapshot functions *and*
+    written back by its restore functions, or carry an audited exemption
+    in :data:`CHECKPOINT_SPECS`.  A new field added in a later PR fails
+    lint instead of silently surviving failover as stale state.
+
+``CC002 checkpoint-restore-gap``
+    Every key a snapshot emits must be consumed on the restore side
+    (stale keys are checkpoint bytes nothing reads back).
+
+``GP001 guard-impure-write`` / ``GP002 guard-mutating-call`` /
+``GP003 guard-side-effect``
+    EFSM guard callables must be pure: speclint probes them against
+    sampled configurations, and incremental checkpointing versions calls
+    by firing counts — a guard that mutates state corrupts both
+    invisibly.  ``ctx.scratch`` writes are the sanctioned memoization
+    slot; :func:`~repro.efsm.machine.allow_impure_guard` marks audited
+    exceptions.
+
+``PD001 plain-data-state``
+    State-variable values must stay inside the plain-data domain
+    :func:`~repro.efsm.machine.copy_state` round-trips (no lambdas,
+    generators, file handles, or custom class instances).
+
+``SI001 shard-shared-mutation``
+    The shard-0-shared trackers (and the cross-shard stray-key set) may
+    only be *rebound* at their designated wiring sites; anywhere else a
+    rebind silently splits the aggregate view the rate patterns need.
+
+``SI002 pool-boundary``
+    Callables submitted across the process-pool boundary must be
+    module-level functions (lambdas, closures, and bound methods do not
+    pickle).
+
+Suppression: a ``# noqa: CC001`` (etc.) comment on the flagged source
+line silences that finding, with the same per-line semantics as
+``tools/lint.py``.  Cross-run acceptance goes through the committed
+baseline file instead (``tools/codelint_baseline.json``).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (Dict, Iterable, Iterator, List, Mapping, Optional,
+                    Sequence, Set, Tuple)
+
+from ..efsm.diagnostics import Diagnostic, Severity
+
+__all__ = [
+    "RULES",
+    "CheckpointSpec",
+    "FunctionRef",
+    "CHECKPOINT_SPECS",
+    "SHARED_STATE_ATTRS",
+    "SHARED_STATE_SITES",
+    "SourceTree",
+    "analyze",
+    "fingerprint",
+    "load_baseline",
+    "write_baseline",
+    "partition_findings",
+]
+
+#: Root of the analyzed package (``src/repro``); module paths in the spec
+#: tables are relative to this directory.
+SRC_ROOT = Path(__file__).resolve().parents[1]
+
+#: code -> (rule name, severity, one-line summary).
+RULES: Dict[str, Tuple[str, Severity, str]] = {
+    "CC001": ("checkpoint-coverage", Severity.ERROR,
+              "init-assigned mutable attribute not covered by "
+              "snapshot/restore"),
+    "CC002": ("checkpoint-restore-gap", Severity.ERROR,
+              "snapshot-emitted key never consumed by restore"),
+    "GP001": ("guard-impure-write", Severity.ERROR,
+              "attribute/subscript assignment inside a guard"),
+    "GP002": ("guard-mutating-call", Severity.ERROR,
+              "known-mutating method call inside a guard"),
+    "GP003": ("guard-side-effect", Severity.ERROR,
+              "timer/emit side effect inside a guard"),
+    "PD001": ("plain-data-state", Severity.WARNING,
+              "state value outside the copy_state plain-data domain"),
+    "SI001": ("shard-shared-mutation", Severity.ERROR,
+              "shard-shared tracker rebound outside its wiring sites"),
+    "SI002": ("pool-boundary", Severity.WARNING,
+              "non-picklable callable crossing the process-pool boundary"),
+    "CX001": ("codecheck-config", Severity.ERROR,
+              "analyzer spec references a missing module/class/function"),
+}
+
+#: Container/"known-mutating" method names rejected inside guards.
+MUTATING_METHODS = frozenset({
+    "append", "appendleft", "extend", "extendleft", "insert", "add",
+    "update", "setdefault", "pop", "popleft", "popitem", "remove",
+    "discard", "clear", "sort", "reverse", "__setitem__", "__delitem__",
+})
+
+#: ``ctx`` methods that are side effects when called from a guard.
+CTX_EFFECT_METHODS = frozenset({
+    "start_timer", "cancel_timer", "cancel_all_timers", "emit",
+})
+
+#: Decorator name that marks an audited impure guard (see
+#: :func:`repro.efsm.machine.allow_impure_guard`).
+GUARD_ALLOW_DECORATOR = "allow_impure_guard"
+
+#: Call targets whose results stay inside the plain-data domain.
+_PLAIN_CALLS = frozenset({
+    "dict", "list", "set", "tuple", "frozenset", "str", "int", "float",
+    "bool", "bytes", "len", "min", "max", "sum", "abs", "round", "sorted",
+    "defaultdict", "Counter", "OrderedDict", "deque", "copy_state", "repr",
+    "format", "divmod", "hash", "id", "ord", "chr",
+})
+
+
+# ---------------------------------------------------------------------------
+# Spec tables: what must be checkpointed, and where shared state may change
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FunctionRef:
+    """A function named by (module path relative to SRC_ROOT, qualname)."""
+
+    module: str
+    qualname: str
+
+
+@dataclass(frozen=True)
+class CheckpointSpec:
+    """Checkpoint-coverage contract for one state-carrying class.
+
+    ``snapshot``/``restore`` name every function that participates in
+    capturing / rebuilding this class's state; an attribute is covered
+    when its name is referenced on both sides.  ``exempt`` maps audited
+    non-checkpointed attributes to their justification; ``emit_exempt``
+    does the same for snapshot keys deliberately not read by restore.
+    An empty ``snapshot`` declares the class checkpoint-free: every
+    mutable attribute must then be exempt.
+    """
+
+    label: str
+    module: str
+    cls: str
+    snapshot: Tuple[FunctionRef, ...] = ()
+    restore: Tuple[FunctionRef, ...] = ()
+    exempt: Mapping[str, str] = field(default_factory=dict)
+    emit_exempt: Mapping[str, str] = field(default_factory=dict)
+    #: Constructor name whose keyword arguments are the emitted keys
+    #: (dataclass-record checkpoints like ``ShardCheckpoint``).
+    record_call: Optional[str] = None
+
+
+_CLUSTER = "vids/cluster.py"
+_SNAPSHOT_SIDE = tuple(
+    FunctionRef(_CLUSTER, name) for name in (
+        "ShardSupervisor.take_checkpoint",
+        "ShardSupervisor._tracker_version",
+        "ShardSupervisor._checkpoint_trackers",
+        "_snapshot_metrics",
+        "_copy_windows",
+    ))
+_RESTORE_SIDE = tuple(
+    FunctionRef(_CLUSTER, name) for name in (
+        "ShardSupervisor._apply_checkpoint",
+        "ShardSupervisor._restore_trackers",
+        "ShardSupervisor._rewire_shared_trackers",
+        "ShardSupervisor._build_member_vids",
+        "_restore_metrics",
+    ))
+
+CHECKPOINT_SPECS: Tuple[CheckpointSpec, ...] = (
+    CheckpointSpec(
+        label="Efsm",
+        module="efsm/machine.py",
+        cls="Efsm",
+        # Checkpoint-free by design: definitions are built once, sealed by
+        # validate(), and shared read-only across every instance — only
+        # EfsmInstance carries per-call state.
+        exempt={
+            "states": "frozen definition data (sealed by validate())",
+            "variables": "frozen declaration defaults, copied per instance",
+            "global_variables": "frozen declaration defaults",
+            "transitions": "frozen transition relation",
+            "_index": "derived lookup over the frozen transition relation",
+            "attack_states": "frozen definition data",
+            "final_states": "frozen definition data",
+            "alphabet": "frozen definition data",
+            "channels": "frozen definition data",
+        },
+    ),
+    CheckpointSpec(
+        label="Variables",
+        module="efsm/machine.py",
+        cls="Variables",
+        snapshot=(FunctionRef("efsm/machine.py", "Variables.snapshot"),),
+        restore=(FunctionRef("efsm/machine.py", "Variables.restore"),),
+    ),
+    CheckpointSpec(
+        label="EfsmInstance",
+        module="efsm/machine.py",
+        cls="EfsmInstance",
+        snapshot=(FunctionRef("efsm/machine.py", "EfsmInstance.snapshot"),),
+        restore=(FunctionRef("efsm/machine.py", "EfsmInstance.restore"),),
+        exempt={
+            "_timers": "opaque scheduler handles; restore re-arms them "
+                       "through start_timer from _timer_meta",
+            "pending_outputs": "per-firing scratch, drained before deliver "
+                               "returns; empty at checkpoint boundaries",
+            "history": "append-only firing log used as a change-version "
+                       "counter; checkpoints re-baseline after restore",
+            "on_timer_event": "delivery hook re-wired by the owning "
+                              "EfsmSystem when the instance is rebuilt",
+        },
+    ),
+    CheckpointSpec(
+        label="EfsmSystem",
+        module="efsm/system.py",
+        cls="EfsmSystem",
+        snapshot=(FunctionRef("efsm/system.py", "EfsmSystem.snapshot"),),
+        restore=(FunctionRef("efsm/system.py", "EfsmSystem.restore"),),
+        exempt={
+            "_channel_list": "flat mirror of channels maintained by "
+                             "connect(); no independent state",
+            "results": "append-only observation log; firing-count versions "
+                       "re-baseline after restore",
+            "deviations": "append-only observation log (subset of results)",
+            "attack_matches": "append-only observation log (subset of "
+                              "results)",
+            "undeliverable": "append-only environment-output log",
+        },
+    ),
+    CheckpointSpec(
+        label="CallRecord",
+        module="vids/factbase.py",
+        cls="CallRecord",
+        snapshot=(FunctionRef("vids/factbase.py",
+                              "CallStateFactBase.checkpoint_call"),),
+        restore=(FunctionRef("vids/factbase.py",
+                             "CallStateFactBase.restore_call"),
+                 FunctionRef("vids/factbase.py",
+                             "CallStateFactBase.refresh_media_index"),
+                 FunctionRef("vids/factbase.py",
+                             "CallStateFactBase._create")),
+        exempt={
+            "media_keys": "not stored: re-derived from the restored globals "
+                          "by refresh_media_index",
+            "media_map": "not stored: re-derived from the restored globals "
+                         "by refresh_media_index",
+            "_size_cache": "byte-size memo, recomputed lazily",
+            "_contribution": "byte-size memo, recomputed lazily",
+        },
+    ),
+    CheckpointSpec(
+        label="CallStateFactBase",
+        module="vids/factbase.py",
+        cls="CallStateFactBase",
+        snapshot=(FunctionRef(_CLUSTER, "ShardSupervisor.take_checkpoint"),),
+        restore=(FunctionRef(_CLUSTER, "ShardSupervisor._apply_checkpoint"),
+                 FunctionRef("vids/factbase.py",
+                             "CallStateFactBase.restore_call"),
+                 FunctionRef("vids/factbase.py", "CallStateFactBase._create"),
+                 FunctionRef("vids/factbase.py",
+                             "CallStateFactBase.refresh_media_index")),
+        exempt={
+            "_sip_definition": "immutable Efsm definition (shared, "
+                               "data-only; see the Efsm spec)",
+            "_rtp_definition": "immutable Efsm definition (shared, "
+                               "data-only; see the Efsm spec)",
+            "_touches": "memory-sampling cadence counter; resetting it "
+                        "only re-times the next sample",
+            "_total_bytes": "incremental byte total, rebuilt lazily from "
+                            "the _dirty set after restore",
+            "_dirty": "size-accounting scratch; _create re-marks every "
+                      "restored record",
+            "media_index": "re-derived per call by refresh_media_index "
+                           "during restore_call",
+            "_media_match": "media fast-path memo, refilled on first "
+                            "lookup",
+        },
+    ),
+    CheckpointSpec(
+        label="Vids",
+        module="vids/ids.py",
+        cls="Vids",
+        snapshot=_SNAPSHOT_SIDE,
+        restore=_RESTORE_SIDE,
+        exempt={
+            "classifier": "holds only a monotonic observability counter; "
+                          "a fresh classifier is correct after failover",
+            "distributor": "stateless routing facade over factbase/engine/"
+                           "trackers; rebuilt by _build_member_vids and "
+                           "re-pointed by _rewire_shared_trackers",
+        },
+        record_call="ShardCheckpoint",
+        emit_exempt={
+            "shard": "identity metadata (the member index is the "
+                     "restore-side source of truth)",
+            "taken_at": "checkpoint-age metadata for observability",
+            "call_versions": "incremental-reuse bookkeeping read by the "
+                             "next take_checkpoint, not by restore",
+            "tracker_version": "incremental-reuse bookkeeping read by the "
+                               "next take_checkpoint, not by restore",
+        },
+    ),
+    CheckpointSpec(
+        label="InviteFloodTracker",
+        module="vids/patterns/invite_flood.py",
+        cls="InviteFloodTracker",
+        snapshot=(FunctionRef(_CLUSTER,
+                              "ShardSupervisor._checkpoint_trackers"),),
+        restore=(FunctionRef(_CLUSTER,
+                             "ShardSupervisor._restore_trackers"),),
+    ),
+    CheckpointSpec(
+        label="OrphanMediaTracker",
+        module="vids/patterns/media_spam.py",
+        cls="OrphanMediaTracker",
+        snapshot=(FunctionRef(_CLUSTER,
+                              "ShardSupervisor._checkpoint_trackers"),),
+        restore=(FunctionRef(_CLUSTER,
+                             "ShardSupervisor._restore_trackers"),),
+    ),
+    CheckpointSpec(
+        label="AnalysisEngine",
+        module="vids/engine.py",
+        cls="AnalysisEngine",
+        snapshot=(FunctionRef(_CLUSTER, "ShardSupervisor.take_checkpoint"),),
+        restore=(FunctionRef(_CLUSTER, "ShardSupervisor._apply_checkpoint"),
+                 FunctionRef(_CLUSTER,
+                             "ShardSupervisor._restore_trackers")),
+        exempt={
+            "scenarios": "attack-scenario definition database; immutable "
+                         "after construction and identical on every member",
+            "deviations": "append-only observation log; the dedup keys "
+                          "(_deviation_keys) are what failover must keep",
+        },
+    ),
+)
+
+#: Attribute names aliased across shards (see ``docs/SCALING.md``).
+SHARED_STATE_ATTRS = frozenset({
+    "flood_tracker", "source_flood_tracker", "orphan_tracker", "_stray_keys",
+})
+
+#: (module, qualname) sites allowed to *rebind* a shared-state attribute.
+SHARED_STATE_SITES = frozenset({
+    ("vids/ids.py", "Vids.__init__"),
+    ("vids/distributor.py", "EventDistributor.__init__"),
+    ("vids/engine.py", "AnalysisEngine.__init__"),
+    ("vids/sharding.py", "ShardedVids.__init__"),
+    (_CLUSTER, "ShardSupervisor._build_member_vids"),
+    (_CLUSTER, "ShardSupervisor._apply_checkpoint"),
+    (_CLUSTER, "ShardSupervisor._rewire_shared_trackers"),
+})
+
+
+# ---------------------------------------------------------------------------
+# Source tree access (AST only — analyzed modules are never imported)
+# ---------------------------------------------------------------------------
+
+_NOQA_CODE = re.compile(r"[A-Z]+[0-9]+")
+
+
+def _noqa_lines(source: str) -> Dict[int, Set[str]]:
+    """Line number -> silenced rule codes ('*' = all); tools/lint.py rules."""
+    silenced: Dict[int, Set[str]] = {}
+    for number, line in enumerate(source.splitlines(), start=1):
+        if "# noqa" not in line:
+            continue
+        _, _, tail = line.partition("# noqa")
+        if tail.lstrip().startswith(":"):
+            codes = set()
+            for part in tail.lstrip().lstrip(":").split(","):
+                match = _NOQA_CODE.match(part.strip())
+                if match:
+                    codes.add(match.group(0))
+            silenced[number] = codes or {"*"}
+        else:
+            silenced[number] = {"*"}
+    return silenced
+
+
+class SourceTree:
+    """Lazy AST access to every ``*.py`` under a root directory.
+
+    ``overrides`` maps relative paths to replacement source text, letting
+    the tests analyze a patched copy of a shipped module (or a synthetic
+    module that exists nowhere on disk) without touching the filesystem.
+    """
+
+    def __init__(self, root: Optional[Path] = None,
+                 overrides: Optional[Mapping[str, str]] = None):
+        self.root = Path(root) if root is not None else SRC_ROOT
+        self.overrides = dict(overrides or {})
+        self._sources: Dict[str, Optional[str]] = {}
+        self._modules: Dict[str, Optional[ast.Module]] = {}
+        self._noqa: Dict[str, Dict[int, Set[str]]] = {}
+
+    def paths(self) -> List[str]:
+        found: Set[str] = set(self.overrides)
+        if self.root.is_dir():
+            for path in self.root.rglob("*.py"):
+                if "__pycache__" in path.parts:
+                    continue
+                found.add(path.relative_to(self.root).as_posix())
+        return sorted(found)
+
+    def source(self, rel: str) -> Optional[str]:
+        if rel not in self._sources:
+            if rel in self.overrides:
+                self._sources[rel] = self.overrides[rel]
+            else:
+                path = self.root / rel
+                try:
+                    self._sources[rel] = path.read_text(encoding="utf-8")
+                except OSError:
+                    self._sources[rel] = None
+        return self._sources[rel]
+
+    def module(self, rel: str) -> Optional[ast.Module]:
+        if rel not in self._modules:
+            source = self.source(rel)
+            if source is None:
+                self._modules[rel] = None
+            else:
+                try:
+                    self._modules[rel] = ast.parse(source, filename=rel)
+                except SyntaxError:
+                    self._modules[rel] = None
+        return self._modules[rel]
+
+    def noqa(self, rel: str) -> Dict[int, Set[str]]:
+        if rel not in self._noqa:
+            source = self.source(rel)
+            self._noqa[rel] = _noqa_lines(source) if source else {}
+        return self._noqa[rel]
+
+    def modules(self) -> Iterator[Tuple[str, ast.Module]]:
+        for rel in self.paths():
+            module = self.module(rel)
+            if module is not None:
+                yield rel, module
+
+
+# ---------------------------------------------------------------------------
+# AST helpers
+# ---------------------------------------------------------------------------
+
+def _functions_by_qualname(module: ast.Module) -> Dict[str, ast.AST]:
+    """Every FunctionDef/AsyncFunctionDef keyed by dotted qualname."""
+    found: Dict[str, ast.AST] = {}
+
+    def walk(node: ast.AST, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                name = f"{prefix}{child.name}"
+                found[name] = child
+                walk(child, f"{name}.")
+            elif isinstance(child, ast.ClassDef):
+                walk(child, f"{prefix}{child.name}.")
+            else:
+                walk(child, prefix)
+
+    walk(module, "")
+    return found
+
+
+def _find_class(module: ast.Module, name: str) -> Optional[ast.ClassDef]:
+    for node in ast.walk(module):
+        if isinstance(node, ast.ClassDef) and node.name == name:
+            return node
+    return None
+
+
+def _attr_chain(node: ast.AST) -> List[str]:
+    """Name/attribute chain of an expression: ``ctx.v["x"].y`` -> [ctx, v, y].
+
+    Subscripts and calls are transparent (the chain follows the object
+    being indexed/called); a chain not rooted at a plain name is empty.
+    """
+    parts: List[str] = []
+    while True:
+        if isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        elif isinstance(node, ast.Subscript):
+            node = node.value
+        elif isinstance(node, ast.Call):
+            node = node.func
+        elif isinstance(node, ast.Name):
+            parts.append(node.id)
+            return parts[::-1]
+        else:
+            return []
+
+
+def _mentions(nodes: Iterable[ast.AST]) -> Set[str]:
+    """All attribute names, bare names, and string constants in a subtree."""
+    seen: Set[str] = set()
+    for root in nodes:
+        for node in ast.walk(root):
+            if isinstance(node, ast.Attribute):
+                seen.add(node.attr)
+            elif isinstance(node, ast.Name):
+                seen.add(node.id)
+            elif isinstance(node, ast.Constant) and isinstance(node.value,
+                                                               str):
+                seen.add(node.value)
+    return seen
+
+
+def _is_mutable_expr(node: ast.AST) -> bool:
+    """Conservative "this init value is a mutable container/object" test."""
+    if isinstance(node, (ast.Dict, ast.List, ast.Set, ast.DictComp,
+                         ast.ListComp, ast.SetComp, ast.Call)):
+        return True
+    if isinstance(node, ast.IfExp):
+        return _is_mutable_expr(node.body) or _is_mutable_expr(node.orelse)
+    if isinstance(node, ast.BoolOp):
+        return any(_is_mutable_expr(value) for value in node.values)
+    return False
+
+
+def _init_attrs(cls: ast.ClassDef) -> Dict[str, Tuple[ast.AST, int]]:
+    """``self.X = value`` assignments in ``__init__`` -> {X: (value, line)}.
+
+    Nested function bodies are skipped (closures assign to their own
+    objects, not to the instance under construction).
+    """
+    attrs: Dict[str, Tuple[ast.AST, int]] = {}
+    init = next((n for n in cls.body
+                 if isinstance(n, ast.FunctionDef) and n.name == "__init__"),
+                None)
+    if init is None:
+        return attrs
+
+    def walk(node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.Lambda)):
+                continue
+            if isinstance(child, (ast.Assign, ast.AnnAssign)):
+                targets = (child.targets if isinstance(child, ast.Assign)
+                           else [child.target])
+                value = child.value
+                for target in targets:
+                    if (value is not None
+                            and isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"
+                            and target.attr not in attrs):
+                        attrs[target.attr] = (value, child.lineno)
+            walk(child)
+
+    walk(init)
+    return attrs
+
+
+def _mutated_attrs(cls: ast.ClassDef) -> Set[str]:
+    """Attributes rebound or mutated through ``self`` outside ``__init__``."""
+    mutated: Set[str] = set()
+    for method in cls.body:
+        if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if method.name == "__init__":
+            continue
+        for node in ast.walk(method):
+            targets: List[ast.AST] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            elif isinstance(node, ast.Delete):
+                targets = list(node.targets)
+            elif isinstance(node, ast.Call) and \
+                    isinstance(node.func, ast.Attribute) and \
+                    node.func.attr in MUTATING_METHODS:
+                chain = _attr_chain(node.func.value)
+                if len(chain) >= 2 and chain[0] == "self":
+                    mutated.add(chain[1])
+            for target in targets:
+                chain = _attr_chain(target)
+                if len(chain) >= 2 and chain[0] == "self":
+                    mutated.add(chain[1])
+    return mutated
+
+
+# ---------------------------------------------------------------------------
+# Finding construction
+# ---------------------------------------------------------------------------
+
+class _Collector:
+    """Accumulates findings, applying per-line noqa suppression."""
+
+    def __init__(self, tree: SourceTree):
+        self.tree = tree
+        self.diagnostics: List[Diagnostic] = []
+
+    def add(self, code: str, message: str, *, path: str, line: int = 0,
+            scope: str = "", subject: str = "", hint: str = "") -> None:
+        rule, severity, _ = RULES[code]
+        if line:
+            codes = self.tree.noqa(path).get(line, set())
+            if "*" in codes or code in codes:
+                return
+        print_name = f"{path}:{line}" if line else path
+        self.diagnostics.append(Diagnostic(
+            rule, severity, message,
+            machine=path, state=scope or None, hint=hint,
+            data={
+                "code": code,
+                "path": path,
+                "line": line,
+                "location": print_name,
+                "fingerprint": _make_fingerprint(code, path, scope, subject),
+            }))
+
+
+def _make_fingerprint(code: str, path: str, scope: str, subject: str) -> str:
+    return ":".join((code, path, scope, subject))
+
+
+def fingerprint(diagnostic: Diagnostic) -> str:
+    """Stable identity of a finding (line-number free) for baselining."""
+    return str(diagnostic.data.get("fingerprint", ""))
+
+
+# ---------------------------------------------------------------------------
+# Rule: checkpoint coverage (CC001/CC002)
+# ---------------------------------------------------------------------------
+
+def _resolve_functions(tree: SourceTree, refs: Sequence[FunctionRef],
+                       out: _Collector, spec_label: str) -> List[ast.AST]:
+    resolved: List[ast.AST] = []
+    for ref in refs:
+        module = tree.module(ref.module)
+        if module is None:
+            out.add("CX001",
+                    f"spec {spec_label!r} references missing module "
+                    f"{ref.module!r}",
+                    path=ref.module, scope=spec_label, subject=ref.module)
+            continue
+        node = _functions_by_qualname(module).get(ref.qualname)
+        if node is None:
+            out.add("CX001",
+                    f"spec {spec_label!r} references missing function "
+                    f"{ref.qualname!r} in {ref.module!r}",
+                    path=ref.module, scope=spec_label, subject=ref.qualname)
+            continue
+        resolved.append(node)
+    return resolved
+
+
+def _emitted_keys(functions: Sequence[ast.AST],
+                  record_call: Optional[str]) -> Dict[str, int]:
+    """Keys a snapshot emits: top-level returned dict literals + record
+    constructor keywords.  Maps key -> line for anchoring."""
+    keys: Dict[str, int] = {}
+    for fn in functions:
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Return) and isinstance(node.value,
+                                                           ast.Dict):
+                for key in node.value.keys:
+                    if isinstance(key, ast.Constant) and \
+                            isinstance(key.value, str):
+                        keys.setdefault(key.value, key.lineno)
+            elif record_call and isinstance(node, ast.Call):
+                chain = _attr_chain(node.func)
+                if chain and chain[-1] == record_call:
+                    for keyword in node.keywords:
+                        if keyword.arg:
+                            keys.setdefault(keyword.arg, node.lineno)
+    return keys
+
+
+def _check_checkpoint_spec(tree: SourceTree, spec: CheckpointSpec,
+                           out: _Collector) -> None:
+    module = tree.module(spec.module)
+    if module is None:
+        out.add("CX001", f"spec {spec.label!r}: module {spec.module!r} "
+                f"missing or unparseable",
+                path=spec.module, scope=spec.label, subject=spec.module)
+        return
+    cls = _find_class(module, spec.cls)
+    if cls is None:
+        out.add("CX001", f"spec {spec.label!r}: class {spec.cls!r} not "
+                f"found in {spec.module!r}",
+                path=spec.module, scope=spec.label, subject=spec.cls)
+        return
+    snapshot_fns = _resolve_functions(tree, spec.snapshot, out, spec.label)
+    restore_fns = _resolve_functions(tree, spec.restore, out, spec.label)
+    snapshot_mentions = _mentions(snapshot_fns)
+    restore_mentions = _mentions(restore_fns)
+
+    attrs = _init_attrs(cls)
+    mutated = _mutated_attrs(cls)
+    flagged_attrs: Set[str] = set()
+    for attr, (value, line) in attrs.items():
+        if not (_is_mutable_expr(value) or attr in mutated):
+            continue                # immutable/config wiring: not state
+        if attr in spec.exempt:
+            continue
+        if not spec.snapshot:
+            out.add("CC001",
+                    f"{spec.cls}.{attr} is mutable state but {spec.cls} is "
+                    f"declared checkpoint-free",
+                    path=spec.module, line=line, scope=spec.label,
+                    subject=attr,
+                    hint="add an audited exemption to CHECKPOINT_SPECS or "
+                         "give the class snapshot/restore coverage")
+        elif attr not in snapshot_mentions:
+            out.add("CC001",
+                    f"{spec.cls}.{attr} is mutable state but no snapshot "
+                    f"function of spec {spec.label!r} references it: a "
+                    f"failover would resurrect it stale",
+                    path=spec.module, line=line, scope=spec.label,
+                    subject=attr,
+                    hint="capture it in the snapshot path or add an audited "
+                         "exemption to CHECKPOINT_SPECS")
+        elif attr not in restore_mentions:
+            flagged_attrs.add(attr)
+            out.add("CC001",
+                    f"{spec.cls}.{attr} is captured on snapshot but no "
+                    f"restore function of spec {spec.label!r} references "
+                    f"it: the checkpointed value is never written back",
+                    path=spec.module, line=line, scope=spec.label,
+                    subject=attr,
+                    hint="write it back on the restore path or add an "
+                         "audited exemption")
+    for attr in spec.exempt:
+        if attr not in attrs:
+            out.add("CX001",
+                    f"spec {spec.label!r} exempts {attr!r} but "
+                    f"{spec.cls}.__init__ no longer assigns it",
+                    path=spec.module, scope=spec.label,
+                    subject=f"stale-exempt:{attr}",
+                    hint="drop the stale exemption from CHECKPOINT_SPECS")
+
+    consumed = restore_mentions
+    for key, line in _emitted_keys(snapshot_fns, spec.record_call).items():
+        if key in spec.emit_exempt or key in consumed:
+            continue
+        if key in flagged_attrs:
+            continue        # root cause already reported as a CC001 gap
+        snap_path = spec.snapshot[0].module if spec.snapshot else spec.module
+        out.add("CC002",
+                f"snapshot of spec {spec.label!r} emits key {key!r} but no "
+                f"restore function consumes it",
+                path=snap_path, line=line, scope=spec.label, subject=key,
+                hint="read the key back on restore, drop it from the "
+                     "snapshot, or add an audited emit exemption")
+
+
+# ---------------------------------------------------------------------------
+# Rule: guard purity (GP001-GP003)
+# ---------------------------------------------------------------------------
+
+def _has_allow_decorator(fn: ast.AST) -> bool:
+    for decorator in getattr(fn, "decorator_list", ()):
+        chain = _attr_chain(decorator)
+        if chain and chain[-1] == GUARD_ALLOW_DECORATOR:
+            return True
+        if isinstance(decorator, ast.Call):
+            chain = _attr_chain(decorator.func)
+            if chain and chain[-1] == GUARD_ALLOW_DECORATOR:
+                return True
+    return False
+
+
+def _guard_ctx_name(fn: ast.AST, default: str = "ctx") -> str:
+    args = getattr(fn, "args", None)
+    if args is None:
+        return default
+    positional = list(args.posonlyargs) + list(args.args)
+    return positional[0].arg if positional else default
+
+
+def _scratch_aliases(fn: ast.AST, accessors: Set[str]) -> Set[str]:
+    """Local names that alias ``ctx.scratch`` (or a sub-object of it).
+
+    Covers the repo's memoization idiom: ``memo = _memo(ctx)`` where
+    ``_memo`` is a same-module scratch accessor, plus direct forms like
+    ``cache = ctx.scratch`` and co-targets of a scratch write
+    (``cache = ctx.scratch = {}``).
+    """
+    aliases: Set[str] = set()
+    for _ in range(2):          # one re-pass settles alias-of-alias chains
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Assign):
+                continue
+            names = [t.id for t in node.targets if isinstance(t, ast.Name)]
+            if not names:
+                continue
+            value_chain = _attr_chain(node.value)
+            from_scratch = (
+                "scratch" in value_chain
+                or (value_chain and value_chain[0] in aliases)
+                or (isinstance(node.value, ast.Call)
+                    and isinstance(node.value.func, ast.Name)
+                    and node.value.func.id in accessors)
+                or any("scratch" in _attr_chain(t)
+                       for t in node.targets
+                       if isinstance(t, (ast.Attribute, ast.Subscript)))
+            )
+            if from_scratch:
+                aliases.update(names)
+    return aliases
+
+
+def _scratch_accessors(functions: Mapping[str, List[ast.AST]]) -> Set[str]:
+    """Module functions that return ``ctx.scratch`` (directly or via an
+    alias) — calls to them produce scratch-aliased values."""
+    accessors: Set[str] = set()
+    for _ in range(2):          # settle accessor-calls-accessor chains
+        for name, defs in functions.items():
+            for fn in defs:
+                aliases = _scratch_aliases(fn, accessors)
+                for node in ast.walk(fn):
+                    if not isinstance(node, ast.Return) or node.value is None:
+                        continue
+                    chain = _attr_chain(node.value)
+                    if "scratch" in chain or (chain and chain[0] in aliases):
+                        accessors.add(name)
+    return accessors
+
+
+class _GuardChecker:
+    """Purity walk over one guard callable (transitively, same module)."""
+
+    def __init__(self, rel: str, functions: Mapping[str, List[ast.AST]],
+                 out: _Collector):
+        self.rel = rel
+        self.functions = functions
+        self.out = out
+        self.accessors = _scratch_accessors(functions)
+        self.seen: Set[int] = set()
+
+    def check(self, fn: ast.AST, guard_name: str, ctx: str,
+              depth: int = 0) -> None:
+        if id(fn) in self.seen or depth > 5:
+            return
+        self.seen.add(id(fn))
+        if _has_allow_decorator(fn):
+            return
+        aliases = _scratch_aliases(fn, self.accessors)
+        body = fn.body if isinstance(fn.body, list) else [fn.body]
+        for stmt in body:
+            for node in ast.walk(stmt):
+                self._check_node(node, guard_name, ctx, aliases, depth)
+
+    def _allowed_write(self, chain: List[str], ctx: str,
+                       aliases: Set[str]) -> bool:
+        if not chain:
+            return False
+        if chain[0] == ctx and len(chain) >= 2 and chain[1] == "scratch":
+            return True
+        return chain[0] in aliases
+
+    def _check_node(self, node: ast.AST, guard: str, ctx: str,
+                    aliases: Set[str], depth: int) -> None:
+        targets: List[ast.AST] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        elif isinstance(node, ast.Delete):
+            targets = list(node.targets)
+        for target in targets:
+            if isinstance(target, (ast.Attribute, ast.Subscript)):
+                chain = _attr_chain(target)
+                if not self._allowed_write(chain, ctx, aliases):
+                    where = ".".join(chain) or "<expression>"
+                    self.out.add(
+                        "GP001",
+                        f"guard {guard!r} writes {where}: guards must be "
+                        f"pure (speclint probes them; checkpoint versioning "
+                        f"assumes firings are the only mutations)",
+                        path=self.rel, line=target.lineno, scope=guard,
+                        subject=where,
+                        hint="move the mutation into the transition action, "
+                             "memoize via ctx.scratch, or decorate with "
+                             "@allow_impure_guard(reason)")
+        if isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Attribute):
+                chain = _attr_chain(node.func)
+                method = node.func.attr
+                if method in MUTATING_METHODS and \
+                        not self._allowed_write(chain[:-1] or chain, ctx,
+                                                aliases) \
+                        and "scratch" not in chain:
+                    where = ".".join(chain)
+                    self.out.add(
+                        "GP002",
+                        f"guard {guard!r} calls mutating method {where}()",
+                        path=self.rel, line=node.lineno, scope=guard,
+                        subject=where,
+                        hint="guards may only read; mutate from the action "
+                             "or decorate with @allow_impure_guard(reason)")
+                elif chain[:1] == [ctx] and method in CTX_EFFECT_METHODS:
+                    self.out.add(
+                        "GP003",
+                        f"guard {guard!r} calls {ctx}.{method}(): timers "
+                        f"and emissions are side effects",
+                        path=self.rel, line=node.lineno, scope=guard,
+                        subject=method,
+                        hint="start timers / emit events from the action")
+            elif isinstance(node.func, ast.Name):
+                for callee in self.functions.get(node.func.id, []):
+                    self.check(callee, guard, _guard_ctx_name(callee, ctx),
+                               depth + 1)
+
+
+def _check_guards(tree: SourceTree, out: _Collector) -> None:
+    for rel, module in tree.modules():
+        functions: Dict[str, List[ast.AST]] = {}
+        for node in ast.walk(module):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                functions.setdefault(node.name, []).append(node)
+        checker = _GuardChecker(rel, functions, out)
+        for node in ast.walk(module):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _attr_chain(node.func)
+            if not chain or chain[-1] != "add_transition":
+                continue
+            predicate: Optional[ast.AST] = None
+            for keyword in node.keywords:
+                if keyword.arg == "predicate":
+                    predicate = keyword.value
+            if predicate is None and len(node.args) > 3:
+                predicate = node.args[3]
+            if predicate is None:
+                continue
+            if isinstance(predicate, ast.Lambda):
+                ctx = _guard_ctx_name(predicate)
+                checker.check(predicate, f"<lambda:{predicate.lineno}>", ctx)
+            elif isinstance(predicate, ast.Name):
+                for fn in functions.get(predicate.id, []):
+                    checker.check(fn, predicate.id, _guard_ctx_name(fn))
+
+
+# ---------------------------------------------------------------------------
+# Rule: plain-data state values (PD001)
+# ---------------------------------------------------------------------------
+
+def _non_plain_reason(node: ast.AST) -> Optional[str]:
+    """Why a value expression leaves the copy_state plain-data domain."""
+    if isinstance(node, ast.Lambda):
+        return "a callable (lambda)"
+    if isinstance(node, ast.GeneratorExp):
+        return "a generator expression"
+    if isinstance(node, (ast.Await, ast.Yield, ast.YieldFrom)):
+        return "a lazy/async value"
+    if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        for element in node.elts:
+            reason = _non_plain_reason(element)
+            if reason:
+                return reason
+        return None
+    if isinstance(node, ast.Dict):
+        for child in (*node.keys, *node.values):
+            if child is None:
+                continue
+            reason = _non_plain_reason(child)
+            if reason:
+                return reason
+        return None
+    if isinstance(node, ast.IfExp):
+        return (_non_plain_reason(node.body)
+                or _non_plain_reason(node.orelse))
+    if isinstance(node, ast.Starred):
+        return _non_plain_reason(node.value)
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name):
+            name = node.func.id
+            if name == "open":
+                return "a file handle"
+            if name == "iter":
+                return "an iterator"
+            if name in _PLAIN_CALLS or not name[:1].isupper():
+                return None
+            return f"an instance of {name}"
+        return None       # method calls / attribute constructors: unknown
+    return None           # constants, names, subscripts, comprehensions, ...
+
+
+def _check_plain_state(tree: SourceTree, out: _Collector) -> None:
+    for rel, module in tree.modules():
+        scopes: List[Tuple[str, ast.AST]] = [("<module>", module)]
+        qualnames = _functions_by_qualname(module)
+        # Anchor findings to the innermost enclosing function for context.
+        owner: Dict[int, str] = {}
+        for qualname, fn in qualnames.items():
+            for node in ast.walk(fn):
+                owner[id(node)] = qualname
+        del scopes
+        for node in ast.walk(module):
+            scope = owner.get(id(node), "<module>")
+            if isinstance(node, ast.Call) and \
+                    isinstance(node.func, ast.Attribute) and \
+                    node.func.attr in ("declare", "declare_global"):
+                for keyword in node.keywords:
+                    if keyword.arg is None:
+                        continue
+                    reason = _non_plain_reason(keyword.value)
+                    if reason:
+                        out.add(
+                            "PD001",
+                            f"state variable {keyword.arg!r} defaults to "
+                            f"{reason}; copy_state cannot round-trip it "
+                            f"through a checkpoint",
+                            path=rel, line=keyword.value.lineno, scope=scope,
+                            subject=keyword.arg,
+                            hint="keep state plain data (numbers, strings, "
+                                 "tuples, dicts); derive richer values on "
+                                 "read")
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (node.targets if isinstance(node, ast.Assign)
+                           else [node.target])
+                for target in targets:
+                    if not (isinstance(target, ast.Subscript)
+                            and isinstance(target.value, ast.Attribute)
+                            and target.value.attr == "v"):
+                        continue
+                    reason = _non_plain_reason(node.value)
+                    if reason:
+                        key = ""
+                        sub = target.slice
+                        if isinstance(sub, ast.Constant):
+                            key = str(sub.value)
+                        out.add(
+                            "PD001",
+                            f"state write {'to ' + repr(key) if key else ''}"
+                            f" stores {reason}; copy_state cannot "
+                            f"round-trip it through a checkpoint",
+                            path=rel, line=node.lineno, scope=scope,
+                            subject=key or f"line{node.lineno}",
+                            hint="store plain data in ctx.v; keep exotic "
+                                 "objects out of the state vector")
+
+
+# ---------------------------------------------------------------------------
+# Rule: shard-state isolation (SI001/SI002)
+# ---------------------------------------------------------------------------
+
+class _ScopeWalker:
+    """Depth-first walk that tracks the dotted class/function qualname."""
+
+    def __init__(self, module: ast.Module):
+        self.module = module
+
+    def scoped_nodes(self) -> Iterator[Tuple[str, ast.AST]]:
+        def walk(node: ast.AST, prefix: str) -> Iterator[Tuple[str, ast.AST]]:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                      ast.ClassDef)):
+                    name = (f"{prefix}.{child.name}" if prefix
+                            else child.name)
+                    yield name, child
+                    yield from walk(child, name)
+                else:
+                    yield prefix, child
+                    yield from walk(child, prefix)
+
+        yield from walk(self.module, "")
+
+
+def _check_shard_isolation(tree: SourceTree, out: _Collector,
+                           shared_attrs: frozenset = SHARED_STATE_ATTRS,
+                           allowed_sites: frozenset = SHARED_STATE_SITES
+                           ) -> None:
+    for rel, module in tree.modules():
+        for scope, node in _ScopeWalker(module).scoped_nodes():
+            targets: List[ast.AST] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, ast.AugAssign):
+                targets = [node.target]
+            for target in targets:
+                if not (isinstance(target, ast.Attribute)
+                        and target.attr in shared_attrs):
+                    continue
+                if (rel, scope) in allowed_sites:
+                    continue
+                out.add(
+                    "SI001",
+                    f"{scope or '<module>'} rebinds shared attribute "
+                    f"{target.attr!r}: outside the designated wiring sites "
+                    f"a rebind splits the cross-shard aggregate view",
+                    path=rel, line=target.lineno, scope=scope or "<module>",
+                    subject=target.attr,
+                    hint="mutate the shared object in place, or do the "
+                         "rewiring in a designated site "
+                         "(codecheck.SHARED_STATE_SITES)")
+            if isinstance(node, ast.Call) and \
+                    isinstance(node.func, ast.Attribute) and \
+                    node.func.attr == "submit" and node.args:
+                module_level = {
+                    n.name for n in module.body
+                    if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))}
+                worker = node.args[0]
+                problem = ""
+                if isinstance(worker, ast.Lambda):
+                    problem = "a lambda"
+                elif isinstance(worker, ast.Attribute):
+                    problem = f"a bound callable ({ast.unparse(worker)})"
+                elif isinstance(worker, ast.Name) and \
+                        worker.id not in module_level:
+                    # Imported names resolve at the worker; only names that
+                    # exist in this module but not at module level (nested
+                    # defs) are known-unpicklable.
+                    nested = any(
+                        isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+                        and n.name == worker.id
+                        for n in ast.walk(module))
+                    if nested:
+                        problem = f"a nested function ({worker.id})"
+                for arg in node.args[1:]:
+                    if isinstance(arg, ast.Lambda):
+                        problem = problem or "a lambda argument"
+                    elif isinstance(arg, ast.Name) and arg.id == "self":
+                        problem = problem or "self (the whole facade)"
+                if problem:
+                    out.add(
+                        "SI002",
+                        f"{scope or '<module>'} submits {problem} across "
+                        f"the process-pool boundary; it will not pickle",
+                        path=rel, line=node.lineno,
+                        scope=scope or "<module>",
+                        subject=f"line{node.lineno}",
+                        hint="pass a module-level function and plain-data "
+                             "arguments to pool.submit")
+
+
+# ---------------------------------------------------------------------------
+# Driver + baseline
+# ---------------------------------------------------------------------------
+
+def analyze(root: Optional[Path] = None,
+            overrides: Optional[Mapping[str, str]] = None,
+            specs: Sequence[CheckpointSpec] = CHECKPOINT_SPECS,
+            check_guards: bool = True,
+            check_plain_state: bool = True,
+            check_isolation: bool = True) -> List[Diagnostic]:
+    """Run every codecheck rule over the tree; returns structured findings.
+
+    ``root`` defaults to the installed ``repro`` package source; tests
+    pass a fixture directory and/or ``overrides`` with patched sources.
+    """
+    tree = SourceTree(root, overrides)
+    out = _Collector(tree)
+    for spec in specs:
+        _check_checkpoint_spec(tree, spec, out)
+    if check_guards:
+        _check_guards(tree, out)
+    if check_plain_state:
+        _check_plain_state(tree, out)
+    if check_isolation:
+        _check_shard_isolation(tree, out)
+    out.diagnostics.sort(key=lambda d: (d.machine or "",
+                                        d.data.get("line", 0),
+                                        d.data.get("code", "")))
+    return out.diagnostics
+
+
+def load_baseline(path: Path) -> Dict[str, str]:
+    """Committed fingerprint -> note mapping (missing file = empty)."""
+    try:
+        raw = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return {}
+    findings = raw.get("findings", raw) if isinstance(raw, dict) else raw
+    if isinstance(findings, list):
+        return {str(item): "" for item in findings}
+    if isinstance(findings, dict):
+        return {str(k): str(v) for k, v in findings.items()}
+    return {}
+
+
+def write_baseline(path: Path, diagnostics: Iterable[Diagnostic]) -> None:
+    findings = {fingerprint(d): d.message for d in diagnostics
+                if fingerprint(d)}
+    payload = {
+        "comment": "codelint baseline: accepted findings by fingerprint "
+                   "(docs/CODECHECK.md); regenerate with "
+                   "`python -m repro.cli codelint --write-baseline`",
+        "findings": dict(sorted(findings.items())),
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True)
+                          + "\n", encoding="utf-8")
+
+
+def partition_findings(diagnostics: Sequence[Diagnostic],
+                       baseline: Mapping[str, str]
+                       ) -> Tuple[List[Diagnostic], List[Diagnostic],
+                                  List[str]]:
+    """Split findings into (new, baselined); also return stale baseline
+    fingerprints that no longer fire (candidates for cleanup)."""
+    new: List[Diagnostic] = []
+    accepted: List[Diagnostic] = []
+    seen: Set[str] = set()
+    for diagnostic in diagnostics:
+        print_ = fingerprint(diagnostic)
+        seen.add(print_)
+        (accepted if print_ in baseline else new).append(diagnostic)
+    stale = sorted(set(baseline) - seen)
+    return new, accepted, stale

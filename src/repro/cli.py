@@ -73,6 +73,31 @@ def build_parser() -> argparse.ArgumentParser:
                           help="write per-machine Graphviz dot annotated "
                                "with the findings to DIR")
 
+    codelint = sub.add_parser(
+        "codelint",
+        help="statically verify implementation invariants (checkpoint "
+             "coverage, guard purity, shard isolation)")
+    codelint.add_argument("--json", action="store_true",
+                          help="emit findings as a JSON document")
+    codelint.add_argument("--strict", action="store_true",
+                          help="exit non-zero on new WARNING findings too")
+    codelint.add_argument("--min-severity", choices=("info", "warning",
+                                                     "error"),
+                          default="info",
+                          help="lowest severity to report (default info)")
+    codelint.add_argument("--baseline", metavar="FILE", default=None,
+                          help="baseline JSON of accepted findings "
+                               "(default tools/codelint_baseline.json next "
+                               "to the repo, if present)")
+    codelint.add_argument("--no-baseline", action="store_true",
+                          help="ignore any baseline: every finding counts")
+    codelint.add_argument("--write-baseline", action="store_true",
+                          help="accept all current findings into the "
+                               "baseline file and exit 0")
+    codelint.add_argument("--root", metavar="DIR", default=None,
+                          help="package source root to analyze (default: "
+                               "the installed repro package)")
+
     perf = sub.add_parser(
         "perf", help="profile a synthetic workload; print the hotspots")
     perf.add_argument("--calls", type=int, default=200,
@@ -301,6 +326,71 @@ def _cmd_speclint(args) -> int:
     return 1 if any(d.severity >= threshold for d in diagnostics) else 0
 
 
+def _cmd_codelint(args) -> int:
+    """Run the static implementation-invariant analyzer (codelint).
+
+    Exit status is driven by *new* findings only: anything recorded in the
+    committed baseline file is reported but tolerated, so CI fails when a
+    change introduces a finding, not because history had one.
+    """
+    import json
+    from pathlib import Path
+
+    from .analysis.codecheck import (analyze, fingerprint, load_baseline,
+                                     partition_findings, write_baseline)
+    from .efsm.diagnostics import (Severity, count_by_severity,
+                                   diagnostics_to_dicts, format_report)
+
+    root = Path(args.root) if args.root else None
+    diagnostics = analyze(root=root)
+
+    baseline_path = None
+    if not args.no_baseline:
+        if args.baseline:
+            baseline_path = Path(args.baseline)
+        else:
+            # repo layout: src/repro/cli.py -> <repo>/tools/...
+            candidate = (Path(__file__).resolve().parents[2]
+                         / "tools" / "codelint_baseline.json")
+            if candidate.is_file() or args.write_baseline:
+                baseline_path = candidate
+    if args.write_baseline:
+        if baseline_path is None:
+            print("codelint: --write-baseline needs --baseline FILE",
+                  file=sys.stderr)
+            return 2
+        write_baseline(baseline_path, diagnostics)
+        print(f"codelint: wrote {len(diagnostics)} finding(s) to "
+              f"{baseline_path}")
+        return 0
+    baseline = load_baseline(baseline_path) if baseline_path else {}
+    new, accepted, stale = partition_findings(diagnostics, baseline)
+
+    min_severity = {"info": Severity.INFO, "warning": Severity.WARNING,
+                    "error": Severity.ERROR}[args.min_severity]
+    if args.json:
+        counts = count_by_severity(diagnostics)
+        print(json.dumps({
+            "findings": diagnostics_to_dicts(
+                d for d in diagnostics if d.severity >= min_severity),
+            "new": [fingerprint(d) for d in new],
+            "baselined": [fingerprint(d) for d in accepted],
+            "stale_baseline": stale,
+            "counts": {str(sev): n for sev, n in sorted(counts.items())},
+        }, indent=2, sort_keys=True))
+    else:
+        print(format_report(diagnostics, min_severity=min_severity,
+                            label="codelint"))
+        if accepted:
+            print(f"codelint: {len(accepted)} finding(s) accepted by "
+                  f"baseline {baseline_path}")
+        for print_ in stale:
+            print(f"codelint: stale baseline entry (no longer fires): "
+                  f"{print_}", file=sys.stderr)
+    threshold = Severity.WARNING if args.strict else Severity.ERROR
+    return 1 if any(d.severity >= threshold for d in new) else 0
+
+
 def _cmd_perf(args) -> int:
     """cProfile the packet pipeline on a synthetic SIP+RTP workload.
 
@@ -478,6 +568,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_machines(args)
     if args.command == "speclint":
         return _cmd_speclint(args)
+    if args.command == "codelint":
+        return _cmd_codelint(args)
     if args.command == "perf":
         return _cmd_perf(args)
     if args.command == "trace":

@@ -17,6 +17,8 @@ scenario match — and an event with *no* enabled transition is recorded as a
 from __future__ import annotations
 
 import copy
+import io
+import types
 from dataclasses import dataclass, field
 from typing import (
     Any,
@@ -40,6 +42,7 @@ __all__ = [
     "Efsm",
     "EfsmInstance",
     "FiringResult",
+    "allow_impure_guard",
 ]
 
 Predicate = Callable[["TransitionContext"], bool]
@@ -53,14 +56,32 @@ _MISSING = object()
 _ATOMIC = (str, int, float, bool, bytes, type(None), frozenset)
 
 
+#: Values copy_state refuses: checkpointing them cannot round-trip (a
+#: restored generator/handle would be a different object with lost
+#: position), so failing loudly at snapshot time beats corrupting a
+#: checkpoint silently.
+_UNCHECKPOINTABLE = (
+    types.GeneratorType,
+    types.CoroutineType,
+    types.AsyncGeneratorType,
+    io.IOBase,
+)
+
+
 def copy_state(value: Any) -> Any:
     """Deep copy of a plain-data variable value.
 
     State-variable vectors hold protocol facts — strings, numbers,
     tuples, dicts of the same — so a direct recursive copy beats
     ``copy.deepcopy``'s generic dispatch by an order of magnitude on the
-    checkpoint path.  Exotic values (class instances, subclasses of the
-    builtin containers) still fall back to ``copy.deepcopy``.
+    checkpoint path.  Container *subclasses* (``defaultdict``,
+    ``Counter``, ``OrderedDict``, ``deque``, named tuples...) keep their
+    exact type: they are copied via ``copy.copy`` — which preserves
+    subclass metadata such as ``default_factory`` — and then refilled
+    element-by-element so nesting is deep.  Values that cannot survive a
+    checkpoint round-trip (generators, coroutines, open file handles)
+    raise ``TypeError`` instead of being smuggled in by reference; other
+    exotic objects still fall back to ``copy.deepcopy``.
     """
     cls = value.__class__
     if cls in _ATOMIC:
@@ -73,7 +94,60 @@ def copy_state(value: Any) -> Any:
         return [copy_state(item) for item in value]
     if cls is set:
         return {copy_state(item) for item in value}
+    if isinstance(value, _UNCHECKPOINTABLE):
+        raise TypeError(
+            f"state value of type {cls.__name__} cannot be checkpointed: "
+            f"keep generators, coroutines, and file handles out of the "
+            f"state-variable vector"
+        )
+    if isinstance(value, dict):
+        # dict subclass: copy.copy preserves the type and its metadata
+        # (e.g. defaultdict.default_factory), then deep-refill.
+        clone = copy.copy(value)
+        clone.clear()
+        for key, item in value.items():
+            clone[key] = copy_state(item)
+        return clone
+    if isinstance(value, tuple):
+        # Named tuples rebuild through their own constructor; plain tuple
+        # subclasses go through the generic (iterable) form.
+        items = [copy_state(item) for item in value]
+        if hasattr(value, "_fields"):
+            return cls(*items)
+        return cls(items)
+    if isinstance(value, list):
+        clone = copy.copy(value)
+        clone.clear()
+        clone.extend(copy_state(item) for item in value)
+        return clone
+    if isinstance(value, set):
+        clone = copy.copy(value)
+        clone.clear()
+        clone.update(copy_state(item) for item in value)
+        return clone
     return copy.deepcopy(value)
+
+
+def allow_impure_guard(reason: str) -> Callable[[Predicate], Predicate]:
+    """Mark a guard as an audited exception to the purity rule.
+
+    EFSM guards must normally be side-effect-free: ``speclint`` probes
+    them against sampled configurations, and incremental checkpointing
+    versions calls by firing counts, so a mutating guard corrupts both
+    invisibly.  ``codelint``'s guard-purity rules (GP001–GP003, see
+    ``docs/CODECHECK.md``) enforce this statically — this decorator is
+    the escape hatch for the rare guard whose impurity has been reviewed
+    and justified.  ``reason`` is mandatory and stored on the function
+    for audits.
+    """
+    if not reason or not reason.strip():
+        raise ValueError("allow_impure_guard requires a non-empty reason")
+
+    def mark(predicate: Predicate) -> Predicate:
+        predicate.__impure_guard_reason__ = reason  # type: ignore[attr-defined]
+        return predicate
+
+    return mark
 
 
 class Variables:

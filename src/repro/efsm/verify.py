@@ -662,6 +662,8 @@ def _system_topology(machines: Sequence[Efsm],
                 f"the δ would sit in the FIFO forever",
                 machine=machine.name, channel=channel, event=event,
                 transition=transition.describe(),
+                data={"witness": _send_witness(machine, transition,
+                                               channel, event)},
                 hint=f"add a c?{event} transition to {receiver!r} or drop "
                      f"the output"))
     for (channel, event), receivers in sorted(receives.items()):
@@ -678,6 +680,40 @@ def _system_topology(machines: Sequence[Efsm],
                 transition=transition.describe(),
                 hint="dead receive arm: remove it or add the matching send"))
     return diagnostics
+
+
+def _witness_to_state(machine: Efsm, target_state: str) -> Optional[List[str]]:
+    """Shortest single-machine event path from the initial state to
+    ``target_state`` (transition labels), or None if unreachable alone."""
+    if machine.initial_state == target_state:
+        return []
+    moves: Dict[str, List[Transition]] = {}
+    for transition in machine.transitions:
+        moves.setdefault(transition.source, []).append(transition)
+    visited = {machine.initial_state}
+    frontier: deque = deque([(machine.initial_state, [])])
+    while frontier:
+        state, path = frontier.popleft()
+        for transition in moves.get(state, ()):
+            if transition.target in visited:
+                continue
+            step = f"{machine.name}: {transition.describe()}"
+            if transition.target == target_state:
+                return path + [step]
+            visited.add(transition.target)
+            frontier.append((transition.target, path + [step]))
+    return None
+
+
+def _send_witness(machine: Efsm, transition: Transition, channel: str,
+                  event: str) -> List[str]:
+    """Witness trace for an unmatched send: the shortest path of the
+    sending machine to the offending transition, then the send itself."""
+    prefix = _witness_to_state(machine, transition.source)
+    if prefix is None:
+        prefix = [f"<{transition.source!r} unreachable by free moves alone>"]
+    return prefix + [f"{machine.name}: {transition.describe()}",
+                     f"{channel} ! {event} (never consumed)"]
 
 
 class _ProductExplorer:
@@ -732,33 +768,42 @@ class _ProductExplorer:
         return outputs
 
     def _report_stuck(self, receiver_index: int, state: str, channel: str,
-                      event: str, trigger: str) -> None:
+                      event: str, trigger: str,
+                      path: Tuple[str, ...]) -> None:
         key = (receiver_index, state, channel, event)
         if key in self._reported:
             return
         self._reported.add(key)
         name = self.names[receiver_index]
+        witness = list(path) + [
+            f"{channel} ? {event} (no consumer: {name} is in {state!r})"]
         self.diagnostics.append(Diagnostic(
             "sync-deadlock", Severity.ERROR,
             f"reachable configuration wedges the FIFO: {name!r} is in "
             f"{state!r} when {event!r} arrives on {channel!r} (triggered by "
             f"{trigger!r}) and no transition consumes it",
             machine=name, state=state, channel=channel, event=event,
-            data={"trigger": trigger},
+            data={"trigger": trigger, "witness": witness},
             hint=f"handle {event!r} in state {state!r} (even a self-loop "
                  f"documents the race) or stop sending it on this path"))
 
     def _drain(self, states: Tuple[str, ...],
                queues: Mapping[str, Tuple[str, ...]],
-               trigger: str, depth: int = 0) -> Set[Tuple[str, ...]]:
-        """All quiescent state vectors reachable by consuming queued syncs."""
+               trigger: str, path: Tuple[str, ...] = (),
+               depth: int = 0) -> Dict[Tuple[str, ...], Tuple[str, ...]]:
+        """Quiescent state vectors reachable by consuming queued syncs.
+
+        Returns vector -> the event path that reached it (the first path
+        found per vector; with the BFS in :meth:`explore` feeding the
+        prefixes, that is a shortest witness up to drain ordering).
+        """
         live = {channel: queue for channel, queue in queues.items() if queue}
         if not live:
-            return {states}
+            return {states: path}
         if depth > self.drain_cap:
-            self._report_livelock(sorted(live), trigger)
-            return set()
-        results: Set[Tuple[str, ...]] = set()
+            self._report_livelock(sorted(live), trigger, path)
+            return {}
+        results: Dict[Tuple[str, ...], Tuple[str, ...]] = {}
         for channel in sorted(live):
             queue = live[channel]
             event = queue[0]
@@ -770,29 +815,35 @@ class _ProductExplorer:
                 (receiver_index, states[receiver_index], channel, event), [])
             if not matches:
                 self._report_stuck(receiver_index, states[receiver_index],
-                                   channel, event, trigger)
+                                   channel, event, trigger, path)
                 continue
             for transition in matches:
                 new_states = list(states)
                 new_states[receiver_index] = transition.target
                 new_queues = dict(live)
                 new_queues[channel] = queue[1:]
+                step = (f"{self.names[receiver_index]}: "
+                        f"{channel} ? {event}")
                 overflow = False
                 for out_channel, out_event in self._outputs(receiver_index,
                                                             transition):
                     extended = new_queues.get(out_channel, ()) + (out_event,)
                     if len(extended) > self.queue_bound:
-                        self._report_overflow(out_channel, trigger)
+                        self._report_overflow(out_channel, trigger,
+                                              path + (step,))
                         overflow = True
                         break
                     new_queues[out_channel] = extended
                 if overflow:
                     continue
-                results.update(self._drain(tuple(new_states), new_queues,
-                                           trigger, depth + 1))
+                for vector, sub_path in self._drain(
+                        tuple(new_states), new_queues, trigger,
+                        path + (step,), depth + 1).items():
+                    results.setdefault(vector, sub_path)
         return results
 
-    def _report_livelock(self, channels: Sequence[str], trigger: str) -> None:
+    def _report_livelock(self, channels: Sequence[str], trigger: str,
+                         path: Tuple[str, ...]) -> None:
         key = ("livelock", tuple(channels))
         if key in self._reported:
             return
@@ -802,10 +853,12 @@ class _ProductExplorer:
             f"sync cascade on channel(s) {list(channels)} did not quiesce "
             f"within {self.drain_cap} consume steps (triggered by "
             f"{trigger!r}): machines may exchange sync events forever",
-            channel=channels[0], data={"trigger": trigger},
+            channel=channels[0],
+            data={"trigger": trigger, "witness": list(path)},
             hint="break the send/receive cycle so every cascade terminates"))
 
-    def _report_overflow(self, channel: str, trigger: str) -> None:
+    def _report_overflow(self, channel: str, trigger: str,
+                         path: Tuple[str, ...]) -> None:
         key = ("overflow", channel)
         if key in self._reported:
             return
@@ -815,18 +868,24 @@ class _ProductExplorer:
             f"FIFO {channel!r} exceeded the exploration bound "
             f"({self.queue_bound}) while draining (triggered by "
             f"{trigger!r}): a send cycle may grow the queue without bound",
-            channel=channel, data={"trigger": trigger},
+            channel=channel,
+            data={"trigger": trigger, "witness": list(path)},
             hint="break the sync cycle or raise the bound if intentional"))
 
     def explore(self) -> None:
         initial = tuple(machine.initial_state for machine in self.machines)
         visited: Set[Tuple[str, ...]] = {initial}
+        # Shortest known event path to each visited configuration: the BFS
+        # discovery order makes the first recorded path minimal in free
+        # moves, which keeps sync-deadlock witnesses short and stable.
+        paths: Dict[Tuple[str, ...], Tuple[str, ...]] = {initial: ()}
         frontier = deque([initial])
         while frontier:
             if len(visited) > self.max_configs:
                 self.truncated = True
                 break
             states = frontier.popleft()
+            base = paths[states]
             for i in range(len(self.machines)):
                 for transition in self.free_moves.get((i, states[i]), ()):
                     moved = list(states)
@@ -834,10 +893,13 @@ class _ProductExplorer:
                     queues: Dict[str, Tuple[str, ...]] = {}
                     for channel, event in self._outputs(i, transition):
                         queues[channel] = queues.get(channel, ()) + (event,)
-                    for result in self._drain(tuple(moved), queues,
-                                              transition.describe()):
+                    step = f"{self.names[i]}: {transition.describe()}"
+                    for result, sub_path in self._drain(
+                            tuple(moved), queues, transition.describe(),
+                            base + (step,)).items():
                         if result not in visited:
                             visited.add(result)
+                            paths[result] = sub_path
                             frontier.append(result)
         if self.truncated:
             self.diagnostics.append(Diagnostic(

@@ -1,0 +1,31 @@
+"""Seeded checkpoint-coverage violations (codecheck test fixture).
+
+Analyzed by AST only — never imported.  Each marked line is asserted on
+by tests/analysis/test_codecheck.py.
+"""
+
+
+class Store:
+    def __init__(self):
+        self.covered = {}
+        self.missing = []        # CC001: absent from snapshot and restore
+        self.half = {}           # CC001: snapshot captures it, restore not
+        self.name = "store"      # immutable constant: ignored
+
+    def snapshot(self):
+        return {
+            "covered": dict(self.covered),
+            "half": dict(self.half),
+            "stale": 1,          # CC002: no restore function consumes it
+        }
+
+    def restore(self, payload):
+        self.covered = dict(payload["covered"])
+
+
+class Frozen:
+    """Declared checkpoint-free by its spec; the cache still violates."""
+
+    def __init__(self):
+        self.label = "frozen"
+        self.cache = {}          # CC001: mutable state, no coverage at all

@@ -1,0 +1,59 @@
+"""Seeded guard-purity violations (codecheck test fixture; AST only)."""
+
+from repro.efsm.machine import Efsm, allow_impure_guard
+
+
+def writes_state(ctx):
+    ctx.v["count"] = 1           # GP001: guard mutates the state vector
+    return True
+
+
+def mutates_list(ctx):
+    ctx.v["seen"].append(1)      # GP002: mutating method call
+    return True
+
+
+def arms_timer(ctx):
+    ctx.start_timer("t", 1.0, {})    # GP003: timer side effect
+    return bool(ctx.v.get("armed"))
+
+
+def _poke(ctx):
+    ctx.v["count"] = 9           # GP001, reached transitively
+    return True
+
+
+def transitive_writer(ctx):
+    return _poke(ctx)            # impurity reached through a callee
+
+
+def uses_scratch(ctx):
+    memo = ctx.scratch
+    if memo is None:
+        memo = ctx.scratch = {}
+    memo["ok"] = True            # sanctioned: ctx.scratch memoization
+    return memo["ok"]
+
+
+@allow_impure_guard("test fixture: audited exception")
+def audited(ctx):
+    ctx.v["count"] = 2           # allowed by the decorator
+    return True
+
+
+def suppressed(ctx):
+    ctx.v["count"] = 3  # noqa: GP001 - seeded suppression-test line
+    return True
+
+
+def build(machine: Efsm) -> Efsm:
+    machine.add_transition("s0", "e1", "s0", predicate=writes_state)
+    machine.add_transition("s0", "e2", "s0", predicate=mutates_list)
+    machine.add_transition("s0", "e3", "s0", predicate=arms_timer)
+    machine.add_transition("s0", "e4", "s0", transitive_writer)
+    machine.add_transition("s0", "e5", "s0", predicate=uses_scratch)
+    machine.add_transition("s0", "e6", "s0", predicate=audited)
+    machine.add_transition("s0", "e7", "s0", predicate=suppressed)
+    machine.add_transition("s0", "e8", "s0",
+                           predicate=lambda ctx: ctx.v.pop("x"))  # GP002
+    return machine

@@ -1,0 +1,22 @@
+"""Seeded plain-data-state violations (codecheck test fixture; AST only)."""
+
+
+class Exotic:
+    pass
+
+
+def build(machine):
+    machine.declare(
+        ok=0,
+        items=(),
+        factory=lambda: 1,              # PD001: callable state
+        gen=(n for n in range(3)),      # PD001: generator state
+    )
+    machine.declare_global(handle=open("/dev/null"))  # PD001: file handle
+
+    def action(ctx):
+        ctx.v["obj"] = Exotic()         # PD001: custom class instance
+        ctx.v["num"] = 41 + 1           # plain data: fine
+
+    machine.add_transition("s0", "e", "s0", action=action)
+    return machine

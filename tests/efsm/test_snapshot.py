@@ -202,3 +202,90 @@ def test_system_restore_rejects_unknown_machine():
     fresh = relay_system(clock)
     with pytest.raises(DefinitionError):
         fresh.restore(snapshot)
+
+
+# ---------------------------------------------------------------------------
+# copy_state: container subclasses and un-checkpointable values
+# ---------------------------------------------------------------------------
+
+def test_copy_state_preserves_container_subclasses():
+    from collections import Counter, OrderedDict, defaultdict
+
+    from repro.efsm.machine import copy_state
+
+    value = defaultdict(list)
+    value["a"].append(1)
+    clone = copy_state(value)
+    assert type(clone) is defaultdict
+    assert clone.default_factory is list
+    assert clone == {"a": [1]}
+    clone["b"].append(2)          # the factory still works...
+    clone["a"].append(3)
+    assert "b" not in value       # ...and the copy is independent
+    assert value["a"] == [1]
+
+    counts = Counter({"x": 2})
+    copied = copy_state(counts)
+    assert type(copied) is Counter
+    copied["x"] += 1
+    assert counts["x"] == 2
+
+    ordered = OrderedDict([("k", [1, 2])])
+    ordered_copy = copy_state(ordered)
+    assert type(ordered_copy) is OrderedDict
+    assert list(ordered_copy) == ["k"]
+    ordered_copy["k"].append(3)
+    assert ordered["k"] == [1, 2]
+
+
+def test_copy_state_preserves_nested_subclasses():
+    from collections import defaultdict
+
+    from repro.efsm.machine import copy_state
+
+    nested = {"outer": defaultdict(int, {"n": 1})}
+    clone = copy_state(nested)
+    assert type(clone["outer"]) is defaultdict
+    assert clone["outer"].default_factory is int
+    clone["outer"]["n"] = 9
+    assert nested["outer"]["n"] == 1
+
+
+def test_copy_state_rejects_uncheckpointable_values():
+    from repro.efsm.machine import copy_state
+
+    with pytest.raises(TypeError, match="cannot be checkpointed"):
+        copy_state((n for n in range(3)))
+    with open(__file__, encoding="utf-8") as handle:
+        with pytest.raises(TypeError, match="cannot be checkpointed"):
+            copy_state({"handle": handle})
+
+
+def test_defaultdict_survives_instance_snapshot_round_trip():
+    """Regression: a defaultdict state variable used to be at the mercy of
+    the copy path; it must come back as a defaultdict with its factory."""
+    from collections import defaultdict
+
+    clock = ManualClock()
+    machine = Efsm("tally", "idle")
+    machine.declare(buckets=None)
+    machine.add_transition("idle", "note", "idle",
+                           action=lambda ctx: ctx.v["buckets"].__setitem__(
+                               "seen", ctx.v["buckets"]["seen"] + 1))
+    machine.validate()
+    instance = EfsmInstance(machine, clock_now=clock.now,
+                            timer_scheduler=clock.schedule)
+    instance.variables["buckets"] = defaultdict(int)
+    instance.deliver(Event("note", time=clock.now()))
+    assert instance.variables["buckets"]["seen"] == 1
+
+    snapshot = instance.snapshot()
+    restored = EfsmInstance(machine, clock_now=clock.now,
+                            timer_scheduler=clock.schedule)
+    restored.restore(snapshot)
+    buckets = restored.variables["buckets"]
+    assert type(buckets) is defaultdict
+    assert buckets.default_factory is int
+    assert buckets["seen"] == 1
+    buckets["other"] += 5         # factory works after the round trip
+    assert instance.variables["buckets"]["other"] == 0  # independent

@@ -480,3 +480,83 @@ def test_verify_machine_probe_survives_raising_predicate():
               if d.rule == "nondeterministic-overlap"
               and d.severity is Severity.ERROR]
     assert errors == []
+
+
+# ---------------------------------------------------------------------------
+# witness traces (sync-deadlock / unmatched-send debuggability)
+# ---------------------------------------------------------------------------
+
+def test_sync_deadlock_carries_witness_trace():
+    sender = _sender_machine()
+    receiver = Efsm("b", "b0")
+    receiver.add_state("b1")
+    receiver.declare_channel("a->b")
+    receiver.add_transition("b0", "warmup", "b1")
+    receiver.add_transition("b1", "ping", "b1", channel="a->b")
+    (finding,) = find(verify_system([sender, receiver], per_machine=False),
+                      "sync-deadlock")
+    witness = finding.data["witness"]
+    assert isinstance(witness, list) and witness
+    # The shortest path: a's free move emits the ping, which then has no
+    # consumer while b is still in b0.
+    assert any("a:" in step for step in witness[:-1])
+    assert witness[-1].startswith("a->b ? ping (no consumer")
+    assert "b0" in witness[-1]
+    assert finding.data["trigger"]    # legacy field stays populated
+
+
+def test_sync_deadlock_witness_includes_consume_steps():
+    # The wedge only appears after a consume step: a's first ping moves b
+    # into a state where the *second* ping (a different channel) sticks.
+    left = Efsm("a", "a0")
+    left.add_state("a1")
+    left.declare_channel("a->b")
+    left.add_transition("a0", "go", "a1", outputs=[Output("a->b", "first")])
+    left.add_transition("a1", "again", "a1",
+                        outputs=[Output("a->b", "second")])
+    right = Efsm("b", "b0")
+    right.add_state("b1")
+    right.declare_channel("a->b")
+    right.add_transition("b0", "first", "b1", channel="a->b")
+    # b1 has no consumer for "second".
+    findings = find(verify_system([left, right], per_machine=False),
+                    "sync-deadlock")
+    wedged = [f for f in findings if f.event == "second"]
+    assert wedged
+    witness = wedged[0].data["witness"]
+    assert any("a->b ? first" in step for step in witness), witness
+    assert witness[-1].startswith("a->b ? second (no consumer")
+
+
+def test_unmatched_send_carries_witness_trace():
+    sender = Efsm("a", "a0")
+    sender.add_state("a1")
+    sender.declare_channel("a->b")
+    sender.add_transition("a0", "warmup", "a1")
+    sender.add_transition("a1", "go", "a1", outputs=[Output("a->b", "ping")])
+    receiver = Efsm("b", "b0")
+    receiver.add_transition("b0", "other", "b0")
+    (finding,) = find(verify_system([sender, receiver], per_machine=False),
+                      "unmatched-send")
+    witness = finding.data["witness"]
+    # Path to the sending state, the firing itself, then the dangling send.
+    assert witness[0] == "a: a0--warmup-->a1"
+    assert witness[-1] == "a->b ! ping (never consumed)"
+    assert any("go" in step for step in witness)
+
+
+def test_sync_unbounded_carries_witness_trace():
+    left = Efsm("a", "a0")
+    left.declare_channel("a->b", "b->a")
+    left.add_transition("a0", "kick", "a0",
+                        outputs=[Output("a->b", "ping")])
+    left.add_transition("a0", "pong", "a0", channel="b->a",
+                        outputs=[Output("a->b", "ping")])
+    right = Efsm("b", "b0")
+    right.declare_channel("a->b", "b->a")
+    right.add_transition("b0", "ping", "b0", channel="a->b",
+                         outputs=[Output("b->a", "pong")])
+    findings = find(verify_system([left, right], per_machine=False),
+                    "sync-unbounded")
+    assert findings and all("witness" in f.data for f in findings)
+    assert any(f.data["witness"] for f in findings)

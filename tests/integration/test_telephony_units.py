@@ -65,7 +65,7 @@ class TestPhones:
         testbed = build_testbed(TestbedParams(phones_per_network=1, seed=1))
         testbed.register_all()
         testbed.sim.run(until=2.0)
-        call = testbed.phones_a[0].place_call("sip:ghost@b.example.com", 5.0)
+        testbed.phones_a[0].place_call("sip:ghost@b.example.com", 5.0)
         testbed.network.run(until=30.0)
         stats = testbed.phones_a[0].stats
         assert len(stats) == 1

@@ -125,7 +125,7 @@ def test_invite_timeout_without_network(mini_voip):
 
 def test_call_survives_5_percent_loss(lossy_voip):
     voip = lossy_voip
-    callee = CalleeBehaviour(voip)
+    CalleeBehaviour(voip)
     voip.register_both()
     outcomes = []
     for index in range(8):

@@ -132,7 +132,7 @@ class TestByeDos:
         channel.put(delta(DELTA_BYE, call_id="c1"))
         inject_rtp(system, rtp_event(seq=2, ts=320))
         clock.advance(CONFIG.bye_inflight_timer + 0.01)
-        result = inject_rtp(system, rtp_event(seq=3, ts=480))
+        inject_rtp(system, rtp_event(seq=3, ts=480))
         assert rtp_state(system) == ATTACK_AFTER_CLOSE
         entries = [r for r in system.attack_matches
                    if r.from_state != r.to_state]
@@ -205,7 +205,6 @@ class TestFloodAndCodec:
         open_session(system, channel)
         # Expected 50 pps at 20 ms ptime; factor 2.5 -> 125/s threshold.
         limit = int(2.5 * 50 * CONFIG.rtp_flood_window)
-        state = None
         for index in range(limit + 10):
             clock.advance(0.001)   # 1000 pps
             inject_rtp(system, rtp_event(seq=index, ts=index * 160,

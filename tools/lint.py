@@ -8,9 +8,15 @@ built-in fallback instead of skipping the gate entirely:
 
 - ``py_compile`` over every Python file (syntax);
 - a conservative AST pass approximating the ruff rules the repo relies on:
-  F401 (unused module-level import), E711 (``== None`` comparison), E722
-  (bare ``except``), and E731 (lambda assignment).  ``# noqa`` comments are
-  honored per line, with or without rule codes.
+  F401 (unused module-level import), F841 (unused local binding), E711
+  (``== None`` comparison), E722 (bare ``except``), E731 (lambda
+  assignment), and B006 (mutable default argument).  ``# noqa`` comments
+  are honored per line, with or without rule codes.
+
+In *both* environments the script then runs ``codelint``
+(:mod:`repro.analysis.codecheck`) against the committed baseline
+(``tools/codelint_baseline.json``): implementation-invariant analysis is
+repo-specific, so no external tool covers it.
 
 Exit status is non-zero when any check reports findings, so the Makefile
 target gates the same way in both environments.
@@ -71,8 +77,15 @@ def is_silenced(silenced: Dict[int, Set[str]], line: int, code: str) -> bool:
     return "*" in codes or code in codes
 
 
+#: Call targets whose result is a fresh mutable container (B006).
+_MUTABLE_FACTORIES = {
+    "dict", "list", "set", "defaultdict", "deque", "Counter", "OrderedDict",
+}
+
+
 class _FallbackChecker(ast.NodeVisitor):
-    """Single-file AST pass for the F401/E711/E722/E731 approximations."""
+    """Single-file AST pass for the F401/F841/E711/E722/E731/B006
+    approximations."""
 
     def __init__(self, path: Path, tree: ast.Module, source: str):
         self.path = path
@@ -112,6 +125,78 @@ class _FallbackChecker(ast.NodeVisitor):
             self.report(node, "E731",
                         "do not assign a lambda expression, use a def")
         self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_mutable_defaults(node)
+        self._check_unused_locals(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_mutable_defaults(node)
+        self._check_unused_locals(node)
+        self.generic_visit(node)
+
+    def _check_mutable_defaults(self, node: ast.AST) -> None:
+        # B006: a mutable default is evaluated once and shared by every
+        # call — the classic aliasing trap.
+        for default in [*node.args.defaults, *node.args.kw_defaults]:
+            if default is None:
+                continue
+            mutable = isinstance(default, (ast.Dict, ast.List, ast.Set,
+                                           ast.DictComp, ast.ListComp,
+                                           ast.SetComp))
+            if isinstance(default, ast.Call) and \
+                    isinstance(default.func, ast.Name) and \
+                    default.func.id in _MUTABLE_FACTORIES:
+                mutable = True
+            if mutable:
+                self.report(default, "B006",
+                            "do not use mutable data structures for "
+                            "argument defaults")
+
+    def _check_unused_locals(self, node: ast.AST) -> None:
+        # F841 (conservative): a simple name bound by a plain assignment
+        # and never loaded anywhere in the function.  Tuple unpacking,
+        # augmented assignment, and underscore names are skipped; any use
+        # of locals()/eval/exec bails out entirely.
+        loaded: Set[str] = set()
+        escape_hatch = False
+        nonlocal_names: Set[str] = set()
+        for child in ast.walk(node):
+            if isinstance(child, ast.Name) and \
+                    isinstance(child.ctx, ast.Load):
+                loaded.add(child.id)
+                if child.id in ("locals", "eval", "exec", "vars"):
+                    escape_hatch = True
+            elif isinstance(child, (ast.Global, ast.Nonlocal)):
+                nonlocal_names.update(child.names)
+        if escape_hatch:
+            return
+
+        def own_scope(root: ast.AST):
+            # Assignments are scanned in this function's scope only:
+            # nested defs get their own visit (and closures may bind
+            # names the outer scope never loads).
+            for child in ast.iter_child_nodes(root):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                      ast.Lambda, ast.ClassDef)):
+                    continue
+                yield child
+                yield from own_scope(child)
+
+        for child in own_scope(node):
+            if not isinstance(child, ast.Assign):
+                continue
+            for target in child.targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                name = target.id
+                if name.startswith("_") or name in loaded or \
+                        name in nonlocal_names:
+                    continue
+                self.report(target, "F841",
+                            f"local variable '{name}' is assigned to "
+                            f"but never used")
 
     def visit_Compare(self, node: ast.Compare) -> None:
         operands = [node.left, *node.comparators]
@@ -192,6 +277,37 @@ def fallback_check(files: List[Path]) -> int:
     return 1 if findings else 0
 
 
+def codelint_check() -> int:
+    """Run the implementation-invariant analyzer against the baseline.
+
+    Uses the in-repo ``repro.analysis.codecheck`` directly (no external
+    tool implements these rules), so the gate is identical in CI and in
+    the offline container.  Only *new* findings fail the build.
+    """
+    import sys
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    try:
+        from repro.analysis.codecheck import (analyze, load_baseline,
+                                              partition_findings)
+        from repro.efsm.diagnostics import Severity, format_report
+    finally:
+        sys.path.pop(0)
+
+    diagnostics = analyze()
+    baseline = load_baseline(REPO_ROOT / "tools" / "codelint_baseline.json")
+    new, accepted, stale = partition_findings(diagnostics, baseline)
+    if new:
+        print(format_report(new, label="codelint"))
+    summary = f"codelint: {len(new)} new finding(s)"
+    if accepted:
+        summary += f", {len(accepted)} baselined"
+    if stale:
+        summary += f", {len(stale)} stale baseline entr(y/ies)"
+    print(summary)
+    return 1 if any(d.severity >= Severity.ERROR for d in new) else 0
+
+
 def main() -> int:
     status = 0
     ran_external = False
@@ -205,6 +321,7 @@ def main() -> int:
         print("ruff/mypy not installed; running built-in fallback checks "
               "(CI runs the real tools)")
         status = fallback_check(python_files())
+    status |= codelint_check()
     return status
 
 
