@@ -8,6 +8,8 @@ distills the raw report into ``BENCH_pipeline.json`` at the repo root::
     {
       "test_rtp_analysis_throughput": {"rate": 93000.0,
                                        "mean_s": 0.0215,
+                                       "stddev_s": 0.0011,
+                                       "cv": 0.051,
                                        "rounds": 3},
       ...
     }
@@ -15,7 +17,9 @@ distills the raw report into ``BENCH_pipeline.json`` at the repo root::
 ``rate`` is operations per second of real time (each benchmark publishes
 its per-round operation count in ``extra_info["ops"]``; benchmarks without
 it fall back to rounds per second), ``mean_s`` the mean seconds per round,
-``rounds`` the measurement rounds taken.  The file is the repo's recorded
+``stddev_s`` the across-round standard deviation, ``cv`` the coefficient
+of variation (stddev/mean — the noise margin to read before tightening a
+``KEEP_UP_THRESHOLDS`` floor), ``rounds`` the measurement rounds taken.  The file is the repo's recorded
 perf trajectory — commit it when a PR moves the needle, and compare runs
 only from the same machine.
 
@@ -82,18 +86,22 @@ def run_benchmarks(selection: List[str], rounds: Optional[int],
 
 
 def distill(raw_path: Path) -> Dict[str, Dict[str, float]]:
-    """Collapse the pytest-benchmark report to {name: rate/mean_s/rounds}."""
+    """Collapse the pytest-benchmark report to per-benchmark rate + noise."""
     report = json.loads(raw_path.read_text())
     results: Dict[str, Dict[str, float]] = {}
     for bench in report.get("benchmarks", []):
         name = bench["name"]
-        mean = bench["stats"]["mean"]
+        stats = bench["stats"]
+        mean = stats["mean"]
+        stddev = stats.get("stddev", 0.0)
         ops = bench.get("extra_info", {}).get("ops")
         rate = (ops / mean) if ops else (1.0 / mean)
         results[name] = {
             "rate": round(rate, 1),
             "mean_s": round(mean, 6),
-            "rounds": bench["stats"]["rounds"],
+            "stddev_s": round(stddev, 6),
+            "cv": round(stddev / mean, 4) if mean else 0.0,
+            "rounds": stats["rounds"],
         }
     return dict(sorted(results.items()))
 
@@ -169,7 +177,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     for name, stats in results.items():
         print(f"  {name:<{width}}  {stats['rate']:>12,.0f} ops/s  "
               f"(mean {stats['mean_s'] * 1e3:8.2f} ms, "
-              f"{stats['rounds']} rounds)")
+              f"cv {stats['cv']:.1%}, {stats['rounds']} rounds)")
 
     if baseline is not None:
         regressions = compare_to_baseline(results, baseline, args.tolerance)

@@ -198,6 +198,9 @@ CHECKPOINT_SPECS: Tuple[CheckpointSpec, ...] = (
             "global_variables": "frozen declaration defaults",
             "transitions": "frozen transition relation",
             "_index": "derived lookup over the frozen transition relation",
+            "_compiled": "derived dispatch table over the frozen transition "
+                         "relation, rebuilt lazily (cleared by "
+                         "add_transition)",
             "attack_states": "frozen definition data",
             "final_states": "frozen definition data",
             "alphabet": "frozen definition data",
@@ -222,8 +225,11 @@ CHECKPOINT_SPECS: Tuple[CheckpointSpec, ...] = (
                        "through start_timer from _timer_meta",
             "pending_outputs": "per-firing scratch, drained before deliver "
                                "returns; empty at checkpoint boundaries",
-            "history": "append-only firing log used as a change-version "
-                       "counter; checkpoints re-baseline after restore",
+            "history": "bounded recent-firing log (forensics only); the "
+                       "deliveries counter carries the change signal",
+            "deliveries": "monotonic delivery counter used as a change-"
+                          "version signal; checkpoints re-baseline after "
+                          "restore",
             "on_timer_event": "delivery hook re-wired by the owning "
                               "EfsmSystem when the instance is rebuilt",
         },
@@ -237,12 +243,19 @@ CHECKPOINT_SPECS: Tuple[CheckpointSpec, ...] = (
         exempt={
             "_channel_list": "flat mirror of channels maintained by "
                              "connect(); no independent state",
-            "results": "append-only observation log; firing-count versions "
-                       "re-baseline after restore",
-            "deviations": "append-only observation log (subset of results)",
-            "attack_matches": "append-only observation log (subset of "
-                              "results)",
-            "undeliverable": "append-only environment-output log",
+            "results": "bounded recent-firing log (forensics only); the "
+                       "deliveries counter carries the change signal",
+            "deliveries": "monotonic firing counter used as a change-"
+                          "version signal; checkpoints re-baseline after "
+                          "restore",
+            "_deviations": "append-only observation log (subset of "
+                           "firings); lazily allocated behind the "
+                           "deviations property",
+            "_attack_matches": "append-only observation log (subset of "
+                               "firings); lazily allocated behind the "
+                               "attack_matches property",
+            "_undeliverable": "append-only environment-output log; lazily "
+                              "allocated behind the undeliverable property",
         },
     ),
     CheckpointSpec(
@@ -264,6 +277,8 @@ CHECKPOINT_SPECS: Tuple[CheckpointSpec, ...] = (
                          "by refresh_media_index",
             "_size_cache": "byte-size memo, recomputed lazily",
             "_contribution": "byte-size memo, recomputed lazily",
+            "_media_sig": "raw media-global signature memo; re-derived by "
+                          "refresh_media_index after restore",
         },
     ),
     CheckpointSpec(
@@ -282,6 +297,10 @@ CHECKPOINT_SPECS: Tuple[CheckpointSpec, ...] = (
                                "data-only; see the Efsm spec)",
             "_rtp_definition": "immutable Efsm definition (shared, "
                                "data-only; see the Efsm spec)",
+            "_template": "frozen SystemTemplate over the immutable "
+                         "definitions; per-call systems clone it",
+            "_interned": "per-dialog string intern pool; a cold pool only "
+                         "costs duplicate strings, never correctness",
             "_touches": "memory-sampling cadence counter; resetting it "
                         "only re-times the next sample",
             "_total_bytes": "incremental byte total, rebuilt lazily from "
@@ -326,6 +345,10 @@ CHECKPOINT_SPECS: Tuple[CheckpointSpec, ...] = (
                               "ShardSupervisor._checkpoint_trackers"),),
         restore=(FunctionRef(_CLUSTER,
                              "ShardSupervisor._restore_trackers"),),
+        exempt={
+            "_definition": "immutable Figure-4 Efsm definition shared by "
+                           "every per-target instance (see the Efsm spec)",
+        },
     ),
     CheckpointSpec(
         label="OrphanMediaTracker",

@@ -108,7 +108,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="hotspot rows to print (default 25)")
     perf.add_argument("--sort", choices=("cumulative", "tottime"),
                       default="cumulative",
-                      help="pstats sort order (default cumulative)")
+                      help="hotspot sort order (default cumulative)")
+    perf.add_argument("--raw", action="store_true",
+                      help="also print the raw pstats table (the default "
+                           "output is the stage rollup + stage-tagged "
+                           "hotspot listing)")
     perf.add_argument("--shards", type=int, default=1,
                       help="profile through a ShardedVids facade with N "
                            "analysis shards (default 1: plain Vids; "
@@ -391,6 +395,68 @@ def _cmd_codelint(args) -> int:
     return 1 if any(d.severity >= threshold for d in new) else 0
 
 
+#: Pipeline stages for the ``perf`` rollup, in datagram order.  A profiled
+#: function belongs to the first stage whose path fragment matches; stdlib
+#: frames and the synthetic workload itself land in "harness/other".
+_PERF_STAGES = (
+    ("classify", ("vids/classifier.py",)),
+    ("sip-parse", ("sip/message.py", "sip/headers.py", "sip/uri.py",
+                   "sip/sdp.py", "sip/constants.py", "sip/errors.py")),
+    ("rtp-parse", ("rtp/",)),
+    ("distribute", ("vids/distributor.py",)),
+    ("state-machines", ("vids/sip_machine.py", "vids/rtp_machine.py",
+                        "efsm/")),
+    ("factbase", ("vids/factbase.py",)),
+    ("flood-tracking", ("vids/patterns/",)),
+    ("engine", ("vids/ids.py", "vids/engine.py", "vids/alerts.py",
+                "vids/metrics.py")),
+    ("sharding", ("vids/sharding.py", "vids/cluster.py", "vids/sync.py")),
+)
+
+
+def _perf_stage_of(filename: str) -> str:
+    path = filename.replace("\\", "/")
+    for stage, fragments in _PERF_STAGES:
+        if any(f"repro/{fragment}" in path for fragment in fragments):
+            return stage
+    return "harness/other"
+
+
+def _print_stage_hotspots(profile, top: int, sort: str) -> None:
+    """Per-stage rollup + stage-tagged hotspot rows from a cProfile run.
+
+    Own (tottime) seconds sum to the total runtime, so the rollup answers
+    "which stage is the bottleneck" directly; the hotspot rows below it
+    answer "which function inside that stage" without a raw pstats dump.
+    """
+    import pstats
+
+    entries = []  # (stage, func label, primitive calls, own_s, cum_s)
+    own_per_stage: dict = {}
+    for (filename, line, funcname), (calls, _nc, tottime, cumtime, _callers) \
+            in pstats.Stats(profile).stats.items():
+        stage = _perf_stage_of(filename)
+        base = filename.replace("\\", "/").rsplit("/", 1)[-1]
+        label = funcname if base == "~" else f"{funcname} ({base}:{line})"
+        entries.append((stage, label, calls, tottime, cumtime))
+        own_per_stage[stage] = own_per_stage.get(stage, 0.0) + tottime
+
+    total = sum(own_per_stage.values()) or 1.0
+    print("stage rollup (own time; sums to total):")
+    for stage, seconds in sorted(own_per_stage.items(),
+                                 key=lambda item: -item[1]):
+        print(f"  {stage:<16} {seconds:8.3f}s  {seconds / total:6.1%}")
+
+    key = 4 if sort == "cumulative" else 3
+    entries.sort(key=lambda entry: -entry[key])
+    order = "cumulative" if sort == "cumulative" else "own"
+    print(f"\ntop {top} hotspots by {order} time:")
+    print(f"  {'cum_s':>8}  {'own_s':>8}  {'calls':>9}  "
+          f"{'stage':<16} function")
+    for stage, label, calls, own, cum in entries[:top]:
+        print(f"  {cum:8.3f}  {own:8.3f}  {calls:9d}  {stage:<16} {label}")
+
+
 def _cmd_perf(args) -> int:
     """cProfile the packet pipeline on a synthetic SIP+RTP workload.
 
@@ -478,8 +544,11 @@ def _cmd_perf(args) -> int:
     print(f"profiled {args.calls} calls / {packets} packets{shard_note} "
           f"({vids.metrics.sip_messages} SIP, {vids.metrics.rtp_packets} RTP "
           f"analyzed, {len(vids.alerts)} alerts)\n")
-    stats = pstats.Stats(profile, stream=sys.stdout)
-    stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+    _print_stage_hotspots(profile, args.top, args.sort)
+    if args.raw:
+        print()
+        stats = pstats.Stats(profile, stream=sys.stdout)
+        stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
     return 0
 
 

@@ -33,8 +33,9 @@ from .machine import (
     Transition,
     TransitionContext,
     Variables,
+    probed_dispatch,
 )
-from .system import EfsmSystem, ManualClock
+from .system import EfsmSystem, ManualClock, SystemTemplate
 from .verify import RULES, verify_machine, verify_system
 
 __all__ = [
@@ -53,6 +54,7 @@ __all__ = [
     "RULES",
     "Severity",
     "SpecVerificationError",
+    "SystemTemplate",
     "TIMER_CHANNEL",
     "Transition",
     "TransitionContext",
@@ -67,6 +69,7 @@ __all__ = [
     "format_report",
     "max_severity",
     "parse_channel",
+    "probed_dispatch",
     "reachable_states",
     "summarize_machine",
     "to_dot",

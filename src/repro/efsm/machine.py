@@ -19,6 +19,8 @@ from __future__ import annotations
 import copy
 import io
 import types
+from collections import deque
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import (
     Any,
@@ -43,6 +45,7 @@ __all__ = [
     "EfsmInstance",
     "FiringResult",
     "allow_impure_guard",
+    "probed_dispatch",
 ]
 
 Predicate = Callable[["TransitionContext"], bool]
@@ -54,6 +57,14 @@ _MISSING = object()
 
 #: Types a variable value may hold without needing any copy at all.
 _ATOMIC = (str, int, float, bool, bytes, type(None), frozenset)
+
+#: Recent firings kept per instance for forensics and tests.  The log used
+#: to be unbounded, which pinned every delivered Event/FiringResult for a
+#: call's whole lifetime — on a long-running sensor the cyclic-GC full
+#: collections then scan a heap that grows with *traffic*, not with the
+#: live call table.  Anything that needs "how much happened" reads the
+#: monotonic ``EfsmInstance.deliveries`` counter instead of ``len(history)``.
+HISTORY_KEEP = 32
 
 
 #: Values copy_state refuses: checkpointing them cannot round-trip (a
@@ -126,6 +137,34 @@ def copy_state(value: Any) -> Any:
         clone.update(copy_state(item) for item in value)
         return clone
     return copy.deepcopy(value)
+
+
+#: Compiled-dispatch entry kinds (see :meth:`Efsm._compile_entry`).  Every
+#: (state, event-name, channel) group collapses to exactly one of these at
+#: first delivery, so the hot path replaces the per-event probe loop with a
+#: dict lookup plus a shape-specific fast path.
+_DEVIATION = 0   # no receivable transition: record a specification deviation
+_DIRECT = 1      # single unguarded transition: fires unconditionally
+_GUARDED = 2     # single guarded transition: one predicate decides
+_CHAIN = 3       # ordered guarded chain: first enabled predicate fires
+_CONFLICT = 4    # >1 unguarded transition: structurally nondeterministic
+
+
+@contextmanager
+def probed_dispatch():
+    """Run with the original enabled-probe delivery loop (tests only).
+
+    The compiled dispatch tables are the default; this context manager
+    flips every :class:`Efsm` to the reference probe loop so equivalence
+    suites can replay identical traffic down both paths and compare alert
+    multisets and firing sequences.
+    """
+    previous = Efsm.compiled_dispatch
+    Efsm.compiled_dispatch = False
+    try:
+        yield
+    finally:
+        Efsm.compiled_dispatch = previous
 
 
 def allow_impure_guard(reason: str) -> Callable[[Predicate], Predicate]:
@@ -289,7 +328,10 @@ class TransitionContext:
     def emit(self, channel: str, event_name: str,
              args: Optional[Mapping[str, Any]] = None) -> None:
         """Dynamically emit ``channel!event_name(args)`` from an action."""
-        self.instance.pending_outputs.append(
+        pending = self.instance.pending_outputs
+        if pending is None:
+            pending = self.instance.pending_outputs = []
+        pending.append(
             Event(event_name, dict(args or {}), channel=channel, time=self.now))
 
 
@@ -327,6 +369,11 @@ class FiringResult:
 class Efsm:
     """An EFSM definition: the quintuple (Σ, S, v, D, T)."""
 
+    #: Class-wide switch between the compiled per-(state, event, channel)
+    #: dispatch tables and the reference probe loop.  Compiled dispatch is
+    #: the default; :func:`probed_dispatch` flips it for equivalence tests.
+    compiled_dispatch: bool = True
+
     def __init__(self, name: str, initial_state: str):
         self.name = name
         self.initial_state = initial_state
@@ -335,6 +382,14 @@ class Efsm:
         self.global_variables: Dict[str, Any] = {}  # declared shared defaults
         self.transitions: List[Transition] = []
         self._index: Dict[Tuple[str, str], List[Transition]] = {}
+        #: Lazily built dispatch table: (state, event-name, channel) ->
+        #: a compiled entry (kind tag + the data its fast path needs).
+        #: Derived entirely from ``transitions``; cleared on every
+        #: ``add_transition`` and shared by all instances of this
+        #: definition, so the cost is paid once per definition, not once
+        #: per monitored call.
+        self._compiled: Dict[
+            Tuple[str, str, Optional[str]], Tuple[Any, ...]] = {}
         self.attack_states: set = set()
         self.final_states: set = set()
         #: Σ — event alphabet, accumulated from transitions.
@@ -405,10 +460,42 @@ class Efsm:
         self.transitions.append(transition)
         self._index.setdefault((source, event_name), []).append(transition)
         self.alphabet.add(event_name)
+        if self._compiled:
+            self._compiled.clear()
         return transition
 
     def transitions_from(self, state: str, event_name: str) -> List[Transition]:
         return self._index.get((state, event_name), [])
+
+    def _compile_entry(
+            self, key: Tuple[str, str, Optional[str]]) -> Tuple[Any, ...]:
+        """Build (and cache) the dispatch entry for one delivery shape.
+
+        The channel filter and the group-size dispatch are resolved here,
+        once per (state, event, channel) triple, instead of per delivered
+        event.  First-match semantics for guarded chains are sound because
+        speclint's determinism rule (and :meth:`check_determinism`)
+        guarantee mutual disjointness of the predicates; a group with more
+        than one *unguarded* transition is nondeterministic for every
+        input, so it compiles to a conflict entry that raises on delivery.
+        """
+        state, event_name, channel = key
+        group = self._index.get((state, event_name), ())
+        candidates = tuple(t for t in group if t.channel == channel)
+        if not candidates:
+            entry: Tuple[Any, ...] = (_DEVIATION, None)
+        elif len(candidates) == 1:
+            transition = candidates[0]
+            if transition.predicate is None:
+                entry = (_DIRECT, transition)
+            else:
+                entry = (_GUARDED, transition)
+        elif sum(1 for t in candidates if t.predicate is None) > 1:
+            entry = (_CONFLICT, candidates)
+        else:
+            entry = (_CHAIN, candidates)
+        self._compiled[key] = entry
+        return entry
 
     def validate(self) -> None:
         """Sanity-check the definition; raises :class:`DefinitionError`."""
@@ -477,28 +564,52 @@ class Efsm:
 class EfsmInstance:
     """A running copy of an :class:`Efsm` (one per monitored call)."""
 
+    #: Two instances per monitored call: ``__slots__`` removes the instance
+    #: dict (one fewer GC-tracked object per instance, and full gen-2
+    #: collections scan every live call's objects).
+    __slots__ = (
+        "definition", "state", "variables", "clock_now", "_timer_scheduler",
+        "_timers", "_timer_meta", "pending_outputs", "history", "deliveries",
+        "on_timer_event",
+    )
+
     def __init__(
         self,
         definition: Efsm,
         shared_globals: Optional[Dict[str, Any]] = None,
         clock_now: Callable[[], float] = lambda: 0.0,
         timer_scheduler: Optional[Callable[[float, Callable[[], None]], Any]] = None,
+        seed_globals: bool = True,
     ):
         self.definition = definition
         self.state = definition.initial_state
         globals_dict = shared_globals if shared_globals is not None else {}
-        for key, value in definition.global_variables.items():
-            globals_dict.setdefault(key, value)
+        if seed_globals:
+            # A SystemTemplate pre-merges every machine's global defaults
+            # into the shared dict once per call (seed_globals=False); the
+            # standalone path seeds them per instance here.
+            for key, value in definition.global_variables.items():
+                globals_dict.setdefault(key, value)
         self.variables = Variables(dict(definition.variables), globals_dict)
         self.clock_now = clock_now
         self._timer_scheduler = timer_scheduler
-        self._timers: Dict[str, Any] = {}
+        #: Created on first :meth:`start_timer` — most instances (e.g. the
+        #: per-call SIP machine on a short call) never arm a timer, and the
+        #: two dict allocations per instance showed up in call setup.
+        self._timers: Optional[Dict[str, Any]] = None
         #: name -> (absolute deadline, event args): the serializable view
         #: of the opaque scheduler handles, kept so :meth:`snapshot` can
         #: record live timers and :meth:`restore` can re-arm them.
-        self._timer_meta: Dict[str, Tuple[float, Dict[str, Any]]] = {}
-        self.pending_outputs: List[Event] = []
-        self.history: List[FiringResult] = []
+        self._timer_meta: Optional[Dict[str, Tuple[float, Dict[str, Any]]]] = None
+        #: Events queued by ``ctx.emit`` during the current firing; lazy
+        #: (None) — most transitions use declarative outputs instead.
+        self.pending_outputs: Optional[List[Event]] = None
+        #: Bounded recent-firing log (newest last); see :data:`HISTORY_KEEP`.
+        self.history: "deque[FiringResult]" = deque(maxlen=HISTORY_KEEP)
+        #: Monotonic count of every delivery ever made to this instance —
+        #: the change-version signal that ``len(history)`` used to provide
+        #: before the log was bounded.
+        self.deliveries: int = 0
         #: Delivery hook for timer events when no system owns the instance.
         self.on_timer_event: Optional[Callable[[Event], None]] = None
 
@@ -522,7 +633,11 @@ class EfsmInstance:
             raise RuntimeError(
                 f"{self.name}: no timer scheduler attached; cannot start "
                 f"timer {name!r}")
-        self.cancel_timer(name)
+        if self._timers is None:
+            self._timers = {}
+            self._timer_meta = {}
+        else:
+            self.cancel_timer(name)
         event_args = dict(args or {})
 
         def fire() -> None:
@@ -539,18 +654,21 @@ class EfsmInstance:
         self._timer_meta[name] = (self.clock_now() + delay, event_args)
 
     def cancel_timer(self, name: str) -> None:
+        if self._timers is None:
+            return
         handle = self._timers.pop(name, None)
         self._timer_meta.pop(name, None)
         if handle is not None and hasattr(handle, "cancel"):
             handle.cancel()
 
     def cancel_all_timers(self) -> None:
-        for name in list(self._timers):
-            self.cancel_timer(name)
+        if self._timers:
+            for name in list(self._timers):
+                self.cancel_timer(name)
 
     @property
     def active_timers(self) -> List[str]:
-        return sorted(self._timers)
+        return sorted(self._timers) if self._timers else []
 
     # -- checkpoint / restore -------------------------------------------------
 
@@ -564,14 +682,15 @@ class EfsmInstance:
         :class:`~repro.efsm.system.EfsmSystem`, which snapshots them once
         for all machines of a call.
         """
+        timer_meta = self._timer_meta
         return {
             "machine": self.name,
             "state": self.state,
             "locals": copy_state(self.variables.local),
             "timers": {
                 name: {"at": deadline, "args": copy_state(args)}
-                for name, (deadline, args) in self._timer_meta.items()
-            },
+                for name, (deadline, args) in timer_meta.items()
+            } if timer_meta else {},
         }
 
     def restore(self, snapshot: Mapping[str, Any]) -> None:
@@ -604,9 +723,90 @@ class EfsmInstance:
         """Deliver one event; fire the enabled transition (if any).
 
         Returns a :class:`FiringResult` whose ``deviation`` flag is set when
-        no transition was enabled.  Raises :class:`NondeterminismError` if
-        more than one transition is enabled (the definition is then not a
-        deterministic EFSM).
+        no transition was enabled.  Dispatch goes through the definition's
+        compiled per-(state, event, channel) table: the channel filter and
+        group shape were resolved at compile time, so the common shapes
+        (deviation, single transition) skip the candidate loop entirely and
+        guarded chains fire the first enabled predicate in declaration
+        order.  Raises :class:`NondeterminismError` for structurally
+        nondeterministic groups (more than one unguarded transition); the
+        reference probe loop (:func:`probed_dispatch`) additionally detects
+        overlapping predicates at runtime.
+        """
+        definition = self.definition
+        if not definition.compiled_dispatch:
+            return self._deliver_probed(event)
+        key = (self.state, event.name, event.channel)
+        entry = definition._compiled.get(key)
+        if entry is None:
+            entry = definition._compile_entry(key)
+        kind = entry[0]
+        ctx: Optional[TransitionContext] = None
+        if kind == _DIRECT:
+            transition: Optional[Transition] = entry[1]
+        elif kind == _GUARDED:
+            transition = entry[1]
+            ctx = TransitionContext(self, event)
+            if not transition.predicate(ctx):  # type: ignore[misc]
+                transition = None
+        elif kind == _DEVIATION:
+            transition = None
+        elif kind == _CHAIN:
+            ctx = TransitionContext(self, event)
+            transition = None
+            for candidate in entry[1]:
+                predicate = candidate.predicate
+                if predicate is None or predicate(ctx):
+                    transition = candidate
+                    break
+        else:  # _CONFLICT: every delivery enables >1 transition
+            raise NondeterminismError(
+                f"{self.name}: state {self.state!r} event {event.name!r} "
+                f"enables {len(entry[1])} transitions")
+
+        from_state = self.state
+        outputs: List[Event] = []
+        if transition is not None:
+            action = transition.action
+            if action is not None or transition.outputs:
+                if ctx is None:
+                    ctx = TransitionContext(self, event)
+                if action is not None:
+                    action(ctx)
+                for output in transition.outputs:
+                    outputs.append(output.build(ctx))
+            if self.pending_outputs:
+                outputs.extend(self.pending_outputs)
+                self.pending_outputs = None
+            self.state = transition.target
+
+        # Packet and timer events are stamped with the clock when built, at
+        # the same instant they are delivered — reuse that instead of paying
+        # another clock call per firing.
+        time = event.time
+        if time is None:
+            time = self.clock_now()
+        result = FiringResult(
+            machine=self.name,
+            event=event,
+            transition=transition,
+            from_state=from_state,
+            to_state=self.state,
+            outputs=outputs,
+            time=time,
+        )
+        self.deliveries += 1
+        self.history.append(result)
+        return result
+
+    def _deliver_probed(self, event: Event) -> FiringResult:
+        """Reference delivery: probe every candidate's enabledness.
+
+        The pre-compilation loop, kept verbatim behind
+        :func:`probed_dispatch` as the oracle for dispatch-equivalence
+        tests.  Unlike the compiled path it evaluates *every* candidate
+        predicate, so it also detects overlapping (nondeterministic)
+        guards at runtime.
         """
         ctx = TransitionContext(self, event)
         candidates = self.definition.transitions_from(self.state, event.name)
@@ -637,12 +837,9 @@ class EfsmInstance:
                 outputs.append(output.build(ctx))
             if self.pending_outputs:
                 outputs.extend(self.pending_outputs)
-                self.pending_outputs = []
+                self.pending_outputs = None
             self.state = transition.target
 
-        # Packet and timer events are stamped with the clock when built, at
-        # the same instant they are delivered — reuse that instead of paying
-        # another clock call per firing.
         time = event.time
         if time is None:
             time = self.clock_now()
@@ -655,5 +852,6 @@ class EfsmInstance:
             outputs=outputs,
             time=time,
         )
+        self.deliveries += 1
         self.history.append(result)
         return result

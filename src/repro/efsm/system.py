@@ -11,14 +11,16 @@ honouring the paper's priority rule.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Dict, List, Mapping, Optional
+from collections import deque
+from functools import partial
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from .channels import Channel, channel_name
 from .errors import DefinitionError
 from .events import Event
-from .machine import Efsm, EfsmInstance, FiringResult, copy_state
+from .machine import HISTORY_KEEP, Efsm, EfsmInstance, FiringResult, copy_state
 
-__all__ = ["EfsmSystem", "ManualClock"]
+__all__ = ["EfsmSystem", "SystemTemplate", "ManualClock"]
 
 
 class _TimerHandle:
@@ -68,8 +70,60 @@ class ManualClock:
         self.time = target
 
 
+class SystemTemplate:
+    """Precompiled plain-data prototype of a per-call :class:`EfsmSystem`.
+
+    Building a system through ``add_machine``/``connect`` re-validates
+    machine names, re-merges global defaults, and re-derives channel names
+    for every monitored call, even though all of it depends only on the
+    (immutable) definitions.  A template does that work once per
+    configuration: it freezes the definition tuple, the merged global
+    default vector, and the channel topology, so
+    :meth:`EfsmSystem.from_template` instantiates a call as a shallow
+    clone of plain data.  The definitions' compiled dispatch tables are
+    shared by every instance, so per-call setup compiles nothing.
+    """
+
+    __slots__ = ("definitions", "global_defaults", "channel_specs")
+
+    def __init__(self, definitions: Iterable[Efsm],
+                 connections: Iterable[Tuple[str, str]] = ()):
+        self.definitions: Tuple[Efsm, ...] = tuple(definitions)
+        names = set()
+        for definition in self.definitions:
+            if definition.name in names:
+                raise DefinitionError(f"duplicate machine: {definition.name}")
+            names.add(definition.name)
+        merged: Dict[str, Any] = {}
+        for definition in self.definitions:
+            for key, value in definition.global_variables.items():
+                merged.setdefault(key, value)
+        #: The shared global vector every new call starts from (the same
+        #: first-declaration-wins merge ``add_machine`` performs).
+        self.global_defaults: Dict[str, Any] = merged
+        specs = []
+        for sender, receiver in connections:
+            for machine in (sender, receiver):
+                if machine not in names:
+                    raise DefinitionError(f"unknown machine: {machine}")
+            specs.append((channel_name(sender, receiver), sender, receiver))
+        #: (canonical name, sender, receiver) for each FIFO channel.
+        self.channel_specs: Tuple[Tuple[str, str, str], ...] = tuple(specs)
+
+
 class EfsmSystem:
     """A set of interacting EFSM instances sharing globals and channels."""
+
+    #: One system per monitored call: ``__slots__`` keeps the per-call
+    #: footprint at the attributes below (no instance dict for the cyclic
+    #: GC to scan) and the alert-like lists are lazy — benign calls never
+    #: allocate them.
+    __slots__ = (
+        "clock_now", "timer_scheduler", "machines", "channels",
+        "_channel_list", "globals", "results", "deliveries",
+        "_deviations", "_attack_matches", "_undeliverable",
+        "on_result", "on_output",
+    )
 
     def __init__(
         self,
@@ -84,12 +138,17 @@ class EfsmSystem:
         #: lets the per-packet empty-channel check skip dict-view creation.
         self._channel_list: List[Channel] = []
         self.globals: Dict[str, Any] = {}
-        self.results: List[FiringResult] = []
-        self.deviations: List[FiringResult] = []
-        self.attack_matches: List[FiringResult] = []
-        #: Output events addressed to machines this system does not contain
-        #: (outputs to the environment); kept for inspection, not delivered.
-        self.undeliverable: List[Event] = []
+        #: Bounded recent-firing log (newest last).  ``deliveries`` below is
+        #: the monotonic firing count — change-version consumers must read
+        #: that, not ``len(results)``.
+        self.results: "deque[FiringResult]" = deque(maxlen=HISTORY_KEEP)
+        #: Total firings ever recorded by this system.
+        self.deliveries: int = 0
+        #: Lazily created by the ``deviations``/``attack_matches``/
+        #: ``undeliverable`` properties — sparse, alert-like output.
+        self._deviations: Optional[List[FiringResult]] = None
+        self._attack_matches: Optional[List[FiringResult]] = None
+        self._undeliverable: Optional[List[Event]] = None
         #: Hook invoked for every firing result (the vids analysis engine).
         self.on_result: Optional[Callable[[FiringResult], None]] = None
         #: Hook invoked for every routed output event ``c!event(x)`` —
@@ -98,7 +157,68 @@ class EfsmSystem:
         #: (undeliverable here).  Used by call-scoped tracing.
         self.on_output: Optional[Callable[[str, Event], None]] = None
 
+    @property
+    def deviations(self) -> List[FiringResult]:
+        """Every deviation firing (unbounded; deviations are alerts)."""
+        existing = self._deviations
+        if existing is None:
+            existing = self._deviations = []
+        return existing
+
+    @property
+    def attack_matches(self) -> List[FiringResult]:
+        """Every attack-transition firing (unbounded; these are alerts)."""
+        existing = self._attack_matches
+        if existing is None:
+            existing = self._attack_matches = []
+        return existing
+
+    @property
+    def undeliverable(self) -> List[Event]:
+        """Output events addressed to machines this system does not
+        contain (outputs to the environment); kept for inspection."""
+        existing = self._undeliverable
+        if existing is None:
+            existing = self._undeliverable = []
+        return existing
+
     # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_template(
+        cls,
+        template: SystemTemplate,
+        clock_now: Callable[[], float] = lambda: 0.0,
+        timer_scheduler: Optional[Callable[[float, Callable[[], None]], Any]] = None,
+    ) -> "EfsmSystem":
+        """Instantiate a call system from a precompiled template.
+
+        Equivalent to ``add_machine`` per definition plus ``connect`` per
+        channel spec, but with all per-config work (name validation,
+        global-default merging, channel naming) done once at template
+        build time — the per-call cost is the shallow data clone.
+        """
+        system = cls(clock_now=clock_now, timer_scheduler=timer_scheduler)
+        shared = system.globals
+        shared.update(template.global_defaults)
+        machines = system.machines
+        deliver_timer = system._deliver_timer
+        for definition in template.definitions:
+            instance = EfsmInstance(
+                definition,
+                shared_globals=shared,
+                clock_now=clock_now,
+                timer_scheduler=timer_scheduler,
+                seed_globals=False,
+            )
+            instance.on_timer_event = partial(deliver_timer, definition.name)
+            machines[definition.name] = instance
+        # Channels are created on demand by the first routed output
+        # (:meth:`_route_output` falls through to :meth:`connect`): the
+        # template's channel_specs validated the topology at build time,
+        # and most calls never enqueue anything on the reverse direction —
+        # instantiating both FIFOs up front was pure setup cost.
+        return system
 
     def add_machine(self, definition: Efsm) -> EfsmInstance:
         if definition.name in self.machines:
@@ -199,18 +319,22 @@ class EfsmSystem:
                 break
         else:
             return
-        channels = self.channels
+        # List iteration reads by index, so channels connected mid-drain
+        # (appended to the flat list) are reached on the same sweep.
+        channel_list = self._channel_list
         progress = True
         while progress:
             progress = False
-            for channel in list(channels.values()):
-                while channel:
+            for channel in channel_list:
+                queue = channel._queue
+                while queue:
                     event = channel.get()
                     assert event is not None
                     self._fire(channel.receiver, event, accumulator)
                     progress = True
 
     def _record(self, result: FiringResult) -> None:
+        self.deliveries += 1
         self.results.append(result)
         if result.deviation:
             self.deviations.append(result)
@@ -279,7 +403,10 @@ class EfsmSystem:
     def all_final(self) -> bool:
         """True when every machine rests in a final state (call can be
         deleted from the fact base, as Section 7.3 describes)."""
-        return all(m.in_final_state for m in self.machines.values())
+        for machine in self.machines.values():
+            if machine.state not in machine.definition.final_states:
+                return False
+        return True
 
     def states(self) -> Dict[str, str]:
         return {name: m.state for name, m in self.machines.items()}

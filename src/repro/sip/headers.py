@@ -22,6 +22,9 @@ __all__ = [
     "NameAddr",
     "CSeq",
     "canonical_header_name",
+    "name_addr_brief",
+    "via_brief",
+    "cseq_brief",
     "new_branch",
     "new_tag",
     "new_call_id",
@@ -211,6 +214,45 @@ def _name_addr_fields(text: str):
     return uri, display, tuple(params.items())
 
 
+@lru_cache(maxsize=2048)
+def name_addr_brief(text: str) -> "tuple[str, Optional[str], str]":
+    """(address-of-record, tag, URI host) of a From/To/Contact value.
+
+    The flat tuple the per-message event builder needs, cached on the raw
+    value text: the 2nd..Nth message of a dialog pays one dict lookup
+    instead of rebuilding a :class:`NameAddr` and its params dict.
+    """
+    uri, _display, params = _name_addr_fields(text)
+    tag = None
+    for key, value in params:
+        if key == "tag":
+            tag = value
+            break
+    return uri.address_of_record, tag, uri.host
+
+
+@lru_cache(maxsize=2048)
+def via_brief(text: str) -> "tuple[str, Optional[str]]":
+    """(host, branch) of a Via value, cached on the raw value text."""
+    host, _port, _transport, params = _via_fields(text)
+    branch = None
+    for key, value in params:
+        if key == "branch":
+            branch = value
+            break
+    return host, branch
+
+
+@lru_cache(maxsize=2048)
+def cseq_brief(text: str) -> "tuple[int, str]":
+    """(sequence number, METHOD) of a CSeq value, cached on the raw text."""
+    try:
+        number_text, method = text.split()
+        return int(number_text), method.upper()
+    except ValueError as exc:
+        raise SipParseError(f"bad CSeq: {text!r}") from exc
+
+
 @dataclass(frozen=True)
 class CSeq:
     """A CSeq header value: ``sequence-number method``."""
@@ -220,11 +262,8 @@ class CSeq:
 
     @classmethod
     def parse(cls, text: str) -> "CSeq":
-        try:
-            number_text, method = text.split()
-            return cls(int(number_text), method.upper())
-        except ValueError as exc:
-            raise SipParseError(f"bad CSeq: {text!r}") from exc
+        number, method = cseq_brief(text)
+        return cls(number, method)
 
     def next(self, method: Optional[str] = None) -> "CSeq":
         return CSeq(self.number + 1, method or self.method)

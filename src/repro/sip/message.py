@@ -7,6 +7,7 @@ vids classifier sees the same byte stream a network sniffer would.
 from __future__ import annotations
 
 import re
+from functools import lru_cache
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from .constants import METHODS, SIP_VERSION, reason_phrase
@@ -36,6 +37,10 @@ class SipMessage:
     (``set``/``add``/``prepend``/``remove_first`` and assignment to
     ``headers``), so reads always observe the latest mutation.
     """
+
+    #: One message object per packet on the classifier hot path —
+    #: ``__slots__`` drops the per-message instance dict.
+    __slots__ = ("_headers", "body", "_positions", "_typed")
 
     def __init__(self, headers: Optional[List[Tuple[str, str]]] = None,
                  body: str = ""):
@@ -95,7 +100,15 @@ class SipMessage:
         """First value of header ``name`` (canonicalized), or None."""
         index = self._positions
         if index is None:
-            index = self._position_index()
+            # No index yet: a linear scan of the (typically ~8-entry)
+            # header list is cheaper than building one for the usual
+            # single first-value lookup; the index is built lazily by the
+            # multi-value and mutation paths that amortize it.
+            target = canonical_header_name(name)
+            for key, value in self._headers:
+                if key == target:
+                    return value
+            return None
         positions = index.get(canonical_header_name(name))
         return self._headers[positions[0]][1] if positions else None
 
@@ -132,8 +145,23 @@ class SipMessage:
                 self._headers.append((name, value))
                 self._positions = None
         else:
-            self._headers = [(k, v) for k, v in headers if k != name]
-            self._headers.append((name, value))
+            # No index: scan once.  A single occurrence is replaced in
+            # place, exactly like the indexed path — serialization order
+            # must not depend on whether reads built the index first.
+            first = None
+            count = 0
+            for position, (key, _) in enumerate(headers):
+                if key == name:
+                    count += 1
+                    if first is None:
+                        first = position
+            if first is None:
+                headers.append((name, value))
+            elif count == 1:
+                headers[first] = (name, value)
+            else:
+                self._headers = [(k, v) for k, v in headers if k != name]
+                self._headers.append((name, value))
         self._invalidate_typed(name)
 
     def add(self, name: str, value: object) -> None:
@@ -254,6 +282,8 @@ class SipMessage:
 class SipRequest(SipMessage):
     """A SIP request: method, Request-URI, headers, body."""
 
+    __slots__ = ("method", "uri")
+
     def __init__(self, method: str, uri: Union[SipUri, str],
                  headers: Optional[List[Tuple[str, str]]] = None,
                  body: str = ""):
@@ -296,6 +326,8 @@ class SipRequest(SipMessage):
 
 class SipResponse(SipMessage):
     """A SIP response: status code, reason phrase, headers, body."""
+
+    __slots__ = ("status", "reason")
 
     def __init__(self, status: int, reason: Optional[str] = None,
                  headers: Optional[List[Tuple[str, str]]] = None,
@@ -350,6 +382,25 @@ def is_sip_payload(payload: bytes) -> bool:
 _BLANK_LINE = re.compile(r"\r?\n\r?\n")
 
 
+@lru_cache(maxsize=4096)
+def _split_header_line(line: str) -> Tuple[str, str]:
+    """Memoized ``"Name: value"`` -> ``(canonical-name, stripped-value)``.
+
+    Header lines repeat heavily — every in-dialog message carries the same
+    Call-ID/From/To/Via lines, and retransmissions repeat whole heads — so
+    the split + canonicalization is paid once per distinct line.  Malformed
+    lines raise :class:`SipParseError`, which ``lru_cache`` does not cache,
+    so garbage cannot pollute the memo.
+    """
+    name, sep, value = line.partition(":")
+    if not sep:
+        raise SipParseError(f"malformed header line: {line!r}")
+    name = name.strip()
+    if not name:
+        raise SipParseError(f"empty header name: {line!r}")
+    return canonical_header_name(name), value.strip()
+
+
 def parse_message(data: Union[bytes, str]) -> Union[SipRequest, SipResponse]:
     """Parse wire bytes/text into a :class:`SipRequest` or :class:`SipResponse`.
 
@@ -366,47 +417,58 @@ def parse_message(data: Union[bytes, str]) -> Union[SipRequest, SipResponse]:
             raise SipParseError("message is not valid UTF-8") from exc
     else:
         text = data
-    separator = _BLANK_LINE.search(text)
-    if separator is not None:
-        head, body = text[:separator.start()], text[separator.end():]
+    # Pure-CRLF fast path: when the earliest candidate blank line is a
+    # literal CRLFCRLF (no bare-LF blank anywhere, and the only "\n\r\n"
+    # is the one inside that separator), the regex would match exactly
+    # there — three C-level scans replace the regex walk.
+    crlf = text.find("\r\n\r\n")
+    if crlf != -1 and "\n\n" not in text and text.find("\n\r\n") == crlf + 1:
+        head, body = text[:crlf], text[crlf + 4:]
     else:
-        head, body = text.rstrip("\r\n"), ""
+        separator = _BLANK_LINE.search(text)
+        if separator is not None:
+            head, body = text[:separator.start()], text[separator.end():]
+        else:
+            head, body = text.rstrip("\r\n"), ""
     # One C-level pass strips the CRs from the head (the body is left
     # untouched) instead of an endswith check per header line.
-    if "\r" in head:
+    stray_cr = "\r" in head
+    if stray_cr:
         head = head.replace("\r\n", "\n")
+        stray_cr = "\r" in head  # lone CRs survive the CRLF replace
     lines = head.split("\n")
     if not lines or not lines[0].strip():
         raise SipParseError("empty message")
 
     start = lines[0].rstrip()
-    header_lines: List[str] = []
-    for line in lines[1:]:
-        if line.endswith("\r"):
-            line = line[:-1]
-        if not line:
-            continue
-        if line[0] in " \t" and header_lines:
-            header_lines[-1] += " " + line.strip()
-        else:
-            header_lines.append(line)
+    if stray_cr or "\n " in head or "\n\t" in head:
+        # Rare shapes — folded continuation lines or bare-CR endings — get
+        # the normalizing pass; clean heads skip straight to the split.
+        header_lines: List[str] = []
+        for line in lines[1:]:
+            if line.endswith("\r"):
+                line = line[:-1]
+            if not line:
+                continue
+            if line[0] in " \t" and header_lines:
+                header_lines[-1] += " " + line.strip()
+            else:
+                header_lines.append(line)
+    else:
+        header_lines = lines[1:]
 
     headers: List[Tuple[str, str]] = []
     for line in header_lines:
-        if ":" not in line:
-            raise SipParseError(f"malformed header line: {line!r}")
-        name, _, value = line.partition(":")
-        name = name.strip()
-        if not name:
-            raise SipParseError(f"empty header name: {line!r}")
-        canonical = canonical_header_name(name)
+        if not line:
+            continue
+        canonical, value = _split_header_line(line)
         # Comma-separated multi-values for Via are split so the list
         # semantics survive round-trips.
         if canonical == "Via" and "," in value:
             for part in value.split(","):
                 headers.append((canonical, part.strip()))
         else:
-            headers.append((canonical, value.strip()))
+            headers.append((canonical, value))
 
     if start.startswith(SIP_VERSION + " "):
         rest = start[len(SIP_VERSION) + 1:]

@@ -10,13 +10,91 @@ machine (Section 4.2).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from .errors import SipParseError
 
-__all__ = ["MediaDescription", "SessionDescription", "SDP_CONTENT_TYPE"]
+__all__ = ["MediaDescription", "SessionDescription", "SDP_CONTENT_TYPE",
+           "media_brief"]
 
 SDP_CONTENT_TYPE = "application/sdp"
+
+
+def media_brief(
+    text: str,
+) -> Optional[Tuple[str, int, Tuple[int, ...], Tuple[str, ...], Optional[int]]]:
+    """First-audio media attributes without building a SessionDescription.
+
+    Returns ``(connection_address, port, payload_types, encodings,
+    ptime_ms)`` for the first ``m=audio`` section, or ``None`` when the
+    body declares no audio stream.  This is the per-packet fast path of
+    :meth:`SessionDescription.parse`: it walks the same lines with the
+    same validation (so a malformed body raises :class:`SipParseError` or
+    :class:`ValueError` exactly when the full parse would), but skips the
+    dataclass construction the vids distributor immediately discards.
+    Parity with the full parse is pinned by tests/sip/test_sdp.py.
+    """
+    connection_address = "0.0.0.0"
+    audio_port: Optional[int] = None
+    audio_pts: Tuple[int, ...] = ()
+    audio_rtpmap: Optional[Dict[int, str]] = None
+    audio_ptime: Optional[int] = None
+    in_media = False
+    in_audio = False
+    for raw in text.split("\n"):
+        line = raw.strip()
+        if not line:
+            continue
+        if len(line) < 2 or line[1] != "=":
+            raise SipParseError(f"malformed SDP line: {line!r}")
+        kind = line[0]
+        if kind == "a":
+            if not in_media:
+                continue
+            value = line[2:]
+            if value.startswith("rtpmap:"):
+                pt_text, _, mapping = value[len("rtpmap:"):].partition(" ")
+                payload_type = int(pt_text)
+                if in_audio and audio_rtpmap is not None:
+                    audio_rtpmap[payload_type] = mapping.strip()
+            elif value.startswith("ptime:"):
+                ptime = int(value[len("ptime:"):])
+                if in_audio:
+                    audio_ptime = ptime
+        elif kind == "m":
+            parts = line[2:].split()
+            if len(parts) < 3:
+                raise SipParseError(f"malformed m= line: {line!r}")
+            port = int(parts[1])
+            payload_types = tuple(int(pt) for pt in parts[3:])
+            in_media = True
+            in_audio = parts[0] == "audio" and audio_port is None
+            if in_audio:
+                audio_port = port
+                audio_pts = payload_types
+                audio_rtpmap = {}
+        elif kind == "c":
+            parts = line[2:].split()
+            if len(parts) != 3:
+                raise SipParseError(f"malformed c= line: {line!r}")
+            connection_address = parts[2]
+        elif kind == "v":
+            if line[2:] != "0":
+                raise SipParseError(f"unsupported SDP version: {line[2:]}")
+        elif kind == "o":
+            parts = line[2:].split()
+            if len(parts) != 6:
+                raise SipParseError(f"malformed o= line: {line!r}")
+            int(parts[1])
+            int(parts[2])
+        # s=, t=, b=, k= and unknown lines are tolerated and ignored.
+    if audio_port is None:
+        return None
+    rtpmap = audio_rtpmap or {}
+    encodings = tuple(
+        mapping.split("/")[0] if (mapping := rtpmap.get(pt)) else ""
+        for pt in audio_pts)
+    return connection_address, audio_port, audio_pts, encodings, audio_ptime
 
 
 @dataclass
@@ -71,7 +149,9 @@ class SessionDescription:
         session = cls()
         session.media = []
         current: Optional[MediaDescription] = None
-        for raw in text.replace("\r\n", "\n").split("\n"):
+        # No CRLF normalization pass: splitting on bare LF leaves a
+        # trailing CR on each line, and the per-line strip removes it.
+        for raw in text.split("\n"):
             line = raw.strip()
             if not line:
                 continue

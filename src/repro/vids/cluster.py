@@ -531,7 +531,7 @@ class ShardSupervisor:
         calls: Dict[str, Dict[str, Any]] = {}
         versions: Dict[str, int] = {}
         for call_id, record in factbase.records.items():
-            version = len(record.system.results)
+            version = record.system.deliveries
             if prev_versions.get(call_id) == version:
                 # Unchanged since the last checkpoint: reuse the snapshot,
                 # refreshing only the fields that move outside firings.
@@ -583,9 +583,9 @@ class ShardSupervisor:
         """Cheap change signal over the shard-0 shared trackers.
 
         Tracker machines mutate only through ``deliver`` (observations and
-        timer firings), and every delivery appends to the instance's
-        ``history`` — so machine count + total history length detects any
-        change.  Stray media keys and the orphan flagged set are counted
+        timer firings), and every delivery bumps the instance's monotonic
+        ``deliveries`` counter — so machine count + total delivery count
+        detects any change.  Stray media keys and the orphan flagged set are counted
         directly.  RTP-dominated traffic leaves all of these untouched, so
         steady-state checkpoints reuse the previous tracker snapshot.
         """
@@ -595,7 +595,7 @@ class ShardSupervisor:
                         vids.orphan_tracker):
             for instance in tracker.machines.values():
                 machines += 1
-                deliveries += len(instance.history)
+                deliveries += instance.deliveries
         extras = (len(vids.engine._stray_keys)
                   + len(vids.orphan_tracker._unsolicited_flagged))
         return (machines, deliveries, extras)

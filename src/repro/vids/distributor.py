@@ -14,13 +14,15 @@ Figure-6 machines.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple, Union
 
 from ..efsm.events import Event
 from ..sip.constants import INVITE, OPTIONS, REGISTER
 from ..sip.errors import SipParseError
+from ..sip.headers import cseq_brief, name_addr_brief, via_brief
 from ..sip.message import SipRequest, SipResponse
-from ..sip.sdp import SessionDescription
+from ..sip.sdp import media_brief
 from .classifier import ClassifiedPacket, PacketKind
 from .config import VidsConfig
 from .engine import AnalysisEngine
@@ -35,16 +37,40 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 __all__ = ["EventDistributor", "sip_event_from_message", "rtp_event_from_packet"]
 
 
+@lru_cache(maxsize=1024)
+def _sdp_media_fields(body: str) -> Dict[str, Any]:
+    """Memoized SDP body -> the media attributes the machines care about.
+
+    SDP bodies repeat verbatim — retransmissions, the 183/200 of one offer,
+    re-INVITEs refreshing a session — so the parse is paid once per
+    distinct body.  The returned dict is shared by every caller; it is only
+    ever read (``args.update``), never mutated.  Parse failures raise and
+    are *not* cached, so each malformed occurrence is counted upstream.
+    """
+    brief = media_brief(body)
+    if brief is None:
+        return {}
+    addr, port, payload_types, encodings, ptime_ms = brief
+    return {
+        "sdp_addr": addr,
+        "sdp_port": port,
+        "sdp_pts": payload_types,
+        "sdp_encodings": encodings,
+        "sdp_ptime": ptime_ms,
+    }
+
+
 def _sdp_fields(message: Union[SipRequest, SipResponse],
                 metrics: Optional["VidsMetrics"] = None) -> Dict[str, Any]:
     """Extract the media attributes the machines care about from an SDP body."""
-    if not message.body:
+    body = message.body
+    if not body:
         return {}
-    content_type = (message.get("Content-Type") or "").lower()
-    if content_type and "sdp" not in content_type:
+    content_type = message.get("Content-Type")
+    if content_type and "sdp" not in content_type.lower():
         return {}
     try:
-        session = SessionDescription.parse(message.body)
+        return _sdp_media_fields(body)
     except (SipParseError, ValueError):
         # Not a silent drop: a message whose SDP we cannot read still
         # drives the SIP machine, but the analysis loses the media index —
@@ -52,43 +78,71 @@ def _sdp_fields(message: Union[SipRequest, SipResponse],
         if metrics is not None:
             metrics.sdp_parse_failures += 1
         return {}
-    audio = session.audio
-    if audio is None:
-        return {}
-    return {
-        "sdp_addr": session.connection_address,
-        "sdp_port": audio.port,
-        "sdp_pts": tuple(audio.payload_types),
-        "sdp_encodings": tuple(
-            audio.encoding_name(pt) or "" for pt in audio.payload_types),
-        "sdp_ptime": audio.ptime_ms,
-    }
 
 
 def sip_event_from_message(message: Union[SipRequest, SipResponse],
                            src: Tuple[str, int], dst: Tuple[str, int],
                            now: float,
-                           metrics: Optional["VidsMetrics"] = None) -> Event:
-    """Build the EFSM input vector x from a SIP message on the wire."""
-    from_addr = message.from_
-    to_addr = message.to
-    cseq = message.cseq
-    contact = message.contact
+                           metrics: Optional["VidsMetrics"] = None,
+                           call_id: Optional[str] = None) -> Event:
+    """Build the EFSM input vector x from a SIP message on the wire.
+
+    ``call_id`` lets the distributor pass the (interned) dialog id it
+    already extracted instead of re-reading the header.  One pass over the
+    raw header list feeds the value-level parse caches
+    (:func:`~repro.sip.headers.name_addr_brief` and friends) directly —
+    the typed accessors (``message.from_`` etc.) rebuild a NameAddr/Via
+    object per message, which this per-packet path doesn't need.
+    """
+    from_value = to_value = cseq_value = contact_value = found_call_id = None
+    via_hosts: list = []
+    branch = None
+    for name, value in message.headers:
+        if name == "Via":
+            host, via_branch = via_brief(value)
+            if not via_hosts:
+                branch = via_branch
+            via_hosts.append(host)
+        elif name == "From":
+            if from_value is None:
+                from_value = value
+        elif name == "To":
+            if to_value is None:
+                to_value = value
+        elif name == "CSeq":
+            if cseq_value is None:
+                cseq_value = value
+        elif name == "Contact":
+            if contact_value is None:
+                contact_value = value
+        elif name == "Call-ID":
+            if found_call_id is None:
+                found_call_id = value
+    if from_value:
+        from_aor, from_tag, _ = name_addr_brief(from_value)
+    else:
+        from_aor, from_tag = "", None
+    if to_value:
+        to_aor, to_tag, _ = name_addr_brief(to_value)
+    else:
+        to_aor, to_tag = "", None
+    contact_host = name_addr_brief(contact_value)[2] if contact_value else None
+    cseq_num, cseq_method = cseq_brief(cseq_value) if cseq_value else (0, "")
     args: Dict[str, Any] = {
         "src_ip": src[0],
         "src_port": src[1],
         "dst_ip": dst[0],
         "dst_port": dst[1],
-        "call_id": message.call_id or "",
-        "from_tag": from_addr.tag if from_addr else None,
-        "to_tag": to_addr.tag if to_addr else None,
-        "from_aor": from_addr.uri.address_of_record if from_addr else "",
-        "to_aor": to_addr.uri.address_of_record if to_addr else "",
-        "branch": message.branch or "",
-        "cseq_num": cseq.number if cseq else 0,
-        "cseq_method": cseq.method if cseq else "",
-        "contact_host": contact.uri.host if contact else None,
-        "via_hosts": tuple(via.host for via in message.vias),
+        "call_id": (found_call_id or "") if call_id is None else call_id,
+        "from_tag": from_tag,
+        "to_tag": to_tag,
+        "from_aor": from_aor,
+        "to_aor": to_aor,
+        "branch": branch or "",
+        "cseq_num": cseq_num,
+        "cseq_method": cseq_method,
+        "contact_host": contact_host,
+        "via_hosts": tuple(via_hosts),
     }
     args.update(_sdp_fields(message, metrics))
     if isinstance(message, SipRequest):
@@ -194,16 +248,21 @@ class EventDistributor:
         assert message is not None
         datagram = classified.datagram
         trace = self.trace
+        factbase = self.factbase
         call_id = message.call_id or ""
-        if call_id and self.factbase.is_quarantined(call_id):
-            self.factbase.metrics.quarantined_drops += 1
-            if trace is not None:
-                self._route(classified, now, "quarantined-drop", call_id)
-            return None
+        if call_id:
+            # Interned: the 2nd..Nth message of a dialog reuses the same
+            # string object across events, records, and machine locals.
+            call_id = factbase.intern_value(call_id)
+            if factbase.is_quarantined(call_id):
+                factbase.metrics.quarantined_drops += 1
+                if trace is not None:
+                    self._route(classified, now, "quarantined-drop", call_id)
+                return None
         event = sip_event_from_message(
             message, (datagram.src.ip, datagram.src.port),
             (datagram.dst.ip, datagram.dst.port), now,
-            metrics=self.factbase.metrics)
+            metrics=factbase.metrics, call_id=call_id)
 
         if isinstance(message, SipRequest) and message.method == REGISTER:
             # Legitimate registrations are intra-enterprise and never reach
@@ -223,7 +282,6 @@ class EventDistributor:
                 self._route(classified, now, "options-ignored", call_id)
             return None  # not call-scoped; outside the per-call machines
 
-        call_id = str(event.get("call_id", ""))
         is_new_invite = (event.name == INVITE and not event.get("to_tag"))
 
         if is_new_invite:
@@ -232,10 +290,10 @@ class EventDistributor:
                 self.source_flood_tracker.observe_invite(
                     str(event.get("src_ip", "")), event)
 
-        record = self.factbase.get(call_id)
+        record = factbase.get(call_id)
         if record is None:
             if is_new_invite and call_id:
-                record = self.factbase.get_or_create(call_id)
+                record = factbase.get_or_create(call_id)
             elif isinstance(message, SipRequest):
                 # A stray ACK is harmless (late 2xx-ACK retransmission); a
                 # stray BYE/CANCEL/re-INVITE targets call state we never saw
@@ -256,8 +314,8 @@ class EventDistributor:
             self._route(classified, now, "inject", call_id,
                         machine=SIP_MACHINE, event=event.name)
         self._inject(record, SIP_MACHINE, event)
-        self.factbase.refresh_media_index(record)
-        self.factbase.touch(record, now)
+        factbase.refresh_media_index(record)
+        factbase.touch(record, now)
         return record
 
     def _flood_target(self, event: Event) -> str:

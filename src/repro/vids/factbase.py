@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Callable, Dict, Mapping, Optional, Tuple
 
 from ..efsm.machine import FiringResult
-from ..efsm.system import EfsmSystem
+from ..efsm.system import EfsmSystem, SystemTemplate
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..obs import TraceBus
@@ -33,18 +33,38 @@ MediaKey = Tuple[str, int]
 #: How many fact-base touches between total-state-size samples.
 _STATE_SAMPLE_EVERY = 200
 
+#: Hard ceiling on the per-factbase intern pool.  Eviction-with-deletion
+#: keeps the pool at the live-call count in steady state; the cap bounds
+#: it even under a flood of dialog identifiers that never become calls.
+_INTERN_CAP = 65536
+
+
+#: Shared empties for records that have not negotiated media yet (most
+#: records until the first SDP answer): both are only ever *replaced* by
+#: ``refresh_media_index``, never mutated in place.
+_NO_MEDIA_KEYS: frozenset = frozenset()
+_NO_MEDIA_MAP: Dict[MediaKey, str] = {}
+
 
 class CallRecord:
     """Monitoring state for one call."""
+
+    #: One record per monitored call — ``__slots__`` for the same reason
+    #: as :class:`~repro.efsm.machine.EfsmInstance`.
+    __slots__ = (
+        "call_id", "system", "created_at", "last_activity", "media_keys",
+        "media_map", "deletion_scheduled", "delete_at", "_size_cache",
+        "_contribution", "_media_sig",
+    )
 
     def __init__(self, call_id: str, system: EfsmSystem, created_at: float):
         self.call_id = call_id
         self.system = system
         self.created_at = created_at
         self.last_activity = created_at
-        self.media_keys: set = set()
+        self.media_keys: "frozenset | set" = _NO_MEDIA_KEYS
         #: Negotiated media map as of the last index refresh (key -> dir).
-        self.media_map: Dict[MediaKey, str] = {}
+        self.media_map: Dict[MediaKey, str] = _NO_MEDIA_MAP
         self.deletion_scheduled = False
         #: Absolute time the scheduled linger-delete fires (None until the
         #: machines reach final states); checkpointed so a restored call's
@@ -54,6 +74,10 @@ class CallRecord:
         self._size_cache: Optional[Tuple[int, int, int]] = None
         #: Bytes this record last contributed to the fact-base running total.
         self._contribution = 0
+        #: Raw media-global values as of the last index refresh, so the
+        #: per-message refresh can bail out on a 4-tuple compare instead of
+        #: rebuilding the endpoint dict.
+        self._media_sig: Optional[Tuple[Any, Any, Any, Any]] = None
 
     @property
     def sip(self):
@@ -85,12 +109,12 @@ class CallRecord:
         """Memoized (version, sip_bytes, rtp_bytes).
 
         The state-variable vectors only change when a transition fires, and
-        every firing appends to ``system.results`` — so the results length
+        every firing bumps ``system.deliveries`` — so that monotonic count
         is an exact version counter.  Without the memo the periodic
         ``total_state_bytes`` walk re-measures every *idle* call too, which
         made fact-base sampling quadratic in concurrent calls.
         """
-        version = len(self.system.results)
+        version = self.system.deliveries
         cache = self._size_cache
         if cache is None or cache[0] != version:
             cache = (
@@ -141,6 +165,20 @@ class CallStateFactBase:
             # SpecVerificationError if spec-lint finds ERROR findings in
             # the definitions every call record will instantiate.
             verify_call_system((self._sip_definition, self._rtp_definition))
+        #: Flyweight prototype for per-call systems: the definition pair,
+        #: merged global defaults, and SIP->RTP channel topology are frozen
+        #: once here, so :meth:`_create` clones plain data per call.
+        self._template = SystemTemplate(
+            (self._sip_definition, self._rtp_definition),
+            connections=((SIP_MACHINE, RTP_MACHINE),))
+        #: Per-dialog string interning: value -> the canonical instance.
+        #: Call-IDs (and any other per-dialog value the distributor pushes
+        #: through :meth:`intern_value`) repeat on every message of a
+        #: dialog; interning makes the 2nd..Nth copies share one object so
+        #: records, events, and machine locals don't hold N duplicates of
+        #: long dialog identifiers.  Bounded: entries are evicted with
+        #: call deletion, so the pool never outgrows the live-call set.
+        self._interned: Dict[str, str] = {}
         self._touches = 0
         #: Incremental state-byte accounting: running total plus the set of
         #: records whose contribution is stale (they fired since the last
@@ -210,14 +248,28 @@ class CallStateFactBase:
             record = self._create(call_id)
         return record
 
+    def intern_value(self, value: str) -> str:
+        """Canonical shared instance of a per-dialog string value.
+
+        Bounded two ways: entries are evicted when their call is deleted
+        (:meth:`delete` / :meth:`evict`), and a hard cap stops growth when
+        flooded with identifiers that never become calls — a miss at the
+        cap returns the value uninterned rather than remembering it.
+        """
+        pool = self._interned
+        cached = pool.get(value)
+        if cached is not None:
+            return cached
+        if len(pool) < _INTERN_CAP:
+            pool[value] = value
+        return value
+
     def _create(self, call_id: str, *, created_at: Optional[float] = None,
                 count: bool = True,
                 trace_kind: str = "call-created") -> CallRecord:
-        system = EfsmSystem(clock_now=self.clock_now,
-                            timer_scheduler=self.timer_scheduler)
-        system.add_machine(self._sip_definition)
-        system.add_machine(self._rtp_definition)
-        system.connect(SIP_MACHINE, RTP_MACHINE)
+        system = EfsmSystem.from_template(
+            self._template, clock_now=self.clock_now,
+            timer_scheduler=self.timer_scheduler)
         if created_at is None:
             created_at = self.clock_now()
         record = CallRecord(call_id, system, created_at)
@@ -254,8 +306,17 @@ class CallStateFactBase:
 
         No-op when the negotiated media map is unchanged (the common case:
         every SIP message of an established call triggers a refresh, but
-        the endpoints only move on offer/answer/re-INVITE).
+        the endpoints only move on offer/answer/re-INVITE) — detected from
+        the raw media globals without building the endpoint dict.
         """
+        variables = record.system.globals
+        signature = (variables.get("g_offer_addr"),
+                     variables.get("g_offer_port"),
+                     variables.get("g_answer_addr"),
+                     variables.get("g_answer_port"))
+        if signature == record._media_sig:
+            return
+        record._media_sig = signature
         endpoints = record.media_endpoints()
         if endpoints == record.media_map:
             return
@@ -302,6 +363,7 @@ class CallStateFactBase:
         record = self.records.pop(call_id, None)
         if record is None:
             return None
+        self._interned.pop(call_id, None)
         self._total_bytes -= record._contribution
         self._dirty.discard(record)
         self.metrics.call_memory_samples.append(
@@ -373,6 +435,7 @@ class CallStateFactBase:
         record = self.records.pop(call_id, None)
         if record is None:
             return None
+        self._interned.pop(call_id, None)
         self._total_bytes -= record._contribution
         self._dirty.discard(record)
         record.system.cancel_all_timers()

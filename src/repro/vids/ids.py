@@ -391,10 +391,12 @@ class Vids:
                              deviation=result.deviation, attack=result.attack)
         self.engine.handle_result(record, result)
         # all_final can only flip when a machine *changes* state (deviations
-        # and self-loops leave every state where it was), so the O(machines)
-        # finality walk is skipped for the steady-state media stream.
+        # and self-loops leave every state where it was) AND the machine
+        # that changed is now itself final, so the O(machines) finality
+        # walk is skipped for every mid-dialog transition too.
         transition = result.transition
-        if transition is not None and result.to_state != result.from_state:
+        if (transition is not None and result.to_state != result.from_state
+                and record.system.machines[result.machine].in_final_state):
             self._maybe_reap(record)
 
     def _maybe_reap(self, record) -> None:

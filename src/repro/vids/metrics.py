@@ -27,7 +27,9 @@ def estimate_value_bytes(value: Any) -> int:
     # ``Mapping`` ABC check in particular) is an order of magnitude slower.
     kind = type(value)
     if kind is str:
-        return len(value.encode("utf-8"))
+        # ASCII (the overwhelmingly common case for protocol facts) needs
+        # no encode: the character count is the byte count.
+        return len(value) if value.isascii() else len(value.encode("utf-8"))
     if kind is int:
         return 4 if -(2 ** 31) <= value < 2 ** 31 else 8
     if kind is float:
@@ -59,8 +61,23 @@ def estimate_value_bytes(value: Any) -> int:
 
 
 def estimate_state_bytes(variables: Mapping[str, Any]) -> int:
-    """Total serialized width of a variable vector (values only)."""
-    return sum(estimate_value_bytes(value) for value in variables.values())
+    """Total serialized width of a variable vector (values only).
+
+    The two dominant value types are inlined: per-record sampling walks
+    every active call's vectors, and a function call per str/int value
+    would double its cost.
+    """
+    total = 0
+    for value in variables.values():
+        kind = type(value)
+        if kind is str:
+            total += (len(value) if value.isascii()
+                      else len(value.encode("utf-8")))
+        elif kind is int:
+            total += 4 if -(2 ** 31) <= value < 2 ** 31 else 8
+        else:
+            total += estimate_value_bytes(value)
+    return total
 
 
 @dataclass

@@ -108,20 +108,34 @@ class InviteFloodTracker:
         self.timer_scheduler = timer_scheduler
         self.on_attack = on_attack
         self.machines: dict = {}
+        #: One definition shared by every per-target instance (definitions
+        #: are immutable and threshold/window are tracker-wide, so building
+        #: a fresh Figure-4 machine per flood target only re-derived the
+        #: same transition table).  The per-target identity lives in the
+        #: ``machines`` key; instances carry the per-target counters.
+        self._definition = build_invite_flood_machine(threshold, window)
 
     def machine_for(self, target: str) -> EfsmInstance:
-        if target not in self.machines:
-            definition = build_invite_flood_machine(
-                self.threshold, self.window,
-                name=f"invite_flood[{target}]")
-            self.machines[target] = EfsmInstance(
-                definition, clock_now=self.clock_now,
+        instance = self.machines.get(target)
+        if instance is None:
+            instance = EfsmInstance(
+                self._definition, clock_now=self.clock_now,
                 timer_scheduler=self.timer_scheduler)
-        return self.machines[target]
+            self.machines[target] = instance
+        return instance
 
     def observe_invite(self, target: str, event: Event) -> bool:
         """Feed one INVITE observation; returns True when a flood is flagged."""
         instance = self.machine_for(target)
+        # Retransmission fast path: a branch already in the dedup window
+        # can neither advance the counter nor change state (the ``count``
+        # action and both threshold guards treat it as already counted in
+        # every state, and ``seen_branches`` is always empty in INIT), so
+        # the full delivery — context, guard chain, firing record — is
+        # skipped for the common same-branch retry.
+        if str(event.args.get("branch", "")) in instance.variables.local.get(
+                "seen_branches", ()):
+            return False
         result = instance.deliver(event)
         entered_attack = result.attack and result.from_state != result.to_state
         if entered_attack and self.on_attack is not None:

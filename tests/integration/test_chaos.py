@@ -56,10 +56,13 @@ def poison_hook(poisoned):
                 return
             call_id = min(records)  # deterministic pick
 
-            def boom(machine, event):
+            def boom(result):
                 raise RuntimeError("chaos-poisoned transition")
 
-            records[call_id].system.inject = boom
+            # on_result is a declared slot, so it stays per-instance
+            # patchable now that EfsmSystem uses __slots__; it fires inside
+            # every inject for this call, poisoning exactly one record.
+            records[call_id].system.on_result = boom
             poisoned.append(call_id)
 
         sim.schedule_at(POISON_AT, poison)

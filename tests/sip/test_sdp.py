@@ -3,6 +3,7 @@
 import pytest
 
 from repro.sip import SessionDescription, SipParseError
+from repro.sip.sdp import media_brief
 
 SDP_TEXT = (
     "v=0\r\n"
@@ -77,3 +78,55 @@ def test_unknown_lines_tolerated():
 def test_parse_errors(bad):
     with pytest.raises((SipParseError, ValueError)):
         SessionDescription.parse(bad)
+
+
+# ---- media_brief parity with the full parse (the fast path the vids
+# ---- distributor runs per packet; its docstring pins parity here) -------
+
+def expected_brief(text):
+    """What the full parse says media_brief should return."""
+    session = SessionDescription.parse(text)
+    audio = session.audio
+    if audio is None:
+        return None
+    encodings = tuple(audio.encoding_name(pt) or ""
+                      for pt in audio.payload_types)
+    return (session.connection_address, audio.port,
+            tuple(audio.payload_types), encodings, audio.ptime_ms)
+
+
+@pytest.mark.parametrize("text", [
+    SDP_TEXT,
+    SDP_TEXT + "m=video 30000 RTP/AVP 96\r\n",
+    "m=video 30000 RTP/AVP 96\r\n" + SDP_TEXT.replace("v=0\r\n", ""),
+    "v=0\r\ns=x\r\n",                              # no media at all
+    "v=0\r\nm=audio 1000 RTP/AVP 18\r\n",          # no c=, no rtpmap
+    SDP_TEXT + "m=audio 40000 RTP/AVP 0\r\n",      # second audio ignored
+    SDP_TEXT.replace("a=ptime:20\r\n", ""),        # no ptime
+    SDP_TEXT + "b=AS:64\r\nz=ignored\r\n",         # tolerated lines
+    SDP_TEXT.replace("\r\n", "\n"),                # bare-LF line endings
+    "v=0\r\na=rtpmap:18 G729/8000\r\n",            # a= before any m=
+    "v=0\r\nm=audio 1000 RTP/AVP 18 96\r\n"
+    "a=rtpmap:96 opus/48000/2\r\n",                # partial rtpmap
+])
+def test_media_brief_matches_full_parse(text):
+    assert media_brief(text) == expected_brief(text)
+
+
+@pytest.mark.parametrize("bad", [
+    "v=1\r\n",
+    "x\r\n",
+    "v=0\r\no=toofew fields\r\n",
+    "v=0\r\nc=IN IP4\r\n",
+    "v=0\r\nm=audio\r\n",
+    "v=0\r\nm=audio notaport RTP/AVP 18\r\n",
+    "v=0\r\nm=audio 1000 RTP/AVP bad\r\n",
+    "v=0\r\nm=audio 1000 RTP/AVP 18\r\na=rtpmap:x G729/8000\r\n",
+    "v=0\r\nm=audio 1000 RTP/AVP 18\r\na=ptime:x\r\n",
+    "v=0\r\no=- x 1 IN IP4 10.0.0.1\r\n",
+])
+def test_media_brief_rejects_exactly_what_full_parse_rejects(bad):
+    with pytest.raises((SipParseError, ValueError)):
+        SessionDescription.parse(bad)
+    with pytest.raises((SipParseError, ValueError)):
+        media_brief(bad)

@@ -53,10 +53,12 @@ def poison(vids, call_id):
     record = vids.factbase.get(call_id)
     assert record is not None
 
-    def boom(machine, event):
+    def boom(result):
         raise RuntimeError("poisoned transition")
 
-    record.system.inject = boom
+    # on_result is a declared slot (EfsmSystem uses __slots__), so it is
+    # per-instance patchable and fires inside every inject for this call.
+    record.system.on_result = boom
     return record
 
 

@@ -357,10 +357,12 @@ class TestQuarantineMediaRetirement:
         record = owner.factbase.get(CALL_ID)
         assert record is not None
 
-        def boom(machine, event):
+        def boom(result):
             raise RuntimeError("poisoned transition")
 
-        record.system.inject = boom
+        # on_result is a declared slot (EfsmSystem uses __slots__), so it
+        # is per-instance patchable and fires inside every inject.
+        record.system.on_result = boom
         clock.advance(0.05)
         sharded.process(dgram(bye_bytes(), CALLEE, CALLER), clock.now())
         assert owner.metrics.calls_quarantined == 1
@@ -402,10 +404,12 @@ class TestQuarantineMediaRetirement:
         establish_call(sharded, clock)
         record = sharded.shards[OWNER].factbase.get(CALL_ID)
 
-        def boom(machine, event):
+        def boom(result):
             raise RuntimeError("poisoned transition")
 
-        record.system.inject = boom
+        # on_result is a declared slot (EfsmSystem uses __slots__), so it
+        # is per-instance patchable and fires inside every inject.
+        record.system.on_result = boom
         clock.advance(0.05)
         sharded.process(dgram(bye_bytes(), CALLEE, CALLER), clock.now())
         assert sharded.media_routes.get(self.MEDIA_KEY) == OWNER
