@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install lint speclint codelint test chaos bench bench-all bench-full figures examples clean
+.PHONY: install lint speclint codelint test chaos bench bench-all bench-full figures examples serve-demo clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -64,6 +64,12 @@ examples:
 	$(PYTHON) examples/forensic_replay.py
 	$(PYTHON) examples/qos_impact_study.py 600
 	$(PYTHON) examples/enterprise_attack_detection.py
+	$(PYTHON) examples/live_demo.py
+
+# Self-contained live front-end demo: bind loopback sockets, blast an
+# INVITE flood over real UDP, watch the IDS catch it (docs/DEPLOYMENT.md).
+serve-demo:
+	PYTHONPATH=src $(PYTHON) examples/live_demo.py
 
 clean:
 	rm -rf .pytest_cache .hypothesis figures test_output.txt bench_output.txt

@@ -17,7 +17,13 @@ Subcommands:
 - ``trace`` — run a short scenario with a seeded attack under full
   observability and print the victim call's forensic timeline (classifier
   verdict → EFSM firings and δ channel messages → alert), with optional
-  JSONL trace and Prometheus metrics export (docs/OBSERVABILITY.md).
+  JSONL trace and Prometheus metrics export (docs/OBSERVABILITY.md);
+- ``serve`` — bind real UDP sockets (passive tap) and feed received SIP/RTP
+  traffic through the pipeline live, with graceful SIGTERM drain and an
+  optional Prometheus metrics endpoint (docs/DEPLOYMENT.md);
+- ``replay`` — decode a pcap/pcapng capture with the dependency-free codec
+  and analyse it offline through the identical ingestion path
+  (docs/DEPLOYMENT.md "Forensic replay").
 """
 
 from __future__ import annotations
@@ -167,6 +173,57 @@ def build_parser() -> argparse.ArgumentParser:
                        help="with --supervise: kill shard I mid-scenario "
                             "(at half the horizon) and let the supervisor "
                             "restore it from checkpoint")
+
+    serve = sub.add_parser(
+        "serve",
+        help="feed the IDS from live UDP sockets (passive tap; "
+             "docs/DEPLOYMENT.md)")
+    serve.add_argument("--host", default="0.0.0.0",
+                       help="address to bind (default 0.0.0.0)")
+    serve.add_argument("--sip-port", type=int, default=5060,
+                       help="UDP port to tap for SIP (default 5060; 0 binds "
+                            "an ephemeral port and prints it)")
+    serve.add_argument("--rtp-range", metavar="LO-HI", default=None,
+                       help="inclusive UDP port range to tap for RTP/RTCP "
+                            "(e.g. 20000-20019); default: none")
+    serve.add_argument("--shards", type=int, default=1,
+                       help="analysis shards (default 1; docs/SCALING.md)")
+    serve.add_argument("--supervise", action="store_true",
+                       help="supervise the shards (checkpoint/restore, "
+                            "failover; docs/ROBUSTNESS.md)")
+    serve.add_argument("--metrics-port", type=int, default=None,
+                       help="serve the Prometheus exposition on this TCP "
+                            "port (0 for ephemeral; default: off)")
+    serve.add_argument("--flush-interval", type=float, default=0.05,
+                       help="seconds between batch flushes into the "
+                            "pipeline (default 0.05)")
+    serve.add_argument("--max-runtime", type=float, default=None,
+                       metavar="SEC",
+                       help="shut down (with drain) after SEC wall seconds "
+                            "— for smoke tests; default: run until "
+                            "SIGTERM/SIGINT")
+    serve.add_argument("--metrics", metavar="PATH", default=None,
+                       help="write the final Prometheus exposition to PATH "
+                            "on exit ('-' for stdout)")
+
+    replay = sub.add_parser(
+        "replay",
+        help="analyse a pcap/pcapng capture offline (docs/DEPLOYMENT.md)")
+    replay.add_argument("--pcap", metavar="FILE", required=True,
+                        help="pcap or pcapng capture to decode and analyse")
+    replay.add_argument("--shards", type=int, default=1,
+                        help="analysis shards (default 1)")
+    replay.add_argument("--supervise", action="store_true",
+                        help="run the shards under a supervisor")
+    replay.add_argument("--no-rebase", action="store_true",
+                        help="keep original timestamps instead of rebasing "
+                             "epoch captures to t=0")
+    replay.add_argument("--json", action="store_true",
+                        help="emit decode stats, counters, and alerts as "
+                             "one JSON document")
+    replay.add_argument("--metrics", metavar="PATH", default=None,
+                        help="export the metrics registry as Prometheus "
+                             "text ('-' for stdout)")
 
     return parser
 
@@ -627,6 +684,157 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _parse_port_range(text: Optional[str]) -> List[int]:
+    """``"20000-20019"`` → the inclusive port list; a bare port is itself."""
+    if not text:
+        return []
+    lo, _, hi = text.partition("-")
+    first = int(lo)
+    last = int(hi) if hi else first
+    if not (0 < first <= last <= 65_535):
+        raise ValueError(text)
+    return list(range(first, last + 1))
+
+
+def _write_prometheus(obs, path: str) -> None:
+    text = obs.registry.to_prometheus()
+    if path == "-":
+        print(text, end="")
+    else:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote metrics: {path}", file=sys.stderr)
+
+
+def _print_alerts(alerts) -> None:
+    for alert in alerts:
+        where = alert.machine or "-"
+        if alert.state:
+            where += f"/{alert.state}"
+        print(f"  t={alert.time:9.3f}  {alert.attack_type.value:<18} "
+              f"call={alert.call_id or '-'} src={alert.source or '-'} "
+              f"dst={alert.destination or '-'}  [{where}]")
+
+
+def _alert_dict(alert) -> dict:
+    return {"time": alert.time, "attack_type": alert.attack_type.value,
+            "call_id": alert.call_id, "source": alert.source,
+            "destination": alert.destination, "machine": alert.machine,
+            "state": alert.state, "detail": alert.detail}
+
+
+def _cmd_serve(args) -> int:
+    """Run the live UDP front-end until SIGTERM, then drain gracefully."""
+    import asyncio
+    import signal
+
+    from .live import UdpFrontend, build_pipeline
+    from .obs import Observability
+
+    try:
+        rtp_ports = _parse_port_range(args.rtp_range)
+    except ValueError:
+        print(f"serve: bad --rtp-range {args.rtp_range!r} (want LO-HI)",
+              file=sys.stderr)
+        return 2
+    obs = Observability()
+    pipeline, clock = build_pipeline(shards=args.shards,
+                                     supervise=args.supervise, obs=obs)
+    frontend = UdpFrontend(pipeline, clock, host=args.host,
+                           sip_port=args.sip_port, rtp_ports=rtp_ports,
+                           flush_interval=args.flush_interval, obs=obs,
+                           metrics_port=args.metrics_port)
+
+    async def run() -> None:
+        await frontend.start()
+        where = f"sip {args.host}:{frontend.sip_port}"
+        if frontend.rtp_ports:
+            where += (f", rtp {frontend.rtp_ports[0]}-"
+                      f"{frontend.rtp_ports[-1]} "
+                      f"({len(frontend.rtp_ports)} ports)")
+        if frontend.metrics_port is not None:
+            where += (f", metrics http://{args.host}:"
+                      f"{frontend.metrics_port}/metrics")
+        topology = "1 vids"
+        if args.supervise:
+            topology = f"{max(args.shards, 1)} supervised shards"
+        elif args.shards > 1:
+            topology = f"{args.shards} shards"
+        print(f"listening: {where} -> {topology} "
+              f"(SIGTERM drains and exits)", file=sys.stderr)
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, frontend.request_shutdown)
+            except NotImplementedError:  # pragma: no cover - non-POSIX
+                pass
+        if args.max_runtime is not None:
+            loop.call_later(args.max_runtime, frontend.request_shutdown)
+        await frontend.serve_forever()
+        print("shutting down: flushing queue, resolving timers...",
+              file=sys.stderr)
+        await frontend.stop(drain=True)
+
+    asyncio.run(run())
+    live = frontend.metrics
+    metrics = pipeline.metrics
+    print(f"received {live.datagrams_received} datagrams "
+          f"({live.bytes_received} bytes, {live.batches_flushed} batches); "
+          f"analysed {metrics.packets_processed} packets "
+          f"({metrics.sip_messages} SIP, {metrics.rtp_packets} RTP, "
+          f"{metrics.keepalive_packets} keepalives), "
+          f"{metrics.calls_created} calls")
+    print(f"{len(pipeline.alerts)} alerts")
+    _print_alerts(pipeline.alerts)
+    if args.metrics:
+        _write_prometheus(obs, args.metrics)
+    return 0
+
+
+def _cmd_replay(args) -> int:
+    """Decode a capture file and analyse it through the vids pipeline."""
+    import json
+
+    from .live import replay_pcap
+    from .live.pcap import DecodeStats, PcapError
+    from .obs import Observability
+
+    obs = Observability() if args.metrics else None
+    stats = DecodeStats()
+    try:
+        pipeline = replay_pcap(args.pcap, obs=obs, shards=args.shards,
+                               supervise=args.supervise,
+                               rebase=False if args.no_rebase else "auto",
+                               stats=stats)
+    except (OSError, PcapError) as exc:
+        print(f"replay: {exc}", file=sys.stderr)
+        return 2
+    metrics = pipeline.metrics
+    if args.json:
+        print(json.dumps({
+            "decode": stats.as_dict(),
+            "metrics": metrics.summary(),
+            "alerts": [_alert_dict(a) for a in pipeline.alerts],
+        }, indent=2, sort_keys=True, default=str))
+    else:
+        print(f"decoded {stats.udp_datagrams} UDP datagrams from "
+              f"{args.pcap} ({stats.frames_read} frames, "
+              f"{stats.fragments_reassembled} reassembled, "
+              f"{stats.decode_errors} decode errors, "
+              f"{stats.truncated_frames} truncated)")
+        print(f"analysed {metrics.packets_processed} packets "
+              f"({metrics.sip_messages} SIP, {metrics.rtp_packets} RTP, "
+              f"{metrics.keepalive_packets} keepalives, "
+              f"{metrics.malformed_packets} malformed), "
+              f"{metrics.calls_created} calls, "
+              f"{metrics.time_regressions} time regressions")
+        print(f"{len(pipeline.alerts)} alerts")
+        _print_alerts(pipeline.alerts)
+    if args.metrics:
+        _write_prometheus(obs, args.metrics)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "scenario":
@@ -643,6 +851,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_perf(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "replay":
+        return _cmd_replay(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

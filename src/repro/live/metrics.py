@@ -1,0 +1,85 @@
+"""``live_*`` metric families for the front-end (docs/OBSERVABILITY.md).
+
+Mirrors the :class:`repro.vids.metrics.VidsMetrics` exposition pattern:
+plain attribute increments on the hot path, callback-backed families in
+the obs :class:`~repro.obs.metrics.MetricsRegistry` read live at collect
+time.  One :class:`LiveMetrics` instance covers a front-end (socket and
+batching counters) and, when attached, a :class:`~repro.live.pcap
+.DecodeStats` (decode-error and reassembly accounting) plus a queue-depth
+probe — everything an operator needs to tell "the tap is drowning" from
+"the capture is garbage" from "the IDS is behind".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import partial
+from typing import Any, Callable, Dict, Optional
+
+from .pcap import DecodeStats
+
+__all__ = ["LiveMetrics"]
+
+
+@dataclass
+class LiveMetrics:
+    """Front-end counters plus hooks into decoder and queue state."""
+
+    #: Datagrams accepted off the sockets (or out of a capture file).
+    datagrams_received: int = 0
+    #: Application payload bytes received.
+    bytes_received: int = 0
+    #: Batches flushed into the pipeline's ``process_batch``.
+    batches_flushed: int = 0
+    #: Datagrams dropped because the frontend was already draining.
+    drain_drops: int = 0
+
+    _COUNTER_FIELDS = (
+        ("datagrams_received", "Datagrams accepted by the live front-end"),
+        ("bytes_received", "Payload bytes accepted by the live front-end"),
+        ("batches_flushed", "Batches handed to the analysis pipeline"),
+        ("drain_drops", "Datagrams dropped while draining for shutdown"),
+    )
+    #: DecodeStats fields exported when a decoder is attached.
+    _DECODE_FIELDS = (
+        ("frames_read", "Capture frames read by the pcap decoder"),
+        ("udp_datagrams", "UDP/IPv4 datagrams decoded"),
+        ("decode_errors", "Structurally undecodable frames"),
+        ("truncated_frames", "Frames shorter than their headers claim"),
+        ("unsupported_linktype", "Frames with an undecodable link layer"),
+        ("non_ipv4_frames", "Frames carrying a non-IPv4 ethertype"),
+        ("non_udp_packets", "IPv4 packets carrying a non-UDP protocol"),
+        ("fragments_buffered", "IPv4 fragments held for reassembly"),
+        ("fragments_reassembled", "Datagrams completed from fragments"),
+        ("fragments_evicted", "Fragments discarded by eviction/oversize"),
+    )
+
+    def register_with(self, registry: Any, prefix: str = "live",
+                      decode: Optional[DecodeStats] = None,
+                      queue_depth: Optional[Callable[[], int]] = None,
+                      reassembly_pending: Optional[Callable[[], int]] = None,
+                      ) -> None:
+        """Expose everything through an obs ``MetricsRegistry``.
+
+        ``queue_depth`` and ``reassembly_pending`` are sampled via
+        callbacks so the gauges track the live structures, not snapshots.
+        """
+        for name, help_text in self._COUNTER_FIELDS:
+            registry.counter(f"{prefix}_{name}", help_text).set_function(
+                partial(getattr, self, name))
+        if decode is not None:
+            for name, help_text in self._DECODE_FIELDS:
+                registry.counter(f"{prefix}_{name}", help_text).set_function(
+                    partial(getattr, decode, name))
+        if queue_depth is not None:
+            registry.gauge(f"{prefix}_queue_depth",
+                           "Datagrams waiting for the next analysis batch"
+                           ).set_function(queue_depth)
+        if reassembly_pending is not None:
+            registry.gauge(f"{prefix}_reassembly_pending",
+                           "Incomplete IPv4 reassembly buffers"
+                           ).set_function(reassembly_pending)
+
+    def summary(self) -> Dict[str, int]:
+        return {name: getattr(self, name)
+                for name, _ in self._COUNTER_FIELDS}

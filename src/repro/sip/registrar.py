@@ -7,6 +7,7 @@ REGISTER handling that populates it.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, Optional
 
@@ -73,7 +74,19 @@ def process_register(request: SipRequest, location: LocationService,
     else:
         contact = NameAddr.parse(contact_value)
         expires_text = contact.params.get("expires") or request.get("Expires")
-        expires = float(expires_text) if expires_text else DEFAULT_EXPIRES
+        if expires_text:
+            # Wire input: a corrupted Expires ("36\x0200") must produce a
+            # 400, not a ValueError out of the receive loop.  Non-finite
+            # values ("inf", "nan") would register a contact forever or
+            # poison the expiry comparison, so they are rejected too.
+            try:
+                expires = float(expires_text)
+            except ValueError:
+                return request.create_response(400, "Bad Expires")
+            if not math.isfinite(expires):
+                return request.create_response(400, "Bad Expires")
+        else:
+            expires = DEFAULT_EXPIRES
         if expires <= 0:
             location.unregister(aor)
         else:

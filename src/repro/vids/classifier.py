@@ -20,7 +20,8 @@ from ..sip.constants import DEFAULT_SIP_PORT
 from ..sip.errors import SipParseError
 from ..sip.message import SipRequest, SipResponse, is_sip_payload, parse_message
 
-__all__ = ["PacketKind", "ClassifiedPacket", "PacketClassifier"]
+__all__ = ["KEEPALIVE_PAYLOADS", "PacketKind", "ClassifiedPacket",
+           "PacketClassifier"]
 
 
 class PacketKind(enum.Enum):
@@ -29,8 +30,17 @@ class PacketKind(enum.Enum):
     SIP = "sip"
     RTP = "rtp"
     RTCP = "rtcp"
+    KEEPALIVE = "keepalive"
     MALFORMED_SIP = "malformed-sip"
     OTHER = "other"
+
+
+#: RFC 5626 §3.5 NAT keepalives on a SIP flow: the double-CRLF ping, the
+#: single-CRLF pong, and the zero-length UDP datagram some stacks send
+#: (RFC 5626 §4.4.1).  None of these are malformed SIP — treating them as
+#: such feeds the per-source protocol-fuzzing detector and lets an ordinary
+#: NATed UA talk itself into quarantine.
+KEEPALIVE_PAYLOADS = frozenset((b"", b"\r\n", b"\r\n\r\n"))
 
 
 @dataclass(slots=True)
@@ -72,6 +82,9 @@ class PacketClassifier:
         on_sip_port = (datagram.dst.port in self.sip_ports
                        or datagram.src.port in self.sip_ports)
         malformed: Optional[str] = None
+
+        if on_sip_port and payload in KEEPALIVE_PAYLOADS:
+            return ClassifiedPacket(datagram, PacketKind.KEEPALIVE)
 
         if on_sip_port or is_sip_payload(payload):
             try:

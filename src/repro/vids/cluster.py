@@ -906,13 +906,15 @@ class SupervisedCluster:
                 member.packet_seq += since - member.packets_since_checkpoint
                 member.packets_since_checkpoint = since
 
+            regress = sharded.shards[default].metrics
             try:
                 for datagram, when in items:
                     if advance is not None:
                         if when < current:
-                            raise ValueError(
-                                f"capture not time-ordered at t={when}")
-                        if when > current:
+                            # Clamped onto the monotonic analysis clock
+                            # (see Vids.process_batch).
+                            regress.time_regressions += 1
+                        elif when > current:
                             advance(when - current)
                             current = now()
                         when = current
@@ -947,11 +949,14 @@ class SupervisedCluster:
                 for index in range(len(members)):
                     settle(index)
             return total
+        regress = sharded.shards[default].metrics
         for datagram, when in items:
             if advance is not None:
                 if when < current:
-                    raise ValueError(f"capture not time-ordered at t={when}")
-                if when > current:
+                    # Clamped onto the monotonic analysis clock (see
+                    # Vids.process_batch).
+                    regress.time_regressions += 1
+                elif when > current:
                     advance(when - current)
                     current = now()
                 when = current

@@ -189,6 +189,11 @@ class Vids:
         elif classified.kind is PacketKind.RTCP:
             self.metrics.rtcp_packets += 1
             cost = self.config.rtp_processing_cost
+        elif classified.kind is PacketKind.KEEPALIVE:
+            # RFC 5626 NAT keepalive on the SIP flow: benign by design, so
+            # it must never feed the malformed-rate (fuzzing) accounting.
+            self.metrics.keepalive_packets += 1
+            cost = self.config.other_processing_cost
         elif classified.kind is PacketKind.MALFORMED_SIP:
             self.metrics.malformed_packets += 1
             cost = self.config.sip_processing_cost
@@ -244,9 +249,13 @@ class Vids:
         whole capture slice.  When ``clock`` (a
         :class:`~repro.efsm.system.ManualClock`-compatible object) is
         given, it is advanced to each packet's timestamp first, so pattern
-        timers (T, T1, linger) fire exactly as they would have online;
-        out-of-order input raises ``ValueError`` as in replay.  Returns
-        the total CPU service time charged.
+        timers (T, T1, linger) fire exactly as they would have online.
+        Real captures are not always time-ordered (multi-NIC pcap merges,
+        clock steps): a timestamp behind the analysis clock is clamped to
+        the clock's current reading and counted in
+        ``metrics.time_regressions`` — the clock never runs backwards,
+        which would corrupt timer scheduling and shed-interval accounting.
+        Returns the total CPU service time charged.
         """
         total = 0.0
         process = self.process
@@ -259,8 +268,8 @@ class Vids:
         for datagram, when in items:
             current = now()
             if when < current:
-                raise ValueError(f"capture not time-ordered at t={when}")
-            if when > current:
+                self.metrics.time_regressions += 1
+            elif when > current:
                 advance(when - current)
             total += process(datagram, now())
         return total

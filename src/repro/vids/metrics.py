@@ -98,6 +98,9 @@ class VidsMetrics:
     #: Per-call memory observations: (sip_bytes, rtp_bytes) at deletion time.
     call_memory_samples: List = field(default_factory=list)
 
+    #: RFC 5626 CRLF/CRLF-CRLF (and zero-length) keepalives on the SIP port.
+    keepalive_packets: int = 0
+
     # -- robustness accounting (docs/ROBUSTNESS.md) ---------------------------
     #: Per-protocol parse failures (no drop is silent).
     malformed_sip: int = 0
@@ -115,6 +118,9 @@ class VidsMetrics:
     quarantine_paroles: int = 0
     #: Pool-backend worker failures contained by the serial in-process retry.
     pool_worker_failures: int = 0
+    #: Capture timestamps that went backwards and were clamped onto the
+    #: monotonic analysis clock (multi-NIC pcap merges, clock steps).
+    time_regressions: int = 0
     #: RTP/RTCP packets that skipped deep inspection during overload.
     packets_shed: int = 0
     #: Completed overload-shedding intervals as (start, end) times.
@@ -153,6 +159,7 @@ class VidsMetrics:
         ("rtp_packets", "RTP packets classified"),
         ("rtcp_packets", "RTCP packets classified"),
         ("other_packets", "Packets of no monitored protocol"),
+        ("keepalive_packets", "RFC 5626 keepalive datagrams on the SIP port"),
         ("malformed_packets", "Packets that failed protocol parsing"),
         ("cpu_time", "Modelled IDS CPU seconds consumed"),
         ("calls_created", "Call fact-base entries created"),
@@ -166,6 +173,7 @@ class VidsMetrics:
         ("quarantined_drops", "Packets dropped for quarantined calls"),
         ("quarantine_paroles", "Quarantined calls released by TTL parole"),
         ("pool_worker_failures", "Pool worker failures retried serially"),
+        ("time_regressions", "Backward capture timestamps clamped monotonic"),
         ("packets_shed", "Media packets shed during overload"),
         ("shed_events", "Times overload shedding engaged"),
     )
@@ -228,6 +236,7 @@ class VidsMetrics:
             "rtp_packets": self.rtp_packets,
             "rtcp_packets": self.rtcp_packets,
             "other_packets": self.other_packets,
+            "keepalive_packets": self.keepalive_packets,
             "malformed_packets": self.malformed_packets,
             "cpu_time": self.cpu_time,
             "calls_created": self.calls_created,
@@ -245,6 +254,7 @@ class VidsMetrics:
             "quarantined_drops": self.quarantined_drops,
             "quarantine_paroles": self.quarantine_paroles,
             "pool_worker_failures": self.pool_worker_failures,
+            "time_regressions": self.time_regressions,
             "packets_shed": self.packets_shed,
             "shed_events": self.shed_events,
             "shed_time": self.shed_time,

@@ -250,11 +250,14 @@ class ShardedVids:
                 return total
             now = clock.now
             advance = clock.advance
+            regress = self.shards[self.default_shard].metrics
             for datagram, when in items:
                 current = now()
                 if when < current:
-                    raise ValueError(f"capture not time-ordered at t={when}")
-                if when > current:
+                    # Clamp backwards capture timestamps onto the monotonic
+                    # analysis clock (see Vids.process_batch).
+                    regress.time_regressions += 1
+                elif when > current:
                     advance(when - current)
                 total += process(datagram, now())
             return total
@@ -278,11 +281,16 @@ class ShardedVids:
         else:
             advance = None
             current = None
+        regress = shards[default].metrics
         for datagram, when in items:
             if advance is not None:
                 if when < current:
-                    raise ValueError(f"capture not time-ordered at t={when}")
-                if when > current:
+                    # Clamped onto the monotonic analysis clock (see
+                    # Vids.process_batch); the default shard accounts the
+                    # regression so sharded counters still sum to the
+                    # single-pipeline totals.
+                    regress.time_regressions += 1
+                elif when > current:
                     advance(when - current)
                     current = now()
                 when = current

@@ -1,0 +1,190 @@
+"""Loopback tests for the asyncio UDP front-end.
+
+Everything binds ephemeral loopback ports (``sip_port=0``), so the suite
+needs no privileges and cannot collide with a real SIP stack.
+"""
+
+import asyncio
+import socket
+
+from repro.live import UdpFrontend, build_pipeline
+from repro.obs import Observability
+from repro.vids import SupervisedCluster, Vids
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def make_invite(call_id=b"live-1@test"):
+    return (b"INVITE sip:bob@b.example.com SIP/2.0\r\n"
+            b"Via: SIP/2.0/UDP 127.0.0.1:5060;branch=z9hG4bKlive\r\n"
+            b"From: <sip:alice@a.example.com>;tag=lf\r\n"
+            b"To: <sip:bob@b.example.com>\r\n"
+            b"Call-ID: " + call_id + b"\r\n"
+            b"CSeq: 1 INVITE\r\nContent-Length: 0\r\n\r\n")
+
+
+async def wait_for(predicate, timeout=5.0):
+    deadline = asyncio.get_running_loop().time() + timeout
+    while not predicate():
+        if asyncio.get_running_loop().time() > deadline:
+            raise AssertionError("condition not reached before timeout")
+        await asyncio.sleep(0.01)
+
+
+class TestUdpFrontend:
+    def test_sip_datagram_reaches_pipeline(self):
+        async def scenario():
+            pipeline, clock = build_pipeline()
+            frontend = UdpFrontend(pipeline, clock, host="127.0.0.1",
+                                   sip_port=0, flush_interval=0.01)
+            await frontend.start()
+            assert frontend.sip_port != 0
+            # The classifier follows the actually-bound socket.
+            assert frontend.sip_port in pipeline.classifier.sip_ports
+            sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+            try:
+                sock.sendto(make_invite(), ("127.0.0.1", frontend.sip_port))
+                await wait_for(lambda: pipeline.metrics.sip_messages == 1)
+            finally:
+                sock.close()
+            await frontend.stop()
+            assert pipeline.metrics.calls_created == 1
+            assert frontend.metrics.datagrams_received == 1
+            assert frontend.metrics.batches_flushed >= 1
+            return pipeline
+
+        pipeline = run(scenario())
+        assert isinstance(pipeline, Vids)
+
+    def test_keepalives_counted_not_malformed_on_live_port(self):
+        async def scenario():
+            pipeline, clock = build_pipeline()
+            frontend = UdpFrontend(pipeline, clock, host="127.0.0.1",
+                                   sip_port=0, flush_interval=0.01)
+            await frontend.start()
+            sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+            try:
+                for _ in range(5):
+                    sock.sendto(b"\r\n\r\n", ("127.0.0.1", frontend.sip_port))
+                await wait_for(
+                    lambda: pipeline.metrics.keepalive_packets == 5)
+            finally:
+                sock.close()
+            await frontend.stop()
+            assert pipeline.metrics.malformed_packets == 0
+            assert pipeline.alerts == []
+
+        run(scenario())
+
+    def test_idle_clock_advances_for_timers(self):
+        async def scenario():
+            pipeline, clock = build_pipeline()
+            frontend = UdpFrontend(pipeline, clock, host="127.0.0.1",
+                                   sip_port=0, flush_interval=0.01)
+            await frontend.start()
+            start = clock.now()
+            await asyncio.sleep(0.08)
+            await frontend.stop(drain=False)
+            # The pump advanced the analysis clock despite zero traffic.
+            assert clock.now() - start >= 0.05
+
+        run(scenario())
+
+    def test_graceful_drain_flushes_pending_and_runs_timers(self):
+        async def scenario():
+            pipeline, clock = build_pipeline()
+            # A pump that never fires on its own: everything the drain
+            # delivers, the drain delivered.
+            frontend = UdpFrontend(pipeline, clock, host="127.0.0.1",
+                                   sip_port=0, flush_interval=30.0)
+            await frontend.start()
+            sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+            try:
+                sock.sendto(make_invite(), ("127.0.0.1", frontend.sip_port))
+                await wait_for(
+                    lambda: frontend.metrics.datagrams_received == 1)
+                assert pipeline.metrics.sip_messages == 0  # still queued
+            finally:
+                sock.close()
+            before = clock.now()
+            # SIGTERM path: the queued INVITE is analysed and the clock
+            # runs one linger period so in-flight timers resolve.
+            await frontend.stop(drain=True)
+            assert pipeline.metrics.sip_messages == 1
+            assert clock.now() >= before + 36.0
+            # Late arrivals during the drain are counted, not analysed.
+            assert frontend.metrics.drain_drops == 0
+
+        run(scenario())
+
+    def test_metrics_endpoint_serves_prometheus(self):
+        async def scenario():
+            obs = Observability()
+            pipeline, clock = build_pipeline(obs=obs)
+            frontend = UdpFrontend(pipeline, clock, host="127.0.0.1",
+                                   sip_port=0, flush_interval=0.01,
+                                   obs=obs, metrics_port=0)
+            await frontend.start()
+            sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+            try:
+                sock.sendto(make_invite(), ("127.0.0.1", frontend.sip_port))
+                await wait_for(lambda: pipeline.metrics.sip_messages == 1)
+            finally:
+                sock.close()
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", frontend.metrics_port)
+            writer.write(b"GET /metrics HTTP/1.0\r\n\r\n")
+            await writer.drain()
+            response = (await reader.read()).decode()
+            writer.close()
+            await frontend.stop()
+            return response
+
+        response = run(scenario())
+        assert response.startswith("HTTP/1.0 200")
+        assert "vids_sip_messages 1" in response
+        assert "live_datagrams_received 1" in response
+        assert "live_queue_depth" in response
+
+    def test_supervised_cluster_backend(self):
+        async def scenario():
+            pipeline, clock = build_pipeline(shards=2, supervise=True)
+            frontend = UdpFrontend(pipeline, clock, host="127.0.0.1",
+                                   sip_port=0, flush_interval=0.01)
+            await frontend.start()
+            sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+            try:
+                sock.sendto(make_invite(), ("127.0.0.1", frontend.sip_port))
+                await wait_for(lambda: pipeline.metrics.sip_messages == 1)
+            finally:
+                sock.close()
+            await frontend.stop()
+            return pipeline
+
+        pipeline = run(scenario())
+        assert isinstance(pipeline, SupervisedCluster)
+        assert pipeline.metrics.calls_created == 1
+
+    def test_rtp_ports_bound_and_media_received(self):
+        async def scenario():
+            pipeline, clock = build_pipeline()
+            frontend = UdpFrontend(pipeline, clock, host="127.0.0.1",
+                                   sip_port=0, rtp_ports=[0, 0],
+                                   flush_interval=0.01)
+            await frontend.start()
+            assert len(frontend.rtp_ports) == 2
+            assert all(port != 0 for port in frontend.rtp_ports)
+            from repro.rtp import RtpPacket
+            payload = RtpPacket(18, 1, 160, 0xBEEF,
+                                payload=bytes(20)).serialize()
+            sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+            try:
+                sock.sendto(payload, ("127.0.0.1", frontend.rtp_ports[0]))
+                await wait_for(lambda: pipeline.metrics.rtp_packets == 1)
+            finally:
+                sock.close()
+            await frontend.stop()
+
+        run(scenario())

@@ -1,0 +1,91 @@
+"""Unit tests for pcap replay: timestamps onto the analysis clock."""
+
+import pytest
+
+from repro.live import rebase_capture, replay_pcap, write_pcap
+from repro.live.pcap import DecodeStats
+from repro.vids import AttackType, DEFAULT_CONFIG, replay_trace
+
+from ..vids.test_replay import make_capture
+
+
+class TestRebase:
+    def test_sim_time_capture_untouched(self):
+        capture = make_capture()
+        times = [p.time for p in capture]
+        rebased = rebase_capture(capture, rebase="auto")
+        assert [p.time for p in rebased] == times
+
+    def test_epoch_capture_shifted_preserving_deltas(self):
+        capture = make_capture()
+        deltas = [b.time - a.time
+                  for a, b in zip(capture, capture[1:])]
+        for packet in capture:
+            packet.time += 1.7e9
+        rebased = rebase_capture(capture, rebase="auto")
+        assert rebased[0].time == 0.0
+        got = [b.time - a.time for a, b in zip(rebased, rebased[1:])]
+        # Float epochs only carry ~0.2 µs of resolution at 1.7e9 s; the
+        # rebase cannot recover what the addition already rounded away.
+        assert got == pytest.approx(deltas, abs=1e-6)
+
+    def test_explicit_rebase_flags(self):
+        capture = make_capture()
+        assert rebase_capture(capture, rebase=False)[0].time == \
+            capture[0].time
+        capture[0].time = 5.0
+        assert rebase_capture(capture, rebase=True)[0].time == 0.0
+        assert rebase_capture([], rebase="auto") == []
+
+
+class TestReplayPcap:
+    def test_matches_direct_replay(self, tmp_path):
+        path = str(tmp_path / "benign.pcap")
+        write_pcap(path, make_capture())
+        direct = replay_trace(make_capture())
+        from_pcap = replay_pcap(path)
+        assert from_pcap.metrics.summary() == direct.metrics.summary()
+        assert from_pcap.alerts == direct.alerts == []
+
+    def test_epoch_timestamps_replay_identically(self, tmp_path):
+        capture = make_capture()
+        for packet in capture:
+            packet.time += 1.7e9
+        path = str(tmp_path / "epoch.pcap")
+        write_pcap(path, capture)
+        stats = DecodeStats()
+        vids = replay_pcap(path, stats=stats)
+        direct = replay_trace(make_capture())
+        assert stats.udp_datagrams == len(make_capture())
+        assert vids.metrics.calls_created == direct.metrics.calls_created
+        assert vids.metrics.sip_messages == direct.metrics.sip_messages
+        assert vids.alerts == []
+
+    def test_sharded_replay_from_pcap(self, tmp_path):
+        path = str(tmp_path / "benign.pcap")
+        write_pcap(path, make_capture())
+        sharded = replay_pcap(path, shards=4)
+        assert sharded.metrics.calls_created == 1
+        assert sharded.alerts == []
+
+    def test_attack_detected_from_pcap(self, tmp_path):
+        capture = make_capture()[:14]  # established call + media, no BYE
+        last = capture[-1].time
+        from repro.netsim import Datagram, Endpoint
+        from ..vids.test_ids import ATTACKER, CALLEE, rtp_bytes
+        from repro.vids import CapturedPacket
+        capture.append(CapturedPacket(last + 0.02, Datagram(
+            Endpoint(ATTACKER, 20_000), Endpoint(CALLEE, 20_002),
+            rtp_bytes(ssrc=0xAAAA, seq=5000, ts=900_000))))
+        path = str(tmp_path / "attack.pcap")
+        write_pcap(path, capture)
+        vids = replay_pcap(path)
+        assert vids.alert_count(AttackType.MEDIA_SPAM) == 1
+
+    def test_tighter_config_changes_verdict(self, tmp_path):
+        """Forensics from a real capture: re-run with a hair trigger."""
+        path = str(tmp_path / "benign.pcap")
+        write_pcap(path, make_capture())
+        config = DEFAULT_CONFIG.with_overrides(media_spam_seq_gap=0)
+        vids = replay_pcap(path, config=config)
+        assert vids.alert_count(AttackType.MEDIA_SPAM) >= 1

@@ -1,0 +1,270 @@
+"""Unit tests for the dependency-free pcap/pcapng codec."""
+
+import io
+import struct
+
+import pytest
+
+from repro.live.pcap import (
+    DecodeStats,
+    LINKTYPE_LINUX_SLL,
+    LINKTYPE_RAW,
+    MAX_FRAGMENT_BUFFERS,
+    PcapError,
+    PcapNgWriter,
+    PcapWriter,
+    load_pcap,
+    write_pcap,
+)
+from repro.netsim import Datagram, Endpoint
+from repro.vids import CapturedPacket
+
+
+def packet(time, payload, src=("10.0.0.1", 5060), dst=("10.0.0.2", 5060)):
+    return CapturedPacket(time, Datagram(Endpoint(*src), Endpoint(*dst),
+                                         payload))
+
+
+def sample_capture():
+    return [
+        packet(0.5, b"OPTIONS sip:x SIP/2.0\r\n\r\n"),
+        packet(1.25, bytes(range(200)), src=("10.0.0.3", 30_000),
+               dst=("10.0.0.4", 20_002)),
+        packet(2.0, b"\r\n\r\n"),
+    ]
+
+
+def roundtrip(capture, stats=None, **writer_kwargs):
+    buffer = io.BytesIO()
+    PcapWriter(buffer, **writer_kwargs).write_all(capture)
+    buffer.seek(0)
+    return load_pcap(buffer, stats=stats)
+
+
+def assert_same(decoded, capture):
+    assert len(decoded) == len(capture)
+    for got, want in zip(decoded, capture):
+        assert got.time == pytest.approx(want.time, abs=1e-9)
+        assert got.datagram.src == want.datagram.src
+        assert got.datagram.dst == want.datagram.dst
+        assert got.datagram.payload == want.datagram.payload
+
+
+class TestClassicRoundTrip:
+    def test_nanosecond(self):
+        stats = DecodeStats()
+        decoded = roundtrip(sample_capture(), stats=stats)
+        assert_same(decoded, sample_capture())
+        assert stats.udp_datagrams == 3
+        assert stats.decode_errors == 0
+
+    def test_microsecond(self):
+        decoded = roundtrip(sample_capture(), nanosecond=False)
+        assert_same(decoded, sample_capture())
+
+    def test_file_path_api(self, tmp_path):
+        path = str(tmp_path / "capture.pcap")
+        assert write_pcap(path, sample_capture()) == 3
+        assert_same(load_pcap(path), sample_capture())
+
+    def test_big_endian_classic(self):
+        # Hand-built big-endian microsecond capture over raw-IP frames.
+        buffer = io.BytesIO()
+        buffer.write(struct.pack(">IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0,
+                                 65_535, LINKTYPE_RAW))
+        udp = struct.pack("!HHHH", 5060, 5061, 8 + 3, 0) + b"abc"
+        ip = _raw_ipv4("1.2.3.4", "5.6.7.8", udp)
+        buffer.write(struct.pack(">IIII", 7, 500_000, len(ip), len(ip)))
+        buffer.write(ip)
+        buffer.seek(0)
+        decoded = load_pcap(buffer)
+        assert len(decoded) == 1
+        assert decoded[0].time == pytest.approx(7.5)
+        assert decoded[0].datagram.payload == b"abc"
+        assert decoded[0].datagram.dst == Endpoint("5.6.7.8", 5061)
+
+    def test_garbage_magic_raises(self):
+        with pytest.raises(PcapError):
+            load_pcap(io.BytesIO(b"\x00\x01\x02\x03rest"))
+        with pytest.raises(PcapError):
+            load_pcap(io.BytesIO(b"\xa1"))
+
+
+def _raw_ipv4(src, dst, payload, proto=17, flags_frag=0, ident=1):
+    header = bytearray(struct.pack(
+        "!BBHHHBBH4s4s", 0x45, 0, 20 + len(payload), ident, flags_frag,
+        64, proto, 0,
+        bytes(int(p) for p in src.split(".")),
+        bytes(int(p) for p in dst.split("."))))
+    return bytes(header) + payload
+
+
+def _classic_raw_file(frames):
+    buffer = io.BytesIO()
+    buffer.write(struct.pack("<IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0, 65_535,
+                             LINKTYPE_RAW))
+    for ts, frame in frames:
+        sec = int(ts)
+        buffer.write(struct.pack("<IIII", sec, int((ts - sec) * 1e6),
+                                 len(frame), len(frame)))
+        buffer.write(frame)
+    buffer.seek(0)
+    return buffer
+
+
+class TestLinkLayers:
+    def test_vlan_tags_including_qinq(self):
+        udp = struct.pack("!HHHH", 1111, 2222, 8 + 2, 0) + b"hi"
+        ip = _raw_ipv4("10.0.0.1", "10.0.0.2", udp)
+        ether = b"\x02" * 12
+        single = ether + struct.pack("!HH", 0x8100, 0x0001) \
+            + struct.pack("!H", 0x0800) + ip
+        qinq = ether + struct.pack("!HH", 0x88A8, 0x0001) \
+            + struct.pack("!HH", 0x8100, 0x0002) \
+            + struct.pack("!H", 0x0800) + ip
+        buffer = io.BytesIO()
+        buffer.write(struct.pack("<IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0,
+                                 65_535, 1))
+        for frame in (single, qinq):
+            buffer.write(struct.pack("<IIII", 1, 0, len(frame), len(frame)))
+            buffer.write(frame)
+        buffer.seek(0)
+        decoded = load_pcap(buffer)
+        assert [p.datagram.payload for p in decoded] == [b"hi", b"hi"]
+
+    def test_linux_sll(self):
+        udp = struct.pack("!HHHH", 1111, 2222, 8 + 2, 0) + b"ok"
+        ip = _raw_ipv4("10.0.0.1", "10.0.0.2", udp)
+        sll = struct.pack("!HHH8sH", 0, 1, 6, b"\x02" * 8, 0x0800) + ip
+        buffer = io.BytesIO()
+        buffer.write(struct.pack("<IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0,
+                                 65_535, LINKTYPE_LINUX_SLL))
+        buffer.write(struct.pack("<IIII", 1, 0, len(sll), len(sll)))
+        buffer.write(sll)
+        buffer.seek(0)
+        decoded = load_pcap(buffer)
+        assert decoded[0].datagram.payload == b"ok"
+
+    def test_ethernet_padding_trimmed(self):
+        """A 2-byte keepalive is padded to the 60-byte Ethernet minimum;
+        the IP total-length must win or the payload stops matching
+        KEEPALIVE_PAYLOADS."""
+        capture = [packet(0.1, b"\r\n")]
+        buffer = io.BytesIO()
+        PcapWriter(buffer).write_all(capture)
+        raw = bytearray(buffer.getvalue())
+        # Pad the (single) frame to 60 bytes of link payload.
+        frame_start = 24 + 16
+        frame = raw[frame_start:]
+        pad = 60 - len(frame)
+        assert pad > 0
+        raw[24 + 8:24 + 12] = struct.pack("<I", len(frame) + pad)
+        raw[24 + 12:24 + 16] = struct.pack("<I", len(frame) + pad)
+        padded = io.BytesIO(bytes(raw) + b"\x00" * pad)
+        decoded = load_pcap(padded)
+        assert decoded[0].datagram.payload == b"\r\n"
+
+    def test_unsupported_linktype_and_non_ip_counted(self):
+        stats = DecodeStats()
+        # Unsupported linktype 147 (USER0).
+        buffer = io.BytesIO()
+        buffer.write(struct.pack("<IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0,
+                                 65_535, 147))
+        buffer.write(struct.pack("<IIII", 1, 0, 4, 4) + b"zzzz")
+        buffer.seek(0)
+        assert load_pcap(buffer, stats=stats) == []
+        assert stats.unsupported_linktype == 1
+        # ARP over Ethernet.
+        arp = b"\x02" * 12 + struct.pack("!H", 0x0806) + b"\x00" * 28
+        buffer = io.BytesIO()
+        buffer.write(struct.pack("<IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0,
+                                 65_535, 1))
+        buffer.write(struct.pack("<IIII", 1, 0, len(arp), len(arp)))
+        buffer.write(arp)
+        buffer.seek(0)
+        assert load_pcap(buffer, stats=stats) == []
+        assert stats.non_ipv4_frames == 1
+
+    def test_non_udp_and_truncated_counted(self):
+        tcp = _raw_ipv4("1.1.1.1", "2.2.2.2", b"\x00" * 20, proto=6)
+        short = _raw_ipv4("1.1.1.1", "2.2.2.2", b"\x00" * 64)[:30]
+        stats = DecodeStats()
+        decoded = load_pcap(_classic_raw_file([(0.0, tcp), (0.1, short)]),
+                            stats=stats)
+        assert decoded == []
+        assert stats.non_udp_packets == 1
+        assert stats.truncated_frames == 1
+
+
+class TestFragmentation:
+    def test_writer_fragments_reader_reassembles(self):
+        big = packet(3.0, bytes(range(256)) * 8)  # 2048B payload
+        stats = DecodeStats()
+        decoded = roundtrip([big], stats=stats, mtu=500)
+        assert_same(decoded, [big])
+        assert stats.fragments_reassembled == 1
+        assert stats.fragments_buffered > 1
+        assert stats.reassembly_pending == 0
+
+    def test_out_of_order_fragments(self):
+        udp = struct.pack("!HHHH", 1000, 2000, 8 + 1600, 0) + bytes(1600)
+        chunk = 800
+        first = _raw_ipv4("9.9.9.9", "8.8.8.8", udp[:chunk],
+                          flags_frag=0x2000, ident=42)
+        second = _raw_ipv4("9.9.9.9", "8.8.8.8", udp[chunk:],
+                           flags_frag=chunk // 8, ident=42)
+        stats = DecodeStats()
+        decoded = load_pcap(
+            _classic_raw_file([(0.0, second), (0.1, first)]), stats=stats)
+        assert len(decoded) == 1
+        assert decoded[0].datagram.payload == bytes(1600)
+        # The datagram completes at the *second* frame's timestamp.
+        assert decoded[0].time == pytest.approx(0.1)
+        assert stats.fragments_reassembled == 1
+
+    def test_incomplete_fragments_reported_pending(self):
+        lonely = _raw_ipv4("9.9.9.9", "8.8.8.8", bytes(64),
+                           flags_frag=0x2000, ident=7)
+        stats = DecodeStats()
+        assert load_pcap(_classic_raw_file([(0.0, lonely)]),
+                         stats=stats) == []
+        assert stats.reassembly_pending == 1
+
+    def test_buffer_eviction_is_bounded(self):
+        frames = []
+        for ident in range(MAX_FRAGMENT_BUFFERS + 10):
+            frames.append((ident * 0.001, _raw_ipv4(
+                "9.9.9.9", "8.8.8.8", bytes(16), flags_frag=0x2000,
+                ident=ident)))
+        stats = DecodeStats()
+        assert load_pcap(_classic_raw_file(frames), stats=stats) == []
+        assert stats.fragments_evicted == 10
+        assert stats.reassembly_pending == MAX_FRAGMENT_BUFFERS
+
+
+class TestPcapNg:
+    def test_roundtrip(self):
+        buffer = io.BytesIO()
+        PcapNgWriter(buffer).write_all(sample_capture())
+        buffer.seek(0)
+        stats = DecodeStats()
+        decoded = load_pcap(buffer, stats=stats)
+        assert_same(decoded, sample_capture())
+        assert stats.udp_datagrams == 3
+
+    def test_fragmented_pcapng(self):
+        big = packet(1.0, bytes(3000))
+        buffer = io.BytesIO()
+        PcapNgWriter(buffer, mtu=576).write(big)
+        buffer.seek(0)
+        decoded = load_pcap(buffer)
+        assert_same(decoded, [big])
+
+    def test_unknown_blocks_skipped(self):
+        buffer = io.BytesIO()
+        writer = PcapNgWriter(buffer)
+        # Interleave a Name Resolution Block (type 4) — readers must skip.
+        writer._write_block(0x00000004, b"\x00" * 8)
+        writer.write_all(sample_capture())
+        buffer.seek(0)
+        assert_same(load_pcap(buffer), sample_capture())

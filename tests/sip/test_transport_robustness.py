@@ -1,0 +1,147 @@
+"""Regression tests: hostile wire input must die in transport accounting.
+
+The live front-end (docs/DEPLOYMENT.md) feeds SIP elements from real
+sockets, where corrupted, truncated, and oversize datagrams are routine.
+Pre-fix, a REGISTER whose Expires header was bit-flipped in transit
+raised ``ValueError`` out of ``SipTransport._on_datagram`` and killed the
+receive loop; oversize datagrams had no limit at all.  These tests pin
+the fail-closed behaviour, reusing the :mod:`repro.netsim.faults`
+corruption modes as the traffic mangler.
+"""
+
+import pytest
+
+from repro.netsim import Endpoint, Host, Network
+from repro.netsim.faults import FaultPlan, inject_faults
+from repro.sip import (
+    DomainDirectory,
+    LocationService,
+    ProxyServer,
+    SipRequest,
+    process_register,
+)
+from repro.sip.transport import MAX_SIP_DATAGRAM, SipTransport
+
+
+def build_pair(**transport_kwargs):
+    net = Network(seed=0)
+    a = Host(net, "a", "10.0.0.1")
+    b = Host(net, "b", "10.0.0.2")
+    link = net.link(a, b)
+    net.compute_routes()
+    ta = SipTransport(a)
+    tb = SipTransport(b, **transport_kwargs)
+    return net, link, ta, tb
+
+
+def register_bytes(expires="3600"):
+    request = SipRequest("REGISTER", "sip:b.com")
+    request.set("Via", "SIP/2.0/UDP 10.0.0.1:5060;branch=z9hG4bKr")
+    request.set("To", "<sip:alice@b.com>")
+    request.set("From", "<sip:alice@b.com>;tag=1")
+    request.set("Call-ID", "reg@10.0.0.1")
+    request.set("CSeq", "1 REGISTER")
+    request.set("Contact", "<sip:alice@10.0.0.1:5060>")
+    request.set("Expires", expires)
+    return request.serialize()
+
+
+class TestOversize:
+    def test_oversize_datagram_fails_closed(self):
+        net, _, _, tb = build_pair(max_datagram=512)
+        inbox = []
+        tb.set_handler(lambda message, source: inbox.append(message))
+        # A syntactically plausible giant: oversize must be dropped before
+        # the parser ever sees it.
+        net.hosts["10.0.0.1"].send_udp(
+            Endpoint("10.0.0.2", 5060),
+            register_bytes() + b"x" * 2048, 5060)
+        net.run()
+        assert inbox == []
+        assert tb.messages_received == 0
+        assert tb.oversize_drops == 1
+        assert tb.parse_errors == 0
+        assert tb.drops_by_source == {"10.0.0.1": 1}
+
+    def test_default_limit_is_max_udp_payload(self):
+        net = Network(seed=0)
+        transport = SipTransport(Host(net, "a", "10.0.0.1"))
+        assert transport.max_datagram == MAX_SIP_DATAGRAM == 65_507
+
+
+class TestHandlerContainment:
+    def test_handler_escape_contained_with_attribution(self):
+        """Pre-fix: any non-SipError out of the handler (the registrar's
+        ``float()`` on a corrupt Expires) escaped the receive loop."""
+        net, _, ta, tb = build_pair()
+        seen = []
+
+        def handler(message, source):
+            seen.append(message)
+            if len(seen) == 1:
+                raise ValueError("handler bug reachable from wire input")
+
+        tb.set_handler(handler)
+        dst = Endpoint("10.0.0.2", 5060)
+        ta.host.send_udp(dst, register_bytes(), 5060)
+        net.run()  # must not raise
+        assert tb.handler_errors == 1
+        assert tb.drops_by_source == {"10.0.0.1": 1}
+        # The loop survived: the next message still gets through.
+        ta.host.send_udp(dst, register_bytes(), 5060)
+        net.run()
+        assert len(seen) == 2
+        assert tb.handler_errors == 1
+
+    def test_corrupt_expires_gets_400_not_crash(self):
+        location = LocationService()
+        request = SipRequest("REGISTER", "sip:b.com")
+        request.set("To", "<sip:alice@b.com>")
+        request.set("Contact", "<sip:alice@10.0.0.1:5060>")
+        for bad in ("36\x0200", "banana", "inf", "nan", "-inf"):
+            request.set("Expires", bad)
+            response = process_register(request, location, now=0.0)
+            assert response.status == 400, bad
+        assert len(location) == 0
+
+    def test_corrupt_expires_over_the_wire(self):
+        """End to end: the proxy answers 400 and the stack survives."""
+        net = Network(seed=0)
+        client = Host(net, "client", "10.0.0.1")
+        server = Host(net, "server", "10.0.0.2")
+        net.link(client, server)
+        net.compute_routes()
+        dns = DomainDirectory()
+        proxy = ProxyServer(server, "b.com", dns)
+        replies = []
+        ct = SipTransport(client)
+        ct.set_handler(lambda message, source: replies.append(message))
+        client.send_udp(Endpoint("10.0.0.2", 5060),
+                        register_bytes(expires="36\x0200"), 5060)
+        net.run()  # pre-fix: ValueError out of the receive loop
+        assert [r.status for r in replies] == [400]
+        assert proxy.transport.handler_errors == 0
+
+
+class TestFaultPlanFuzz:
+    @pytest.mark.parametrize("seed", [1, 7, 23, 99])
+    def test_corrupted_link_never_kills_the_stack(self, seed):
+        """Blast REGISTERs through a corrupting/truncating link: every
+        delivered datagram lands in exactly one accounting bucket and the
+        receive loop survives all of them."""
+        net, link, ta, tb = build_pair()
+        tb.set_handler(lambda message, source: None)
+        faulty = inject_faults(link, FaultPlan(
+            seed=seed, corrupt_rate=0.6, corrupt_bits=12, truncate_rate=0.4))
+        dst = Endpoint("10.0.0.2", 5060)
+        for index in range(50):
+            ta.host.send_udp(dst, register_bytes(expires=str(60 + index)),
+                             5060)
+        net.run()  # must not raise, whatever the mangler produced
+        accounted = (tb.messages_received + tb.parse_errors
+                     + tb.handler_errors + tb.oversize_drops)
+        assert accounted == faulty.stats.delivered == 50
+        assert faulty.stats.corrupted + faulty.stats.truncated > 0
+        # Every drop is attributed to the (claimed) source.
+        drops = tb.parse_errors + tb.handler_errors + tb.oversize_drops
+        assert sum(tb.drops_by_source.values()) == drops

@@ -1,0 +1,122 @@
+"""Regression tests for the ingest-edge bugs the live front-end exposed.
+
+Two classes of bug, both found by feeding the IDS from real sockets and
+pcap files instead of the simulator (docs/DEPLOYMENT.md):
+
+* RFC 5626 NAT keepalives (CRLF/CRLF-CRLF pings, zero-length UDP) on the
+  SIP port used to be classified MALFORMED_SIP/OTHER and fed the
+  per-source protocol-fuzzing detector — an ordinary NATed UA could talk
+  itself into a fuzzing alert.  They are now a benign KEEPALIVE kind
+  with their own counter.
+
+* Backward capture timestamps (multi-NIC merges, NTP steps on the
+  capture host) used to raise ValueError out of every batch path.  They
+  are now clamped onto the monotonic analysis clock and counted in
+  ``time_regressions``.
+"""
+
+from repro.efsm import ManualClock
+from repro.vids import AttackType
+from repro.vids.classifier import (KEEPALIVE_PAYLOADS, PacketClassifier,
+                                   PacketKind)
+from repro.vids.cluster import ClusterConfig, SupervisedCluster
+
+from .test_ids import (
+    PROXY_A,
+    PROXY_B,
+    dgram,
+    invite_bytes,
+    make_vids,
+    response_bytes,
+)
+
+NATTED_UA = "203.0.113.77"
+
+
+class TestKeepalives:
+    def test_classifier_yields_keepalive_kind(self):
+        classifier = PacketClassifier()
+        for payload in KEEPALIVE_PAYLOADS:
+            classified = classifier.classify(
+                dgram(payload, NATTED_UA, PROXY_A, sport=41_234))
+            assert classified.kind is PacketKind.KEEPALIVE
+            assert classified.malformed is None
+
+    def test_crlf_off_sip_port_stays_other(self):
+        classifier = PacketClassifier()
+        classified = classifier.classify(
+            dgram(b"\r\n\r\n", NATTED_UA, PROXY_A, sport=9_999, dport=9_999))
+        assert classified.kind is PacketKind.OTHER
+
+    def test_keepalive_burst_is_not_protocol_fuzzing(self):
+        """A NATed UA pinging every 30ms must never trip the per-source
+        malformed-rate detector (threshold 20/1s pre-fix)."""
+        vids, clock = make_vids()
+        for _ in range(25):
+            clock.advance(0.03)
+            vids.process(dgram(b"\r\n\r\n", NATTED_UA, PROXY_A, sport=41_234),
+                         clock.now())
+        assert vids.alert_count(AttackType.PROTOCOL_FUZZING) == 0
+        assert vids.metrics.keepalive_packets == 25
+        assert vids.metrics.malformed_packets == 0
+        assert vids.metrics.malformed_sip == 0
+
+    def test_all_keepalive_shapes_counted(self):
+        vids, clock = make_vids()
+        for payload in (b"", b"\r\n", b"\r\n\r\n"):
+            clock.advance(0.1)
+            vids.process(dgram(payload, NATTED_UA, PROXY_A, sport=41_234),
+                         clock.now())
+        assert vids.metrics.keepalive_packets == 3
+        assert vids.metrics.other_packets == 0
+        assert vids.metrics.packets_processed == 3
+        assert vids.metrics.summary()["keepalive_packets"] == 3
+
+    def test_real_fuzzing_still_detected(self):
+        """The keepalive carve-out must not blunt the actual detector."""
+        vids, clock = make_vids()
+        for index in range(25):
+            clock.advance(0.03)
+            vids.process(dgram(b"\x00\x01garbage" + bytes([index]),
+                               NATTED_UA, PROXY_A, sport=41_234),
+                         clock.now())
+        assert vids.alert_count(AttackType.PROTOCOL_FUZZING) >= 1
+
+
+def out_of_order_items():
+    return [
+        (dgram(invite_bytes(), PROXY_A, PROXY_B), 1.0),
+        (dgram(response_bytes(180), PROXY_B, PROXY_A), 0.5),
+        (dgram(response_bytes(200, with_sdp=True), PROXY_B, PROXY_A), 1.2),
+    ]
+
+
+class TestTimeRegressions:
+    def test_vids_batch_clamps_and_counts(self):
+        vids, clock = make_vids()
+        vids.process_batch(out_of_order_items(), clock=clock)
+        assert clock.now() == 1.2  # advanced, never rewound
+        assert vids.metrics.time_regressions == 1
+        assert vids.metrics.packets_processed == 3
+        assert vids.metrics.sip_messages == 3
+
+    def test_cluster_fast_path_clamps(self):
+        clock = ManualClock()
+        cluster = SupervisedCluster(shards=4, clock_now=clock.now,
+                                    timer_scheduler=clock.schedule)
+        cluster.process_batch(out_of_order_items(), clock=clock)
+        assert clock.now() == 1.2
+        assert cluster.metrics.time_regressions == 1
+        assert cluster.metrics.packets_processed == 3
+
+    def test_cluster_general_path_clamps(self):
+        # A credit gate (however generous) disables the lean fast path,
+        # so this drives the supervisor's general dispatch loop.
+        clock = ManualClock()
+        cluster = SupervisedCluster(
+            shards=2, clock_now=clock.now, timer_scheduler=clock.schedule,
+            cluster=ClusterConfig(credit_limit=1_000_000))
+        cluster.process_batch(out_of_order_items(), clock=clock)
+        assert clock.now() == 1.2
+        assert cluster.metrics.time_regressions == 1
+        assert cluster.metrics.packets_processed == 3

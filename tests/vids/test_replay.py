@@ -1,7 +1,5 @@
 """Unit tests for capture and offline replay."""
 
-import pytest
-
 from repro.netsim import Datagram, Endpoint
 from repro.vids import (
     AttackType,
@@ -95,11 +93,15 @@ class TestReplay:
         vids = replay_trace(capture)
         assert vids.alert_count(AttackType.MEDIA_SPAM) == 1
 
-    def test_out_of_order_capture_rejected(self):
+    def test_out_of_order_capture_clamped(self):
+        # Replays of merged/multi-NIC captures may interleave timestamps;
+        # the regressing packet is processed at the clock's current time
+        # and counted instead of aborting the whole replay.
         capture = make_capture()
         capture[0], capture[1] = capture[1], capture[0]
-        with pytest.raises(ValueError):
-            replay_trace(capture)
+        vids = replay_trace(capture)
+        assert vids.metrics.time_regressions == 1
+        assert vids.metrics.packets_processed == len(capture)
 
     def test_timers_resolve_after_replay(self):
         """The trailing clock advance lets timer T close the session."""

@@ -201,14 +201,19 @@ class TestAggregation:
 
         assert batched.summary() == looped.summary()
 
-    def test_batch_rejects_time_travel(self):
+    def test_batch_clamps_time_travel(self):
+        # Backward capture timestamps (multi-NIC merges, clock steps) must
+        # not abort the batch: the packet is processed at the analysis
+        # clock's current time and the regression is counted.
         sharded, clock = make_sharded()
         items = [
             (dgram(invite_bytes(), PROXY_A, PROXY_B), 1.0),
             (dgram(response_bytes(180), PROXY_B, PROXY_A), 0.5),
         ]
-        with pytest.raises(ValueError, match="not time-ordered"):
-            sharded.process_batch(items, clock=clock)
+        sharded.process_batch(items, clock=clock)
+        assert clock.now() == 1.0  # never rewound
+        assert sharded.metrics.time_regressions == 1
+        assert sharded.metrics.packets_processed == 2
 
     def test_single_shard_matches_plain_vids(self):
         plain_clock = ManualClock()
