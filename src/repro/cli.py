@@ -79,6 +79,50 @@ def build_parser() -> argparse.ArgumentParser:
                           help="write per-machine Graphviz dot annotated "
                                "with the findings to DIR")
 
+    mine = sub.add_parser(
+        "mine",
+        help="learn EFSMs from a trace JSONL export (docs/MINING.md)")
+    mine.add_argument("--jsonl", metavar="PATH", required=True,
+                      help="trace export to learn from "
+                           "(trace --trace-variables --jsonl PATH)")
+    mine.add_argument("--machine", default=None,
+                      help="mine only this machine (default: every machine "
+                           "with training sequences)")
+    mine.add_argument("--k", type=int, default=2,
+                      help="k-tails merging depth (default 2)")
+    mine.add_argument("--include-attacks", action="store_true",
+                      help="keep calls with attack firings in the training "
+                           "corpus (default: exclude them)")
+    mine.add_argument("--json", action="store_true",
+                      help="emit machine and corpus summaries as JSON")
+    mine.add_argument("--dot", metavar="DIR", default=None,
+                      help="write each mined machine as Graphviz dot to DIR")
+    mine.add_argument("--strict", action="store_true",
+                      help="exit non-zero when any training sequence fails "
+                           "to replay or the corpus had truncated calls")
+
+    specdiff = sub.add_parser(
+        "specdiff",
+        help="diff mined machines against the hand-written specs")
+    specdiff.add_argument("--jsonl", metavar="PATH", required=True,
+                          help="trace export to mine the learned side from")
+    specdiff.add_argument("--machine", default=None,
+                          choices=("sip", "rtp"),
+                          help="diff only this machine (default: both)")
+    specdiff.add_argument("--k", type=int, default=2,
+                          help="k-tails merging depth (default 2)")
+    specdiff.add_argument("--json", action="store_true",
+                          help="emit findings as a JSON document")
+    specdiff.add_argument("--strict", action="store_true",
+                          help="exit non-zero on WARNING findings too")
+    specdiff.add_argument("--min-severity", choices=("info", "warning",
+                                                     "error"),
+                          default="info",
+                          help="lowest severity to report (default info)")
+    specdiff.add_argument("--no-cross-protocol", action="store_true",
+                          help="diff against the cross_protocol=False "
+                               "ablation machines instead")
+
     codelint = sub.add_parser(
         "codelint",
         help="statically verify implementation invariants (checkpoint "
@@ -156,6 +200,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "whole default scenario)")
     trace.add_argument("--jsonl", metavar="PATH", default=None,
                        help="export the raw trace events as JSON Lines")
+    trace.add_argument("--mean-duration", type=float, default=400.0,
+                       help="mean call duration in seconds (default 400; "
+                            "lower it below the horizon so teardown paths "
+                            "appear in mined corpora)")
+    trace.add_argument("--trace-variables", action="store_true",
+                       help="attach bounded args/vars snapshots to fire "
+                            "events (feeds 'mine' guard synthesis; "
+                            "docs/MINING.md)")
     trace.add_argument("--metrics", metavar="PATH", default=None,
                        help="export the metrics registry as Prometheus text"
                             " ('-' for stdout)")
@@ -631,6 +683,10 @@ def _cmd_trace(args) -> int:
     }
     obs = Observability(profile=args.profile,
                         trace_capacity=args.capacity)
+    from .vids.config import DEFAULT_CONFIG
+    vids_config = DEFAULT_CONFIG
+    if args.trace_variables:
+        vids_config = vids_config.with_overrides(trace_variables=True)
     factory = factories[args.attack]
     attacks = (factory(),) if factory is not None else ()
     shard_fault_plan = None
@@ -645,9 +701,11 @@ def _cmd_trace(args) -> int:
           f"seed {args.seed})...", file=sys.stderr)
     result = run_scenario(ScenarioParams(
         testbed=TestbedParams(seed=args.seed, phones_per_network=4),
-        workload=WorkloadParams(mean_interarrival=25.0, mean_duration=400.0,
+        workload=WorkloadParams(mean_interarrival=25.0,
+                                mean_duration=args.mean_duration,
                                 horizon=args.horizon),
-        with_vids=True, attacks=attacks, drain_time=90.0, obs=obs,
+        with_vids=True, vids_config=vids_config, attacks=attacks,
+        drain_time=90.0, obs=obs,
         shards=args.shards, supervise=args.supervise,
         shard_fault_plan=shard_fault_plan))
     vids = result.vids
@@ -682,6 +740,131 @@ def _cmd_trace(args) -> int:
         print()
         print(obs.profiler.report())
     return 0
+
+
+def _load_export(path: str):
+    """Parse a trace JSONL file, surfacing ring truncation loudly."""
+    from .obs import from_jsonl
+
+    with open(path, "r", encoding="utf-8") as handle:
+        export = from_jsonl(handle.read())
+    if export.truncated:
+        print(f"warning: export reports {export.dropped} events evicted "
+              "from the trace ring before the dump; calls with a truncated "
+              "head are excluded from training", file=sys.stderr)
+    return export
+
+
+def _cmd_mine(args) -> int:
+    """Learn EFSMs from a trace export and report the evidence."""
+    import json
+    import os
+
+    from .efsm.dot import to_dot
+    from .efsm.mine import extract_corpus, mine_machine, replay_sequence
+
+    export = _load_export(args.jsonl)
+    corpus = extract_corpus(export, include_attacks=args.include_attacks)
+    if args.machine is not None and args.machine not in corpus.sequences:
+        print(f"no training sequences for machine {args.machine!r} "
+              f"(available: {', '.join(corpus.machines()) or 'none'})",
+              file=sys.stderr)
+        return 2
+    names = [args.machine] if args.machine else corpus.machines()
+    mined = {name: mine_machine(corpus.sequences[name], name, k=args.k)
+             for name in names}
+
+    replay_failures = 0
+    replays = {}
+    for name, machine in mined.items():
+        deviations = 0
+        for sequence in corpus.sequences[name]:
+            deviations += sum(
+                1 for r in replay_sequence(machine.efsm, sequence)
+                if r.transition is None)
+        replays[name] = deviations
+        replay_failures += deviations
+
+    if args.json:
+        print(json.dumps({
+            "corpus": corpus.summary(),
+            "machines": {name: machine.summary()
+                         for name, machine in mined.items()},
+            "replay_deviations": replays,
+        }, indent=2, sort_keys=True))
+    else:
+        summary = corpus.summary()
+        print(f"corpus: {summary['calls_trained']} calls trained of "
+              f"{summary['calls_seen']} seen "
+              f"({summary['calls_truncated']} truncated, "
+              f"{summary['calls_excluded_attack']} attack-labelled)")
+        for name, machine in mined.items():
+            info = machine.summary()
+            print(f"{name}: {info['states']} states, "
+                  f"{info['transitions']} transitions "
+                  f"({info['guarded_transitions']} guarded) from "
+                  f"{info['sequences']} sequences / {info['steps']} steps; "
+                  f"replay deviations: {replays[name]}")
+    if args.dot:
+        os.makedirs(args.dot, exist_ok=True)
+        for name, machine in mined.items():
+            path = os.path.join(args.dot, f"{machine.efsm.name}.dot")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(to_dot(machine.efsm))
+                handle.write("\n")
+            print(f"wrote {path}", file=sys.stderr)
+    if args.strict and (replay_failures or corpus.calls_truncated):
+        return 1
+    return 0
+
+
+def _cmd_specdiff(args) -> int:
+    """Diff mined machines against the hand-written specifications."""
+    import json
+
+    from .efsm.diagnostics import (Severity, count_by_severity,
+                                   diagnostics_to_dicts, format_report)
+    from .efsm.mine import extract_corpus, mine_machine
+    from .efsm.specdiff import specdiff
+    from .vids.config import DEFAULT_CONFIG
+    from .vids.rtp_machine import build_rtp_machine
+    from .vids.sip_machine import build_sip_machine
+
+    config = DEFAULT_CONFIG
+    if args.no_cross_protocol:
+        config = config.with_overrides(cross_protocol=False)
+    specs = {"sip": build_sip_machine(config),
+             "rtp": build_rtp_machine(config)}
+
+    export = _load_export(args.jsonl)
+    corpus = extract_corpus(export)
+    names = [args.machine] if args.machine else sorted(
+        set(corpus.machines()) & set(specs))
+    diagnostics = []
+    for name in names:
+        sequences = corpus.sequences.get(name)
+        if not sequences:
+            print(f"no training sequences for machine {name!r}; "
+                  "did the trace run with --trace-variables and a benign "
+                  "workload?", file=sys.stderr)
+            return 2
+        mined = mine_machine(sequences, name, k=args.k)
+        diagnostics.extend(specdiff(mined, specs[name]))
+
+    min_severity = {"info": Severity.INFO, "warning": Severity.WARNING,
+                    "error": Severity.ERROR}[args.min_severity]
+    if args.json:
+        counts = count_by_severity(diagnostics)
+        print(json.dumps({
+            "findings": diagnostics_to_dicts(
+                d for d in diagnostics if d.severity >= min_severity),
+            "counts": {str(sev): n for sev, n in sorted(counts.items())},
+            "corpus": corpus.summary(),
+        }, indent=2, sort_keys=True))
+    else:
+        print(format_report(diagnostics, min_severity=min_severity))
+    threshold = Severity.WARNING if args.strict else Severity.ERROR
+    return 1 if any(d.severity >= threshold for d in diagnostics) else 0
 
 
 def _parse_port_range(text: Optional[str]) -> List[int]:
@@ -851,6 +1034,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_perf(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "mine":
+        return _cmd_mine(args)
+    if args.command == "specdiff":
+        return _cmd_specdiff(args)
     if args.command == "serve":
         return _cmd_serve(args)
     if args.command == "replay":

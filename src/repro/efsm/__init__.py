@@ -35,10 +35,23 @@ from .machine import (
     Variables,
     probed_dispatch,
 )
+from .mine import (
+    CallSequence,
+    GuardSpec,
+    MinedMachine,
+    MiningCorpus,
+    StepRecord,
+    extract_corpus,
+    mine,
+    mine_machine,
+    replay_sequence,
+)
+from .specdiff import specdiff
 from .system import EfsmSystem, ManualClock, SystemTemplate
 from .verify import RULES, verify_machine, verify_system
 
 __all__ = [
+    "CallSequence",
     "Channel",
     "DefinitionError",
     "Diagnostic",
@@ -48,7 +61,11 @@ __all__ = [
     "EfsmSystem",
     "Event",
     "FiringResult",
+    "GuardSpec",
     "ManualClock",
+    "MinedMachine",
+    "MiningCorpus",
+    "StepRecord",
     "NondeterminismError",
     "Output",
     "RULES",
@@ -66,11 +83,16 @@ __all__ = [
     "diagnostics_to_dicts",
     "errors_only",
     "event_coverage",
+    "extract_corpus",
     "format_report",
     "max_severity",
+    "mine",
+    "mine_machine",
     "parse_channel",
     "probed_dispatch",
     "reachable_states",
+    "replay_sequence",
+    "specdiff",
     "summarize_machine",
     "to_dot",
     "verify_machine",

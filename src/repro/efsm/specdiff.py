@@ -1,0 +1,218 @@
+"""specdiff: structural diff of mined machines against the specifications.
+
+A mined machine (:mod:`repro.efsm.mine`) is evidence of what monitored
+calls *actually did*; the hand-written Figure-5/6 machines are what the
+specification *says* they may do.  Diffing the two finds spec gaps that
+static lint (``speclint``) cannot see, because they only show up against
+real traffic:
+
+- **missing-transition** (ERROR): traces exercised an (state, event,
+  channel) the spec has no transition for — observed behaviour the
+  specification would call a deviation;
+- **guard-disagreement** (WARNING): the spec has a matching transition but
+  its guard rejects some (or all) recorded samples, or the guard accepts
+  them into a different target state than the one actually recorded;
+- **unexercised-transition** (INFO): spec transitions no training trace
+  ever took (expected for attack signatures over a benign corpus);
+- **unvisited-state** (INFO): spec states the corpus never reached.
+
+The diff never aligns mined states with spec states structurally — every
+training observation carries the spec machine's *recorded* state at firing
+time, so spec guards are probed exactly where the event actually arrived,
+with the recorded argument vector and accumulated variable valuation
+(``VidsConfig.trace_variables``).  Without recorded arguments the diff
+degrades to name-level structural checks and skips guard probing.
+
+Findings reuse the speclint :class:`Diagnostic`/:func:`format_report`
+machinery, so the ``specdiff`` CLI renders and exits like ``speclint``.
+See docs/MINING.md for the rule catalog.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from .diagnostics import Diagnostic, Severity
+from .events import Event
+from .machine import Efsm, EfsmInstance, Transition, TransitionContext
+from .mine import MinedMachine, Observation
+
+__all__ = ["specdiff", "DEFAULT_SAMPLES_PER_GROUP"]
+
+#: Recorded observations probed per (state, event, channel) group.
+DEFAULT_SAMPLES_PER_GROUP = 5
+
+
+def _probe_enabled(spec: Efsm, state: str, event: Event,
+                   valuation: Mapping[str, Any],
+                   candidates: List[Transition]) -> Optional[Transition]:
+    """First spec transition enabled at ``state`` for one recorded sample.
+
+    Mirrors :meth:`Efsm.check_determinism`'s probing: a throwaway instance
+    pinned to the recorded state, the recorded valuation split into locals
+    vs globals, predicates evaluated without firing actions.  A guard that
+    raises on the (bounded, possibly partial) recorded data counts as
+    not-enabled rather than crashing the diff.
+    """
+    probe = EfsmInstance(spec, clock_now=lambda: event.time or 0.0)
+    probe.state = state
+    local = probe.variables.local
+    for name, value in valuation.items():
+        if name in local:
+            local[name] = value
+        else:
+            probe.variables.globals[name] = value
+    ctx = TransitionContext(probe, event)
+    for transition in candidates:
+        try:
+            if transition.enabled(ctx):
+                return transition
+        except Exception:
+            continue
+    return None
+
+
+def _sample_args(observations: List[Observation]) -> List[Dict[str, Any]]:
+    return [observation.args for observation in observations[:3]]
+
+
+def specdiff(mined: MinedMachine, spec: Efsm,
+             samples_per_group: int = DEFAULT_SAMPLES_PER_GROUP
+             ) -> List[Diagnostic]:
+    """Diff one mined machine against its specification machine."""
+    # Group every training observation by where it actually fired in the
+    # spec machine: (recorded spec state, event, channel).
+    groups: Dict[Tuple[str, str, Optional[str]], List[Observation]] = {}
+    for key, observations in mined.observations.items():
+        _, event_name, channel, _ = key
+        for observation in observations:
+            group_key = (observation.spec_from, event_name, channel)
+            groups.setdefault(group_key, []).append(observation)
+
+    diagnostics: List[Diagnostic] = []
+    matched: set = set()
+    visited: set = set()
+
+    for (state, event_name, channel), observations in sorted(
+            groups.items(), key=lambda item: (item[0][0], item[0][1],
+                                              item[0][2] or "")):
+        visited.add(state)
+        for observation in observations:
+            if observation.spec_to:
+                visited.add(observation.spec_to)
+        if state not in spec.states:
+            diagnostics.append(Diagnostic(
+                "missing-transition", Severity.ERROR,
+                f"traces record firings in state {state!r} which "
+                f"{spec.name!r} does not define",
+                machine=spec.name, state=state, event=event_name,
+                channel=channel,
+                data={"samples": len(observations)},
+                hint="the spec and the traced deployment disagree about "
+                     "the state space; re-mine against matching specs"))
+            continue
+        candidates = [t for t in spec.transitions_from(state, event_name)
+                      if t.channel == channel]
+        if not candidates:
+            diagnostics.append(Diagnostic(
+                "missing-transition", Severity.ERROR,
+                f"{len(observations)} recorded firing(s) of {event_name!r} "
+                f"in state {state!r}"
+                + (f" on channel {channel!r}" if channel else "")
+                + f" have no matching transition in {spec.name!r}",
+                machine=spec.name, state=state, event=event_name,
+                channel=channel,
+                data={"samples": len(observations),
+                      "example_args": _sample_args(observations)},
+                hint="observed behaviour the specification would flag as a "
+                     "deviation: add the transition or investigate the "
+                     "traffic"))
+            continue
+        probeable = [o for o in observations if o.args or o.valuation]
+        if not probeable:
+            # trace_variables was off: structural name-level match only.
+            matched.update(id(t) for t in candidates)
+            continue
+        samples = probeable[:samples_per_group]
+        accepted = 0
+        mismatched: List[Observation] = []
+        for observation in samples:
+            event = Event(event_name, observation.args, channel=channel,
+                          time=observation.time)
+            enabled = _probe_enabled(spec, state, event,
+                                     observation.valuation, candidates)
+            if enabled is None:
+                continue
+            accepted += 1
+            matched.add(id(enabled))
+            if observation.spec_to and enabled.target != observation.spec_to:
+                mismatched.append(observation)
+        if accepted == 0:
+            diagnostics.append(Diagnostic(
+                "guard-disagreement", Severity.WARNING,
+                f"{spec.name!r} has transition(s) for {event_name!r} in "
+                f"state {state!r} but their guards reject all "
+                f"{len(samples)} recorded sample(s)",
+                machine=spec.name, state=state, event=event_name,
+                channel=channel,
+                transition=candidates[0].describe(),
+                data={"samples": len(samples),
+                      "example_args": _sample_args(samples)},
+                hint="the spec guard and the recorded traffic disagree; "
+                     "check the guard's argument fields against the "
+                     "traced args/vars"))
+        elif accepted < len(samples):
+            diagnostics.append(Diagnostic(
+                "guard-disagreement", Severity.WARNING,
+                f"guards of {spec.name!r} accept only {accepted} of "
+                f"{len(samples)} recorded sample(s) of {event_name!r} in "
+                f"state {state!r}",
+                machine=spec.name, state=state, event=event_name,
+                channel=channel,
+                data={"accepted": accepted, "samples": len(samples),
+                      "example_args": _sample_args(samples)},
+                hint="partial guard coverage: some recorded firings would "
+                     "deviate under the current spec"))
+        if mismatched:
+            diagnostics.append(Diagnostic(
+                "guard-disagreement", Severity.WARNING,
+                f"probing {event_name!r} in state {state!r} selects a "
+                f"different target than the {len(mismatched)} recorded "
+                f"firing(s) (recorded -> {mismatched[0].spec_to!r})",
+                machine=spec.name, state=state, event=event_name,
+                channel=channel,
+                data={"mismatched": len(mismatched),
+                      "example_args": _sample_args(mismatched)},
+                hint="guard overlap or bounded-valuation divergence; "
+                     "verify the guard's variable dependencies"))
+
+    for transition in spec.transitions:
+        if id(transition) in matched:
+            continue
+        is_attack = (transition.attack
+                     or transition.target in spec.attack_states)
+        diagnostics.append(Diagnostic(
+            "unexercised-transition", Severity.INFO,
+            f"spec transition {transition.describe()} was never exercised "
+            f"by the training corpus"
+            + (" (attack signature: expected on benign traffic)"
+               if is_attack else ""),
+            machine=spec.name, state=transition.source,
+            event=transition.event_name, channel=transition.channel,
+            transition=transition.describe(),
+            hint="" if is_attack else
+                 "widen the corpus or confirm the path is reachable "
+                 "in deployment"))
+
+    for state in sorted(set(spec.states) - visited):
+        is_attack = state in spec.attack_states
+        diagnostics.append(Diagnostic(
+            "unvisited-state", Severity.INFO,
+            f"spec state {state!r} was never reached by the training corpus"
+            + (" (attack state: expected on benign traffic)"
+               if is_attack else ""),
+            machine=spec.name, state=state))
+
+    diagnostics.sort(key=lambda d: (-int(d.severity), d.rule,
+                                    d.state or "", d.event or ""))
+    return diagnostics

@@ -45,7 +45,14 @@ from .profiler import (
     profiling_enabled,
 )
 from .timeline import format_event, render_timeline
-from .trace import DEFAULT_TRACE_CAPACITY, TraceBus, TraceEvent
+from .trace import (
+    DEFAULT_TRACE_CAPACITY,
+    TRACE_FORMAT_VERSION,
+    TraceBus,
+    TraceEvent,
+    TraceExport,
+    from_jsonl,
+)
 
 __all__ = [
     "Counter",
@@ -61,11 +68,14 @@ __all__ = [
     "PromSample",
     "StageProfiler",
     "StageStats",
+    "TRACE_FORMAT_VERSION",
     "TraceBus",
     "TraceEvent",
+    "TraceExport",
     "disable_profiling",
     "enable_profiling",
     "format_event",
+    "from_jsonl",
     "parse_prometheus",
     "profiling_enabled",
     "render_timeline",

@@ -13,19 +13,115 @@ The bus is *passive and optional*: every producer in the pipeline holds an
 ``Optional[TraceBus]`` and guards each emission with an ``is not None``
 check, so a vids instance built without observability pays one pointer
 comparison per potential event and allocates nothing.
+
+Exports round-trip: :meth:`TraceBus.to_jsonl` emits a ``$meta`` header line
+(emission/drop accounting, so a consumer can tell when the ring evicted the
+head of a call) followed by one typed-safe JSON object per event, and
+:func:`from_jsonl` parses that text back into equal :class:`TraceEvent`
+objects.  Tuples, sets, frozensets, bytes, and non-string dict keys survive
+via ``$``-tagged wrappers; payload keys that would collide with the
+envelope fields are namespaced with a ``data_`` prefix instead of silently
+shadowing them.
 """
 
 from __future__ import annotations
 
 import json
+import re
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, Iterator, List, Optional
 
-__all__ = ["TraceEvent", "TraceBus", "DEFAULT_TRACE_CAPACITY"]
+__all__ = [
+    "TraceEvent",
+    "TraceBus",
+    "TraceExport",
+    "DEFAULT_TRACE_CAPACITY",
+    "TRACE_FORMAT_VERSION",
+    "from_jsonl",
+]
 
 #: Default ring-buffer capacity (events, not bytes).
 DEFAULT_TRACE_CAPACITY = 65_536
+
+#: Version stamp written into the ``$meta`` header of JSONL exports.
+TRACE_FORMAT_VERSION = 2
+
+#: Envelope fields of the flat :meth:`TraceEvent.to_dict` rendering.  A
+#: payload key equal to one of these must not overwrite the envelope value.
+_ENVELOPE_KEYS = ("seq", "time", "kind", "call_id", "packet_id")
+_ENVELOPE_SET = frozenset(_ENVELOPE_KEYS)
+
+#: Keys that *decode* as escaped payload keys: one or more ``data_`` prefixes
+#: in front of an envelope name.  Encoding adds one prefix to any key in this
+#: language (or in the envelope itself); decoding strips exactly one.  That
+#: makes the escape reversible even for pathological keys like ``data_seq``.
+_ESCAPED_KEY = re.compile(r"(?:data_)+(?:seq|time|kind|call_id|packet_id)\Z")
+
+
+def _escape_key(key: str) -> str:
+    if key in _ENVELOPE_SET or _ESCAPED_KEY.match(key):
+        return "data_" + key
+    return key
+
+
+def _unescape_key(key: str) -> str:
+    if _ESCAPED_KEY.match(key):
+        return key[len("data_"):]
+    return key
+
+
+def _encode_value(value: Any) -> Any:
+    """JSON-safe encoding that round-trips the payload types the bus sees.
+
+    Containers the default encoder would flatten or reject — tuples, sets,
+    frozensets, bytes, dicts with non-string keys — become single-key
+    ``$``-tagged wrappers.  Anything else non-primitive falls back to
+    ``str()`` (the pre-round-trip behaviour), so arbitrary objects still
+    export without raising.
+    """
+    kind = type(value)
+    if value is None or kind is str or kind is int or kind is float or kind is bool:
+        return value
+    if kind is tuple:
+        return {"$tuple": [_encode_value(item) for item in value]}
+    if kind is list:
+        return [_encode_value(item) for item in value]
+    if kind is set or kind is frozenset:
+        tag = "$set" if kind is set else "$frozenset"
+        items = sorted(value, key=lambda item: (str(type(item)), repr(item)))
+        return {tag: [_encode_value(item) for item in items]}
+    if kind is bytes:
+        return {"$bytes": value.hex()}
+    if kind is dict:
+        plain = all(
+            isinstance(key, str) and not key.startswith("$") for key in value)
+        if plain:
+            return {key: _encode_value(item) for key, item in value.items()}
+        return {"$dict": [[_encode_value(key), _encode_value(item)]
+                          for key, item in value.items()]}
+    return str(value)
+
+
+def _decode_value(value: Any) -> Any:
+    if isinstance(value, list):
+        return [_decode_value(item) for item in value]
+    if isinstance(value, dict):
+        if len(value) == 1:
+            tag, payload = next(iter(value.items()))
+            if tag == "$tuple":
+                return tuple(_decode_value(item) for item in payload)
+            if tag == "$set":
+                return {_decode_value(item) for item in payload}
+            if tag == "$frozenset":
+                return frozenset(_decode_value(item) for item in payload)
+            if tag == "$bytes":
+                return bytes.fromhex(payload)
+            if tag == "$dict":
+                return {_decode_value(key): _decode_value(item)
+                        for key, item in payload}
+        return {key: _decode_value(item) for key, item in value.items()}
+    return value
 
 
 @dataclass(slots=True)
@@ -53,7 +149,14 @@ class TraceEvent:
     data: Dict[str, Any]
 
     def to_dict(self) -> Dict[str, Any]:
-        """A flat, JSON-serializable rendering (stable field order)."""
+        """A flat, JSON-serializable rendering (stable field order).
+
+        Payload keys that collide with the envelope (``seq``/``time``/
+        ``kind``/``call_id``/``packet_id``) are namespaced with a ``data_``
+        prefix rather than overwriting the envelope fields; values are
+        encoded with the typed-safe scheme so the rendering round-trips
+        through :func:`from_jsonl`.
+        """
         record: Dict[str, Any] = {
             "seq": self.seq,
             "time": self.time,
@@ -63,8 +166,72 @@ class TraceEvent:
             record["call_id"] = self.call_id
         if self.packet_id is not None:
             record["packet_id"] = self.packet_id
-        record.update(self.data)
+        for key, value in self.data.items():
+            record[_escape_key(key)] = _encode_value(value)
         return record
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, Any]) -> "TraceEvent":
+        """Inverse of :meth:`to_dict`."""
+        data: Dict[str, Any] = {}
+        for key, value in record.items():
+            if key in _ENVELOPE_SET:
+                continue
+            data[_unescape_key(key)] = _decode_value(value)
+        return cls(
+            seq=record["seq"],
+            time=record["time"],
+            kind=record["kind"],
+            call_id=record.get("call_id"),
+            packet_id=record.get("packet_id"),
+            data=data,
+        )
+
+
+@dataclass(slots=True)
+class TraceExport:
+    """A parsed JSONL export: the events plus the bus accounting header.
+
+    ``dropped > 0`` means the ring evicted events before the export was
+    taken — per-call timelines may be missing their head, and a consumer
+    (the miner, notably) must treat truncated calls accordingly.
+    """
+
+    events: List[TraceEvent] = field(default_factory=list)
+    emitted: Optional[int] = None
+    dropped: int = 0
+    capacity: Optional[int] = None
+    format: Optional[int] = None
+
+    @property
+    def truncated(self) -> bool:
+        return self.dropped > 0
+
+
+def from_jsonl(text: str) -> TraceExport:
+    """Parse a :meth:`TraceBus.to_jsonl` export back into events.
+
+    Accepts exports with or without the ``$meta`` header line (pre-v2
+    exports had none, so ``emitted``/``capacity`` come back ``None``).
+    Blank lines are skipped.
+    """
+    export = TraceExport()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        if not isinstance(record, dict):
+            raise ValueError(f"line {lineno}: expected a JSON object")
+        if "$meta" in record:
+            meta = record["$meta"]
+            export.format = meta.get("format")
+            export.emitted = meta.get("emitted")
+            export.dropped = meta.get("dropped", 0)
+            export.capacity = meta.get("capacity")
+            continue
+        export.events.append(TraceEvent.from_dict(record))
+    return export
 
 
 class TraceBus:
@@ -143,9 +310,26 @@ class TraceBus:
 
     # -- export ---------------------------------------------------------------
 
-    def to_jsonl(self, events: Optional[Iterable[TraceEvent]] = None) -> str:
-        """One JSON object per line (``default=str`` for exotic values)."""
-        selected = self._events if events is None else events
-        return "\n".join(
+    def to_jsonl(self, events: Optional[Iterable[TraceEvent]] = None,
+                 header: bool = True) -> str:
+        """Typed-safe JSONL: a ``$meta`` accounting line, then one event/line.
+
+        The header carries ``emitted``/``dropped``/``capacity`` so a consumer
+        can detect ring truncation (``dropped > 0``) instead of silently
+        learning from timelines whose head was evicted.  Pass
+        ``header=False`` for a bare event stream.
+        """
+        selected = list(self._events if events is None else events)
+        lines: List[str] = []
+        if header:
+            lines.append(json.dumps({"$meta": {
+                "format": TRACE_FORMAT_VERSION,
+                "emitted": self.emitted,
+                "dropped": self.dropped,
+                "capacity": self.capacity,
+                "events": len(selected),
+            }}, sort_keys=False))
+        lines.extend(
             json.dumps(event.to_dict(), sort_keys=False, default=str)
             for event in selected)
+        return "\n".join(lines)

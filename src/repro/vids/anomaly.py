@@ -1,0 +1,235 @@
+"""Mined-model anomaly scoring: rank live calls by distance from learning.
+
+The specification-based detector (the hand-written Figure-5/6 machines)
+answers "did this call violate the spec?"; the mined model
+(:mod:`repro.efsm.mine`) answers the complementary question the
+Nassar/State survey argues for: "does this call look like the traffic we
+learned from?".  An :class:`AnomalyModel` wraps the mined machines plus
+their per-transition training support; an :class:`AnomalyScorer` replays
+every live firing through a per-call cursor of the mined machine and
+accumulates a surprise score:
+
+- a firing the mined model has a transition for costs
+  ``-log2(support / state_total)`` bits, where ``state_total`` counts
+  *all* training firings out of that source state — the Markov surprise
+  of seeing this event here.  Common transitions are nearly free; a rare
+  branch (one benign in-flight packet after BYE against thousands of
+  in-call packets) costs real bits every time an attacker lingers on it;
+- a firing the mined model has *no* transition for (a model deviation)
+  costs a flat ``miss_penalty`` bits.
+
+The per-call score is the mean bits per step; once a call has at least
+``min_steps`` scored steps and its score exceeds ``threshold``, it is
+flagged once — an ``anomaly`` trace event plus the ``anomaly_flags``
+counter.  The scorer is deliberately *not* an alert source: it ranks and
+annotates (metrics + trace events) beside the specification-based
+detector, it does not raise :class:`~repro.vids.alerts.Alert`s.
+
+Opt in by building a model from mined machines and setting
+``VidsConfig.anomaly_model``; see docs/MINING.md "Anomaly scoring".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import log2
+from typing import TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+from ..efsm.events import Event
+from ..efsm.machine import Efsm, EfsmInstance
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from ..efsm.machine import FiringResult
+    from ..efsm.mine import MinedMachine
+    from ..obs.trace import TraceBus
+    from .metrics import VidsMetrics
+
+__all__ = ["AnomalyModel", "AnomalyScorer", "CallScore"]
+
+#: Cap on concurrently tracked call cursors; beyond it the oldest
+#: unflagged cursor is evicted (a long-running tap must stay bounded).
+_MAX_TRACKED_CALLS = 4096
+
+TransitionKey = Tuple[str, str, Optional[str], str]
+
+
+@dataclass
+class AnomalyModel:
+    """Mined machines plus training-support statistics, ready to score.
+
+    ``supports`` maps (source, event, channel, target) to the number of
+    training observations behind that transition; ``totals`` aggregates
+    them per *source state*, so a fired transition's probability estimate
+    is ``support / total`` — the chance of this event given where the
+    call is.  Conditioning on the full source state (not the event) is
+    what prices rarity: a branch the training corpus took once in ten
+    thousand firings stays expensive even though it is the only
+    transition for its event.
+    """
+
+    machines: Dict[str, Efsm]
+    supports: Dict[str, Dict[TransitionKey, int]]
+    #: Mean bits/step above which a call is flagged anomalous.
+    threshold: float = 3.0
+    #: Flat bit cost for a firing the mined model has no transition for.
+    miss_penalty: float = 6.0
+    #: Scored steps before a call becomes eligible for flagging.
+    min_steps: int = 3
+    totals: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.totals:
+            for machine, supports in self.supports.items():
+                totals = self.totals.setdefault(machine, {})
+                for (source, _, _, _), count in supports.items():
+                    totals[source] = totals.get(source, 0) + count
+
+    @classmethod
+    def from_mined(cls, mined: Union[Mapping[str, "MinedMachine"],
+                                     Iterable["MinedMachine"]],
+                   threshold: float = 3.0,
+                   miss_penalty: float = 6.0,
+                   min_steps: int = 3) -> "AnomalyModel":
+        """Build a model out of :func:`repro.efsm.mine.mine` results."""
+        items = (mined.values() if isinstance(mined, Mapping) else mined)
+        machines: Dict[str, Efsm] = {}
+        supports: Dict[str, Dict[TransitionKey, int]] = {}
+        for machine in items:
+            machines[machine.machine] = machine.efsm
+            supports[machine.machine] = dict(machine.supports)
+        if not machines:
+            raise ValueError("AnomalyModel.from_mined: no mined machines")
+        return cls(machines=machines, supports=supports,
+                   threshold=threshold, miss_penalty=miss_penalty,
+                   min_steps=min_steps)
+
+    def step_cost(self, machine: str, source: str, event: str,
+                  channel: Optional[str], target: Optional[str]) -> float:
+        """Surprise (bits) of one firing; ``target=None`` = model deviation."""
+        if target is None:
+            return self.miss_penalty
+        supports = self.supports.get(machine, {})
+        support = supports.get((source, event, channel, target), 0)
+        total = self.totals.get(machine, {}).get(source, 0)
+        if support <= 0 or total <= 0:
+            return self.miss_penalty
+        return -log2(support / total)
+
+
+@dataclass
+class CallScore:
+    """Running anomaly state of one monitored call."""
+
+    call_id: str
+    cursors: Dict[str, EfsmInstance] = field(default_factory=dict)
+    bits: float = 0.0
+    steps: int = 0
+    deviations: int = 0
+    flagged: bool = False
+    last_time: float = 0.0
+
+    @property
+    def score(self) -> float:
+        """Mean surprise in bits per scored step."""
+        return self.bits / self.steps if self.steps else 0.0
+
+
+class AnomalyScorer:
+    """Per-call replay of live firings through the mined model.
+
+    One :class:`EfsmInstance` cursor per (call, machine) tracks where the
+    mined model thinks the call is; every live
+    :class:`~repro.efsm.machine.FiringResult` is re-delivered to the
+    cursor and costed by the model.  Spec-side deviations are skipped
+    (they left the spec machine's state unchanged, so the mined cursor
+    must not advance either).
+    """
+
+    def __init__(self, model: AnomalyModel,
+                 metrics: Optional["VidsMetrics"] = None,
+                 trace: Optional["TraceBus"] = None):
+        self.model = model
+        self.metrics = metrics
+        self.trace = trace
+        self._calls: Dict[str, CallScore] = {}
+
+    # -- scoring ---------------------------------------------------------------
+
+    def observe(self, call_id: Optional[str],
+                result: "FiringResult") -> Optional[float]:
+        """Score one live firing; returns the call's running score."""
+        if call_id is None:
+            return None
+        mined = self.model.machines.get(result.machine)
+        if mined is None:
+            return None
+        if result.deviation:
+            # The spec machine did not move; neither may the mined cursor.
+            # The spec-based detector already accounts for deviations.
+            return None
+        call = self._calls.get(call_id)
+        if call is None:
+            call = self._track(call_id)
+        cursor = call.cursors.get(result.machine)
+        if cursor is None:
+            cursor = call.cursors[result.machine] = EfsmInstance(
+                mined, clock_now=lambda: call.last_time)
+        call.last_time = result.time
+        event = result.event
+        mined_result = cursor.deliver(Event(
+            event.name, event.args, channel=event.channel, time=result.time))
+        if mined_result.transition is None:
+            cost = self.model.step_cost(
+                result.machine, mined_result.from_state, event.name,
+                event.channel, None)
+            call.deviations += 1
+            if self.metrics is not None:
+                self.metrics.anomaly_deviations += 1
+        else:
+            cost = self.model.step_cost(
+                result.machine, mined_result.from_state, event.name,
+                event.channel, mined_result.to_state)
+        call.bits += cost
+        call.steps += 1
+        if self.metrics is not None:
+            self.metrics.anomaly_events_scored += 1
+        score = call.score
+        if (not call.flagged and call.steps >= self.model.min_steps
+                and score > self.model.threshold):
+            call.flagged = True
+            if self.metrics is not None:
+                self.metrics.anomaly_flags += 1
+            if self.trace is not None:
+                self.trace.emit(
+                    "anomaly", result.time, call_id=call_id,
+                    machine=result.machine, score=round(score, 3),
+                    steps=call.steps, deviations=call.deviations,
+                    threshold=self.model.threshold)
+        return score
+
+    def _track(self, call_id: str) -> CallScore:
+        if len(self._calls) >= _MAX_TRACKED_CALLS:
+            for existing_id, existing in self._calls.items():
+                if not existing.flagged:
+                    del self._calls[existing_id]
+                    break
+            else:  # every tracked call is flagged: evict the oldest
+                self._calls.pop(next(iter(self._calls)))
+        call = CallScore(call_id)
+        self._calls[call_id] = call
+        if self.metrics is not None:
+            self.metrics.anomaly_calls_scored += 1
+        return call
+
+    # -- inspection ------------------------------------------------------------
+
+    def call_score(self, call_id: str) -> Optional[CallScore]:
+        return self._calls.get(call_id)
+
+    def scores(self) -> List[CallScore]:
+        """Tracked calls ranked most-anomalous first."""
+        return sorted(self._calls.values(),
+                      key=lambda call: call.score, reverse=True)
+
+    def flagged(self) -> List[CallScore]:
+        return [call for call in self.scores() if call.flagged]

@@ -128,6 +128,16 @@ class VidsMetrics:
     #: Times shedding engaged (>= len(shed_intervals) if still shedding).
     shed_events: int = 0
 
+    # -- mined-model anomaly scoring (docs/MINING.md) -------------------------
+    #: Firings scored against the mined model (anomaly_model configured).
+    anomaly_events_scored: int = 0
+    #: Firings the mined model had no transition for (model deviations).
+    anomaly_deviations: int = 0
+    #: Distinct calls whose behaviour was scored.
+    anomaly_calls_scored: int = 0
+    #: Calls whose normalized score crossed the anomaly threshold.
+    anomaly_flags: int = 0
+
     @property
     def shed_time(self) -> float:
         """Total seconds spent in completed shedding intervals."""
@@ -176,6 +186,10 @@ class VidsMetrics:
         ("time_regressions", "Backward capture timestamps clamped monotonic"),
         ("packets_shed", "Media packets shed during overload"),
         ("shed_events", "Times overload shedding engaged"),
+        ("anomaly_events_scored", "Firings scored against the mined model"),
+        ("anomaly_deviations", "Firings the mined model had no path for"),
+        ("anomaly_calls_scored", "Distinct calls scored by the mined model"),
+        ("anomaly_flags", "Calls flagged above the anomaly threshold"),
     )
     _GAUGE_FIELDS = (
         ("peak_concurrent_calls", "High-water mark of concurrent calls"),
@@ -258,4 +272,8 @@ class VidsMetrics:
             "packets_shed": self.packets_shed,
             "shed_events": self.shed_events,
             "shed_time": self.shed_time,
+            "anomaly_events_scored": self.anomaly_events_scored,
+            "anomaly_deviations": self.anomaly_deviations,
+            "anomaly_calls_scored": self.anomaly_calls_scored,
+            "anomaly_flags": self.anomaly_flags,
         }

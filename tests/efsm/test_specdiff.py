@@ -1,0 +1,187 @@
+"""specdiff: mined-vs-spec structural diffing.
+
+Acceptance (docs/MINING.md): a benign corpus diffed against the
+hand-written SIP machine yields zero missing-transition findings, while a
+spec with an injected gap (a removed benign transition) is flagged with a
+missing-transition ERROR.
+"""
+
+from repro.efsm import Efsm, Severity
+from repro.efsm.mine import CallSequence, StepRecord, mine_machine
+from repro.efsm.specdiff import specdiff
+from repro.vids.config import DEFAULT_CONFIG
+from repro.vids.sip_machine import build_sip_machine
+
+
+def toy_sequence(call_id, steps, machine="toy"):
+    sequence = CallSequence(call_id, machine)
+    for event, src, dst, args in steps:
+        sequence.steps.append(StepRecord(
+            event=event, channel=None, from_state=src, to_state=dst,
+            args=args, valuation={}))
+    return sequence
+
+
+def build_toy_spec(guard_status=None):
+    """Init --invite--> Trying --resp--> Up (final).
+
+    With ``guard_status`` the resp transition is guarded on
+    ``x["status"] == guard_status``.
+    """
+    spec = Efsm("toy-spec", "Init")
+    spec.add_state("Init")
+    spec.add_state("Trying")
+    spec.add_state("Up", final=True)
+    spec.add_transition("Init", "invite", "Trying")
+    predicate = None
+    if guard_status is not None:
+        def predicate(ctx, _want=guard_status):
+            return ctx.x.get("status") == _want
+    spec.add_transition("Trying", "resp", "Up", predicate=predicate)
+    spec.validate()
+    return spec
+
+
+def mine_toy(step_lists):
+    sequences = [toy_sequence(f"c{i}", steps)
+                 for i, steps in enumerate(step_lists)]
+    return mine_machine(sequences, "toy")
+
+
+def by_rule(diagnostics, rule):
+    return [d for d in diagnostics if d.rule == rule]
+
+
+class TestRules:
+    def test_clean_toy_diff_has_no_findings_above_info(self):
+        mined = mine_toy([[
+            ("invite", "Init", "Trying", {"status": 0}),
+            ("resp", "Trying", "Up", {"status": 200}),
+        ]] * 2)
+        diagnostics = specdiff(mined, build_toy_spec())
+        assert not [d for d in diagnostics
+                    if d.severity >= Severity.WARNING], diagnostics
+
+    def test_missing_transition_on_unknown_event(self):
+        mined = mine_toy([[
+            ("invite", "Init", "Trying", {}),
+            ("surprise", "Trying", "Up", {}),
+        ]])
+        findings = by_rule(specdiff(mined, build_toy_spec()),
+                           "missing-transition")
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.severity == Severity.ERROR
+        assert finding.state == "Trying" and finding.event == "surprise"
+
+    def test_missing_transition_on_unknown_state(self):
+        mined = mine_toy([[("invite", "Ghost", "Trying", {})]])
+        findings = by_rule(specdiff(mined, build_toy_spec()),
+                           "missing-transition")
+        assert findings and findings[0].state == "Ghost"
+
+    def test_guard_rejects_all_samples(self):
+        mined = mine_toy([[
+            ("invite", "Init", "Trying", {"status": 0}),
+            ("resp", "Trying", "Up", {"status": 486}),
+        ]] * 2)
+        diagnostics = specdiff(mined, build_toy_spec(guard_status=200))
+        findings = by_rule(diagnostics, "guard-disagreement")
+        assert len(findings) == 1
+        assert findings[0].severity == Severity.WARNING
+        assert "reject all" in findings[0].message
+
+    def test_guard_partial_coverage(self):
+        mined = mine_toy([
+            [("invite", "Init", "Trying", {"status": 0}),
+             ("resp", "Trying", "Up", {"status": 200})],
+            [("invite", "Init", "Trying", {"status": 0}),
+             ("resp", "Trying", "Up", {"status": 486})],
+        ])
+        diagnostics = specdiff(mined, build_toy_spec(guard_status=200))
+        findings = by_rule(diagnostics, "guard-disagreement")
+        assert findings and "accept only" in findings[0].message
+
+    def test_target_mismatch_reported(self):
+        # The spec routes resp to Up; the traces recorded a landing in
+        # Trying (a self-loop the spec does not model).
+        mined = mine_toy([[
+            ("invite", "Init", "Trying", {"status": 0}),
+            ("resp", "Trying", "Trying", {"status": 200}),
+        ]])
+        diagnostics = specdiff(mined, build_toy_spec())
+        findings = by_rule(diagnostics, "guard-disagreement")
+        assert findings and "different target" in findings[0].message
+
+    def test_structural_fallback_without_recorded_args(self):
+        # trace_variables off: args/valuations empty, so guard probing is
+        # skipped and name-level matches count as exercised.
+        mined = mine_toy([[
+            ("invite", "Init", "Trying", {}),
+            ("resp", "Trying", "Up", {}),
+        ]])
+        diagnostics = specdiff(mined, build_toy_spec(guard_status=200))
+        assert not [d for d in diagnostics
+                    if d.severity >= Severity.WARNING], diagnostics
+
+    def test_unexercised_and_unvisited_info(self):
+        spec = build_toy_spec()
+        spec.add_state("Side", final=True)
+        spec.add_transition("Trying", "detour", "Side")
+        mined = mine_toy([[
+            ("invite", "Init", "Trying", {}),
+            ("resp", "Trying", "Up", {}),
+        ]])
+        diagnostics = specdiff(mined, spec)
+        unexercised = by_rule(diagnostics, "unexercised-transition")
+        assert any(d.event == "detour" for d in unexercised)
+        unvisited = by_rule(diagnostics, "unvisited-state")
+        assert any(d.state == "Side" for d in unvisited)
+        assert all(d.severity == Severity.INFO
+                   for d in unexercised + unvisited)
+
+
+def remove_transitions(machine, event_name):
+    """Inject a spec gap: strip every ``event_name`` transition."""
+    removed = [t for t in machine.transitions
+               if t.event_name == event_name]
+    assert removed, f"spec has no {event_name} transitions"
+    for transition in removed:
+        machine.transitions.remove(transition)
+        machine._index[(transition.source, transition.event_name)].remove(
+            transition)
+    machine._compiled.clear()
+    return removed
+
+
+class TestAgainstSipSpec:
+    """Scenario-corpus acceptance tests against the hand-written machine."""
+
+    def test_zero_missing_transitions_on_benign_corpus(
+            self, benign_mining_run):
+        spec = build_sip_machine(DEFAULT_CONFIG)
+        diagnostics = specdiff(benign_mining_run.mined["sip"], spec)
+        assert not by_rule(diagnostics, "missing-transition"), diagnostics
+        assert not [d for d in diagnostics
+                    if d.severity >= Severity.WARNING], diagnostics
+
+    def test_injected_spec_gap_detected(self, benign_mining_run):
+        gapped = build_sip_machine(DEFAULT_CONFIG)
+        remove_transitions(gapped, "BYE")
+        diagnostics = specdiff(benign_mining_run.mined["sip"], gapped)
+        findings = by_rule(diagnostics, "missing-transition")
+        assert findings, "removed BYE transitions must surface as a gap"
+        assert all(d.severity == Severity.ERROR for d in findings)
+        assert any(d.event == "BYE" for d in findings)
+
+    def test_findings_render_with_speclint_reporting(self,
+                                                     benign_mining_run):
+        from repro.efsm import count_by_severity, format_report
+
+        spec = build_sip_machine(DEFAULT_CONFIG)
+        diagnostics = specdiff(benign_mining_run.mined["sip"], spec)
+        report = format_report(diagnostics)
+        assert "unexercised-transition" in report
+        counts = count_by_severity(diagnostics)
+        assert sum(counts.values()) == len(diagnostics)
+        assert all(d.severity == Severity.INFO for d in diagnostics)

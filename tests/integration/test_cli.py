@@ -39,6 +39,35 @@ class TestParser:
         assert not args.json and not args.strict
         assert not args.no_cross_protocol and args.dot is None
 
+    def test_trace_mining_flags(self):
+        args = build_parser().parse_args(["trace"])
+        assert not args.trace_variables
+        assert args.mean_duration == 400.0
+        args = build_parser().parse_args(
+            ["trace", "--trace-variables", "--mean-duration", "60"])
+        assert args.trace_variables and args.mean_duration == 60.0
+
+    def test_mine_defaults(self):
+        args = build_parser().parse_args(["mine", "--jsonl", "t.jsonl"])
+        assert args.command == "mine"
+        assert args.jsonl == "t.jsonl"
+        assert args.machine is None and args.k == 2
+        assert not args.json and not args.strict
+        assert not args.include_attacks and args.dot is None
+
+    def test_mine_requires_jsonl(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["mine"])
+
+    def test_specdiff_options(self):
+        args = build_parser().parse_args(
+            ["specdiff", "--jsonl", "t.jsonl", "--machine", "sip",
+             "--strict", "--json", "--min-severity", "warning"])
+        assert args.command == "specdiff"
+        assert args.machine == "sip" and args.strict and args.json
+        assert args.min_severity == "warning"
+        assert not args.no_cross_protocol
+
     def test_speclint_options(self):
         args = build_parser().parse_args(
             ["speclint", "--json", "--strict", "--min-severity", "warning",
@@ -79,6 +108,37 @@ class TestCommands:
                      "--dot", str(tmp_path)]) == 0
         written = {p.name for p in tmp_path.glob("*.dot")}
         assert {"sip.dot", "rtp.dot"} <= written
+
+    def test_trace_mine_specdiff_pipeline(self, capsys, tmp_path):
+        jsonl = tmp_path / "trace.jsonl"
+        assert main(["trace", "--attack", "none", "--trace-variables",
+                     "--horizon", "120", "--mean-duration", "40",
+                     "--seed", "5", "--jsonl", str(jsonl)]) == 0
+        capsys.readouterr()
+
+        assert main(["mine", "--jsonl", str(jsonl), "--strict",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["corpus"]["calls_trained"] > 0
+        assert set(payload["replay_deviations"].values()) == {0}
+
+        assert main(["mine", "--jsonl", str(jsonl),
+                     "--dot", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert (tmp_path / "mined-sip.dot").exists()
+        assert (tmp_path / "mined-rtp.dot").exists()
+
+        assert main(["specdiff", "--jsonl", str(jsonl),
+                     "--machine", "sip", "--strict"]) == 0
+        out = capsys.readouterr().out
+        assert "missing-transition" not in out
+        assert "guard-disagreement" not in out
+
+    def test_mine_unknown_machine_fails(self, capsys, tmp_path):
+        jsonl = tmp_path / "empty.jsonl"
+        jsonl.write_text("")
+        assert main(["mine", "--jsonl", str(jsonl),
+                     "--machine", "bogus"]) == 2
 
     def test_scenario_runs_and_exports(self, capsys, tmp_path):
         code = main(["scenario", "--horizon", "240", "--phones", "3",

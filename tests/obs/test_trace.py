@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.obs import DEFAULT_TRACE_CAPACITY, TraceBus
+from repro.obs import DEFAULT_TRACE_CAPACITY, TraceBus, TraceEvent, from_jsonl
 
 
 class TestEmission:
@@ -112,13 +112,14 @@ class TestJsonl:
                  malformed=False)
         bus.emit("alert", 1.0, call_id="c1", attack_type="bye-dos")
         lines = bus.to_jsonl().splitlines()
-        assert len(lines) == 2
-        first = json.loads(lines[0])
+        assert len(lines) == 3  # $meta header + two events
+        assert "$meta" in json.loads(lines[0])
+        first = json.loads(lines[1])
         assert first["kind"] == "classify"
         assert first["call_id"] == "c1"
         assert first["packet_id"] == 3
         assert first["verdict"] == "sip"
-        second = json.loads(lines[1])
+        second = json.loads(lines[2])
         assert second["attack_type"] == "bye-dos"
         assert "packet_id" not in second  # omitted when uncorrelated
 
@@ -132,5 +133,140 @@ class TestJsonl:
         bus = TraceBus()
         bus.emit("a", 0.0)
         bus.emit("b", 1.0)
-        text = bus.to_jsonl(bus.events(kind="b"))
+        text = bus.to_jsonl(bus.events(kind="b"), header=False)
         assert json.loads(text)["kind"] == "b"
+
+
+class TestRoundTrip:
+    """Regressions for the lossy ``default=str`` export (satellite fix 1)."""
+
+    def test_tuples_sets_bytes_round_trip(self):
+        bus = TraceBus()
+        bus.emit("delta", 0.5, call_id="c1", states=("a", "b"),
+                 members={"x", "y"}, frozen=frozenset({1, 2}),
+                 raw=b"\x00\xff", nested={"inner": (1, 2.5, None)})
+        export = from_jsonl(bus.to_jsonl())
+        (event,) = export.events
+        assert event.data["states"] == ("a", "b")
+        assert event.data["members"] == {"x", "y"}
+        assert event.data["frozen"] == frozenset({1, 2})
+        assert event.data["raw"] == b"\x00\xff"
+        assert event.data["nested"] == {"inner": (1, 2.5, None)}
+
+    def test_every_emitted_event_kind_round_trips(self):
+        """Payload shapes mirroring each real emitter in the pipeline."""
+        bus = TraceBus()
+        bus.emit("classify", 0.1, call_id="c1", packet_id=1, verdict="sip",
+                 malformed=False)
+        bus.emit("route", 0.1, call_id="c1", packet_id=1, machine="sip")
+        bus.emit("call-created", 0.1, call_id="c1", machines=("sip", "rtp"))
+        bus.emit("fire", 0.2, call_id="c1", machine="sip", event="INVITE",
+                 from_state="INIT", to_state="INVITE_Rcvd", deviation=False,
+                 attack=False)
+        bus.emit("delta", 0.2, call_id="c1", sender="sip",
+                 channel="sip->rtp", event="delta_session_offer")
+        bus.emit("alert", 0.3, call_id="c1", attack_type="bye-dos",
+                 detail={"src": "10.0.0.9", "ports": (5060, 5061)})
+        bus.emit("call-deleted", 9.0, call_id="c1",
+                 states={"sip": "Closed", "rtp": "RTP_Close"})
+        bus.emit("quarantine", 0.4, call_id="c1", reason="boom")
+        bus.emit("shed-start", 0.5, backlog=1.25)
+        bus.emit("fault", 0.6, kind_detail="drop", target="link")
+        export = from_jsonl(bus.to_jsonl())
+        assert export.dropped == 0
+        assert export.emitted == bus.emitted
+        assert [e.kind for e in export.events] == \
+            [e.kind for e in bus.events()]
+        for parsed, original in zip(export.events, bus.events()):
+            assert parsed == original
+
+    def test_dict_with_nonstring_keys_round_trips(self):
+        bus = TraceBus()
+        bus.emit("fault", 0.0, table={1: "a", (2, 3): "b"})
+        export = from_jsonl(bus.to_jsonl())
+        assert export.events[0].data["table"] == {1: "a", (2, 3): "b"}
+
+    def test_dollar_keys_do_not_collide_with_tags(self):
+        bus = TraceBus()
+        bus.emit("fault", 0.0, weird={"$tuple": "not-a-tag"})
+        export = from_jsonl(bus.to_jsonl())
+        assert export.events[0].data["weird"] == {"$tuple": "not-a-tag"}
+
+    def test_headerless_export_parses(self):
+        bus = TraceBus()
+        bus.emit("a", 0.0)
+        export = from_jsonl(bus.to_jsonl(header=False))
+        assert len(export.events) == 1
+        assert export.emitted is None  # no accounting without the header
+
+
+class TestEnvelopeShadowing:
+    """Regressions for payload keys shadowing the envelope (satellite fix 2)."""
+
+    def test_payload_seq_does_not_overwrite_envelope(self):
+        bus = TraceBus()
+        bus.emit("fault", 1.5, call_id="c1", seq=999)
+        record = bus.events()[0].to_dict()
+        assert record["seq"] == 1
+        assert record["time"] == 1.5
+        assert record["kind"] == "fault"
+        assert record["call_id"] == "c1"
+        assert record["data_seq"] == 999
+
+    def test_every_envelope_field_protected(self):
+        # emit() blocks most collisions at the signature, but events can be
+        # built directly (and future emitters may pass dicts through).
+        event = TraceEvent(seq=7, time=2.0, kind="fault", call_id="c1",
+                           packet_id=3,
+                           data={"seq": 0, "time": -1.0, "kind": "fake",
+                                 "call_id": "evil", "packet_id": 99})
+        record = event.to_dict()
+        assert record["seq"] == 7
+        assert record["time"] == 2.0
+        assert record["kind"] == "fault"
+        assert record["call_id"] == "c1"
+        assert record["packet_id"] == 3
+        assert record["data_seq"] == 0
+        assert record["data_kind"] == "fake"
+        assert TraceEvent.from_dict(record) == event
+
+    def test_shadowed_keys_round_trip(self):
+        bus = TraceBus()
+        bus.emit("fault", 1.5, call_id="c1", seq=999)
+        export = from_jsonl(bus.to_jsonl())
+        (event,) = export.events
+        assert event.seq == 1
+        assert event.time == 1.5
+        assert event.data == {"seq": 999}
+
+    def test_pathological_data_prefixed_keys_round_trip(self):
+        # A literal payload key "data_seq" must not decode into "seq".
+        bus = TraceBus()
+        bus.emit("fault", 0.0, data_seq="literal", data_other="plain")
+        record = bus.events()[0].to_dict()
+        assert record["data_data_seq"] == "literal"
+        assert record["data_other"] == "plain"
+        export = from_jsonl(bus.to_jsonl())
+        assert export.events[0].data == {"data_seq": "literal",
+                                         "data_other": "plain"}
+
+
+class TestDropAccounting:
+    """Regression for silent ring truncation in exports (satellite fix 3)."""
+
+    def test_meta_header_surfaces_drops(self):
+        bus = TraceBus(capacity=4)
+        for index in range(10):
+            bus.emit("tick", float(index))
+        export = from_jsonl(bus.to_jsonl())
+        assert export.emitted == 10
+        assert export.dropped == 6
+        assert export.capacity == 4
+        assert export.truncated
+
+    def test_meta_header_clean_when_no_drops(self):
+        bus = TraceBus(capacity=16)
+        bus.emit("tick", 0.0)
+        export = from_jsonl(bus.to_jsonl())
+        assert export.dropped == 0
+        assert not export.truncated

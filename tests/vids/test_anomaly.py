@@ -1,0 +1,233 @@
+"""Mined-model anomaly scoring: unit costs, flagging, and attack ranking.
+
+Acceptance (docs/MINING.md): with an :class:`AnomalyModel` mined from a
+benign corpus wired into ``VidsConfig.anomaly_model``, an attacked call's
+score exceeds the benign maximum; and with ``trace_variables`` left off
+(the default) the fire fast path attaches no variable snapshots.
+"""
+
+import math
+
+import pytest
+
+from repro.efsm import Efsm, Event
+from repro.efsm.machine import FiringResult
+from repro.obs import Observability, TraceBus
+from repro.vids import AnomalyModel, AnomalyScorer, VidsMetrics
+from repro.vids.config import DEFAULT_CONFIG
+
+
+def build_toy_model(threshold=3.0, min_steps=3):
+    efsm = Efsm("mined-toy", "A")
+    efsm.add_state("A")
+    efsm.add_state("B", final=True)
+    efsm.add_transition("A", "x", "B")
+    efsm.add_transition("B", "x", "B")
+    efsm.validate()
+    supports = {"toy": {("A", "x", None, "B"): 3, ("B", "x", None, "B"): 1}}
+    return AnomalyModel(machines={"toy": efsm}, supports=supports,
+                        threshold=threshold, min_steps=min_steps)
+
+
+def firing(model, event_name="x", machine="toy", time=1.0,
+           deviation=False):
+    efsm = model.machines[machine]
+    transition = None if deviation else efsm.transitions[0]
+    return FiringResult(machine=machine, event=Event(event_name, {}),
+                        transition=transition, from_state="A",
+                        to_state="B", time=time)
+
+
+class TestAnomalyModel:
+    def test_step_cost_is_surprise_bits(self):
+        model = build_toy_model()
+        assert model.step_cost("toy", "A", "x", None, "B") == 0.0
+        cost = model.step_cost("toy", "B", "x", None, "B")
+        assert cost == pytest.approx(-math.log2(1 / 1))
+        # Unknown transition and explicit deviation cost the flat penalty.
+        assert model.step_cost("toy", "A", "y", None, "C") == \
+            model.miss_penalty
+        assert model.step_cost("toy", "A", "x", None, None) == \
+            model.miss_penalty
+
+    def test_rare_branch_costs_bits(self):
+        # Probability is conditioned on the source state: the rare branch
+        # out of A costs log2(4) bits even though it is deterministic for
+        # its own event.
+        efsm = Efsm("mined-toy", "A")
+        efsm.add_state("A")
+        efsm.add_state("B", final=True)
+        efsm.add_transition("A", "x", "A")
+        efsm.add_transition("A", "y", "B")
+        efsm.validate()
+        model = AnomalyModel(machines={"toy": efsm}, supports={
+            "toy": {("A", "x", None, "A"): 3, ("A", "y", None, "B"): 1}})
+        assert model.step_cost("toy", "A", "x", None, "A") == \
+            pytest.approx(-math.log2(3 / 4))
+        assert model.step_cost("toy", "A", "y", None, "B") == \
+            pytest.approx(2.0)
+
+    def test_totals_aggregate_per_source_state(self):
+        model = build_toy_model()
+        assert model.totals["toy"]["A"] == 3
+        assert model.totals["toy"]["B"] == 1
+
+    def test_from_mined_requires_machines(self):
+        with pytest.raises(ValueError):
+            AnomalyModel.from_mined({})
+
+    def test_from_mined_wraps_mined_machines(self, benign_mining_run):
+        model = AnomalyModel.from_mined(benign_mining_run.mined)
+        assert set(model.machines) == {"sip", "rtp"}
+        assert all(total > 0
+                   for totals in model.totals.values()
+                   for total in totals.values())
+
+
+class TestAnomalyScorer:
+    def test_in_model_traffic_scores_low(self):
+        model = build_toy_model()
+        scorer = AnomalyScorer(model)
+        for t in (1.0, 2.0, 3.0):
+            scorer.observe("c1", firing(model, time=t))
+        score = scorer.call_score("c1")
+        assert score is not None and score.steps == 3
+        assert not score.flagged
+
+    def test_model_misses_flag_once_with_trace_and_metrics(self):
+        model = build_toy_model(threshold=2.0, min_steps=2)
+        metrics = VidsMetrics()
+        bus = TraceBus()
+        scorer = AnomalyScorer(model, metrics=metrics, trace=bus)
+        for t in (1.0, 2.0, 3.0):
+            scorer.observe("c1", firing(model, event_name="weird", time=t))
+        score = scorer.call_score("c1")
+        assert score.flagged and score.deviations == 3
+        assert score.score == pytest.approx(model.miss_penalty)
+        assert metrics.anomaly_flags == 1
+        assert metrics.anomaly_events_scored == 3
+        assert metrics.anomaly_deviations == 3
+        assert metrics.anomaly_calls_scored == 1
+        flags = [e for e in bus.events() if e.kind == "anomaly"]
+        assert len(flags) == 1, "a call is flagged exactly once"
+        assert flags[0].call_id == "c1"
+        assert flags[0].data["score"] > model.threshold
+
+    def test_spec_deviations_do_not_advance_cursor(self):
+        model = build_toy_model()
+        scorer = AnomalyScorer(model)
+        assert scorer.observe("c1", firing(model, deviation=True)) is None
+        assert scorer.call_score("c1") is None or \
+            scorer.call_score("c1").steps == 0
+
+    def test_unknown_machine_ignored(self):
+        model = build_toy_model()
+        scorer = AnomalyScorer(model)
+        assert scorer.observe("c1", firing(model, machine="toy",
+                                           deviation=False)) is not None
+        other = FiringResult(machine="exotic", event=Event("x", {}),
+                             transition=None, from_state="A", to_state="A")
+        assert scorer.observe("c2", other) is None
+
+    def test_scores_ranked_most_anomalous_first(self):
+        model = build_toy_model()
+        scorer = AnomalyScorer(model)
+        scorer.observe("calm", firing(model, time=1.0))
+        scorer.observe("wild", firing(model, event_name="weird", time=1.0))
+        ranked = scorer.scores()
+        assert [c.call_id for c in ranked] == ["wild", "calm"]
+
+
+class TestScenarioAnomaly:
+    """End-to-end: mined-model scoring beside the spec-based detector."""
+
+    @pytest.fixture(scope="class")
+    def attack_run(self, benign_mining_run):
+        from repro.attacks import CancelDosAttack
+        from repro.telephony import (ScenarioParams, TestbedParams,
+                                     WorkloadParams, run_scenario)
+
+        # The benign corpus contains no CANCEL at all, so every attack
+        # CANCEL is a model deviation costing the flat miss penalty —
+        # the canonical out-of-vocabulary sequence a model-distance
+        # scorer exists to catch.  Threshold calibrated just above the
+        # benign per-step ceiling (benign means stay under ~0.01
+        # bits/step; a cancelled victim pays several whole bits).
+        model = AnomalyModel.from_mined(benign_mining_run.mined,
+                                        threshold=0.05)
+        obs = Observability(trace_capacity=200_000)
+        attack = CancelDosAttack(40.0)
+        result = run_scenario(ScenarioParams(
+            testbed=TestbedParams(seed=11, phones_per_network=4),
+            workload=WorkloadParams(mean_interarrival=25.0,
+                                    mean_duration=400.0, horizon=150.0),
+            with_vids=True,
+            vids_config=DEFAULT_CONFIG.with_overrides(anomaly_model=model),
+            attacks=(attack,), drain_time=90.0, obs=obs))
+        return result, attack, obs
+
+    def test_attack_call_scores_above_benign_max(self, attack_run):
+        result, attack, _ = attack_run
+        scorer = result.vids._anomaly
+        assert scorer is not None
+        victim = attack.victim_call_id
+        assert victim is not None
+        victim_score = scorer.call_score(victim)
+        assert victim_score is not None
+        benign = [c for c in scorer.scores() if c.call_id != victim]
+        assert benign, "the background workload must be scored too"
+        assert victim_score.score > max(c.score for c in benign)
+
+    def test_victim_flagged_and_counted(self, attack_run):
+        result, attack, obs = attack_run
+        metrics = result.vids.metrics
+        assert metrics.anomaly_events_scored > 0
+        assert metrics.anomaly_calls_scored > 1
+        assert metrics.anomaly_flags >= 1
+        flagged = {c.call_id for c in result.vids._anomaly.flagged()}
+        assert attack.victim_call_id in flagged
+        anomaly_events = [e for e in obs.trace.events()
+                          if e.kind == "anomaly"]
+        assert any(e.call_id == attack.victim_call_id
+                   for e in anomaly_events)
+
+    def test_scoring_raises_no_extra_alerts(self, attack_run):
+        # The anomaly scorer annotates; the spec-based detector alerts.
+        result, _, _ = attack_run
+        assert all(a.attack_type is not None for a in result.vids.alerts)
+
+
+class TestTraceVariablesFastPath:
+    """``trace_variables`` off (default): no snapshots, no shadow state."""
+
+    @pytest.fixture(scope="class")
+    def default_run(self):
+        from repro.telephony import (ScenarioParams, TestbedParams,
+                                     WorkloadParams, run_scenario)
+
+        obs = Observability(trace_capacity=100_000)
+        result = run_scenario(ScenarioParams(
+            testbed=TestbedParams(seed=7, phones_per_network=2),
+            workload=WorkloadParams(mean_interarrival=20.0,
+                                    mean_duration=30.0, horizon=80.0),
+            with_vids=True, drain_time=60.0, obs=obs))
+        return result, obs
+
+    def test_fire_events_carry_no_snapshots(self, default_run):
+        result, obs = default_run
+        fires = [e for e in obs.trace.events() if e.kind == "fire"]
+        assert fires
+        assert all("vars" not in e.data and "args" not in e.data
+                   for e in fires)
+
+    def test_variable_shadow_stays_empty(self, default_run):
+        result, _ = default_run
+        assert result.vids._var_shadow == {}
+
+    def test_snapshots_present_when_enabled(self, benign_mining_run):
+        fires = [e for e in benign_mining_run.obs.trace.events()
+                 if e.kind == "fire"]
+        assert any(e.data.get("vars") for e in fires)
+        assert any(e.data.get("args") for e in fires)
+        # Channel rides along for the miner on both paths.
+        assert all("channel" in e.data for e in fires)
